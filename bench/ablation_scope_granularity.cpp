@@ -1,0 +1,56 @@
+// Ablation: how does the authoritative's mapping granularity (the scope it
+// returns) drive the resolver-side cache cost? The paper measures the cost
+// at the CDN's actual /24 granularity; this sweep shows what operators on
+// both sides trade when choosing coarser scopes — the §7 discussion's
+// "TTL and scope" levers made explicit.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "measurement/cache_sim.h"
+#include "measurement/stats.h"
+#include "measurement/tracegen.h"
+
+using namespace ecsdns;
+using namespace ecsdns::measurement;
+
+int main(int argc, char** argv) {
+  bench::banner("ablation_scope_granularity",
+                "ablation - cache blow-up and hit rate vs authoritative scope");
+
+  PublicResolverCdnConfig config;
+  config.resolvers = static_cast<std::uint32_t>(bench::flag(argc, argv, "resolvers", 60));
+  config.duration = bench::flag(argc, argv, "minutes", 4) * netsim::kMinute;
+  config.seed = 3;
+
+  TextTable table({"scope", "median blow-up", "max blow-up", "hit rate (%)"});
+  for (const int scope : {8, 12, 16, 20, 22, 24}) {
+    // Force every zone to the swept granularity.
+    config.scope24_weight = scope == 24 ? 1.0 : 0.0;
+    config.scope16_weight = scope == 16 ? 1.0 : 0.0;
+    config.scope8_weight = scope == 8 ? 1.0 : 0.0;
+    Trace trace = generate_public_resolver_cdn_trace(config);
+    if (config.scope24_weight + config.scope16_weight + config.scope8_weight == 0.0) {
+      // Intermediate scopes are not in the generator's zone mix; rewrite
+      // the per-query scope directly.
+      config.scope24_weight = 1.0;
+      trace = generate_public_resolver_cdn_trace(config);
+      for (auto& q : trace.queries) q.scope = scope;
+      config.scope24_weight = 0.0;
+    }
+    auto factors = blowup_factors(trace, std::nullopt);
+    const Cdf cdf(std::move(factors));
+    const auto sim = simulate_cache(trace, CacheSimOptions{true, std::nullopt, std::nullopt});
+    table.add_row({"/" + std::to_string(scope), TextTable::num(cdf.median()),
+                   TextTable::num(cdf.max()),
+                   TextTable::num(100 * sim.overall_hit_rate(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "reading: a CDN that can answer at /16 instead of /24 cuts the\n"
+      "resolver-side cache cost severalfold at the price of coarser user\n"
+      "mapping. The paper's measured CDNs sit at the expensive end (/24,\n"
+      "/21), which is exactly why section 7's numbers are as large as they\n"
+      "are.\n");
+  return 0;
+}

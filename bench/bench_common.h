@@ -1,0 +1,34 @@
+// Shared helpers for the experiment binaries: flag parsing and the
+// paper-vs-measured report format every bench prints.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ecsdns::bench {
+
+// Parses "--name=value" integer flags; returns `fallback` when absent.
+inline long flag(int argc, char** argv, const char* name, long fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtol(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+inline void banner(const char* experiment, const char* paper_artifact) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("================================================================\n");
+}
+
+inline void compare(const char* metric, const char* paper, const char* measured) {
+  std::printf("  %-46s paper: %-18s measured: %s\n", metric, paper, measured);
+}
+
+}  // namespace ecsdns::bench

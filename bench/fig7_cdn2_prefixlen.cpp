@@ -1,0 +1,77 @@
+// Figure 7: the Figure 6 sweep against CDN-2, which honors ECS down to /21
+// and falls back to resolver-proxy mapping below that — so the cliff moves
+// from /24 to /21, and short-prefix queries all map near the lab machine.
+#include <cstdio>
+
+#include "authoritative/ecs_policy.h"
+#include "bench_common.h"
+#include "measurement/mapping_quality.h"
+#include "measurement/stats.h"
+
+using namespace ecsdns;
+using namespace ecsdns::measurement;
+
+int main(int argc, char** argv) {
+  bench::banner("fig7_cdn2_prefixlen",
+                "Figure 7 - mapping quality vs source prefix length (CDN-2)");
+
+  Testbed bed;
+  auto& fleet = bed.add_global_fleet();
+  auto& mapping = bed.add_mapping(cdn::ProximityMapping::cdn2_config(), fleet);
+  const auto zone = dnscore::Name::from_string("cdn2.example");
+  auto& auth = bed.add_auth("cdn2", zone, "Ashburn",
+                            std::make_unique<authoritative::CdnMappingPolicy>(mapping));
+  const auto host = zone.prepend("www");
+  auth.find_zone(zone)->add(dnscore::ResourceRecord::make_a(
+      host, 20, dnscore::IpAddress::parse("203.0.113.1")));
+
+  const auto probe_count =
+      static_cast<std::size_t>(bench::flag(argc, argv, "probes", 800));
+  const auto probes = make_probe_sites(bed, probe_count, 6);
+  std::printf("%zu Atlas-style probes, lab in Cleveland\n\n", probes.size());
+
+  const auto results = run_prefix_length_sweep(
+      bed, bed.auth_address(auth), host, probes, {16, 18, 20, 21, 22, 23, 24});
+
+  TextTable table(
+      {"source len", "unique first answers", "median connect ms", "p90 ms"});
+  CsvWriter csv("fig7_cdn2_prefixlen", {"source_len", "connect_ms", "cdf"});
+  std::vector<std::pair<std::string, Cdf>> curves;
+  for (const auto& r : results) {
+    for (const auto& [x, p] : r.connect_ms.series(100)) {
+      csv.row({std::to_string(r.prefix_length), TextTable::num(x, 3),
+               TextTable::num(p, 4)});
+    }
+    table.add_row({std::to_string(r.prefix_length),
+                   std::to_string(r.unique_first_answers),
+                   TextTable::num(r.connect_ms.median(), 1),
+                   TextTable::num(r.connect_ms.percentile(0.9), 1)});
+    if (r.prefix_length >= 20) {
+      curves.emplace_back("/" + std::to_string(r.prefix_length), r.connect_ms);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("%s\n",
+              render_cdf_plot(curves, "time to connect (ms)", 72, 16, true).c_str());
+
+  const auto find = [&](int len) -> const PrefixLengthResult& {
+    for (const auto& r : results) {
+      if (r.prefix_length == len) return r;
+    }
+    throw std::logic_error("missing length");
+  };
+  bench::compare("answers at /16../20", "1 (resolver-proxy, near lab)",
+                 std::to_string(find(20).unique_first_answers).c_str());
+  bench::compare("answers at /21 and longer", "41-42",
+                 std::to_string(find(21).unique_first_answers).c_str());
+  bench::compare("cliff between /20 and /21", "dramatic penalty at /20",
+                 find(20).connect_ms.median() > 2 * find(21).connect_ms.median()
+                     ? "reproduced (>2x median)"
+                     : "NOT reproduced");
+  bench::compare("/21../24 quality identical", "yes",
+                 std::abs(find(21).connect_ms.median() -
+                          find(24).connect_ms.median()) < 5.0
+                     ? "yes"
+                     : "no");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 8 / §8.4: the CNAME-flattening timeline. Accessing the zone apex
+// (flattened by the DNS provider, whose backend query carries no ECS) maps
+// the client to a far-away edge and costs an HTTP redirect; accessing www
+// (regular CNAME, resolved by the ECS-speaking public resolver) does not.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "measurement/flattening_exp.h"
+#include "measurement/stats.h"
+
+using namespace ecsdns;
+using namespace ecsdns::measurement;
+
+int main(int argc, char** argv) {
+  bench::banner("fig8_cname_flattening",
+                "Figure 8 / section 8.4 - CNAME flattening penalty");
+  (void)argc;
+  (void)argv;
+
+  {
+    Testbed bed;
+    FlatteningOptions options;  // provider does NOT forward ECS (the pitfall)
+    const auto t = run_cname_flattening_experiment(bed, options);
+
+    std::printf("client: %s   resolver egress: %s   DNS provider: %s\n\n",
+                options.client_city.c_str(), options.resolver_city.c_str(),
+                options.provider_city.c_str());
+    TextTable table({"step (Figure 8)", "duration", "detail"});
+    table.add_row({"1-6  resolve customer.com (flattened)",
+                   netsim::format_duration(t.apex_dns),
+                   "edge E1 = " + t.apex_edge.to_string() + " (" + t.apex_edge_city +
+                       ")"});
+    table.add_row({"7    TCP handshake with E1",
+                   netsim::format_duration(t.apex_handshake), "mis-mapped edge"});
+    table.add_row({"7-8  HTTP request -> 302 redirect",
+                   netsim::format_duration(t.redirect), "to www.customer.com"});
+    table.add_row({"9-14 resolve www.customer.com",
+                   netsim::format_duration(t.www_dns),
+                   "edge E2 = " + t.www_edge.to_string() + " (" + t.www_edge_city +
+                       ")"});
+    table.add_row({"     TCP handshake with E2",
+                   netsim::format_duration(t.www_handshake), "correct edge"});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("apex access total : %s\n",
+                netsim::format_duration(t.apex_total()).c_str());
+    std::printf("www access total  : %s\n",
+                netsim::format_duration(t.www_total()).c_str());
+    std::printf("flattening penalty: %s\n\n",
+                netsim::format_duration(t.penalty()).c_str());
+
+    bench::compare("handshake to mis-mapped edge E1", "125 ms",
+                   netsim::format_duration(t.apex_handshake).c_str());
+    bench::compare("handshake to correct edge E2", "45 ms",
+                   netsim::format_duration(t.www_handshake).c_str());
+    bench::compare("overall penalty of apex access", "~650 ms",
+                   netsim::format_duration(t.penalty()).c_str());
+  }
+
+  // The counterfactual the paper discusses: the provider forwards ECS.
+  {
+    Testbed bed;
+    FlatteningOptions options;
+    options.provider_forwards_ecs = true;
+    const auto t = run_cname_flattening_experiment(bed, options);
+    std::printf("\ncounterfactual (provider forwards ECS on backend):\n");
+    std::printf("  apex now maps to %s; handshake %s (penalty only the redirect)\n",
+                t.apex_edge_city.c_str(),
+                netsim::format_duration(t.apex_handshake).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Engineering microbenchmarks: the ECS cache and the trace-driven cache
+// simulator that Figures 1-3 are built on.
+#include <benchmark/benchmark.h>
+
+#include "measurement/cache_sim.h"
+#include "measurement/tracegen.h"
+#include "resolver/cache.h"
+
+namespace {
+
+using namespace ecsdns;
+using dnscore::IpAddress;
+using dnscore::Name;
+using dnscore::Prefix;
+
+void BM_CacheInsert(benchmark::State& state) {
+  resolver::EcsCache cache;
+  const Name qname = Name::from_string("www.example.com");
+  std::uint32_t i = 0;
+  std::vector<dnscore::ResourceRecord> records{
+      dnscore::ResourceRecord::make_a(qname, 20, IpAddress::parse("1.1.1.1"))};
+  for (auto _ : state) {
+    cache.insert(qname, dnscore::RRType::A, Prefix{IpAddress::v4(i++ << 8), 24}, 24,
+                 records, 0, 60 * netsim::kSecond);
+  }
+}
+BENCHMARK(BM_CacheInsert);
+
+void BM_CacheLookupHit(benchmark::State& state) {
+  resolver::EcsCache cache;
+  const Name qname = Name::from_string("www.example.com");
+  std::vector<dnscore::ResourceRecord> records{
+      dnscore::ResourceRecord::make_a(qname, 20, IpAddress::parse("1.1.1.1"))};
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0)); ++i) {
+    cache.insert(qname, dnscore::RRType::A, Prefix{IpAddress::v4(i << 8), 24}, 24,
+                 records, 0, 60 * netsim::kSecond);
+  }
+  const auto client = IpAddress::v4((static_cast<std::uint32_t>(state.range(0)) / 2)
+                                    << 8 | 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.lookup(qname, dnscore::RRType::A, client, 1));
+  }
+}
+BENCHMARK(BM_CacheLookupHit)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    measurement::PublicResolverCdnConfig config;
+    config.resolvers = 16;
+    config.duration = 2 * netsim::kMinute;
+    benchmark::DoNotOptimize(measurement::generate_public_resolver_cdn_trace(config));
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_CacheSimulation(benchmark::State& state) {
+  measurement::PublicResolverCdnConfig config;
+  config.resolvers = 16;
+  config.duration = 5 * netsim::kMinute;
+  const auto trace = measurement::generate_public_resolver_cdn_trace(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        measurement::simulate_cache(trace, {true, std::nullopt, std::nullopt}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.queries.size()));
+}
+BENCHMARK(BM_CacheSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

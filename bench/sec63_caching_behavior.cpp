@@ -1,0 +1,72 @@
+// §6.3: caching behavior of ECS resolvers, measured with the paper's
+// two-query technique (crafted client ECS where accepted, two open
+// forwarders in different /24s of one /16 otherwise) against a controlled
+// authoritative that returns scopes 24, 16, and 0.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "measurement/caching_prober.h"
+#include "measurement/fleet.h"
+#include "measurement/stats.h"
+
+using namespace ecsdns;
+using namespace ecsdns::measurement;
+
+int main(int argc, char** argv) {
+  bench::banner("sec63_caching_behavior",
+                "Section 6.3 - caching behavior classes (76/103/15/8/1)");
+  const int scale = static_cast<int>(bench::flag(argc, argv, "scale", 1));
+
+  Testbed bed;
+  ScanFleetOptions options;
+  options.scale = scale;
+  Fleet fleet = build_scan_dataset_fleet(bed, options);
+
+  CachingProber prober(bed);
+  // The paper studies the 278 non-Google resolvers (plus one reachable
+  // Google egress); we probe every non-MP member plus one MP member.
+  std::vector<CachingVerdict> verdicts;
+  bool probed_mp = false;
+  for (const auto& m : fleet.members) {
+    if (m.behavior == "AS-MP") {
+      if (probed_mp || m.forwarders.empty()) continue;
+      probed_mp = true;
+    }
+    verdicts.push_back(prober.probe(m));
+  }
+  const auto histogram = CachingProber::histogram(verdicts);
+  const auto count = [&](CachingClass c) -> std::size_t {
+    const auto it = histogram.find(c);
+    return it == histogram.end() ? 0 : it->second;
+  };
+
+  TextTable table({"caching behavior", "paper", "measured"});
+  table.add_row({"correct (honors scope, <= 24 bits)", "76",
+                 std::to_string(count(CachingClass::kCorrect))});
+  table.add_row({"ignores scope entirely", "103",
+                 std::to_string(count(CachingClass::kIgnoresScope))});
+  table.add_row({"accepts/caches prefixes > 24", "15",
+                 std::to_string(count(CachingClass::kAcceptsLongPrefixes))});
+  table.add_row({"clamps source and scope at 22", "8",
+                 std::to_string(count(CachingClass::kClamp22))});
+  table.add_row({"private-block misconfiguration", "1",
+                 std::to_string(count(CachingClass::kPrivatePrefixBug))});
+  table.add_row({"not studiable (no delivery path)", "75 (64+12-1)",
+                 std::to_string(count(CachingClass::kUnstudied))});
+  std::printf("probed %zu resolvers (scale 1/%d)\n\n%s\n", verdicts.size(), scale,
+              table.render().c_str());
+
+  const std::size_t studied = verdicts.size() - count(CachingClass::kUnstudied);
+  bench::compare("scope-ignorers among studied", "103/203 (over half)",
+                 (std::to_string(count(CachingClass::kIgnoresScope)) + "/" +
+                  std::to_string(studied))
+                     .c_str());
+  bench::compare("every deviant class observed", "yes",
+                 count(CachingClass::kIgnoresScope) &&
+                         count(CachingClass::kAcceptsLongPrefixes) &&
+                         count(CachingClass::kClamp22) &&
+                         count(CachingClass::kPrivatePrefixBug)
+                     ? "yes"
+                     : "no");
+  return 0;
+}

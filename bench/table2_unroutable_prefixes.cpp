@@ -1,0 +1,57 @@
+// Table 2: authoritative responses to queries carrying unroutable ECS
+// prefixes, against a Google-like CDN that hashes unrecognized prefixes
+// onto arbitrary edges. Lab machine in Cleveland, as in the paper.
+#include <cstdio>
+
+#include "authoritative/ecs_policy.h"
+#include "bench_common.h"
+#include "measurement/mapping_quality.h"
+#include "measurement/stats.h"
+
+using namespace ecsdns;
+using namespace ecsdns::measurement;
+
+int main(int argc, char** argv) {
+  bench::banner("table2_unroutable_prefixes",
+                "Table 2 - mapping quality under unroutable ECS prefixes");
+  (void)argc;
+  (void)argv;
+
+  Testbed bed;
+  // A Google-like footprint with no Cleveland edge: the lab's nearest edge
+  // is Chicago, as in the paper.
+  auto& fleet = bed.add_fleet_in_cities(
+      {"Chicago", "New York", "Mountain View", "Zurich", "Johannesburg",
+       "Sao Paulo", "Tokyo", "Singapore", "Sydney", "Frankfurt", "London",
+       "Mumbai", "Taipei", "Moscow", "Cape Town", "Buenos Aires"});
+  auto& mapping = bed.add_mapping(cdn::ProximityMapping::google_like_config(), fleet);
+  const auto zone = dnscore::Name::from_string("video.example");
+  auto& auth = bed.add_auth("google-like", zone, "Mountain View",
+                            std::make_unique<authoritative::CdnMappingPolicy>(mapping));
+  const auto host = zone.prepend("www");
+  auth.find_zone(zone)->add(dnscore::ResourceRecord::make_a(
+      host, 20, dnscore::IpAddress::parse("203.0.113.1")));
+
+  const auto rows =
+      run_unroutable_experiment(bed, bed.auth_address(auth), host, "Cleveland");
+
+  TextTable table({"ECS Prefix", "First answer", "RTT", "Location"});
+  for (const auto& row : rows) {
+    table.add_row({row.ecs_label, row.first_answer.to_string(),
+                   TextTable::num(row.rtt_ms, 0) + " ms", row.location});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  bench::compare("no-ECS RTT", "35 ms (Chicago)",
+                 (TextTable::num(rows[0].rtt_ms, 0) + " ms (" + rows[0].location + ")")
+                     .c_str());
+  bench::compare("/24-of-source RTT", "35 ms (Chicago)",
+                 (TextTable::num(rows[1].rtt_ms, 0) + " ms (" + rows[1].location + ")")
+                     .c_str());
+  const double worst = std::max({rows[2].rtt_ms, rows[3].rtt_ms, rows[4].rtt_ms});
+  bench::compare("worst unroutable RTT", "285 ms (South Africa)",
+                 (TextTable::num(worst, 0) + " ms").c_str());
+  bench::compare("unroutable answers differ from routable", "yes (disjoint sets)",
+                 rows[2].first_answer != rows[0].first_answer ? "yes" : "no");
+  return 0;
+}

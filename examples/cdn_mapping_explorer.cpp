@@ -1,0 +1,80 @@
+// Scenario: a CDN operator exploring how ECS prefix length changes user
+// mapping quality. For a set of client cities, compare the edge chosen (and
+// resulting round-trip time) when the resolver sends no ECS, a /16, a /20,
+// and a /24 — against both measured CDN policies from the paper.
+#include <cstdio>
+
+#include "authoritative/ecs_policy.h"
+#include "measurement/testbed.h"
+
+using namespace ecsdns;
+using dnscore::EcsOption;
+using dnscore::IpAddress;
+using dnscore::Name;
+using dnscore::Prefix;
+using dnscore::RRType;
+
+namespace {
+
+void explore(measurement::Testbed& bed, const char* cdn_name,
+             const cdn::ProximityMapping& mapping,
+             const std::vector<std::pair<std::string, IpAddress>>& clients,
+             const IpAddress& resolver_addr) {
+  std::printf("--- %s (min ECS bits: %d) ---\n", cdn_name,
+              mapping.config().min_ecs_bits);
+  std::printf("%-14s %10s %18s %18s %18s\n", "client", "no ECS", "/16", "/20", "/24");
+  for (const auto& [city, addr] : clients) {
+    std::printf("%-14s", city.c_str());
+    for (const int bits : {0, 16, 20, 24}) {
+      cdn::MappingRequest request;
+      request.resolver = resolver_addr;
+      if (bits > 0) request.ecs = Prefix{addr, bits};
+      const auto result = mapping.map(request);
+      const auto edge = result.addresses.front();
+      const auto rtt = bed.network().ping(addr, edge);
+      const auto where = bed.network().location_of(edge);
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%s/%dms",
+                    where ? bed.world().nearest(*where).name.substr(0, 9).c_str()
+                          : "?",
+                    rtt ? static_cast<int>(*rtt / netsim::kMillisecond) : -1);
+      std::printf(" %18s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  measurement::Testbed bed;
+  auto& fleet = bed.add_global_fleet();
+  auto& cdn1 = bed.add_mapping(cdn::ProximityMapping::cdn1_config(), fleet);
+  auto& cdn2 = bed.add_mapping(cdn::ProximityMapping::cdn2_config(), fleet);
+
+  // The resolver everyone shares sits in Ashburn — far from most clients,
+  // which is exactly why ECS exists.
+  auto& resolver = bed.add_resolver(resolver::ResolverConfig::google_like(), "Ashburn");
+
+  std::vector<std::pair<std::string, IpAddress>> clients;
+  for (const char* city : {"Tokyo", "Sydney", "Santiago", "Zurich", "Johannesburg",
+                           "Mumbai"}) {
+    auto& c = bed.add_client(city);
+    clients.emplace_back(city, c.address());
+  }
+
+  std::printf("ecsdns CDN mapping explorer\n");
+  std::printf("cells show: chosen edge city / client-to-edge RTT\n\n");
+  explore(bed, "CDN-1 (uses ECS only at /24)", cdn1, clients, resolver.address());
+  explore(bed, "CDN-2 (uses ECS at /21+, else resolver proxy)", cdn2, clients,
+          resolver.address());
+
+  std::printf(
+      "takeaways (matching the paper's section 8.3):\n"
+      "  * below each CDN's threshold the mapping collapses to a default\n"
+      "    or resolver-proxy choice - often a continent away;\n"
+      "  * /24 is the only length that works for both CDNs, which is why\n"
+      "    the paper recommends resolvers just send /24.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// ecsdig: a dig-style CLI against the simulated Internet.
+//
+//   ecsdig [options] <hostname>
+//     --client=<city>        where the querying client sits (default Tokyo)
+//     --resolver=<behavior>  correct | google | ignore | jammed | clamp22 |
+//                            private (default google)
+//     --resolver-city=<city> egress location (default Ashburn)
+//     --cdn=<policy>         cdn1 | cdn2 | google (default cdn2)
+//     --ecs=<prefix>         attach a client-chosen ECS option (e.g.
+//                            1.2.3.0/24 or 127.0.0.1/32)
+//     --direct               query the CDN authoritative directly,
+//                            bypassing the resolver (like dig @auth)
+//
+// Any hostname resolves — the CDN tailors answers for whatever name you
+// invent under its zone. Prints the response dig-style plus the chosen
+// edge's location and the client's RTT to it.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "authoritative/ecs_policy.h"
+#include "measurement/testbed.h"
+
+using namespace ecsdns;
+using dnscore::EcsOption;
+using dnscore::Name;
+using dnscore::Prefix;
+using dnscore::RRType;
+
+namespace {
+
+const char* flag_value(int argc, char** argv, const char* name, const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+bool flag_present(int argc, char** argv, const char* name) {
+  const std::string full = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (full == argv[i]) return true;
+  }
+  return false;
+}
+
+resolver::ResolverConfig resolver_for(const std::string& behavior) {
+  if (behavior == "correct") return resolver::ResolverConfig::correct();
+  if (behavior == "google") return resolver::ResolverConfig::google_like();
+  if (behavior == "ignore") return resolver::ResolverConfig::scope_ignorer();
+  if (behavior == "jammed") return resolver::ResolverConfig::jammed_32();
+  if (behavior == "clamp22") return resolver::ResolverConfig::clamp22();
+  if (behavior == "private") return resolver::ResolverConfig::private_block_bug();
+  std::fprintf(stderr, "unknown resolver behavior '%s'\n", behavior.c_str());
+  std::exit(2);
+}
+
+cdn::ProximityMappingConfig cdn_for(const std::string& policy) {
+  if (policy == "cdn1") return cdn::ProximityMapping::cdn1_config();
+  if (policy == "cdn2") return cdn::ProximityMapping::cdn2_config();
+  if (policy == "google") return cdn::ProximityMapping::google_like_config();
+  std::fprintf(stderr, "unknown cdn policy '%s'\n", policy.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string qname_text;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') qname_text = argv[i];
+  }
+  if (qname_text.empty()) qname_text = "www.video.example";
+
+  const std::string client_city = flag_value(argc, argv, "client", "Tokyo");
+  const std::string resolver_city = flag_value(argc, argv, "resolver-city", "Ashburn");
+  const std::string behavior = flag_value(argc, argv, "resolver", "google");
+  const std::string cdn_policy = flag_value(argc, argv, "cdn", "cdn2");
+  const char* ecs_text = flag_value(argc, argv, "ecs", "");
+  const bool direct = flag_present(argc, argv, "direct");
+
+  measurement::Testbed bed;
+  if (!bed.world().has_city(client_city) || !bed.world().has_city(resolver_city)) {
+    std::fprintf(stderr, "unknown city; pick from the catalog, e.g. Tokyo, "
+                         "Zurich, Santiago, Beijing, Cleveland...\n");
+    return 2;
+  }
+  auto& fleet = bed.add_global_fleet();
+  auto& mapping = bed.add_mapping(cdn_for(cdn_policy), fleet);
+
+  const Name qname = Name::from_string(qname_text);
+  if (qname.label_count() < 3) {
+    std::fprintf(stderr, "use a hostname below a zone, e.g. www.video.example\n");
+    return 2;
+  }
+  const Name zone = qname.second_level_domain();
+  auto& auth = bed.add_auth("cdn", zone, "Ashburn",
+                            std::make_unique<authoritative::CdnMappingPolicy>(mapping));
+  auth.find_zone(zone)->add(dnscore::ResourceRecord::make_a(
+      qname, 20, dnscore::IpAddress::parse("203.0.113.1")));
+
+  auto& client = bed.add_client(client_city);
+  std::optional<EcsOption> ecs;
+  if (ecs_text[0] != '\0') {
+    ecs = EcsOption::for_query(Prefix::parse(ecs_text));
+  }
+
+  dnscore::IpAddress server;
+  if (direct) {
+    server = bed.auth_address(auth);
+  } else {
+    auto& res = bed.add_resolver(resolver_for(behavior), resolver_city);
+    server = res.address();
+  }
+
+  std::printf("; ecsdig %s @%s (%s)\n", qname_text.c_str(),
+              server.to_string().c_str(),
+              direct ? "authoritative, direct"
+                     : (behavior + " resolver in " + resolver_city).c_str());
+  std::printf("; client in %s (%s)%s%s\n\n", client_city.c_str(),
+              client.address().to_string().c_str(), ecs ? ", sending " : "",
+              ecs ? ecs->to_string().c_str() : "");
+
+  const auto t0 = bed.network().now();
+  const auto response = client.query(server, qname, RRType::A, ecs);
+  const auto elapsed = bed.network().now() - t0;
+  if (!response) {
+    std::printf(";; no response (timeout)\n");
+    return 1;
+  }
+  std::printf("%s", response->to_string().c_str());
+  std::printf("\n;; Query time: %s\n", netsim::format_duration(elapsed).c_str());
+
+  if (const auto addr = response->first_address()) {
+    if (const auto where = bed.network().location_of(*addr)) {
+      const auto rtt = bed.network().ping(client.address(), *addr);
+      std::printf(";; first answer %s is in %s; client RTT %s\n",
+                  addr->to_string().c_str(),
+                  bed.world().nearest(*where).name.c_str(),
+                  rtt ? netsim::format_duration(*rtt).c_str() : "?");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: the ecsdns library in one file.
+//
+//  1. Craft a real RFC 7871 ECS query and look at its wire bytes.
+//  2. Stand up a miniature Internet — root, TLD, an ECS-aware CDN
+//     authoritative, a recursive resolver — and resolve through it.
+//  3. Watch the ECS cache at work: same-/24 clients share an answer,
+//     other subnets trigger fresh upstream fetches.
+#include <cstdio>
+
+#include "authoritative/ecs_policy.h"
+#include "measurement/testbed.h"
+
+using namespace ecsdns;
+using dnscore::EcsOption;
+using dnscore::IpAddress;
+using dnscore::Message;
+using dnscore::Name;
+using dnscore::Prefix;
+using dnscore::RRType;
+
+int main() {
+  // --- 1. wire format ---
+  std::printf("== 1. crafting an ECS query ==\n");
+  Message query = Message::make_query(0x2b7e, Name::from_string("www.example.com"),
+                                      RRType::A);
+  query.set_ecs(EcsOption::for_query(Prefix::parse("198.51.100.0/24")));
+  const auto wire = query.serialize();
+  std::printf("%s", query.to_string().c_str());
+  std::printf("wire (%zu bytes): %s...\n\n", wire.size(),
+              dnscore::hex_dump({wire.data(), 24}).c_str());
+  const Message reparsed = Message::parse({wire.data(), wire.size()});
+  std::printf("parsed back: ECS option = %s\n\n", reparsed.ecs()->to_string().c_str());
+
+  // --- 2. a miniature Internet ---
+  std::printf("== 2. resolving through a simulated hierarchy ==\n");
+  measurement::Testbed bed;
+  auto& fleet = bed.add_global_fleet();
+  auto& mapping = bed.add_mapping(cdn::ProximityMapping::cdn2_config(), fleet);
+  const Name zone = Name::from_string("cdn.example");
+  auto& auth = bed.add_auth("cdn", zone, "Ashburn",
+                            std::make_unique<authoritative::CdnMappingPolicy>(mapping));
+  const Name host = zone.prepend("www");
+  auth.find_zone(zone)->add(
+      dnscore::ResourceRecord::make_a(host, 20, IpAddress::parse("203.0.113.1")));
+
+  auto& resolver = bed.add_resolver(resolver::ResolverConfig::google_like(), "Chicago");
+  auto& tokyo_client = bed.add_client("Tokyo");
+  auto& berlin_client = bed.add_client("Frankfurt");
+
+  const auto answer_for = [&](resolver::StubClient& client, const char* who) {
+    const auto response = client.query(resolver.address(), host, RRType::A);
+    if (!response || !response->first_address()) {
+      std::printf("%s: resolution failed\n", who);
+      return;
+    }
+    const auto edge = *response->first_address();
+    const auto where = bed.network().location_of(edge);
+    std::printf("%-16s -> edge %-12s (%s)\n", who, edge.to_string().c_str(),
+                where ? bed.world().nearest(*where).name.c_str() : "?");
+  };
+  answer_for(tokyo_client, "client in Tokyo");
+  answer_for(berlin_client, "client in Frankfurt");
+  std::printf("one resolver, two clients, two different edges: that is ECS.\n\n");
+
+  // --- 3. the ECS cache ---
+  std::printf("== 3. scope-controlled caching ==\n");
+  // A repeat from the same client is served from cache...
+  auto before = auth.queries_served();
+  tokyo_client.query(resolver.address(), host, RRType::A);
+  std::printf("repeat query, same client     -> %llu upstream queries (cache hit)\n",
+              static_cast<unsigned long long>(auth.queries_served() - before));
+  // ...but a client in a different block is outside the cached answer's
+  // ECS scope, so the resolver must fetch a fresh, tailored answer.
+  before = auth.queries_served();
+  auto& sydney_client = bed.add_client("Sydney");
+  sydney_client.query(resolver.address(), host, RRType::A);
+  std::printf("new client in another subnet  -> %llu upstream queries (scope miss)\n",
+              static_cast<unsigned long long>(auth.queries_served() - before));
+  std::printf("resolver cache: %zu entries, %llu hits, %llu misses\n",
+              resolver.cache().size(),
+              static_cast<unsigned long long>(resolver.cache().stats().hits),
+              static_cast<unsigned long long>(resolver.cache().stats().misses));
+  std::printf("\ndone. see examples/ for deeper scenarios.\n");
+  return 0;
+}

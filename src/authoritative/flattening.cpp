@@ -1,0 +1,84 @@
+#include "authoritative/flattening.h"
+
+namespace ecsdns::authoritative {
+
+FlatteningAuthServer::FlatteningAuthServer(FlatteningConfig config,
+                                           AuthConfig base_config,
+                                           netsim::Network& network,
+                                           IpAddress own_address)
+    : config_(config),
+      base_(std::move(base_config), nullptr),
+      network_(network),
+      own_address_(std::move(own_address)) {}
+
+void FlatteningAuthServer::flatten(const Name& name, const Name& target,
+                                   const IpAddress& target_auth) {
+  targets_[name] = Target{target, target_auth};
+}
+
+std::optional<Message> FlatteningAuthServer::handle(const Message& query,
+                                                    const IpAddress& sender,
+                                                    SimTime now) {
+  if (query.questions.empty()) return base_.handle(query, sender, now);
+  const Question& q = query.question();
+  const auto it = targets_.find(q.qname);
+  if (it == targets_.end() || q.qtype != RRType::A) {
+    return base_.handle(query, sender, now);
+  }
+
+  // Resolve the CDN name on the backend. Note what is (not) forwarded: the
+  // whole point of §8.4 is that this backend transaction typically carries
+  // no client subnet information.
+  Message backend = Message::make_query(next_id_++, it->second.target, RRType::A);
+  backend.opt = dnscore::OptRecord{};
+  if (config_.forward_ecs) {
+    if (auto ecs = query.ecs()) {
+      if (auto prefix = ecs->source_prefix()) {
+        backend.set_ecs(dnscore::EcsOption::for_query(*prefix));
+      }
+    }
+  }
+  ++backend_queries_;
+  const auto wire = network_.round_trip(own_address_, it->second.auth,
+                                        backend.serialize());
+  Message response = Message::make_response(query);
+  response.header.aa = true;
+  if (wire) {
+    try {
+      const Message backend_response = Message::parse({wire->data(), wire->size()});
+      for (const auto& rr : backend_response.answers) {
+        if (rr.type != RRType::A) continue;
+        response.answers.push_back(dnscore::ResourceRecord::make_a(
+            q.qname, config_.flattened_ttl,
+            std::get<dnscore::ARdata>(rr.rdata).address));
+      }
+    } catch (const dnscore::WireFormatError&) {
+      response.header.rcode = RCode::SERVFAIL;
+    }
+  } else {
+    response.header.rcode = RCode::SERVFAIL;
+  }
+  if (response.answers.empty() && response.header.rcode == RCode::NOERROR) {
+    response.header.rcode = RCode::SERVFAIL;
+  }
+  return response;
+}
+
+void FlatteningAuthServer::attach(const netsim::GeoPoint& location) {
+  network_.attach(own_address_, location,
+                  [this](const netsim::Datagram& dgram)
+                      -> std::optional<std::vector<std::uint8_t>> {
+                    Message query;
+                    try {
+                      query = Message::parse(
+                          {dgram.payload.data(), dgram.payload.size()});
+                    } catch (const dnscore::WireFormatError&) {
+                      return std::nullopt;
+                    }
+                    auto response = handle(query, dgram.src, network_.now());
+                    if (!response) return std::nullopt;
+                    return response->serialize();
+                  });
+}
+
+}  // namespace ecsdns::authoritative

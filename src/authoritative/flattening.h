@@ -1,0 +1,61 @@
+// CNAME flattening (§8.4): a DNS provider's authoritative server that, for
+// selected names (typically the zone apex), resolves the CDN CNAME target
+// itself on the backend and returns the final A records, hiding the CNAME
+// from external queriers.
+//
+// The pitfall the paper demonstrates: if the backend query carries no ECS
+// (or the provider is not whitelisted by the CDN), the CDN maps the answer
+// to the *DNS provider's* location — which has no relation to the client —
+// and the client eats a cross-country HTTP redirect to recover.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "authoritative/server.h"
+
+namespace ecsdns::authoritative {
+
+struct FlatteningConfig {
+  // Forward the ECS option from the incoming query onto the backend query
+  // toward the CDN. The real-world setup the paper tested did not.
+  bool forward_ecs = false;
+  std::uint32_t flattened_ttl = 30;
+};
+
+class FlatteningAuthServer {
+ public:
+  // `base` serves the static zone content (www CNAMEs, NS, ...). The
+  // flattener consults it for everything it does not flatten.
+  FlatteningAuthServer(FlatteningConfig config, AuthConfig base_config,
+                       netsim::Network& network, IpAddress own_address);
+
+  AuthServer& base() noexcept { return base_; }
+
+  // Declares that A queries for `name` must be answered by resolving
+  // `target` against the authoritative server at `target_auth`.
+  void flatten(const Name& name, const Name& target, const IpAddress& target_auth);
+
+  std::optional<Message> handle(const Message& query, const IpAddress& sender,
+                                SimTime now);
+
+  void attach(const netsim::GeoPoint& location);
+
+  // Backend queries issued (each flattened answer costs one).
+  std::uint64_t backend_queries() const noexcept { return backend_queries_; }
+
+ private:
+  FlatteningConfig config_;
+  AuthServer base_;
+  netsim::Network& network_;
+  IpAddress own_address_;
+  struct Target {
+    Name target;
+    IpAddress auth;
+  };
+  std::unordered_map<Name, Target, dnscore::NameHash> targets_;
+  std::uint64_t backend_queries_ = 0;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace ecsdns::authoritative

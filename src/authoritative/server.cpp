@@ -1,0 +1,222 @@
+#include "authoritative/server.h"
+
+#include <algorithm>
+
+namespace ecsdns::authoritative {
+namespace {
+
+// Issues that make an ECS option unusable rather than merely non-compliant;
+// RFC 7871 §7.1.2 directs servers to FORMERR these.
+bool is_malformed(const std::vector<dnscore::EcsIssue>& issues) {
+  for (const auto issue : issues) {
+    switch (issue) {
+      case dnscore::EcsIssue::kUnknownFamily:
+      case dnscore::EcsIssue::kSourceLengthTooLong:
+      case dnscore::EcsIssue::kAddressLengthMismatch:
+      case dnscore::EcsIssue::kNonZeroTrailingBits:
+        return true;
+      case dnscore::EcsIssue::kScopeLengthTooLong:
+      case dnscore::EcsIssue::kScopeNonZeroInQuery:
+        // Tolerated: treated as scope 0 on input.
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+AuthServer::AuthServer(AuthConfig config, std::unique_ptr<EcsPolicy> policy)
+    : config_(std::move(config)), policy_(std::move(policy)) {
+  if (!policy_) policy_ = std::make_unique<NoEcsPolicy>();
+}
+
+Zone& AuthServer::add_zone(const Name& apex) {
+  zones_.push_back(std::make_unique<Zone>(apex));
+  return *zones_.back();
+}
+
+Zone* AuthServer::find_zone(const Name& qname) {
+  Zone* best = nullptr;
+  for (const auto& z : zones_) {
+    if (!qname.is_subdomain_of(z->apex())) continue;
+    if (best == nullptr || z->apex().label_count() > best->apex().label_count()) {
+      best = z.get();
+    }
+  }
+  return best;
+}
+
+std::optional<Message> AuthServer::handle(const Message& query,
+                                          const IpAddress& sender, SimTime now) {
+  ++queries_served_;
+  QueryLogEntry entry;
+  entry.time = now;
+  entry.sender = sender;
+  if (!query.questions.empty()) {
+    entry.qname = query.question().qname;
+    entry.qtype = query.question().qtype;
+  }
+  entry.query_ecs = query.opt ? query.ecs() : std::nullopt;
+
+  if (config_.drop_ecs_queries && entry.query_ecs) {
+    if (config_.log_queries) log_.push_back(std::move(entry));
+    return std::nullopt;  // the buggy silent drop
+  }
+
+  Message response = answer(query, sender);
+  entry.rcode = response.header.rcode;
+  entry.response_ecs = response.ecs();
+  if (config_.log_queries) log_.push_back(std::move(entry));
+  return response;
+}
+
+Message AuthServer::answer(const Message& query, const IpAddress& sender) {
+  Message response = Message::make_response(query);
+  response.header.ra = false;  // authoritative servers do not offer recursion
+
+  if (query.questions.empty() || query.header.opcode != dnscore::Opcode::QUERY) {
+    response.header.rcode = query.questions.empty() ? RCode::FORMERR : RCode::NOTIMP;
+    return response;
+  }
+  if (query.opt && !config_.edns_supported) {
+    // A pre-EDNS server sees unknown trailing data and rejects the query.
+    response.opt.reset();
+    response.header.rcode = RCode::FORMERR;
+    return response;
+  }
+  if (query.opt && query.opt->version != 0) {
+    response.header.rcode = RCode::BADVERS;
+    return response;
+  }
+
+  std::optional<EcsOption> ecs = query.ecs();
+  if (ecs && is_malformed(ecs->validate(/*in_query=*/true))) {
+    response.header.rcode = RCode::FORMERR;
+    return response;
+  }
+
+  const Question& q = query.question();
+  Zone* zone = find_zone(q.qname);
+  if (zone == nullptr) {
+    response.header.rcode = RCode::REFUSED;
+    return response;
+  }
+
+  const EcsDecision decision = policy_->decide(q, ecs, sender);
+
+  response.header.aa = true;
+  Name current = q.qname;
+  // Chase in-zone CNAME chains the way production servers do, bounded to
+  // avoid loops in malformed zones.
+  for (int hop = 0; hop < 8; ++hop) {
+    const ZoneLookup result = zone->lookup(current, q.qtype);
+    switch (result.kind) {
+      case ZoneLookup::Kind::kAnswer:
+        if (decision.tailored_addresses && q.qtype == RRType::A) {
+          for (const auto& addr : *decision.tailored_addresses) {
+            if (!addr.is_v4()) continue;
+            response.answers.push_back(
+                dnscore::ResourceRecord::make_a(current, config_.tailored_ttl, addr));
+          }
+        } else {
+          for (const auto& rr : result.records) response.answers.push_back(rr);
+        }
+        hop = 8;
+        break;
+      case ZoneLookup::Kind::kCname: {
+        response.answers.push_back(result.records.front());
+        const auto& target =
+            std::get<dnscore::CnameRdata>(result.records.front().rdata).target;
+        if (!target.is_subdomain_of(zone->apex())) {
+          hop = 8;  // out-of-zone target: the resolver restarts resolution
+          break;
+        }
+        current = target;
+        break;
+      }
+      case ZoneLookup::Kind::kDelegation:
+        response.header.aa = false;
+        response.authorities = result.records;
+        response.additional = result.glue;
+        hop = 8;
+        break;
+      case ZoneLookup::Kind::kNoData: {
+        // RFC 2308: attach the zone SOA so resolvers can negative-cache.
+        const auto soa = zone->lookup(zone->apex(), dnscore::RRType::SOA);
+        if (soa.kind == ZoneLookup::Kind::kAnswer) {
+          response.authorities.push_back(soa.records.front());
+        }
+        hop = 8;
+        break;
+      }
+      case ZoneLookup::Kind::kNxDomain:
+        // Tailoring policies synthesize address answers for any name in the
+        // zone (a CDN's wildcard-style hostnames); static zones NXDOMAIN.
+        if (decision.tailored_addresses && q.qtype == RRType::A) {
+          for (const auto& addr : *decision.tailored_addresses) {
+            if (!addr.is_v4()) continue;
+            response.answers.push_back(
+                dnscore::ResourceRecord::make_a(current, config_.tailored_ttl, addr));
+          }
+        } else {
+          response.header.rcode = RCode::NXDOMAIN;
+          const auto soa = zone->lookup(zone->apex(), dnscore::RRType::SOA);
+          if (soa.kind == ZoneLookup::Kind::kAnswer) {
+            response.authorities.push_back(soa.records.front());
+          }
+        }
+        hop = 8;
+        break;
+      case ZoneLookup::Kind::kNotInZone:
+        response.header.rcode = RCode::REFUSED;
+        hop = 8;
+        break;
+    }
+  }
+
+  if (ecs && decision.include_option && response.opt) {
+    if (auto src = ecs->source_prefix()) {
+      response.set_ecs(EcsOption::for_response(*src, decision.scope));
+    } else {
+      // Echo the raw option with our scope when the prefix is unusable.
+      EcsOption echo = *ecs;
+      echo.set_scope_prefix_length(static_cast<std::uint8_t>(decision.scope));
+      response.set_ecs(echo);
+    }
+  }
+  return response;
+}
+
+void AuthServer::attach(netsim::Network& network, const IpAddress& addr,
+                        const netsim::GeoPoint& location) {
+  network.attach(addr, location,
+                 [this, &network](const netsim::Datagram& dgram)
+                     -> std::optional<std::vector<std::uint8_t>> {
+                   Message query;
+                   try {
+                     query = Message::parse(
+                         {dgram.payload.data(), dgram.payload.size()});
+                   } catch (const dnscore::WireFormatError&) {
+                     return std::nullopt;  // unparseable datagram: drop
+                   }
+                   auto response = handle(query, dgram.src, network.now());
+                   if (!response) return std::nullopt;
+                   auto wire = response->serialize();
+                   // UDP truncation (RFC 1035 §4.2.1 / RFC 6891 §6.2.5):
+                   // responses beyond the requestor's buffer come back
+                   // empty with TC set, inviting a TCP retry.
+                   const std::size_t limit =
+                       query.opt ? query.opt->udp_payload_size : 512;
+                   if (!dgram.via_tcp && wire.size() > limit) {
+                     Message truncated = Message::make_response(query);
+                     truncated.header.aa = response->header.aa;
+                     truncated.header.rcode = response->header.rcode;
+                     truncated.header.tc = true;
+                     wire = truncated.serialize();
+                   }
+                   return wire;
+                 });
+}
+
+}  // namespace ecsdns::authoritative

@@ -1,0 +1,88 @@
+// The authoritative nameserver engine.
+//
+// Serves one or more zones with a pluggable ECS policy, answers real wire
+// format queries, and keeps the query log that the paper's passive analyses
+// (CDN dataset, scan dataset) are computed from.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "authoritative/ecs_policy.h"
+#include "authoritative/zone.h"
+#include "dnscore/message.h"
+#include "netsim/network.h"
+
+namespace ecsdns::authoritative {
+
+using dnscore::EcsOption;
+using dnscore::IpAddress;
+using dnscore::Message;
+using dnscore::Name;
+using dnscore::RCode;
+using netsim::SimTime;
+
+// One line of the authoritative query log — the raw material of the CDN and
+// Scan datasets.
+struct QueryLogEntry {
+  SimTime time = 0;
+  IpAddress sender;
+  Name qname;
+  RRType qtype = RRType::A;
+  std::optional<EcsOption> query_ecs;
+  std::optional<EcsOption> response_ecs;
+  RCode rcode = RCode::NOERROR;
+};
+
+struct AuthConfig {
+  std::string label = "auth";
+  // TTL for answers synthesized from a mapping policy (the paper's CDN uses
+  // 20 seconds).
+  std::uint32_t tailored_ttl = 20;
+  // False models a pre-EDNS implementation: any query with an OPT record
+  // gets FORMERR (§6.1 cites RFC 6891-unaware servers doing this).
+  bool edns_supported = true;
+  // True models the buggy implementations that silently drop ECS queries.
+  bool drop_ecs_queries = false;
+  bool log_queries = true;
+};
+
+class AuthServer {
+ public:
+  AuthServer(AuthConfig config, std::unique_ptr<EcsPolicy> policy);
+
+  // Zones are looked up deepest-apex-first, so a server may host both
+  // "example.com" and "sub.example.com".
+  Zone& add_zone(const Name& apex);
+  Zone* find_zone(const Name& qname);
+
+  // Core entry point: answer `query` from `sender` at virtual time `now`.
+  // nullopt means the query is dropped (timeout at the sender).
+  std::optional<Message> handle(const Message& query, const IpAddress& sender,
+                                SimTime now);
+
+  // Registers this server on the network at `addr`; the service parses and
+  // serializes real DNS packets.
+  void attach(netsim::Network& network, const IpAddress& addr,
+              const netsim::GeoPoint& location);
+
+  const std::vector<QueryLogEntry>& log() const noexcept { return log_; }
+  void clear_log() { log_.clear(); }
+  std::uint64_t queries_served() const noexcept { return queries_served_; }
+
+  const AuthConfig& config() const noexcept { return config_; }
+  void set_policy(std::unique_ptr<EcsPolicy> policy) { policy_ = std::move(policy); }
+
+ private:
+  Message answer(const Message& query, const IpAddress& sender);
+
+  AuthConfig config_;
+  std::unique_ptr<EcsPolicy> policy_;
+  std::vector<std::unique_ptr<Zone>> zones_;
+  std::vector<QueryLogEntry> log_;
+  std::uint64_t queries_served_ = 0;
+};
+
+}  // namespace ecsdns::authoritative

@@ -1,0 +1,217 @@
+#include "authoritative/zone_text.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecsdns::authoritative {
+namespace {
+
+using dnscore::IpAddress;
+using dnscore::Name;
+using dnscore::ResourceRecord;
+using dnscore::RRType;
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("zone text line " + std::to_string(line_no) + ": " +
+                              what);
+}
+
+// Splits a line into whitespace-separated tokens; a quoted token keeps its
+// spaces (for TXT strings). Comments (';') end the line.
+std::vector<std::string> tokenize(const std::string& line, std::size_t line_no) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == ';') break;
+    if (line[i] == '"') {
+      const auto end = line.find('"', i + 1);
+      if (end == std::string::npos) fail(line_no, "unterminated quote");
+      tokens.push_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < line.size() && !std::isspace(static_cast<unsigned char>(line[j])) &&
+           line[j] != ';') {
+      ++j;
+    }
+    tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+Name resolve_name(const std::string& token, const Name& origin) {
+  if (token == "@") return origin;
+  if (!token.empty() && token.back() == '.') {
+    return Name::from_string(token.substr(0, token.size() - 1));
+  }
+  // Relative: append the origin.
+  Name relative = Name::from_string(token);
+  Name out = origin;
+  for (auto it = relative.labels().rbegin(); it != relative.labels().rend(); ++it) {
+    out = out.prepend(*it);
+  }
+  return out;
+}
+
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::uint32_t to_u32(const std::string& s, std::size_t line_no) {
+  if (!is_number(s)) fail(line_no, "expected a number, got '" + s + "'");
+  return static_cast<std::uint32_t>(std::stoul(s));
+}
+
+}  // namespace
+
+std::vector<ResourceRecord> parse_zone_text(const Name& origin,
+                                            const std::string& text,
+                                            std::uint32_t default_ttl) {
+  std::vector<ResourceRecord> records;
+  std::uint32_t ttl_default = default_ttl;
+  Name previous_owner = origin;
+  bool have_previous = false;
+
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    auto tokens = tokenize(line, line_no);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "$TTL") {
+      if (tokens.size() != 2) fail(line_no, "$TTL takes one argument");
+      ttl_default = to_u32(tokens[1], line_no);
+      continue;
+    }
+    if (!tokens[0].empty() && tokens[0][0] == '$') {
+      fail(line_no, "unsupported directive " + tokens[0]);
+    }
+
+    // Grammar: [owner] [ttl] [IN] TYPE rdata...
+    std::size_t cursor = 0;
+    Name owner = previous_owner;
+    // A line starting with whitespace reuses the previous owner; otherwise
+    // the first token is the owner unless it is a TTL/class/type.
+    const bool starts_indented =
+        !line.empty() && std::isspace(static_cast<unsigned char>(line[0]));
+    const auto looks_like_type = [](const std::string& t) {
+      try {
+        (void)dnscore::rrtype_from_string(t);
+        return true;
+      } catch (const std::invalid_argument&) {
+        return false;
+      }
+    };
+    if (!starts_indented && !is_number(tokens[0]) && tokens[0] != "IN" &&
+        !looks_like_type(tokens[0])) {
+      owner = resolve_name(tokens[0], origin);
+      cursor = 1;
+    } else if (!have_previous && starts_indented) {
+      fail(line_no, "first record needs an owner name");
+    }
+    previous_owner = owner;
+    have_previous = true;
+
+    std::uint32_t ttl = ttl_default;
+    if (cursor < tokens.size() && is_number(tokens[cursor])) {
+      ttl = to_u32(tokens[cursor], line_no);
+      ++cursor;
+    }
+    if (cursor < tokens.size() && tokens[cursor] == "IN") ++cursor;
+    if (cursor >= tokens.size()) fail(line_no, "missing record type");
+    RRType type;
+    try {
+      type = dnscore::rrtype_from_string(tokens[cursor]);
+    } catch (const std::invalid_argument&) {
+      fail(line_no, "unknown record type '" + tokens[cursor] + "'");
+    }
+    ++cursor;
+    const auto need = [&](std::size_t n) {
+      if (tokens.size() - cursor < n) fail(line_no, "too few rdata fields");
+    };
+
+    switch (type) {
+      case RRType::A: {
+        need(1);
+        records.push_back(ResourceRecord::make_a(owner, ttl,
+                                                 IpAddress::parse(tokens[cursor])));
+        break;
+      }
+      case RRType::AAAA: {
+        need(1);
+        records.push_back(
+            ResourceRecord::make_aaaa(owner, ttl, IpAddress::parse(tokens[cursor])));
+        break;
+      }
+      case RRType::NS: {
+        need(1);
+        records.push_back(
+            ResourceRecord::make_ns(owner, ttl, resolve_name(tokens[cursor], origin)));
+        break;
+      }
+      case RRType::CNAME: {
+        need(1);
+        records.push_back(ResourceRecord::make_cname(
+            owner, ttl, resolve_name(tokens[cursor], origin)));
+        break;
+      }
+      case RRType::PTR: {
+        need(1);
+        records.push_back(
+            ResourceRecord{owner, RRType::PTR, dnscore::RRClass::IN, ttl,
+                           dnscore::PtrRdata{resolve_name(tokens[cursor], origin)}});
+        break;
+      }
+      case RRType::MX: {
+        need(2);
+        records.push_back(ResourceRecord{
+            owner, RRType::MX, dnscore::RRClass::IN, ttl,
+            dnscore::MxRdata{static_cast<std::uint16_t>(to_u32(tokens[cursor], line_no)),
+                             resolve_name(tokens[cursor + 1], origin)}});
+        break;
+      }
+      case RRType::TXT: {
+        need(1);
+        records.push_back(ResourceRecord::make_txt(owner, ttl, tokens[cursor]));
+        break;
+      }
+      case RRType::SOA: {
+        need(7);
+        records.push_back(ResourceRecord{
+            owner, RRType::SOA, dnscore::RRClass::IN, ttl,
+            dnscore::SoaRdata{resolve_name(tokens[cursor], origin),
+                              resolve_name(tokens[cursor + 1], origin),
+                              to_u32(tokens[cursor + 2], line_no),
+                              to_u32(tokens[cursor + 3], line_no),
+                              to_u32(tokens[cursor + 4], line_no),
+                              to_u32(tokens[cursor + 5], line_no),
+                              to_u32(tokens[cursor + 6], line_no)}});
+        break;
+      }
+      default:
+        fail(line_no, "type " + dnscore::to_string(type) + " not supported in zone text");
+    }
+  }
+  return records;
+}
+
+void load_zone_text(Zone& zone, const std::string& text, std::uint32_t default_ttl) {
+  for (auto& rr : parse_zone_text(zone.apex(), text, default_ttl)) {
+    zone.add(std::move(rr));
+  }
+}
+
+}  // namespace ecsdns::authoritative

@@ -1,0 +1,30 @@
+// A minimal RFC 1035 §5 zone-file dialect, so experiments and users can
+// declare zone content as text instead of record-constructor calls.
+//
+// Supported, per line:
+//   $TTL <seconds>
+//   [owner] [ttl] [IN] TYPE rdata      ; comment
+//
+// Owner rules: "@" is the origin; names without a trailing dot are
+// relative to the origin; an omitted owner repeats the previous line's.
+// Types: A, AAAA, NS, CNAME, PTR, MX, TXT (one quoted string), SOA.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "authoritative/zone.h"
+
+namespace ecsdns::authoritative {
+
+// Parses the text into records; throws std::invalid_argument (with a line
+// number) on anything it does not understand.
+std::vector<dnscore::ResourceRecord> parse_zone_text(const dnscore::Name& origin,
+                                                     const std::string& text,
+                                                     std::uint32_t default_ttl = 300);
+
+// Convenience: parse and add everything to `zone` (origin = zone apex).
+void load_zone_text(Zone& zone, const std::string& text,
+                    std::uint32_t default_ttl = 300);
+
+}  // namespace ecsdns::authoritative

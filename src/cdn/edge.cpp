@@ -1,0 +1,65 @@
+#include "cdn/edge.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecsdns::cdn {
+
+void EdgeFleet::add(EdgeServer server) { servers_.push_back(std::move(server)); }
+
+const EdgeServer& EdgeFleet::nearest(const GeoPoint& p) const {
+  if (servers_.empty()) throw std::logic_error("nearest() on empty fleet");
+  const EdgeServer* best = &servers_.front();
+  double best_km = netsim::distance_km(best->location, p);
+  for (const auto& s : servers_) {
+    const double d = netsim::distance_km(s.location, p);
+    if (d < best_km) {
+      best_km = d;
+      best = &s;
+    }
+  }
+  return *best;
+}
+
+std::vector<const EdgeServer*> EdgeFleet::nearest_n(const GeoPoint& p,
+                                                    std::size_t n) const {
+  std::vector<const EdgeServer*> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back(&s);
+  std::sort(out.begin(), out.end(), [&p](const EdgeServer* a, const EdgeServer* b) {
+    return netsim::distance_km(a->location, p) < netsim::distance_km(b->location, p);
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+const EdgeServer& EdgeFleet::hashed_pick(std::size_t key) const {
+  if (servers_.empty()) throw std::logic_error("hashed_pick() on empty fleet");
+  // Mix the key so adjacent prefixes land far apart.
+  std::size_t h = key;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  return servers_[h % servers_.size()];
+}
+
+EdgeFleet EdgeFleet::global(const netsim::World& world, const IpAddress& base) {
+  std::vector<std::string> names;
+  names.reserve(world.cities().size());
+  for (const auto& c : world.cities()) names.push_back(c.name);
+  return in_cities(world, base, names);
+}
+
+EdgeFleet EdgeFleet::in_cities(const netsim::World& world, const IpAddress& base,
+                               const std::vector<std::string>& cities) {
+  if (!base.is_v4()) throw std::invalid_argument("edge fleet base must be IPv4");
+  EdgeFleet fleet;
+  std::uint32_t next = base.v4_bits();
+  for (const auto& name : cities) {
+    const auto& city = world.city(name);
+    fleet.add(EdgeServer{IpAddress::v4(next++), city.location, city.name});
+  }
+  return fleet;
+}
+
+}  // namespace ecsdns::cdn

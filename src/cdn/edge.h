@@ -1,0 +1,50 @@
+// CDN edge fleets: the servers a mapping policy chooses among.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnscore/ip.h"
+#include "netsim/geo.h"
+#include "netsim/world.h"
+
+namespace ecsdns::cdn {
+
+using dnscore::IpAddress;
+using netsim::GeoPoint;
+
+struct EdgeServer {
+  IpAddress address;
+  GeoPoint location;
+  std::string city;
+};
+
+class EdgeFleet {
+ public:
+  void add(EdgeServer server);
+
+  const std::vector<EdgeServer>& servers() const noexcept { return servers_; }
+  bool empty() const noexcept { return servers_.empty(); }
+  std::size_t size() const noexcept { return servers_.size(); }
+
+  // Nearest edge to a point; throws std::logic_error on an empty fleet.
+  const EdgeServer& nearest(const GeoPoint& p) const;
+  // Up to n nearest edges, closest first (a realistic multi-address
+  // answer).
+  std::vector<const EdgeServer*> nearest_n(const GeoPoint& p, std::size_t n) const;
+  // Deterministic pseudo-random pick keyed by a hash — models a CDN that
+  // maps unrecognized input "somewhere" with no regard for proximity.
+  const EdgeServer& hashed_pick(std::size_t key) const;
+
+  // One edge per catalog city, with addresses allocated sequentially from
+  // `base` (a /16 gives room for 256 x 256 edges).
+  static EdgeFleet global(const netsim::World& world, const IpAddress& base);
+  // Edges only in the given cities.
+  static EdgeFleet in_cities(const netsim::World& world, const IpAddress& base,
+                             const std::vector<std::string>& cities);
+
+ private:
+  std::vector<EdgeServer> servers_;
+};
+
+}  // namespace ecsdns::cdn

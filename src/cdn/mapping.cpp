@@ -1,0 +1,132 @@
+#include "cdn/mapping.h"
+
+namespace ecsdns::cdn {
+
+ProximityMapping::ProximityMapping(ProximityMappingConfig config,
+                                   const EdgeFleet& fleet,
+                                   const netsim::IpGeoDb& geo)
+    : config_(std::move(config)), fleet_(fleet), geo_(geo) {}
+
+MappingResult ProximityMapping::map(const MappingRequest& request) const {
+  if (!request.ecs || request.ecs->length() < config_.min_ecs_bits) {
+    return fallback_result(request);
+  }
+  const Prefix effective = request.ecs->length() > config_.effective_bits
+                               ? request.ecs->truncated(config_.effective_bits)
+                               : *request.ecs;
+  if (effective.is_unroutable()) {
+    switch (config_.unroutable) {
+      case UnroutableHandling::kTreatAsResolver:
+        return fallback_result(request);
+      case UnroutableHandling::kHashedConfusion: {
+        // Proximity plays no part: each distinct unroutable prefix lands on
+        // its own arbitrary corner of the fleet (and a disjoint answer set),
+        // which is exactly what Table 2 observes. Hash the prefix as sent
+        // (not the truncated form) so 127.0.0.1/32 and 127.0.0.0/24 divert
+        // to different answer sets, as the paper measured.
+        MappingResult out;
+        const std::size_t key = request.ecs->hash();
+        for (std::size_t i = 0; i < config_.answer_count; ++i) {
+          out.addresses.push_back(fleet_.hashed_pick(key + i * 0x9e3779b9).address);
+        }
+        out.scope = config_.effective_bits;
+        out.used_ecs = true;
+        return out;
+      }
+    }
+  }
+  const auto where = geo_.locate(effective);
+  if (!where) {
+    // Routable space we have no data for: same dilemma as unroutable.
+    if (config_.unroutable == UnroutableHandling::kHashedConfusion) {
+      MappingResult out;
+      const std::size_t key = effective.hash();
+      for (std::size_t i = 0; i < config_.answer_count; ++i) {
+        out.addresses.push_back(fleet_.hashed_pick(key + i * 0x9e3779b9).address);
+      }
+      out.scope = config_.effective_bits;
+      out.used_ecs = true;
+      return out;
+    }
+    return fallback_result(request);
+  }
+  return map_by_location(*where, config_.effective_bits, /*used_ecs=*/true);
+}
+
+MappingResult ProximityMapping::map_by_location(const netsim::GeoPoint& where,
+                                                int scope, bool used_ecs) const {
+  MappingResult out;
+  for (const EdgeServer* edge : fleet_.nearest_n(where, config_.answer_count)) {
+    out.addresses.push_back(edge->address);
+  }
+  out.scope = scope;
+  out.used_ecs = used_ecs;
+  return out;
+}
+
+MappingResult ProximityMapping::fallback_result(const MappingRequest& request) const {
+  switch (config_.fallback) {
+    case Fallback::kResolverProxy: {
+      const auto where = geo_.locate(request.resolver);
+      if (where) {
+        // Scope 0: the answer was chosen without client data, so any client
+        // may reuse it.
+        return map_by_location(*where, 0, /*used_ecs=*/false);
+      }
+      break;
+    }
+    case Fallback::kDefaultSet:
+      break;
+  }
+  // Default set: a fixed pool of default_set_size edges handed out
+  // regardless of location. The answer rotates through the pool (as load
+  // balancers do), so observers see default_set_size distinct "first"
+  // addresses — the 5-14 the paper counts for CDN-1's short prefixes.
+  MappingResult out;
+  const std::size_t n = std::min(config_.default_set_size, fleet_.size());
+  if (n == 0) return out;
+  const std::size_t rotate =
+      request.ecs ? request.ecs->hash() : request.resolver.hash();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.addresses.push_back(fleet_.servers()[(rotate + i) % n].address);
+  }
+  if (out.addresses.size() > config_.answer_count) {
+    out.addresses.resize(config_.answer_count);
+  }
+  out.scope = 0;
+  out.used_ecs = false;
+  return out;
+}
+
+ProximityMappingConfig ProximityMapping::cdn1_config() {
+  ProximityMappingConfig c;
+  c.label = "CDN-1";
+  c.min_ecs_bits = 24;
+  c.effective_bits = 24;
+  c.fallback = Fallback::kDefaultSet;
+  c.unroutable = UnroutableHandling::kTreatAsResolver;
+  return c;
+}
+
+ProximityMappingConfig ProximityMapping::cdn2_config() {
+  ProximityMappingConfig c;
+  c.label = "CDN-2";
+  c.min_ecs_bits = 21;
+  c.effective_bits = 21;
+  c.fallback = Fallback::kResolverProxy;
+  c.unroutable = UnroutableHandling::kTreatAsResolver;
+  return c;
+}
+
+ProximityMappingConfig ProximityMapping::google_like_config() {
+  ProximityMappingConfig c;
+  c.label = "google-like";
+  c.min_ecs_bits = 8;
+  c.effective_bits = 24;
+  c.unroutable = UnroutableHandling::kHashedConfusion;
+  c.fallback = Fallback::kResolverProxy;
+  c.answer_count = 16;  // Table 2 reports a 16-address answer set
+  return c;
+}
+
+}  // namespace ecsdns::cdn

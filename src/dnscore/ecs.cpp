@@ -1,0 +1,144 @@
+#include "dnscore/ecs.h"
+
+#include <algorithm>
+#include <array>
+
+namespace ecsdns::dnscore {
+namespace {
+
+std::size_t address_octets_for(std::uint8_t source_bits) {
+  return (static_cast<std::size_t>(source_bits) + 7) / 8;
+}
+
+std::vector<std::uint8_t> prefix_address_bytes(const Prefix& prefix) {
+  const std::size_t n = address_octets_for(static_cast<std::uint8_t>(prefix.length()));
+  const auto& all = prefix.address().bytes();
+  return {all.begin(), all.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+}  // namespace
+
+std::string to_string(EcsIssue issue) {
+  switch (issue) {
+    case EcsIssue::kUnknownFamily: return "unknown address family";
+    case EcsIssue::kSourceLengthTooLong: return "source prefix length exceeds family";
+    case EcsIssue::kScopeLengthTooLong: return "scope prefix length exceeds family";
+    case EcsIssue::kAddressLengthMismatch: return "address field length mismatch";
+    case EcsIssue::kNonZeroTrailingBits: return "non-zero bits beyond source prefix";
+    case EcsIssue::kScopeNonZeroInQuery: return "non-zero scope in query";
+  }
+  return "unknown issue";
+}
+
+EcsOption EcsOption::for_query(const Prefix& prefix) {
+  EcsOption o;
+  o.family_ = static_cast<std::uint16_t>(
+      prefix.family() == IpFamily::V4 ? EcsFamily::IPv4 : EcsFamily::IPv6);
+  o.source_ = static_cast<std::uint8_t>(prefix.length());
+  o.scope_ = 0;
+  o.address_ = prefix_address_bytes(prefix);
+  return o;
+}
+
+EcsOption EcsOption::for_response(const Prefix& prefix, int scope) {
+  EcsOption o = for_query(prefix);
+  o.scope_ = static_cast<std::uint8_t>(scope);
+  return o;
+}
+
+EcsOption EcsOption::anonymous(EcsFamily family) {
+  EcsOption o;
+  o.family_ = static_cast<std::uint16_t>(family);
+  o.source_ = 0;
+  o.scope_ = 0;
+  return o;
+}
+
+std::optional<Prefix> EcsOption::source_prefix() const {
+  const int max_bits = family_ == static_cast<std::uint16_t>(EcsFamily::IPv4) ? 32
+                       : family_ == static_cast<std::uint16_t>(EcsFamily::IPv6)
+                           ? 128
+                           : -1;
+  if (max_bits < 0 || source_ > max_bits) return std::nullopt;
+  if (address_.size() != address_octets_for(source_)) return std::nullopt;
+  std::array<std::uint8_t, 16> bytes{};
+  std::copy(address_.begin(), address_.end(), bytes.begin());
+  const IpAddress addr = max_bits == 32
+                             ? IpAddress::v4(bytes[0], bytes[1], bytes[2], bytes[3])
+                             : IpAddress::v6(bytes);
+  return Prefix{addr, source_};
+}
+
+std::optional<Prefix> EcsOption::scope_prefix() const {
+  auto src = source_prefix();
+  if (!src) return std::nullopt;
+  if (scope_ > src->address().bit_length()) return std::nullopt;
+  return Prefix{src->address(), scope_};
+}
+
+std::vector<EcsIssue> EcsOption::validate(bool in_query) const {
+  std::vector<EcsIssue> issues;
+  int max_bits = -1;
+  if (family_ == static_cast<std::uint16_t>(EcsFamily::IPv4)) {
+    max_bits = 32;
+  } else if (family_ == static_cast<std::uint16_t>(EcsFamily::IPv6)) {
+    max_bits = 128;
+  } else {
+    issues.push_back(EcsIssue::kUnknownFamily);
+  }
+  if (max_bits > 0) {
+    if (source_ > max_bits) issues.push_back(EcsIssue::kSourceLengthTooLong);
+    if (scope_ > max_bits) issues.push_back(EcsIssue::kScopeLengthTooLong);
+  }
+  if (address_.size() != address_octets_for(source_)) {
+    issues.push_back(EcsIssue::kAddressLengthMismatch);
+  } else if (source_ % 8 != 0 && !address_.empty()) {
+    // Bits of the final octet past the source prefix must be zero.
+    const std::uint8_t mask = static_cast<std::uint8_t>(0xff >> (source_ % 8));
+    if ((address_.back() & mask) != 0) {
+      issues.push_back(EcsIssue::kNonZeroTrailingBits);
+    }
+  }
+  if (in_query && scope_ != 0) issues.push_back(EcsIssue::kScopeNonZeroInQuery);
+  return issues;
+}
+
+EdnsOption EcsOption::to_edns() const {
+  EdnsOption opt;
+  opt.code = static_cast<std::uint16_t>(EdnsOptionCode::ECS);
+  WireWriter w;
+  w.u16(family_);
+  w.u8(source_);
+  w.u8(scope_);
+  w.bytes({address_.data(), address_.size()});
+  opt.payload = std::move(w).take();
+  return opt;
+}
+
+EcsOption EcsOption::from_edns(const EdnsOption& option) {
+  if (option.code != static_cast<std::uint16_t>(EdnsOptionCode::ECS)) {
+    throw WireFormatError("not an ECS option (code " + std::to_string(option.code) + ")");
+  }
+  WireReader r({option.payload.data(), option.payload.size()});
+  EcsOption o;
+  o.family_ = r.u16();
+  o.source_ = r.u8();
+  o.scope_ = r.u8();
+  const auto rest = r.bytes(r.remaining());
+  o.address_.assign(rest.begin(), rest.end());
+  return o;
+}
+
+std::string EcsOption::to_string() const {
+  std::string out = "ECS ";
+  if (auto p = source_prefix()) {
+    out += p->to_string();
+  } else {
+    out += "family=" + std::to_string(family_) + " source=" + std::to_string(source_) +
+           " addr=" + hex_dump({address_.data(), address_.size()});
+  }
+  out += " scope " + std::to_string(scope_);
+  return out;
+}
+
+}  // namespace ecsdns::dnscore

@@ -1,0 +1,66 @@
+#include "dnscore/edns.h"
+
+#include <algorithm>
+
+namespace ecsdns::dnscore {
+
+const EdnsOption* OptRecord::find_option(EdnsOptionCode code) const noexcept {
+  const auto wanted = static_cast<std::uint16_t>(code);
+  for (const auto& opt : options) {
+    if (opt.code == wanted) return &opt;
+  }
+  return nullptr;
+}
+
+std::size_t OptRecord::remove_option(EdnsOptionCode code) {
+  const auto wanted = static_cast<std::uint16_t>(code);
+  const auto removed = std::erase_if(
+      options, [wanted](const EdnsOption& o) { return o.code == wanted; });
+  return removed;
+}
+
+void OptRecord::serialize(WireWriter& writer) const {
+  writer.u8(0);  // root owner name
+  writer.u16(static_cast<std::uint16_t>(RRType::OPT));
+  writer.u16(udp_payload_size);
+  std::uint32_t ttl = static_cast<std::uint32_t>(extended_rcode) << 24;
+  ttl |= static_cast<std::uint32_t>(version) << 16;
+  if (dnssec_ok) ttl |= 0x8000u;
+  writer.u32(ttl);
+  const std::size_t rdlen_at = writer.reserve_u16();
+  const std::size_t rdata_start = writer.size();
+  for (const auto& opt : options) {
+    writer.u16(opt.code);
+    writer.u16(static_cast<std::uint16_t>(opt.payload.size()));
+    writer.bytes({opt.payload.data(), opt.payload.size()});
+  }
+  writer.patch_u16(rdlen_at, static_cast<std::uint16_t>(writer.size() - rdata_start));
+}
+
+OptRecord OptRecord::parse_body(WireReader& reader) {
+  OptRecord opt;
+  opt.udp_payload_size = reader.u16();
+  const std::uint32_t ttl = reader.u32();
+  opt.extended_rcode = static_cast<std::uint8_t>(ttl >> 24);
+  opt.version = static_cast<std::uint8_t>((ttl >> 16) & 0xff);
+  opt.dnssec_ok = (ttl & 0x8000u) != 0;
+  const std::uint16_t rdlength = reader.u16();
+  const std::size_t end = reader.offset() + rdlength;
+  while (reader.offset() < end) {
+    if (end - reader.offset() < 4) {
+      throw WireFormatError("truncated EDNS option header");
+    }
+    EdnsOption o;
+    o.code = reader.u16();
+    const std::uint16_t optlen = reader.u16();
+    if (reader.offset() + optlen > end) {
+      throw WireFormatError("EDNS option overruns OPT rdata");
+    }
+    const auto raw = reader.bytes(optlen);
+    o.payload.assign(raw.begin(), raw.end());
+    opt.options.push_back(std::move(o));
+  }
+  return opt;
+}
+
+}  // namespace ecsdns::dnscore

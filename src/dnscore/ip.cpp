@@ -1,0 +1,311 @@
+#include "dnscore/ip.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace ecsdns::dnscore {
+namespace {
+
+bool parse_u8(const std::string& s, std::size_t& pos, std::uint8_t& out) {
+  if (pos >= s.size() || s[pos] < '0' || s[pos] > '9') return false;
+  unsigned value = 0;
+  std::size_t digits = 0;
+  while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+    value = value * 10 + static_cast<unsigned>(s[pos] - '0');
+    ++pos;
+    if (++digits > 3 || value > 255) return false;
+  }
+  out = static_cast<std::uint8_t>(value);
+  return true;
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+IpAddress IpAddress::v4(std::uint32_t bits) {
+  IpAddress a;
+  a.family_ = IpFamily::V4;
+  a.bytes_[0] = static_cast<std::uint8_t>(bits >> 24);
+  a.bytes_[1] = static_cast<std::uint8_t>(bits >> 16);
+  a.bytes_[2] = static_cast<std::uint8_t>(bits >> 8);
+  a.bytes_[3] = static_cast<std::uint8_t>(bits);
+  return a;
+}
+
+IpAddress IpAddress::v4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) {
+  IpAddress out;
+  out.family_ = IpFamily::V4;
+  out.bytes_[0] = a;
+  out.bytes_[1] = b;
+  out.bytes_[2] = c;
+  out.bytes_[3] = d;
+  return out;
+}
+
+IpAddress IpAddress::v6(const std::array<std::uint8_t, 16>& bytes) {
+  IpAddress a;
+  a.family_ = IpFamily::V6;
+  a.bytes_ = bytes;
+  return a;
+}
+
+IpAddress IpAddress::parse(const std::string& text) {
+  if (text.find(':') == std::string::npos) {
+    // IPv4 dotted quad.
+    std::size_t pos = 0;
+    std::array<std::uint8_t, 4> q{};
+    for (int i = 0; i < 4; ++i) {
+      if (i != 0) {
+        if (pos >= text.size() || text[pos] != '.') {
+          throw std::invalid_argument("bad IPv4 address: " + text);
+        }
+        ++pos;
+      }
+      if (!parse_u8(text, pos, q[i])) {
+        throw std::invalid_argument("bad IPv4 address: " + text);
+      }
+    }
+    if (pos != text.size()) throw std::invalid_argument("bad IPv4 address: " + text);
+    return v4(q[0], q[1], q[2], q[3]);
+  }
+
+  // IPv6: split on ':' into 16-bit groups, with at most one "::" gap.
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool seen_gap = false;
+  std::size_t pos = 0;
+  // Leading "::"
+  if (text.size() >= 2 && text[0] == ':' && text[1] == ':') {
+    seen_gap = true;
+    pos = 2;
+  } else if (!text.empty() && text[0] == ':') {
+    throw std::invalid_argument("bad IPv6 address: " + text);
+  }
+  while (pos < text.size()) {
+    // Parse one hex group (1..4 digits).
+    unsigned value = 0;
+    std::size_t digits = 0;
+    while (pos < text.size() && hex_value(text[pos]) >= 0) {
+      value = (value << 4) | static_cast<unsigned>(hex_value(text[pos]));
+      ++pos;
+      if (++digits > 4) throw std::invalid_argument("bad IPv6 address: " + text);
+    }
+    if (digits == 0) throw std::invalid_argument("bad IPv6 address: " + text);
+    (seen_gap ? tail : head).push_back(static_cast<std::uint16_t>(value));
+    if (pos == text.size()) break;
+    if (text[pos] != ':') throw std::invalid_argument("bad IPv6 address: " + text);
+    ++pos;
+    if (pos < text.size() && text[pos] == ':') {
+      if (seen_gap) throw std::invalid_argument("bad IPv6 address (two '::'): " + text);
+      seen_gap = true;
+      ++pos;
+      if (pos == text.size()) break;  // trailing "::"
+    } else if (pos == text.size()) {
+      throw std::invalid_argument("bad IPv6 address (trailing ':'): " + text);
+    }
+  }
+  const std::size_t groups = head.size() + tail.size();
+  if (groups > 8 || (!seen_gap && groups != 8)) {
+    throw std::invalid_argument("bad IPv6 address: " + text);
+  }
+  std::array<std::uint8_t, 16> bytes{};
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    bytes[i * 2] = static_cast<std::uint8_t>(head[i] >> 8);
+    bytes[i * 2 + 1] = static_cast<std::uint8_t>(head[i] & 0xff);
+  }
+  const std::size_t tail_start = 8 - tail.size();
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    bytes[(tail_start + i) * 2] = static_cast<std::uint8_t>(tail[i] >> 8);
+    bytes[(tail_start + i) * 2 + 1] = static_cast<std::uint8_t>(tail[i] & 0xff);
+  }
+  return v6(bytes);
+}
+
+std::uint32_t IpAddress::v4_bits() const {
+  if (!is_v4()) throw std::logic_error("v4_bits() on an IPv6 address");
+  return (static_cast<std::uint32_t>(bytes_[0]) << 24) |
+         (static_cast<std::uint32_t>(bytes_[1]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[2]) << 8) |
+         static_cast<std::uint32_t>(bytes_[3]);
+}
+
+bool IpAddress::is_unspecified() const noexcept {
+  for (std::size_t i = 0; i < byte_length(); ++i) {
+    if (bytes_[i] != 0) return false;
+  }
+  return true;
+}
+
+bool IpAddress::is_loopback() const noexcept {
+  if (is_v4()) return bytes_[0] == 127;
+  for (int i = 0; i < 15; ++i) {
+    if (bytes_[static_cast<std::size_t>(i)] != 0) return false;
+  }
+  return bytes_[15] == 1;
+}
+
+bool IpAddress::is_private() const noexcept {
+  if (!is_v4()) return false;
+  if (bytes_[0] == 10) return true;
+  if (bytes_[0] == 172 && bytes_[1] >= 16 && bytes_[1] <= 31) return true;
+  if (bytes_[0] == 192 && bytes_[1] == 168) return true;
+  return false;
+}
+
+bool IpAddress::is_link_local() const noexcept {
+  if (is_v4()) return bytes_[0] == 169 && bytes_[1] == 254;
+  return bytes_[0] == 0xfe && (bytes_[1] & 0xc0) == 0x80;
+}
+
+bool IpAddress::is_unroutable() const noexcept {
+  return is_unspecified() || is_loopback() || is_private() || is_link_local();
+}
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (is_v4()) {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bytes_[0], bytes_[1], bytes_[2],
+                  bytes_[3]);
+    return buf;
+  }
+  // RFC 5952-style: lowercase hex, compress the longest zero run (>= 2).
+  std::array<std::uint16_t, 8> groups{};
+  for (int i = 0; i < 8; ++i) {
+    groups[static_cast<std::size_t>(i)] = static_cast<std::uint16_t>(
+        (bytes_[static_cast<std::size_t>(i * 2)] << 8) |
+        bytes_[static_cast<std::size_t>(i * 2 + 1)]);
+  }
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+  std::string out;
+  for (int i = 0; i < 8; ++i) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len - 1;
+      if (i == 7) break;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out.push_back(':');
+    std::snprintf(buf, sizeof(buf), "%x", groups[static_cast<std::size_t>(i)]);
+    out += buf;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+bool IpAddress::operator==(const IpAddress& other) const noexcept {
+  return family_ == other.family_ && bytes_ == other.bytes_;
+}
+
+std::strong_ordering IpAddress::operator<=>(const IpAddress& other) const noexcept {
+  if (family_ != other.family_) {
+    return family_ == IpFamily::V4 ? std::strong_ordering::less
+                                   : std::strong_ordering::greater;
+  }
+  return bytes_ <=> other.bytes_;
+}
+
+std::size_t IpAddress::hash() const noexcept {
+  std::size_t h = family_ == IpFamily::V4 ? 0x9e3779b97f4a7c15ull : 0xbf58476d1ce4e5b9ull;
+  for (std::size_t i = 0; i < byte_length(); ++i) {
+    h ^= bytes_[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+IpAddress truncate_address(const IpAddress& addr, int len) {
+  if (len < 0 || len > addr.bit_length()) {
+    throw std::invalid_argument("prefix length " + std::to_string(len) +
+                                " out of range for family");
+  }
+  std::array<std::uint8_t, 16> bytes = addr.bytes();
+  const std::size_t total = addr.byte_length();
+  const std::size_t full_bytes = static_cast<std::size_t>(len) / 8;
+  const int partial_bits = len % 8;
+  if (full_bytes < total && partial_bits != 0) {
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(0xff << (8 - partial_bits));
+    bytes[full_bytes] &= mask;
+  }
+  for (std::size_t i = full_bytes + (partial_bits != 0 ? 1 : 0); i < total; ++i) {
+    bytes[i] = 0;
+  }
+  if (addr.is_v4()) {
+    return IpAddress::v4(bytes[0], bytes[1], bytes[2], bytes[3]);
+  }
+  return IpAddress::v6(bytes);
+}
+
+std::string reverse_pointer_name(const IpAddress& addr) {
+  char buf[80];
+  if (addr.is_v4()) {
+    const auto& b = addr.bytes();
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u.in-addr.arpa", b[3], b[2], b[1],
+                  b[0]);
+    return buf;
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(72);
+  for (int i = 15; i >= 0; --i) {
+    const std::uint8_t byte = addr.bytes()[static_cast<std::size_t>(i)];
+    out.push_back(kHex[byte & 0xf]);
+    out.push_back('.');
+    out.push_back(kHex[byte >> 4]);
+    out.push_back('.');
+  }
+  out += "ip6.arpa";
+  return out;
+}
+
+Prefix::Prefix(const IpAddress& address, int len)
+    : address_(truncate_address(address, len)), length_(len) {}
+
+Prefix Prefix::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("prefix missing '/': " + text);
+  }
+  const IpAddress addr = IpAddress::parse(text.substr(0, slash));
+  const int len = std::stoi(text.substr(slash + 1));
+  return Prefix{addr, len};
+}
+
+bool Prefix::contains(const IpAddress& addr) const noexcept {
+  if (addr.family() != address_.family()) return false;
+  return truncate_address(addr, length_) == address_;
+}
+
+bool Prefix::contains(const Prefix& other) const noexcept {
+  if (other.family() != family() || other.length_ < length_) return false;
+  return contains(other.address_);
+}
+
+Prefix Prefix::truncated(int len) const { return Prefix{address_, len}; }
+
+std::string Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace ecsdns::dnscore

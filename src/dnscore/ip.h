@@ -1,0 +1,129 @@
+// IPv4/IPv6 addresses and prefixes.
+//
+// These live in dnscore because the DNS wire format itself carries addresses
+// (A/AAAA rdata) and address prefixes (the RFC 7871 ECS option). Higher
+// layers (netsim, resolver, cdn) reuse the same types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ecsdns::dnscore {
+
+enum class IpFamily : std::uint8_t { V4, V6 };
+
+// A single IP address of either family. IPv4 addresses occupy the first four
+// bytes of the internal array; the remaining bytes are zero.
+class IpAddress {
+ public:
+  // Default-constructs the IPv4 unspecified address 0.0.0.0.
+  IpAddress() = default;
+
+  static IpAddress v4(std::uint32_t host_order_bits);
+  static IpAddress v4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d);
+  static IpAddress v6(const std::array<std::uint8_t, 16>& bytes);
+  // Parses dotted-quad IPv4 or RFC 4291 IPv6 text (including "::"
+  // compression). Throws std::invalid_argument on malformed input.
+  static IpAddress parse(const std::string& text);
+
+  IpFamily family() const noexcept { return family_; }
+  bool is_v4() const noexcept { return family_ == IpFamily::V4; }
+  bool is_v6() const noexcept { return family_ == IpFamily::V6; }
+
+  // Number of bytes of address material: 4 or 16.
+  std::size_t byte_length() const noexcept { return is_v4() ? 4 : 16; }
+  // Number of bits: 32 or 128.
+  int bit_length() const noexcept { return is_v4() ? 32 : 128; }
+
+  const std::array<std::uint8_t, 16>& bytes() const noexcept { return bytes_; }
+  // IPv4 address as a host-order 32-bit integer; throws on IPv6.
+  std::uint32_t v4_bits() const;
+
+  // --- classification (used by the paper's "unroutable prefix" analysis) ---
+  bool is_unspecified() const noexcept;           // 0.0.0.0 or ::
+  bool is_loopback() const noexcept;              // 127.0.0.0/8 or ::1
+  bool is_private() const noexcept;               // RFC 1918 (v4 only)
+  bool is_link_local() const noexcept;            // 169.254/16 or fe80::/10
+  // Anything a BGP speaker would never accept: loopback, private,
+  // link-local, or unspecified.
+  bool is_unroutable() const noexcept;
+
+  std::string to_string() const;
+
+  bool operator==(const IpAddress& other) const noexcept;
+  bool operator!=(const IpAddress& other) const noexcept { return !(*this == other); }
+  std::strong_ordering operator<=>(const IpAddress& other) const noexcept;
+
+  std::size_t hash() const noexcept;
+
+ private:
+  IpFamily family_ = IpFamily::V4;
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+struct IpAddressHash {
+  std::size_t operator()(const IpAddress& a) const noexcept { return a.hash(); }
+};
+
+// An address prefix: an address plus a prefix length in bits. Construction
+// zeroes all host bits, so two prefixes that cover the same block compare
+// equal regardless of the address they were derived from.
+class Prefix {
+ public:
+  Prefix() = default;  // 0.0.0.0/0
+
+  // Throws std::invalid_argument if `len` exceeds the family's bit length.
+  Prefix(const IpAddress& address, int len);
+  // Parses "10.1.2.0/24" or "2001:db8::/32".
+  static Prefix parse(const std::string& text);
+
+  const IpAddress& address() const noexcept { return address_; }
+  int length() const noexcept { return length_; }
+  IpFamily family() const noexcept { return address_.family(); }
+
+  bool contains(const IpAddress& addr) const noexcept;
+  // True if `other` is equal to or more specific than this prefix.
+  bool contains(const Prefix& other) const noexcept;
+
+  // Re-truncates to a shorter (or equal) length. Throws if `len` is longer
+  // than the current length's family limit.
+  Prefix truncated(int len) const;
+
+  bool is_unroutable() const noexcept { return address_.is_unroutable(); }
+
+  std::string to_string() const;
+
+  bool operator==(const Prefix& other) const noexcept {
+    return length_ == other.length_ && address_ == other.address_;
+  }
+  bool operator!=(const Prefix& other) const noexcept { return !(*this == other); }
+  bool operator<(const Prefix& other) const noexcept {
+    if (address_ != other.address_) return address_ < other.address_;
+    return length_ < other.length_;
+  }
+
+  std::size_t hash() const noexcept {
+    return address_.hash() * 31 + static_cast<std::size_t>(length_);
+  }
+
+ private:
+  IpAddress address_;
+  int length_ = 0;
+};
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& p) const noexcept { return p.hash(); }
+};
+
+// Zeroes every bit of `addr` past `len` bits; the workhorse behind Prefix
+// and ECS address-field validation.
+IpAddress truncate_address(const IpAddress& addr, int len);
+
+// The reverse-DNS owner name for an address: "4.3.2.1.in-addr.arpa" for
+// IPv4, nibble-reversed "ip6.arpa" form for IPv6 (RFC 1035 §3.5,
+// RFC 3596 §2.5). Returned as presentation text; feed to Name::from_string.
+std::string reverse_pointer_name(const IpAddress& addr);
+
+}  // namespace ecsdns::dnscore

@@ -1,0 +1,226 @@
+#include "dnscore/name.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace ecsdns::dnscore {
+namespace {
+
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxName = 255;
+constexpr std::uint8_t kPointerMask = 0xc0;
+
+char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+// Case-insensitive label comparison returning <0, 0, >0.
+int label_cmp(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const char ca = ascii_lower(a[i]);
+    const char cb = ascii_lower(b[i]);
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+}  // namespace
+
+Name::Name(std::vector<std::string> labels) : labels_(std::move(labels)) { validate(); }
+
+void Name::validate() const {
+  std::size_t total = 1;  // root byte
+  for (const auto& label : labels_) {
+    if (label.empty()) throw WireFormatError("empty label in name");
+    if (label.size() > kMaxLabel) {
+      throw WireFormatError("label exceeds 63 octets: " + label);
+    }
+    total += label.size() + 1;
+  }
+  if (total > kMaxName) throw WireFormatError("name exceeds 255 octets");
+}
+
+Name Name::from_string(const std::string& text) {
+  if (text.empty() || text == ".") return Name{};
+  std::vector<std::string> labels;
+  std::string current;
+  for (const char c : text) {
+    if (c == '.') {
+      if (current.empty()) throw WireFormatError("empty label in name: " + text);
+      labels.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) labels.push_back(std::move(current));
+  return Name{std::move(labels)};
+}
+
+Name Name::parse(WireReader& reader) {
+  std::vector<std::string> labels;
+  std::size_t total = 1;
+  // After the first compression pointer we keep reading at the pointed-to
+  // offset but remember where the name's wire representation ended.
+  std::optional<std::size_t> resume_at;
+  std::size_t jumps = 0;
+
+  for (;;) {
+    const std::size_t label_start = reader.offset();
+    const std::uint8_t len = reader.u8();
+    if ((len & kPointerMask) == kPointerMask) {
+      const std::uint8_t low = reader.u8();
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | low;
+      if (target >= label_start) {
+        throw WireFormatError("compression pointer does not point backwards");
+      }
+      if (++jumps > 64) throw WireFormatError("compression pointer loop");
+      if (!resume_at) resume_at = reader.offset();
+      reader.seek(target);
+      continue;
+    }
+    if ((len & kPointerMask) != 0) {
+      throw WireFormatError("reserved label type 0x" + std::to_string(len >> 6));
+    }
+    if (len == 0) break;
+    total += static_cast<std::size_t>(len) + 1;
+    if (total > kMaxName) throw WireFormatError("decompressed name exceeds 255 octets");
+    const auto raw = reader.bytes(len);
+    labels.emplace_back(reinterpret_cast<const char*>(raw.data()), raw.size());
+  }
+  if (resume_at) reader.seek(*resume_at);
+  return Name{std::move(labels)};
+}
+
+std::size_t Name::wire_length() const noexcept {
+  std::size_t total = 1;
+  for (const auto& label : labels_) total += label.size() + 1;
+  return total;
+}
+
+void Name::serialize(WireWriter& writer) const {
+  for (const auto& label : labels_) {
+    writer.u8(static_cast<std::uint8_t>(label.size()));
+    writer.bytes({reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
+  }
+  writer.u8(0);
+}
+
+namespace {
+
+// Canonical key for a name suffix starting at `from_label`: lowercased
+// labels joined by an unescapable separator.
+std::string suffix_key(const std::vector<std::string>& labels, std::size_t from_label) {
+  std::string key;
+  for (std::size_t i = from_label; i < labels.size(); ++i) {
+    for (const char c : labels[i]) key.push_back(ascii_lower(c));
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+}  // namespace
+
+std::optional<std::uint16_t> Name::CompressionTable::find(
+    const Name& name, std::size_t from_label) const {
+  const auto it = offsets_.find(suffix_key(name.labels(), from_label));
+  if (it == offsets_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Name::CompressionTable::remember(const Name& name, std::size_t from_label,
+                                      std::size_t offset) {
+  if (offset > 0x3fff) return;  // unreachable by a 14-bit pointer
+  offsets_.emplace(suffix_key(name.labels(), from_label),
+                   static_cast<std::uint16_t>(offset));
+}
+
+void Name::serialize_compressed(WireWriter& writer, CompressionTable& table) const {
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (const auto target = table.find(*this, i)) {
+      writer.u16(static_cast<std::uint16_t>(0xc000 | *target));
+      return;
+    }
+    table.remember(*this, i, writer.size());
+    const std::string& label = labels_[i];
+    writer.u8(static_cast<std::uint8_t>(label.size()));
+    writer.bytes({reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
+  }
+  writer.u8(0);
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i != 0) out.push_back('.');
+    out += labels_[i];
+  }
+  return out;
+}
+
+bool Name::is_subdomain_of(const Name& zone) const {
+  if (zone.labels_.size() > labels_.size()) return false;
+  auto it = labels_.rbegin();
+  for (auto zit = zone.labels_.rbegin(); zit != zone.labels_.rend(); ++zit, ++it) {
+    if (label_cmp(*it, *zit) != 0) return false;
+  }
+  return true;
+}
+
+Name Name::parent() const {
+  if (labels_.empty()) throw std::logic_error("root name has no parent");
+  return Name{std::vector<std::string>(labels_.begin() + 1, labels_.end())};
+}
+
+Name Name::second_level_domain() const {
+  if (labels_.size() <= 2) return *this;
+  return Name{std::vector<std::string>(labels_.end() - 2, labels_.end())};
+}
+
+Name Name::prepend(const std::string& label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.push_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return Name{std::move(labels)};
+}
+
+bool Name::operator==(const Name& other) const noexcept {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (label_cmp(labels_[i], other.labels_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Name::operator<(const Name& other) const noexcept {
+  // Canonical DNS ordering compares labels from the most significant (root)
+  // side so that subdomains sort adjacent to their parents.
+  auto a = labels_.rbegin();
+  auto b = other.labels_.rbegin();
+  for (; a != labels_.rend() && b != other.labels_.rend(); ++a, ++b) {
+    const int c = label_cmp(*a, *b);
+    if (c != 0) return c < 0;
+  }
+  return labels_.size() < other.labels_.size();
+}
+
+std::size_t Name::hash() const noexcept {
+  std::size_t h = 14695981039346656037ull;
+  for (const auto& label : labels_) {
+    for (const char c : label) {
+      h ^= static_cast<std::size_t>(static_cast<unsigned char>(ascii_lower(c)));
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;  // label separator so ("ab","c") != ("a","bc")
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace ecsdns::dnscore

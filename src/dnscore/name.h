@@ -1,0 +1,100 @@
+// Domain names (RFC 1035 §3.1) with wire encoding, decompression, and
+// case-insensitive comparison semantics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dnscore/wire.h"
+
+namespace ecsdns::dnscore {
+
+// An absolute domain name stored as a sequence of labels (without the
+// terminating empty root label). The empty vector is the root name ".".
+//
+// Invariants enforced on construction:
+//   * each label is 1..63 octets,
+//   * total wire length (labels + separators + root byte) <= 255 octets.
+// Comparison and hashing are ASCII-case-insensitive per RFC 1035 §2.3.3.
+class Name {
+ public:
+  Name() = default;  // the root name "."
+
+  // Parses presentation format ("www.example.com" or "www.example.com.").
+  // Throws WireFormatError on empty labels, oversized labels, or oversized
+  // names. Unescaped dots only; this library never needs escapes.
+  static Name from_string(const std::string& text);
+
+  // Reads a (possibly compressed) name from the current reader position.
+  // Compression pointers may only point backwards; loops and forward
+  // pointers raise WireFormatError (RFC 1035 §4.1.4).
+  static Name parse(WireReader& reader);
+
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  bool is_root() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+
+  // Wire length in octets if written without compression.
+  std::size_t wire_length() const noexcept;
+
+  // Writes the uncompressed wire form.
+  void serialize(WireWriter& writer) const;
+
+  // Writes the wire form using RFC 1035 §4.1.4 compression against names
+  // already emitted through the same table: the longest previously written
+  // suffix is replaced by a pointer, and newly written label positions are
+  // recorded for later names. The table maps canonical (lowercased) suffix
+  // text to its wire offset.
+  class CompressionTable {
+   public:
+    // Offsets beyond 0x3fff cannot be pointed at (14-bit pointers).
+    std::optional<std::uint16_t> find(const Name& name, std::size_t from_label) const;
+    void remember(const Name& name, std::size_t from_label, std::size_t offset);
+
+   private:
+    std::unordered_map<std::string, std::uint16_t> offsets_;
+  };
+  void serialize_compressed(WireWriter& writer, CompressionTable& table) const;
+
+  // Presentation form without the trailing dot except for the root (".").
+  std::string to_string() const;
+
+  // True if this name equals `zone` or is a subdomain of it.
+  bool is_subdomain_of(const Name& zone) const;
+
+  // Returns the name without its leftmost label; throws std::logic_error on
+  // the root name.
+  Name parent() const;
+
+  // The two most senior labels, e.g. "cnn.com" for "edition.cnn.com"; used
+  // for the paper's SLD statistics. Returns the name itself if it has fewer
+  // than two labels.
+  Name second_level_domain() const;
+
+  // Prepends one label, e.g. Name("example.com").prepend("www").
+  Name prepend(const std::string& label) const;
+
+  bool operator==(const Name& other) const noexcept;
+  bool operator!=(const Name& other) const noexcept { return !(*this == other); }
+  // Canonical ordering (case-insensitive, label-wise from the right) so
+  // Name can key ordered containers.
+  bool operator<(const Name& other) const noexcept;
+
+  // Case-insensitive FNV-1a over the canonical lowercase form.
+  std::size_t hash() const noexcept;
+
+ private:
+  explicit Name(std::vector<std::string> labels);
+  void validate() const;
+
+  std::vector<std::string> labels_;
+};
+
+struct NameHash {
+  std::size_t operator()(const Name& n) const noexcept { return n.hash(); }
+};
+
+}  // namespace ecsdns::dnscore

@@ -1,0 +1,89 @@
+// Typed RDATA for the record types this library understands, plus a raw
+// fallback for everything else (RFC 1035 §3.3, RFC 3596).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dnscore/ip.h"
+#include "dnscore/name.h"
+#include "dnscore/types.h"
+#include "dnscore/wire.h"
+
+namespace ecsdns::dnscore {
+
+struct ARdata {
+  IpAddress address;  // always IPv4
+  bool operator==(const ARdata&) const = default;
+};
+
+struct AaaaRdata {
+  IpAddress address;  // always IPv6
+  bool operator==(const AaaaRdata&) const = default;
+};
+
+struct NsRdata {
+  Name nameserver;
+  bool operator==(const NsRdata&) const = default;
+};
+
+struct CnameRdata {
+  Name target;
+  bool operator==(const CnameRdata&) const = default;
+};
+
+struct PtrRdata {
+  Name target;
+  bool operator==(const PtrRdata&) const = default;
+};
+
+struct MxRdata {
+  std::uint16_t preference = 0;
+  Name exchange;
+  bool operator==(const MxRdata&) const = default;
+};
+
+struct TxtRdata {
+  // One or more character-strings, each at most 255 octets.
+  std::vector<std::string> strings;
+  bool operator==(const TxtRdata&) const = default;
+};
+
+struct SoaRdata {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;
+  bool operator==(const SoaRdata&) const = default;
+};
+
+// Uninterpreted rdata carried verbatim (types we do not model).
+struct RawRdata {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> data;
+  bool operator==(const RawRdata&) const = default;
+};
+
+using Rdata = std::variant<ARdata, AaaaRdata, NsRdata, CnameRdata, PtrRdata,
+                           MxRdata, TxtRdata, SoaRdata, RawRdata>;
+
+// The wire RR type corresponding to the active alternative.
+RRType rdata_type(const Rdata& rdata);
+
+// Parses `rdlength` bytes of rdata for `type` from the reader. Name-bearing
+// rdata (NS/CNAME/PTR/MX/SOA) may use compression pointers into the larger
+// message, which is why parsing happens in message context.
+Rdata parse_rdata(RRType type, std::uint16_t rdlength, WireReader& reader);
+
+// Serializes without the RDLENGTH prefix (the record writer patches it in).
+void serialize_rdata(const Rdata& rdata, WireWriter& writer);
+
+// Zone-file-style presentation ("192.0.2.1", "10 mail.example.com", ...).
+std::string rdata_to_string(const Rdata& rdata);
+
+}  // namespace ecsdns::dnscore

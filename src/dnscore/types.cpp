@@ -1,0 +1,70 @@
+#include "dnscore/types.h"
+
+#include <stdexcept>
+
+namespace ecsdns::dnscore {
+
+std::string to_string(RRType t) {
+  switch (t) {
+    case RRType::A: return "A";
+    case RRType::NS: return "NS";
+    case RRType::CNAME: return "CNAME";
+    case RRType::SOA: return "SOA";
+    case RRType::PTR: return "PTR";
+    case RRType::MX: return "MX";
+    case RRType::TXT: return "TXT";
+    case RRType::AAAA: return "AAAA";
+    case RRType::OPT: return "OPT";
+    case RRType::ANY: return "ANY";
+  }
+  return "TYPE" + std::to_string(static_cast<std::uint16_t>(t));
+}
+
+std::string to_string(RRClass c) {
+  switch (c) {
+    case RRClass::IN: return "IN";
+    case RRClass::CH: return "CH";
+    case RRClass::ANY: return "ANY";
+  }
+  return "CLASS" + std::to_string(static_cast<std::uint16_t>(c));
+}
+
+std::string to_string(Opcode o) {
+  switch (o) {
+    case Opcode::QUERY: return "QUERY";
+    case Opcode::IQUERY: return "IQUERY";
+    case Opcode::STATUS: return "STATUS";
+    case Opcode::NOTIFY: return "NOTIFY";
+    case Opcode::UPDATE: return "UPDATE";
+  }
+  return "OPCODE" + std::to_string(static_cast<int>(o));
+}
+
+std::string to_string(RCode r) {
+  switch (r) {
+    case RCode::NOERROR: return "NOERROR";
+    case RCode::FORMERR: return "FORMERR";
+    case RCode::SERVFAIL: return "SERVFAIL";
+    case RCode::NXDOMAIN: return "NXDOMAIN";
+    case RCode::NOTIMP: return "NOTIMP";
+    case RCode::REFUSED: return "REFUSED";
+    case RCode::BADVERS: return "BADVERS";
+  }
+  return "RCODE" + std::to_string(static_cast<std::uint16_t>(r));
+}
+
+RRType rrtype_from_string(const std::string& s) {
+  if (s == "A") return RRType::A;
+  if (s == "NS") return RRType::NS;
+  if (s == "CNAME") return RRType::CNAME;
+  if (s == "SOA") return RRType::SOA;
+  if (s == "PTR") return RRType::PTR;
+  if (s == "MX") return RRType::MX;
+  if (s == "TXT") return RRType::TXT;
+  if (s == "AAAA") return RRType::AAAA;
+  if (s == "OPT") return RRType::OPT;
+  if (s == "ANY") return RRType::ANY;
+  throw std::invalid_argument("unknown RR type mnemonic: " + s);
+}
+
+}  // namespace ecsdns::dnscore

@@ -1,0 +1,70 @@
+// Core DNS enumerations (RFC 1035, RFC 6891) and their string forms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ecsdns::dnscore {
+
+// Resource record types. Values are the IANA-assigned wire values.
+enum class RRType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  OPT = 41,   // EDNS0 pseudo-RR (RFC 6891)
+  ANY = 255,
+};
+
+enum class RRClass : std::uint16_t {
+  IN = 1,
+  CH = 3,
+  ANY = 255,
+};
+
+enum class Opcode : std::uint8_t {
+  QUERY = 0,
+  IQUERY = 1,
+  STATUS = 2,
+  NOTIFY = 4,
+  UPDATE = 5,
+};
+
+// Response codes. Values above 15 require the EDNS0 extended-rcode field.
+enum class RCode : std::uint16_t {
+  NOERROR = 0,
+  FORMERR = 1,
+  SERVFAIL = 2,
+  NXDOMAIN = 3,
+  NOTIMP = 4,
+  REFUSED = 5,
+  BADVERS = 16,
+};
+
+// EDNS0 option codes relevant to this library (RFC 7871 assigns 8 to ECS).
+enum class EdnsOptionCode : std::uint16_t {
+  ECS = 8,
+  COOKIE = 10,
+};
+
+// Address family numbers used inside the ECS option (RFC 7871 §6 refers to
+// the IANA Address Family Numbers registry).
+enum class EcsFamily : std::uint16_t {
+  IPv4 = 1,
+  IPv6 = 2,
+};
+
+std::string to_string(RRType t);
+std::string to_string(RRClass c);
+std::string to_string(Opcode o);
+std::string to_string(RCode r);
+
+// Parses "A", "AAAA", ... (as used by the zone loader); throws
+// std::invalid_argument on unknown mnemonics.
+RRType rrtype_from_string(const std::string& s);
+
+}  // namespace ecsdns::dnscore

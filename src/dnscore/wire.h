@@ -1,0 +1,77 @@
+// Bounds-checked big-endian wire codec used by all DNS serialization.
+//
+// DNS is a binary big-endian protocol (RFC 1035 §3). Every parse in this
+// library goes through WireReader, which throws WireFormatError instead of
+// reading out of bounds, and every serialization goes through WireWriter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ecsdns::dnscore {
+
+// Thrown on any malformed wire input: truncated fields, label overruns,
+// compression-pointer loops, invalid option payloads, and the like.
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Sequential reader over an immutable byte buffer. The reader never owns the
+// bytes; callers keep the buffer alive for the reader's lifetime.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t offset() const noexcept { return pos_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  // Reads exactly n bytes, throwing if fewer remain.
+  std::span<const std::uint8_t> bytes(std::size_t n);
+  void skip(std::size_t n);
+  // Repositions the cursor (used to follow DNS name-compression pointers).
+  void seek(std::size_t offset);
+  // Peek a byte at an absolute offset without moving the cursor.
+  std::uint8_t peek_at(std::size_t offset) const;
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Append-only big-endian writer. Supports patching previously written 16-bit
+// fields, which DNS needs for RDLENGTH and for message section counts.
+class WireWriter {
+ public:
+  std::size_t size() const noexcept { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() && { return std::move(buf_); }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void bytes(std::span<const std::uint8_t> b);
+
+  // Reserves a 16-bit slot and returns its offset for later patching.
+  std::size_t reserve_u16();
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Renders bytes as lowercase hex pairs separated by spaces; debugging aid.
+std::string hex_dump(std::span<const std::uint8_t> data);
+
+}  // namespace ecsdns::dnscore

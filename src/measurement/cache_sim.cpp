@@ -1,0 +1,179 @@
+#include "measurement/cache_sim.h"
+
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "dnscore/ip.h"
+
+namespace ecsdns::measurement {
+namespace {
+
+using dnscore::IpAddress;
+using dnscore::Prefix;
+
+// Cache key: resolver x question x (scope-truncated client block). Without
+// ECS the block is the zero prefix.
+struct Key {
+  std::uint32_t resolver;
+  std::uint32_t name;
+  Prefix block;
+
+  bool operator==(const Key&) const = default;
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& k) const noexcept {
+    std::size_t h = k.block.hash();
+    h = h * 1099511628211ull ^ k.resolver;
+    h = h * 1099511628211ull ^ k.name;
+    return h;
+  }
+};
+
+}  // namespace
+
+const ResolverCacheResult& CacheSimResult::resolver(std::uint32_t id) const {
+  for (const auto& r : per_resolver) {
+    if (r.resolver == id) return r;
+  }
+  throw std::out_of_range("no such resolver in result");
+}
+
+std::uint64_t CacheSimResult::total_hits() const {
+  std::uint64_t n = 0;
+  for (const auto& r : per_resolver) n += r.hits;
+  return n;
+}
+
+std::uint64_t CacheSimResult::total_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& r : per_resolver) n += r.misses;
+  return n;
+}
+
+double CacheSimResult::overall_hit_rate() const {
+  const auto total = total_hits() + total_misses();
+  return total == 0 ? 0.0
+                    : static_cast<double>(total_hits()) / static_cast<double>(total);
+}
+
+CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options) {
+  struct Slot {
+    SimTime expiry = 0;
+    std::uint64_t lru_stamp = 0;
+  };
+  std::unordered_map<Key, Slot, KeyHash> cache;
+  // Expiration queue so current size is exact at every query time.
+  struct Expiry {
+    SimTime when;
+    Key key;
+  };
+  const auto later = [](const Expiry& a, const Expiry& b) { return a.when > b.when; };
+  std::priority_queue<Expiry, std::vector<Expiry>, decltype(later)> expirations(later);
+  // LRU index per resolver, only maintained when a bound is set.
+  std::vector<std::map<std::uint64_t, Key>> lru(
+      options.max_entries_per_resolver ? trace.resolvers : 0);
+  std::uint64_t next_stamp = 1;
+
+  std::vector<ResolverCacheResult> results(trace.resolvers);
+  for (std::uint32_t r = 0; r < trace.resolvers; ++r) results[r].resolver = r;
+  std::vector<std::size_t> live(trace.resolvers, 0);
+
+  const auto erase_entry = [&](const Key& key, const Slot& slot) {
+    cache.erase(key);
+    --live[key.resolver];
+    if (options.max_entries_per_resolver) {
+      lru[key.resolver].erase(slot.lru_stamp);
+    }
+  };
+
+  for (const auto& q : trace.queries) {
+    // Retire everything that expired before this query.
+    while (!expirations.empty() && expirations.top().when <= q.time) {
+      const Expiry e = expirations.top();
+      expirations.pop();
+      const auto it = cache.find(e.key);
+      // Only erase if this expiration is current (the entry may have been
+      // refreshed after a miss).
+      if (it != cache.end() && it->second.expiry <= e.when) {
+        erase_entry(e.key, it->second);
+      }
+    }
+
+    Key key{q.resolver, q.name, Prefix{}};
+    if (options.with_ecs && q.scope > 0) {
+      const int bits = std::min(q.scope, q.client.bit_length());
+      key.block = Prefix{q.client, bits};
+    }
+
+    auto& result = results.at(q.resolver);
+    const auto it = cache.find(key);
+    if (it != cache.end() && it->second.expiry > q.time) {
+      ++result.hits;
+      if (options.max_entries_per_resolver) {
+        // Refresh recency.
+        lru[q.resolver].erase(it->second.lru_stamp);
+        it->second.lru_stamp = next_stamp++;
+        lru[q.resolver].emplace(it->second.lru_stamp, key);
+      }
+      continue;
+    }
+    ++result.misses;
+    const std::uint32_t ttl_s = options.ttl_override.value_or(q.ttl_s);
+    const SimTime expiry = q.time + static_cast<SimTime>(ttl_s) * netsim::kSecond;
+    if (options.max_entries_per_resolver &&
+        live[q.resolver] >= *options.max_entries_per_resolver) {
+      // Premature eviction: drop the least recently used live entry.
+      auto& order = lru[q.resolver];
+      if (!order.empty()) {
+        const Key victim = order.begin()->second;
+        const auto vit = cache.find(victim);
+        if (vit != cache.end()) erase_entry(victim, vit->second);
+        ++result.premature_evictions;
+      }
+    }
+    Slot slot{expiry, next_stamp++};
+    if (options.max_entries_per_resolver && it != cache.end()) {
+      lru[q.resolver].erase(it->second.lru_stamp);  // drop the stale stamp
+    }
+    const auto [slot_it, inserted] = cache.insert_or_assign(key, slot);
+    (void)slot_it;
+    if (inserted) ++live[q.resolver];
+    result.max_cache_size = std::max(result.max_cache_size, live[q.resolver]);
+    if (options.max_entries_per_resolver) {
+      lru[q.resolver].emplace(slot.lru_stamp, key);
+    }
+    expirations.push(Expiry{expiry, key});
+  }
+
+  CacheSimResult out;
+  out.per_resolver = std::move(results);
+  return out;
+}
+
+std::vector<double> blowup_factors(const Trace& trace,
+                                   std::optional<std::uint32_t> ttl_override) {
+  CacheSimOptions with;
+  with.with_ecs = true;
+  with.ttl_override = ttl_override;
+  CacheSimOptions without;
+  without.with_ecs = false;
+  without.ttl_override = ttl_override;
+
+  const CacheSimResult ecs = simulate_cache(trace, with);
+  const CacheSimResult plain = simulate_cache(trace, without);
+
+  std::vector<double> out;
+  out.reserve(ecs.per_resolver.size());
+  for (std::size_t i = 0; i < ecs.per_resolver.size(); ++i) {
+    const auto base = plain.per_resolver[i].max_cache_size;
+    if (base == 0) continue;
+    out.push_back(static_cast<double>(ecs.per_resolver[i].max_cache_size) /
+                  static_cast<double>(base));
+  }
+  return out;
+}
+
+}  // namespace ecsdns::measurement

@@ -1,0 +1,59 @@
+// Trace-driven cache simulation (§7).
+//
+// Replays a resolver-side trace twice — once obeying the logged ECS scopes,
+// once disregarding them — and reports per-resolver peak cache size and hit
+// rate. Mirrors the paper's simulation assumptions: resolvers retain
+// records for exactly the authoritative TTL and never evict early.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "measurement/tracegen.h"
+
+namespace ecsdns::measurement {
+
+struct CacheSimOptions {
+  bool with_ecs = true;
+  // Overrides every response TTL (Figure 1 re-runs the CDN trace at 20, 40,
+  // and 60 seconds).
+  std::optional<std::uint32_t> ttl_override;
+  // Bounds each resolver's cache; overflow evicts the least-recently-used
+  // entry before its TTL ("premature eviction", the operational cost §7
+  // says operators must size against). Unset = unbounded, the paper's
+  // baseline assumption.
+  std::optional<std::size_t> max_entries_per_resolver;
+};
+
+struct ResolverCacheResult {
+  std::uint32_t resolver = 0;
+  std::size_t max_cache_size = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t premature_evictions = 0;
+
+  double hit_rate() const {
+    const auto total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+struct CacheSimResult {
+  std::vector<ResolverCacheResult> per_resolver;
+
+  const ResolverCacheResult& resolver(std::uint32_t id) const;
+  std::uint64_t total_hits() const;
+  std::uint64_t total_misses() const;
+  double overall_hit_rate() const;
+};
+
+CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options);
+
+// Per-resolver blow-up factors: peak cache size with ECS divided by peak
+// size without (Figure 1's metric). Resolvers with an empty no-ECS cache
+// are skipped.
+std::vector<double> blowup_factors(const Trace& trace,
+                                   std::optional<std::uint32_t> ttl_override);
+
+}  // namespace ecsdns::measurement

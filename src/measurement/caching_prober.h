@@ -1,0 +1,67 @@
+// The §6.3 caching-behavior study: deliver pairs of queries with client
+// identities in different /24s of the same /16 to each resolver, return
+// controlled scopes from our authoritative, and observe whether the
+// resolver re-queries (honors the scope) or reuses its cache.
+//
+// Delivery uses the paper's techniques: crafted client ECS for resolvers
+// that accept arbitrary prefixes, and pairs of open forwarders (optionally
+// behind hidden resolvers) for everyone else.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "measurement/fleet.h"
+#include "measurement/testbed.h"
+
+namespace ecsdns::measurement {
+
+enum class CachingClass {
+  kCorrect,             // honors scope, never conveys > 24 bits
+  kIgnoresScope,        // reuses cached answers for any client
+  kAcceptsLongPrefixes, // conveys client prefixes longer than /24
+  kClamp22,             // caps source and scope at 22 bits
+  kPrivatePrefixBug,    // announces 10/8 space and mishandles scope 0
+  kUnstudied,           // no delivery path (no suitable forwarders)
+  kOther,               // observed but matching no known class
+};
+
+std::string to_string(CachingClass c);
+
+struct CachingVerdict {
+  IpAddress egress;
+  CachingClass cls = CachingClass::kUnstudied;
+  bool accepts_client_ecs = false;
+  bool honors_scope24 = false;
+  bool reuses_scope16 = false;
+  bool reuses_scope0 = false;
+  int max_source_seen = 0;  // longest source length our auth observed
+  bool private_prefix_seen = false;
+};
+
+class CachingProber {
+ public:
+  explicit CachingProber(Testbed& bed);
+
+  CachingVerdict probe(const FleetMember& member);
+  std::vector<CachingVerdict> probe_fleet(const Fleet& fleet);
+
+  static std::map<CachingClass, std::size_t> histogram(
+      const std::vector<CachingVerdict>& verdicts);
+
+ private:
+  // Counts upstream queries our authoritative received for `qname`.
+  std::size_t upstream_queries_for(const Name& qname) const;
+  Name fresh_name();
+  void set_scope(int scope);
+
+  Testbed& bed_;
+  authoritative::AuthServer* auth_;
+  Name zone_;
+  StubClient* client_;
+  std::shared_ptr<int> scope_knob_;
+  int serial_ = 0;
+};
+
+}  // namespace ecsdns::measurement

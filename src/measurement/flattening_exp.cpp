@@ -1,0 +1,90 @@
+#include "measurement/flattening_exp.h"
+
+#include <stdexcept>
+
+namespace ecsdns::measurement {
+
+FlatteningTimeline run_cname_flattening_experiment(Testbed& bed,
+                                                   const FlatteningOptions& options) {
+  using dnscore::Name;
+  using dnscore::Prefix;
+
+  // --- topology ---
+  auto& fleet = bed.add_global_fleet();
+  // A CDN that maps by ECS when present and by the query sender otherwise —
+  // so the provider's ECS-less backend query gets mapped to the *provider*.
+  cdn::ProximityMappingConfig cdn_config;
+  cdn_config.label = "major-cdn";
+  cdn_config.min_ecs_bits = 16;
+  cdn_config.effective_bits = 24;
+  cdn_config.fallback = cdn::Fallback::kResolverProxy;
+  auto& mapping = bed.add_mapping(cdn_config, fleet);
+
+  const Name cdn_zone = Name::from_string("cdn.net");
+  const Name cdn_host = Name::from_string("customer.cdn.net");
+  auto& cdn_auth = bed.add_auth(
+      "cdn-auth", cdn_zone, "Ashburn",
+      std::make_unique<authoritative::CdnMappingPolicy>(mapping),
+      authoritative::AuthConfig{.label = "cdn", .tailored_ttl = options.cdn_ttl});
+  cdn_auth.find_zone(cdn_zone)->add(dnscore::ResourceRecord::make_a(
+      cdn_host, options.cdn_ttl, fleet.servers().front().address));
+  const auto cdn_auth_addr = bed.auth_address(cdn_auth);
+
+  // The DNS provider hosting customer.com, flattening the apex.
+  const Name customer_zone = Name::from_string("customer.com");
+  const Name www_host = Name::from_string("www.customer.com");
+  authoritative::FlatteningConfig fconfig;
+  fconfig.forward_ecs = options.provider_forwards_ecs;
+  auto& provider = bed.add_flattening_auth(fconfig, customer_zone,
+                                           options.provider_city);
+  provider.flatten(customer_zone, cdn_host, cdn_auth_addr);
+  provider.base().find_zone(customer_zone)
+      ->add(dnscore::ResourceRecord::make_cname(www_host, 300, cdn_host));
+
+  // The public resolver: ECS-capable, whitelisted by nobody needed —
+  // the CDN policy here uses ECS from any resolver.
+  auto& resolver = bed.add_resolver(resolver::ResolverConfig::google_like(),
+                                    options.resolver_city);
+  auto& client = bed.add_client(options.client_city);
+
+  auto& net = bed.network();
+  FlatteningTimeline timeline;
+
+  // --- apex access (Figure 8 steps 1-8) ---
+  const netsim::SimTime t0 = net.now();
+  const auto apex_response =
+      client.query(resolver.address(), customer_zone, dnscore::RRType::A);
+  timeline.apex_dns = net.now() - t0;
+  if (!apex_response || !apex_response->first_address()) {
+    throw std::runtime_error("apex resolution failed in flattening experiment");
+  }
+  timeline.apex_edge = *apex_response->first_address();
+  // Step 7: TCP handshake with E1, then the HTTP request that bounces with
+  // a 302 to www.customer.com (one more round trip).
+  const auto apex_rtt = net.ping(client.address(), timeline.apex_edge);
+  if (!apex_rtt) throw std::runtime_error("apex edge unreachable");
+  timeline.apex_handshake = *apex_rtt;
+  timeline.redirect = *apex_rtt;
+  if (const auto loc = net.location_of(timeline.apex_edge)) {
+    timeline.apex_edge_city = bed.world().nearest(*loc).name;
+  }
+
+  // --- www access (steps 9-14) ---
+  const netsim::SimTime t1 = net.now();
+  const auto www_response =
+      client.query(resolver.address(), www_host, dnscore::RRType::A);
+  timeline.www_dns = net.now() - t1;
+  if (!www_response || !www_response->first_address()) {
+    throw std::runtime_error("www resolution failed in flattening experiment");
+  }
+  timeline.www_edge = *www_response->first_address();
+  const auto www_rtt = net.ping(client.address(), timeline.www_edge);
+  if (!www_rtt) throw std::runtime_error("www edge unreachable");
+  timeline.www_handshake = *www_rtt;
+  if (const auto loc = net.location_of(timeline.www_edge)) {
+    timeline.www_edge_city = bed.world().nearest(*loc).name;
+  }
+  return timeline;
+}
+
+}  // namespace ecsdns::measurement

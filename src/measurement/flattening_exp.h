@@ -1,0 +1,53 @@
+// The §8.4 CNAME-flattening case study (Figure 8).
+//
+// Reenacts the paper's packet trace: a client using a whitelisted public
+// resolver accesses customer.com (apex, CNAME-flattened by the DNS
+// provider) and www.customer.com (regular CNAME onto the CDN). The apex
+// path loses ECS at the provider's backend query, gets mapped to the DNS
+// provider's location instead of the client's, and pays an HTTP redirect to
+// recover — the www path does not.
+#pragma once
+
+#include <string>
+
+#include "measurement/testbed.h"
+
+namespace ecsdns::measurement {
+
+struct FlatteningOptions {
+  std::string client_city = "Santiago";
+  // The public resolver's egress site serving this client.
+  std::string resolver_city = "Miami";
+  // Where the DNS provider hosts the zone (drives the bad apex mapping).
+  std::string provider_city = "Frankfurt";
+  // Whether the provider forwards ECS on its backend query — the fix the
+  // paper discusses (and why it is insufficient without whitelisting).
+  bool provider_forwards_ecs = false;
+  std::uint32_t cdn_ttl = 20;
+};
+
+struct FlatteningTimeline {
+  // Apex (CNAME-flattened) access:
+  netsim::SimTime apex_dns = 0;        // steps 1-6: resolving customer.com
+  netsim::SimTime apex_handshake = 0;  // step 7: TCP to the mis-mapped edge
+  netsim::SimTime redirect = 0;        // steps 7-8: request + 302 round trip
+  netsim::SimTime www_dns = 0;         // steps 9-14: resolving www.customer.com
+  netsim::SimTime www_handshake = 0;   // TCP to the correctly mapped edge
+  dnscore::IpAddress apex_edge;        // E1
+  dnscore::IpAddress www_edge;         // E2
+  std::string apex_edge_city;
+  std::string www_edge_city;
+
+  // Total elapsed for the apex access (what the user actually waits).
+  netsim::SimTime apex_total() const {
+    return apex_dns + apex_handshake + redirect + www_dns + www_handshake;
+  }
+  // What a direct www access costs.
+  netsim::SimTime www_total() const { return www_dns + www_handshake; }
+  netsim::SimTime penalty() const { return apex_total() - www_total(); }
+};
+
+FlatteningTimeline run_cname_flattening_experiment(Testbed& bed,
+                                                   const FlatteningOptions& options);
+
+}  // namespace ecsdns::measurement

@@ -1,0 +1,98 @@
+#include "measurement/hidden.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace ecsdns::measurement {
+
+std::vector<HiddenCombination> find_hidden_combinations(
+    const ScanResults& results, const netsim::IpGeoDb& geo) {
+  // Hidden prefixes as the scanner's detector defines them.
+  const auto hidden = results.hidden_prefixes();
+  std::set<dnscore::Prefix> hidden_set(hidden.begin(), hidden.end());
+
+  struct ComboKey {
+    IpAddress forwarder;
+    dnscore::Prefix hidden;
+    IpAddress egress;
+    bool operator<(const ComboKey& o) const {
+      if (forwarder != o.forwarder) return forwarder < o.forwarder;
+      if (hidden != o.hidden) return hidden < o.hidden;
+      return egress < o.egress;
+    }
+  };
+  std::set<ComboKey> seen;
+  std::vector<HiddenCombination> out;
+
+  for (const auto& o : results.observations) {
+    if (!o.ecs) continue;
+    const auto src = o.ecs->source_prefix();
+    if (!src) continue;
+    const auto block = src->length() >= 24 ? src->truncated(24) : *src;
+    if (hidden_set.find(block) == hidden_set.end()) continue;
+    if (!seen.insert(ComboKey{o.ingress, block, o.egress}).second) continue;
+
+    const auto f_loc = geo.locate(o.ingress);
+    const auto h_loc = geo.locate(block);
+    const auto r_loc = geo.locate(o.egress);
+    if (!f_loc || !h_loc || !r_loc) continue;
+
+    HiddenCombination combo;
+    combo.forwarder = o.ingress;
+    combo.hidden = block;
+    combo.egress = o.egress;
+    combo.forwarder_hidden_km = netsim::distance_km(*f_loc, *h_loc);
+    combo.forwarder_egress_km = netsim::distance_km(*f_loc, *r_loc);
+    out.push_back(combo);
+  }
+  return out;
+}
+
+HiddenAnalysis analyze_hidden(const std::vector<HiddenCombination>& combos,
+                              double equidistant_km) {
+  HiddenAnalysis analysis;
+  std::size_t below = 0, on = 0, above = 0;
+  for (const auto& c : combos) {
+    // Axes follow the paper's Figures 4-5: x = F-H, y = F-R; points below
+    // the diagonal (y < x) have the hidden resolver *farther* than the
+    // egress.
+    analysis.scatter.add(c.forwarder_hidden_km, c.forwarder_egress_km);
+    const double delta = c.forwarder_hidden_km - c.forwarder_egress_km;
+    if (std::abs(delta) <= equidistant_km) {
+      ++on;
+    } else if (delta > 0) {
+      ++below;
+      analysis.max_penalty_km = std::max(analysis.max_penalty_km, delta);
+    } else {
+      ++above;
+    }
+  }
+  analysis.combinations = combos.size();
+  if (!combos.empty()) {
+    const double n = static_cast<double>(combos.size());
+    analysis.below_diagonal_fraction = static_cast<double>(below) / n;
+    analysis.on_diagonal_fraction = static_cast<double>(on) / n;
+    analysis.above_diagonal_fraction = static_cast<double>(above) / n;
+  }
+  return analysis;
+}
+
+double cross_validate_hidden(const std::vector<dnscore::Prefix>& hidden_prefixes,
+                             const std::vector<authoritative::QueryLogEntry>& cdn_log) {
+  if (hidden_prefixes.empty()) return 0.0;
+  std::unordered_set<dnscore::Prefix, dnscore::PrefixHash> in_cdn;
+  for (const auto& e : cdn_log) {
+    if (!e.query_ecs) continue;
+    const auto src = e.query_ecs->source_prefix();
+    if (!src) continue;
+    in_cdn.insert(src->length() >= 24 ? src->truncated(24) : *src);
+  }
+  std::size_t found = 0;
+  for (const auto& p : hidden_prefixes) {
+    if (in_cdn.count(p) != 0) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(hidden_prefixes.size());
+}
+
+}  // namespace ecsdns::measurement

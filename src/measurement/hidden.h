@@ -1,0 +1,56 @@
+// Hidden-resolver analysis (§8.2, Figures 4 and 5).
+//
+// Hidden resolvers are discovered exactly as in the paper: ECS prefixes in
+// scan observations that cover neither the probed ingress nor the egress
+// that contacted the authoritative. Each unique (forwarder, hidden, egress)
+// combination is then geolocated and the forwarder->hidden distance is
+// compared against the forwarder->egress distance: combinations below the
+// diagonal are cases where ECS *worsens* the CDN's understanding of client
+// location.
+#pragma once
+
+#include <vector>
+
+#include "measurement/scanner.h"
+#include "measurement/stats.h"
+#include "netsim/geodb.h"
+
+namespace ecsdns::measurement {
+
+struct HiddenCombination {
+  IpAddress forwarder;
+  dnscore::Prefix hidden;
+  IpAddress egress;
+  double forwarder_hidden_km = 0.0;   // F-H
+  double forwarder_egress_km = 0.0;   // F-R
+};
+
+// Extracts unique combinations from scan observations, geolocating all
+// three parties through `geo` (combinations with unlocatable members are
+// skipped).
+std::vector<HiddenCombination> find_hidden_combinations(
+    const ScanResults& results, const netsim::IpGeoDb& geo);
+
+struct HiddenAnalysis {
+  std::size_t combinations = 0;
+  double below_diagonal_fraction = 0.0;  // hidden farther than egress
+  double on_diagonal_fraction = 0.0;
+  double above_diagonal_fraction = 0.0;
+  double max_penalty_km = 0.0;  // largest (F-H minus F-R) seen
+  BinnedScatter scatter;
+
+  explicit HiddenAnalysis(double extent_km = 16000.0, std::size_t bins = 36)
+      : scatter(extent_km, extent_km, bins) {}
+};
+
+// `equidistant_km` is the tolerance for the "on diagonal" class.
+HiddenAnalysis analyze_hidden(const std::vector<HiddenCombination>& combos,
+                              double equidistant_km = 100.0);
+
+// The paper's §8.2 validation: a hidden prefix is "real" when it also
+// appears as an ECS source prefix in a second, independent dataset (the
+// Public Resolver/CDN log). Returns the validated fraction.
+double cross_validate_hidden(const std::vector<dnscore::Prefix>& hidden_prefixes,
+                             const std::vector<authoritative::QueryLogEntry>& cdn_log);
+
+}  // namespace ecsdns::measurement

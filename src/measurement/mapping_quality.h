@@ -1,0 +1,59 @@
+// Mapping-quality experiments (§8.1 Table 2, §8.3 Figures 6-7).
+//
+// Figures 6-7: Atlas-style probes scattered over the world; for each ECS
+// source prefix length, the lab queries the CDN's authoritative with the
+// probe's truncated prefix and measures the TCP handshake time from the
+// probe to the first answer address. The CDFs expose the prefix length at
+// which the CDN stops using ECS for proximity mapping.
+//
+// Table 2: queries with unroutable ECS prefixes against a Google-like
+// authoritative, reporting the first answer, its RTT from the lab, and its
+// location.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measurement/stats.h"
+#include "measurement/testbed.h"
+
+namespace ecsdns::measurement {
+
+struct ProbeSite {
+  IpAddress address;
+  std::string city;
+};
+
+// Creates `count` probes in Atlas-biased random cities (Europe-heavy, as
+// the paper notes about the platform).
+std::vector<ProbeSite> make_probe_sites(Testbed& bed, std::size_t count,
+                                        std::uint64_t seed);
+
+struct PrefixLengthResult {
+  int prefix_length = 0;
+  Cdf connect_ms;                       // per-probe TCP handshake latency
+  std::size_t unique_first_answers = 0; // distinct first-answer addresses
+};
+
+// Runs the Figure 6/7 sweep: for each length, query `auth` for `hostname`
+// with each probe's prefix truncated to that length.
+std::vector<PrefixLengthResult> run_prefix_length_sweep(
+    Testbed& bed, const IpAddress& auth_address, const Name& hostname,
+    const std::vector<ProbeSite>& probes, const std::vector<int>& lengths,
+    const std::string& lab_city = "Cleveland");
+
+struct UnroutableRow {
+  std::string ecs_label;
+  IpAddress first_answer;
+  double rtt_ms = 0.0;
+  std::string location;  // nearest catalog city of the answer
+};
+
+// Table 2: the five query variants from a lab machine in `lab_city`.
+std::vector<UnroutableRow> run_unroutable_experiment(Testbed& bed,
+                                                     const IpAddress& auth_address,
+                                                     const Name& hostname,
+                                                     const std::string& lab_city =
+                                                         "Cleveland");
+
+}  // namespace ecsdns::measurement

@@ -1,0 +1,49 @@
+#include "measurement/prefix_census.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+namespace ecsdns::measurement {
+
+std::vector<CensusRow> source_prefix_census(const std::vector<QueryLogEntry>& log) {
+  // (is_v6, length, jammed) triples sort combination keys numerically with
+  // IPv4 variants first, matching the paper's table layout.
+  using Variant = std::tuple<bool, int, bool>;
+  std::unordered_map<dnscore::IpAddress, std::set<Variant>, dnscore::IpAddressHash>
+      per_resolver;
+  for (const auto& e : log) {
+    if (!e.query_ecs) continue;
+    const auto& ecs = *e.query_ecs;
+    const int len = ecs.source_prefix_length();
+    bool jammed = false;
+    if (len == 32 && ecs.address_bytes().size() == 4) {
+      const auto last = ecs.address_bytes()[3];
+      jammed = last == 0x00 || last == 0x01;
+    }
+    const bool v6 =
+        ecs.family() == static_cast<std::uint16_t>(dnscore::EcsFamily::IPv6);
+    per_resolver[e.sender].insert(Variant{v6, len, jammed});
+  }
+
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [resolver, combos] : per_resolver) {
+    std::string key;
+    for (const auto& [v6, len, jammed] : combos) {
+      if (!key.empty()) key += ",";
+      key += std::to_string(len);
+      if (v6) key += " (IPv6)";
+      if (jammed) key += "/jammed last byte";
+    }
+    ++counts[key];
+  }
+
+  std::vector<CensusRow> rows;
+  rows.reserve(counts.size());
+  for (const auto& [key, count] : counts) rows.push_back(CensusRow{key, count});
+  return rows;
+}
+
+}  // namespace ecsdns::measurement

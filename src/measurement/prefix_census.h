@@ -1,0 +1,28 @@
+// Table 1: census of ECS source prefix lengths per resolver, computed from
+// an authoritative-side query log (CDN dataset column) or from scan
+// observations (Scan dataset column).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "authoritative/server.h"
+
+namespace ecsdns::measurement {
+
+using authoritative::QueryLogEntry;
+
+struct CensusRow {
+  // e.g. "24", "32/jammed last byte", or "25,32/jammed last byte" for
+  // resolvers that alternate lengths (one row per distinct combination).
+  std::string lengths;
+  std::size_t resolver_count = 0;
+};
+
+// Rows sorted by the combination key. A resolver's combination is the set
+// of (source length, jammed?) variants observed across all its ECS queries.
+// Jamming is detected as a /32 source whose final octet is 0x00 or 0x01 —
+// the fingerprint the paper reports.
+std::vector<CensusRow> source_prefix_census(const std::vector<QueryLogEntry>& log);
+
+}  // namespace ecsdns::measurement

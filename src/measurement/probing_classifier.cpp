@@ -1,0 +1,162 @@
+#include "measurement/probing_classifier.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dnscore/name.h"
+
+namespace ecsdns::measurement {
+namespace {
+
+using dnscore::Name;
+using dnscore::NameHash;
+
+bool is_address_query(const QueryLogEntry& e) {
+  return e.qtype == dnscore::RRType::A || e.qtype == dnscore::RRType::AAAA;
+}
+
+bool is_loopback_ecs(const QueryLogEntry& e) {
+  if (!e.query_ecs) return false;
+  const auto prefix = e.query_ecs->source_prefix();
+  return prefix && prefix->address().is_loopback();
+}
+
+}  // namespace
+
+std::string to_string(ProbingClass c) {
+  switch (c) {
+    case ProbingClass::kAlwaysEcs: return "always-ecs";
+    case ProbingClass::kHostnameNoCache: return "hostname-probe/no-cache";
+    case ProbingClass::kPeriodicLoopback: return "periodic-loopback";
+    case ProbingClass::kHostnameOnMiss: return "hostname-probe/on-miss";
+    case ProbingClass::kIrregular: return "irregular";
+    case ProbingClass::kNoEcs: return "no-ecs";
+    case ProbingClass::kTooFewQueries: return "too-few-queries";
+  }
+  return "?";
+}
+
+std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& log,
+                                             const ProbingClassifierOptions& options) {
+  // Bucket log lines per sender, preserving time order (the log is
+  // chronological already; we keep whatever order it has and sort times
+  // where gaps matter).
+  std::unordered_map<IpAddress, std::vector<const QueryLogEntry*>,
+                     dnscore::IpAddressHash>
+      per_sender;
+  for (const auto& e : log) {
+    if (!is_address_query(e)) continue;
+    per_sender[e.sender].push_back(&e);
+  }
+
+  std::vector<ProbingVerdict> verdicts;
+  verdicts.reserve(per_sender.size());
+  for (auto& [sender, entries] : per_sender) {
+    ProbingVerdict v;
+    v.resolver = sender;
+    v.address_queries = entries.size();
+    for (const auto* e : entries) {
+      if (e->query_ecs) ++v.ecs_queries;
+    }
+
+    if (v.address_queries < options.min_queries) {
+      v.cls = ProbingClass::kTooFewQueries;
+      verdicts.push_back(v);
+      continue;
+    }
+    if (v.ecs_queries == 0) {
+      v.cls = ProbingClass::kNoEcs;
+      verdicts.push_back(v);
+      continue;
+    }
+    if (v.ecs_queries == v.address_queries) {
+      v.cls = ProbingClass::kAlwaysEcs;
+      verdicts.push_back(v);
+      continue;
+    }
+
+    // Loopback probing: every ECS query carries a loopback prefix, and the
+    // probes fire at most once per quantum. (The probe is triggered by the
+    // first client query after the timer elapses, so gaps carry arrival
+    // jitter on top of the interval; requiring exact multiples would be
+    // brittle.)
+    std::vector<SimTime> ecs_times;
+    bool all_loopback = true;
+    for (const auto* e : entries) {
+      if (!e->query_ecs) continue;
+      ecs_times.push_back(e->time);
+      if (!is_loopback_ecs(*e)) all_loopback = false;
+    }
+    std::sort(ecs_times.begin(), ecs_times.end());
+    if (all_loopback && !ecs_times.empty()) {
+      bool periodic = true;
+      for (std::size_t i = 1; i < ecs_times.size(); ++i) {
+        const SimTime gap = ecs_times[i] - ecs_times[i - 1];
+        if (gap < options.probe_quantum - options.probe_tolerance) {
+          periodic = false;
+          break;
+        }
+      }
+      if (periodic) {
+        v.cls = ProbingClass::kPeriodicLoopback;
+        verdicts.push_back(v);
+        continue;
+      }
+    }
+
+    // Hostname-specific probing: the name set splits into always-ECS names
+    // and never-ECS names.
+    std::unordered_map<Name, std::pair<std::uint64_t, std::uint64_t>, NameHash>
+        per_name;  // name -> (ecs, total)
+    for (const auto* e : entries) {
+      auto& counts = per_name[e->qname];
+      if (e->query_ecs) ++counts.first;
+      ++counts.second;
+    }
+    bool consistent_split = true;
+    for (const auto& [name, counts] : per_name) {
+      if (counts.first != 0 && counts.first != counts.second) {
+        consistent_split = false;
+        break;
+      }
+    }
+    if (consistent_split) {
+      // Within-TTL repeats of ECS queries distinguish caching-disabled
+      // probing (pattern 2) from on-miss probing (pattern 4): an on-miss
+      // prober's cache absorbs every repeat until the TTL expires, so its
+      // upstream queries for a name are always at least a TTL apart.
+      std::unordered_map<Name, SimTime, NameHash> last_ecs;
+      bool within_ttl = false;
+      for (const auto* e : entries) {
+        if (!e->query_ecs) continue;
+        const auto it = last_ecs.find(e->qname);
+        if (it != last_ecs.end() && e->time - it->second < options.ttl) {
+          within_ttl = true;
+        }
+        last_ecs[e->qname] = e->time;
+      }
+      v.cls = within_ttl ? ProbingClass::kHostnameNoCache
+                         : ProbingClass::kHostnameOnMiss;
+      verdicts.push_back(v);
+      continue;
+    }
+
+    v.cls = ProbingClass::kIrregular;
+    verdicts.push_back(v);
+  }
+
+  std::sort(verdicts.begin(), verdicts.end(),
+            [](const ProbingVerdict& a, const ProbingVerdict& b) {
+              return a.resolver < b.resolver;
+            });
+  return verdicts;
+}
+
+std::map<ProbingClass, std::size_t> probing_histogram(
+    const std::vector<ProbingVerdict>& verdicts) {
+  std::map<ProbingClass, std::size_t> out;
+  for (const auto& v : verdicts) ++out[v.cls];
+  return out;
+}
+
+}  // namespace ecsdns::measurement

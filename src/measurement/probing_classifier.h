@@ -1,0 +1,53 @@
+// The §6.1 analysis: classify each resolver's ECS probing strategy from an
+// authoritative-side query log.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "authoritative/server.h"
+
+namespace ecsdns::measurement {
+
+using authoritative::QueryLogEntry;
+using dnscore::IpAddress;
+using netsim::SimTime;
+
+enum class ProbingClass {
+  kAlwaysEcs,           // 100% of address queries carry ECS
+  kHostnameNoCache,     // ECS for specific names, repeats within TTL
+  kPeriodicLoopback,    // loopback probes at ~30-minute multiples
+  kHostnameOnMiss,      // ECS for specific names, never within TTL
+  kIrregular,           // ECS on a subset with no discernible pattern
+  kNoEcs,               // never sends ECS
+  kTooFewQueries,       // not enough data to classify
+};
+
+std::string to_string(ProbingClass c);
+
+struct ProbingVerdict {
+  IpAddress resolver;
+  ProbingClass cls = ProbingClass::kTooFewQueries;
+  std::uint64_t address_queries = 0;
+  std::uint64_t ecs_queries = 0;
+};
+
+struct ProbingClassifierOptions {
+  // Answer TTL of the observed zone (the paper's CDN returns 20 s).
+  SimTime ttl = 20 * netsim::kSecond;
+  // Probe cadence detection: gaps must be near a multiple of this.
+  SimTime probe_quantum = 30 * netsim::kMinute;
+  SimTime probe_tolerance = 2 * netsim::kMinute;
+  std::uint64_t min_queries = 10;
+};
+
+// Classifies every distinct sender in the log.
+std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& log,
+                                             const ProbingClassifierOptions& options);
+
+// Counts per class, for the §6.1 summary table.
+std::map<ProbingClass, std::size_t> probing_histogram(
+    const std::vector<ProbingVerdict>& verdicts);
+
+}  // namespace ecsdns::measurement

@@ -1,0 +1,161 @@
+#include "measurement/scanner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ecsdns::measurement {
+namespace {
+
+// The scan associates resolvers at /24 granularity, as the paper does.
+dnscore::Prefix slash24(const IpAddress& addr) { return dnscore::Prefix{addr, 24}; }
+
+}  // namespace
+
+Name encode_probe_name(const IpAddress& probed, const Name& zone) {
+  const auto& b = probed.bytes();
+  const std::string label = "ip-" + std::to_string(b[0]) + "-" + std::to_string(b[1]) +
+                            "-" + std::to_string(b[2]) + "-" + std::to_string(b[3]);
+  return zone.prepend(label);
+}
+
+std::optional<IpAddress> decode_probe_name(const Name& qname, const Name& zone) {
+  if (!qname.is_subdomain_of(zone) ||
+      qname.label_count() != zone.label_count() + 1) {
+    return std::nullopt;
+  }
+  const std::string& label = qname.labels().front();
+  if (label.rfind("ip-", 0) != 0) return std::nullopt;
+  std::array<int, 4> octets{};
+  std::size_t pos = 3;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= label.size()) return std::nullopt;
+    int value = 0;
+    std::size_t digits = 0;
+    while (pos < label.size() && label[pos] >= '0' && label[pos] <= '9') {
+      value = value * 10 + (label[pos] - '0');
+      ++pos;
+      if (++digits > 3 || value > 255) return std::nullopt;
+    }
+    if (digits == 0) return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = value;
+    if (i < 3) {
+      if (pos >= label.size() || label[pos] != '-') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != label.size()) return std::nullopt;
+  return IpAddress::v4(static_cast<std::uint8_t>(octets[0]),
+                       static_cast<std::uint8_t>(octets[1]),
+                       static_cast<std::uint8_t>(octets[2]),
+                       static_cast<std::uint8_t>(octets[3]));
+}
+
+Scanner::Scanner(Testbed& bed, ScannerOptions options)
+    : bed_(bed), options_(std::move(options)) {
+  // The experimental authoritative answers ECS queries with
+  // scope = source - 4 and stays silent about ECS otherwise (§4).
+  auth_ = &bed_.add_auth("scan-auth", options_.zone, options_.scanner_city,
+                         std::make_unique<authoritative::ScopeDeltaPolicy>(4));
+  // Every probe name must resolve; a wildcard-ish static answer suffices.
+  // The zone synthesizes per-name records lazily instead: we add an A
+  // record per probed name in scan().
+  client_ = &bed_.add_client(options_.scanner_city);
+}
+
+ScanResults Scanner::scan(const std::vector<IpAddress>& targets) {
+  ScanResults results;
+  auth_->clear_log();
+  auto* zone = auth_->find_zone(options_.zone);
+  for (const auto& target : targets) {
+    const Name qname = encode_probe_name(target, options_.zone);
+    if (!zone->contains(qname)) {
+      zone->add(dnscore::ResourceRecord::make_a(qname, 60,
+                                                IpAddress::v4(192, 0, 2, 1)));
+    }
+    ++results.probes_sent;
+    const auto response = client_->query(target, qname, dnscore::RRType::A);
+    if (response && response->header.rcode == dnscore::RCode::NOERROR) {
+      ++results.responses_received;
+    }
+  }
+  // Harvest the authoritative log into observations.
+  for (const auto& entry : auth_->log()) {
+    const auto ingress = decode_probe_name(entry.qname, options_.zone);
+    if (!ingress) continue;
+    results.observations.push_back(ScanObservation{*ingress, entry.sender,
+                                                   entry.query_ecs});
+  }
+  return results;
+}
+
+std::size_t ScanResults::open_ingress_count() const {
+  std::unordered_set<IpAddress, dnscore::IpAddressHash> set;
+  for (const auto& o : observations) set.insert(o.ingress);
+  return set.size();
+}
+
+std::size_t ScanResults::ecs_ingress_count() const {
+  std::unordered_set<IpAddress, dnscore::IpAddressHash> set;
+  for (const auto& o : observations) {
+    if (o.ecs) set.insert(o.ingress);
+  }
+  return set.size();
+}
+
+std::vector<IpAddress> ScanResults::ecs_egress_addresses() const {
+  std::unordered_set<IpAddress, dnscore::IpAddressHash> set;
+  for (const auto& o : observations) {
+    if (o.ecs) set.insert(o.egress);
+  }
+  return {set.begin(), set.end()};
+}
+
+std::unordered_map<std::string, std::vector<IpAddress>>
+ScanResults::source_length_census() const {
+  // Group observed (length, jammed?) combinations per egress.
+  std::unordered_map<IpAddress, std::set<std::string>, dnscore::IpAddressHash>
+      per_egress;
+  for (const auto& o : observations) {
+    if (!o.ecs) continue;
+    const int len = o.ecs->source_prefix_length();
+    bool jammed = false;
+    if (len == 32 && o.ecs->address_bytes().size() == 4) {
+      const auto last = o.ecs->address_bytes()[3];
+      jammed = last == 0x00 || last == 0x01;
+    }
+    per_egress[o.egress].insert(std::to_string(len) +
+                                (jammed ? "/jammed last byte" : ""));
+  }
+  std::unordered_map<std::string, std::vector<IpAddress>> census;
+  for (const auto& [egress, combos] : per_egress) {
+    std::string key;
+    for (const auto& c : combos) {
+      if (!key.empty()) key += ",";
+      key += c;
+    }
+    census[key].push_back(egress);
+  }
+  return census;
+}
+
+std::vector<dnscore::Prefix> ScanResults::hidden_prefixes() const {
+  std::set<dnscore::Prefix> out;
+  for (const auto& o : observations) {
+    if (!o.ecs) continue;
+    const auto src = o.ecs->source_prefix();
+    if (!src) continue;
+    if (src->is_unroutable()) continue;
+    // A hidden resolver announces a prefix covering neither the ingress we
+    // probed nor the egress that contacted us (compared at /24).
+    const auto block = src->length() >= 24 ? src->truncated(24) : *src;
+    if (block.contains(slash24(o.ingress).address()) ||
+        block.contains(slash24(o.egress).address())) {
+      continue;
+    }
+    if (slash24(o.ingress) == block || slash24(o.egress) == block) continue;
+    out.insert(block);
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace ecsdns::measurement

@@ -1,0 +1,78 @@
+// The active-scan methodology of §4 (Scan dataset).
+//
+// The scanner probes candidate addresses with queries for hostnames that
+// encode the probed address (the technique of Dagon et al. the paper
+// follows), so the experimental authoritative nameserver can associate each
+// discovered open ingress resolver with the egress resolver that actually
+// contacted it. Queries are sent without ECS; the authoritative responds to
+// ECS queries with scope = source - 4.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "authoritative/server.h"
+#include "measurement/testbed.h"
+
+namespace ecsdns::measurement {
+
+using dnscore::EcsOption;
+
+// Encodes 60.1.2.3 as "ip-60-1-2-3.<zone>".
+Name encode_probe_name(const IpAddress& probed, const Name& zone);
+// Reverses encode_probe_name; nullopt if the name is not an encoding.
+std::optional<IpAddress> decode_probe_name(const Name& qname, const Name& zone);
+
+// One (ingress, egress) association observed at the authoritative.
+struct ScanObservation {
+  IpAddress ingress;  // from the encoded qname
+  IpAddress egress;   // the query's sender
+  std::optional<EcsOption> ecs;
+};
+
+struct ScanResults {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t responses_received = 0;  // open resolvers answer the scanner
+  std::vector<ScanObservation> observations;
+
+  // --- aggregates (§4/§5 numbers) ---
+  std::size_t open_ingress_count() const;
+  std::size_t ecs_ingress_count() const;  // ingresses whose queries arrived with ECS
+  std::vector<IpAddress> ecs_egress_addresses() const;
+  // Source prefix lengths seen per egress (Table 1 raw material). The key
+  // is formatted as e.g. "24", "32/jammed last byte", or a comma-joined
+  // combination.
+  std::unordered_map<std::string, std::vector<IpAddress>> source_length_census() const;
+  // ECS prefixes covering neither the ingress nor the egress /24 — the
+  // hidden-resolver discovery of §8.2.
+  std::vector<dnscore::Prefix> hidden_prefixes() const;
+};
+
+struct ScannerOptions {
+  Name zone = Name::from_string("scan-experiment.net");
+  std::string scanner_city = "Cleveland";
+};
+
+class Scanner {
+ public:
+  // Creates the experimental authoritative server (ScopeDeltaPolicy(4), per
+  // the paper) inside `bed` and a scanning client.
+  Scanner(Testbed& bed, ScannerOptions options = {});
+
+  // Probes every address in `targets` once.
+  ScanResults scan(const std::vector<IpAddress>& targets);
+
+  const Name& zone() const noexcept { return options_.zone; }
+  authoritative::AuthServer& auth() noexcept { return *auth_; }
+
+ private:
+  Testbed& bed_;
+  ScannerOptions options_;
+  authoritative::AuthServer* auth_;
+  StubClient* client_;
+};
+
+}  // namespace ecsdns::measurement

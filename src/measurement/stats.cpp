@@ -1,0 +1,280 @@
+#include "measurement/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <system_error>
+#include <stdexcept>
+
+namespace ecsdns::measurement {
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double Cdf::min() const {
+  if (samples_.empty()) throw std::logic_error("empty CDF");
+  return samples_.front();
+}
+
+double Cdf::max() const {
+  if (samples_.empty()) throw std::logic_error("empty CDF");
+  return samples_.back();
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) throw std::logic_error("empty CDF");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("empty CDF");
+  p = std::clamp(p, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(samples_.size())));
+  return samples_[idx == 0 ? 0 : idx - 1];
+}
+
+double Cdf::fraction_at_most(double x) const {
+  if (samples_.empty()) return 0.0;
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::series(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(percentile(p), p);
+  }
+  return out;
+}
+
+std::string render_cdf_plot(const std::vector<std::pair<std::string, Cdf>>& curves,
+                            const std::string& x_label, std::size_t width,
+                            std::size_t height, bool log_x) {
+  if (curves.empty()) return "(no data)\n";
+  double x_min = 1e300, x_max = -1e300;
+  for (const auto& [name, cdf] : curves) {
+    if (cdf.empty()) continue;
+    x_min = std::min(x_min, cdf.min());
+    x_max = std::max(x_max, cdf.max());
+  }
+  if (x_max <= x_min) x_max = x_min + 1.0;
+  if (log_x && x_min <= 0) log_x = false;
+
+  const auto to_col = [&](double x) -> std::size_t {
+    double f;
+    if (log_x) {
+      f = (std::log10(x) - std::log10(x_min)) /
+          (std::log10(x_max) - std::log10(x_min));
+    } else {
+      f = (x - x_min) / (x_max - x_min);
+    }
+    f = std::clamp(f, 0.0, 1.0);
+    return static_cast<std::size_t>(f * static_cast<double>(width - 1));
+  };
+
+  static constexpr char kMarks[] = "*o+x#@%&";
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    const Cdf& cdf = curves[c].second;
+    if (cdf.empty()) continue;
+    const char mark = kMarks[c % (sizeof(kMarks) - 1)];
+    for (std::size_t row = 0; row < height; ++row) {
+      // Row 0 is the top of the plot (CDF = 1.0).
+      const double p =
+          static_cast<double>(height - row) / static_cast<double>(height);
+      const double x = cdf.percentile(p);
+      grid[row][to_col(x)] = mark;
+    }
+  }
+
+  std::string out;
+  out += "CDF (y: 0..1)\n";
+  for (std::size_t row = 0; row < height; ++row) {
+    const double p = static_cast<double>(height - row) / static_cast<double>(height);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%4.2f |", p);
+    out += label + grid[row] + "\n";
+  }
+  out += "      " + std::string(width, '-') + "\n";
+  char bounds[160];
+  std::snprintf(bounds, sizeof(bounds), "      %.3g%*s%.3g  (%s%s)\n", x_min,
+                static_cast<int>(width) - 10, "", x_max, x_label.c_str(),
+                log_x ? ", log x" : "");
+  out += bounds;
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    out += "      ";
+    out += kMarks[c % (sizeof(kMarks) - 1)];
+    out += " = " + curves[c].first + "\n";
+  }
+  return out;
+}
+
+BinnedScatter::BinnedScatter(double x_max, double y_max, std::size_t bins)
+    : x_max_(x_max), y_max_(y_max), bins_(bins), cells_(bins * bins, 0) {
+  if (bins == 0 || x_max <= 0 || y_max <= 0) {
+    throw std::invalid_argument("BinnedScatter requires positive extents and bins");
+  }
+}
+
+void BinnedScatter::add(double x, double y) {
+  const auto xi = static_cast<std::size_t>(
+      std::clamp(x / x_max_, 0.0, 1.0) * static_cast<double>(bins_ - 1));
+  const auto yi = static_cast<std::size_t>(
+      std::clamp(y / y_max_, 0.0, 1.0) * static_cast<double>(bins_ - 1));
+  ++cells_[yi * bins_ + xi];
+  ++total_;
+  // Diagonal comparison in data space, with one-bin tolerance mirroring the
+  // paper's "equidistant" class.
+  const double tolerance = std::max(x_max_, y_max_) / static_cast<double>(bins_);
+  if (std::abs(y - x) <= tolerance) {
+    ++on_;
+  } else if (y < x) {
+    ++below_;
+  } else {
+    ++above_;
+  }
+}
+
+double BinnedScatter::fraction_below_diagonal() const {
+  return total_ == 0 ? 0.0 : static_cast<double>(below_) / static_cast<double>(total_);
+}
+
+double BinnedScatter::fraction_on_diagonal() const {
+  return total_ == 0 ? 0.0 : static_cast<double>(on_) / static_cast<double>(total_);
+}
+
+double BinnedScatter::fraction_above_diagonal() const {
+  return total_ == 0 ? 0.0 : static_cast<double>(above_) / static_cast<double>(total_);
+}
+
+std::string BinnedScatter::render(const std::string& x_label,
+                                  const std::string& y_label) const {
+  // Density shading, top row = largest y.
+  static constexpr char kShades[] = " .:-=+*#%@";
+  std::size_t max_cell = 1;
+  for (const auto c : cells_) max_cell = std::max(max_cell, c);
+  std::string out;
+  out += y_label + " (top=" + TextTable::num(y_max_, 0) + ")\n";
+  for (std::size_t yi = bins_; yi-- > 0;) {
+    out += "  |";
+    for (std::size_t xi = 0; xi < bins_; ++xi) {
+      const std::size_t c = cells_[yi * bins_ + xi];
+      if (c == 0) {
+        // Mark the diagonal faintly where empty.
+        out += (xi == yi) ? '`' : ' ';
+        continue;
+      }
+      const double f = std::log1p(static_cast<double>(c)) /
+                       std::log1p(static_cast<double>(max_cell));
+      auto shade = static_cast<std::size_t>(
+          1.0 + f * static_cast<double>(sizeof(kShades) - 3));
+      shade = std::min(shade, sizeof(kShades) - 2);
+      out += kShades[shade];
+    }
+    out += "\n";
+  }
+  out += "  +" + std::string(bins_, '-') + "> " + x_label + " (right=" +
+         TextTable::num(x_max_, 0) + ")\n";
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "  n=%zu  below diag (y<x): %.1f%%  on diag: %.1f%%  above: %.1f%%\n",
+                total_, 100 * fraction_below_diagonal(), 100 * fraction_on_diagonal(),
+                100 * fraction_above_diagonal());
+  out += summary;
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& name, std::vector<std::string> columns)
+    : path_("results/" + name + ".csv"), columns_(columns.size()) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  if (!ec) file_ = std::fopen(path_.c_str(), "w");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "note: could not open %s; skipping CSV output\n",
+                 path_.c_str());
+    return;
+  }
+  row(columns);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return;
+  std::string line;
+  for (std::size_t i = 0; i < std::max(cells.size(), columns_); ++i) {
+    if (i != 0) line += ",";
+    if (i < cells.size()) line += csv_escape(cells[i]);
+  }
+  line += "\n";
+  std::fputs(line.c_str(), file_);
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (const auto w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::num(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace ecsdns::measurement

@@ -1,0 +1,108 @@
+// Statistics and text rendering for the experiment harness: CDFs,
+// percentiles, 2D binned scatter summaries (the paper's hexbin plots), and
+// fixed-width tables the bench binaries print.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ecsdns::measurement {
+
+// Empirical distribution over double samples.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  // Interpolation-free percentile: the smallest sample with CDF >= p,
+  // p in [0, 1].
+  double percentile(double p) const;
+  double median() const { return percentile(0.5); }
+
+  // Fraction of samples <= x.
+  double fraction_at_most(double x) const;
+
+  // (value, cumulative fraction) pairs at `points` evenly spaced quantiles,
+  // for printing a figure's series.
+  std::vector<std::pair<double, double>> series(std::size_t points) const;
+
+ private:
+  std::vector<double> samples_;  // sorted
+};
+
+// ASCII rendering of one or more CDFs on a shared x axis, so bench output
+// is eyeballable without plotting tools.
+std::string render_cdf_plot(const std::vector<std::pair<std::string, Cdf>>& curves,
+                            const std::string& x_label, std::size_t width = 72,
+                            std::size_t height = 16, bool log_x = false);
+
+// 2D binned scatter summary standing in for the paper's hexbin plots
+// (Figures 4-5): counts per (x, y) cell plus above/on/below-diagonal
+// fractions.
+class BinnedScatter {
+ public:
+  BinnedScatter(double x_max, double y_max, std::size_t bins);
+
+  void add(double x, double y);
+
+  std::size_t total() const noexcept { return total_; }
+  double fraction_below_diagonal() const;  // y < x
+  double fraction_on_diagonal() const;     // y == x (within one bin)
+  double fraction_above_diagonal() const;  // y > x
+
+  std::string render(const std::string& x_label, const std::string& y_label) const;
+
+ private:
+  double x_max_, y_max_;
+  std::size_t bins_;
+  std::vector<std::size_t> cells_;  // bins_ x bins_, row-major by y
+  std::size_t total_ = 0;
+  std::size_t below_ = 0, on_ = 0, above_ = 0;
+};
+
+// Writes experiment series to results/<name>.csv so figures can be
+// re-plotted outside the terminal. Creation failures are reported, not
+// fatal — the printed tables remain the primary artifact.
+class CsvWriter {
+ public:
+  // Opens results/<name>.csv (creating the directory) and writes the
+  // header row.
+  CsvWriter(const std::string& name, std::vector<std::string> columns);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<std::string>& cells);
+  bool ok() const noexcept { return file_ != nullptr; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::size_t columns_ = 0;
+};
+
+// Fixed-width text table used by every bench binary.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string render() const;
+
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ecsdns::measurement

@@ -1,0 +1,227 @@
+#include "measurement/testbed.h"
+
+#include <stdexcept>
+
+namespace ecsdns::measurement {
+namespace {
+
+constexpr std::uint32_t kPoolBase[] = {
+    (100u << 24) | (64u << 16),  // clients
+    60u << 24,                   // forwarders
+    70u << 24,                   // hidden
+    80u << 24,                   // resolvers
+    90u << 24,                   // auth
+    95u << 24,                   // edges
+    110u << 24,                  // probes
+};
+
+// Root and TLD servers sit in Ashburn — co-locating them keeps hierarchy
+// walks cheap and out of the way of the latency effects under study.
+constexpr const char* kInfraCity = "Ashburn";
+
+}  // namespace
+
+Testbed::Testbed() = default;
+
+IpAddress Testbed::alloc(AddressPool pool) {
+  const auto idx = static_cast<std::size_t>(pool);
+  const std::uint32_t offset = next_in_pool_[idx]++;
+  if (pool == AddressPool::kClients || pool == AddressPool::kProbes) {
+    // One client per /16: clients carry their own geolocated blocks, and
+    // CDN scopes as coarse as /21 must not accidentally cover two clients
+    // placed in different cities.
+    return IpAddress::v4(kPoolBase[idx] + (offset << 16) + 0x101u);
+  }
+  // Dense packing for infrastructure pools (skip .0 to look like hosts).
+  const std::uint32_t host = offset % 250 + 1;
+  const std::uint32_t subnet = offset / 250;
+  return IpAddress::v4(kPoolBase[idx] + (subnet << 8) + host);
+}
+
+void Testbed::geolocate(const IpAddress& addr, const netsim::GeoPoint& where) {
+  geodb_.add(dnscore::Prefix{addr, addr.bit_length()}, where);
+  geodb_.add(dnscore::Prefix{addr, addr.is_v4() ? 24 : 48}, where);
+}
+
+void Testbed::attribute(const IpAddress& addr, const netsim::AsInfo& info) {
+  // Exact-address entries: resolver pools pack many organizations into one
+  // /24, so block-level attribution would cross-contaminate.
+  asndb_.add(dnscore::Prefix{addr, addr.bit_length()}, info);
+}
+
+std::vector<IpAddress> Testbed::root_hints() {
+  if (!root_) {
+    root_addr_ = alloc(AddressPool::kAuth);
+    AuthConfig config;
+    config.label = "root";
+    config.log_queries = true;
+    root_ = std::make_unique<AuthServer>(config, nullptr);
+    root_->add_zone(Name{});  // the root zone
+    const auto& city = world_.city(kInfraCity);
+    root_->attach(network_, root_addr_, city.location);
+    geolocate(root_addr_, city.location);
+  }
+  return {root_addr_};
+}
+
+AuthServer& Testbed::root_server() {
+  root_hints();
+  return *root_;
+}
+
+AuthServer& Testbed::tld_server(const std::string& tld_label) {
+  for (auto& t : tlds_) {
+    if (t.label == tld_label) return *t.server;
+  }
+  root_hints();  // ensure the root exists
+  const IpAddress addr = alloc(AddressPool::kAuth);
+  AuthConfig config;
+  config.label = "tld-" + tld_label;
+  auths_.push_back(std::make_unique<AuthServer>(config, nullptr));
+  auth_addrs_.push_back(addr);
+  AuthServer& server = *auths_.back();
+  const Name apex = Name::from_string(tld_label);
+  server.add_zone(apex);
+  const auto& city = world_.city(kInfraCity);
+  server.attach(network_, addr, city.location);
+  geolocate(addr, city.location);
+
+  // Delegate the TLD from the root.
+  const Name ns_name = Name::from_string("ns1." + tld_label);
+  root_->find_zone(Name{})->delegate(
+      apex, {dnscore::ResourceRecord::make_ns(apex, 172800, ns_name)},
+      {dnscore::ResourceRecord::make_a(ns_name, 172800, addr)});
+
+  tlds_.push_back(TldEntry{tld_label, &server, addr});
+  return server;
+}
+
+AuthServer& Testbed::add_auth(const std::string& label, const Name& apex,
+                              const std::string& city,
+                              std::unique_ptr<EcsPolicy> policy, AuthConfig config) {
+  if (apex.label_count() < 2) {
+    throw std::invalid_argument("add_auth needs an apex below a TLD: " +
+                                apex.to_string());
+  }
+  config.label = label;
+  const IpAddress addr = alloc(AddressPool::kAuth);
+  auths_.push_back(std::make_unique<AuthServer>(config, std::move(policy)));
+  auth_addrs_.push_back(addr);
+  AuthServer& server = *auths_.back();
+  server.add_zone(apex);
+  const auto& c = world_.city(city);
+  server.attach(network_, addr, c.location);
+  geolocate(addr, c.location);
+
+  // Register the delegation in the TLD (creating root/TLD as needed).
+  const std::string tld = apex.labels().back();
+  AuthServer& parent = tld_server(tld);
+  const Name ns_name = apex.prepend("ns1");
+  parent.find_zone(Name::from_string(tld))
+      ->delegate(apex, {dnscore::ResourceRecord::make_ns(apex, 86400, ns_name)},
+                 {dnscore::ResourceRecord::make_a(ns_name, 86400, addr)});
+  // The leaf zone also answers for its own nameserver name.
+  server.find_zone(apex)->add(dnscore::ResourceRecord::make_a(ns_name, 86400, addr));
+  return server;
+}
+
+IpAddress Testbed::auth_address(const AuthServer& server) const {
+  for (std::size_t i = 0; i < auths_.size(); ++i) {
+    if (auths_[i].get() == &server) return auth_addrs_[i];
+  }
+  throw std::out_of_range("server not created by this testbed");
+}
+
+RecursiveResolver& Testbed::add_resolver(ResolverConfig config,
+                                         const std::string& city) {
+  const IpAddress addr = alloc(AddressPool::kResolvers);
+  resolvers_.push_back(std::make_unique<RecursiveResolver>(
+      std::move(config), network_, addr, root_hints()));
+  const auto& c = world_.city(city);
+  resolvers_.back()->attach(c.location);
+  geolocate(addr, c.location);
+  return *resolvers_.back();
+}
+
+Forwarder& Testbed::add_forwarder(const std::string& city, const IpAddress& upstream,
+                                  ForwarderConfig config) {
+  return add_forwarder_at(alloc(AddressPool::kForwarders), city, upstream, config);
+}
+
+Forwarder& Testbed::add_forwarder_at(const IpAddress& addr, const std::string& city,
+                                     const IpAddress& upstream,
+                                     ForwarderConfig config) {
+  forwarders_.push_back(
+      std::make_unique<Forwarder>(config, network_, addr, upstream));
+  const auto& c = world_.city(city);
+  forwarders_.back()->attach(c.location);
+  geolocate(addr, c.location);
+  return *forwarders_.back();
+}
+
+StubClient& Testbed::add_client(const std::string& city) {
+  const IpAddress addr = alloc(AddressPool::kClients);
+  clients_.push_back(std::make_unique<StubClient>(network_, addr));
+  const auto& c = world_.city(city);
+  clients_.back()->attach(c.location);
+  geolocate(addr, c.location);
+  return *clients_.back();
+}
+
+cdn::EdgeFleet& Testbed::add_global_fleet() {
+  std::vector<std::string> names;
+  names.reserve(world_.cities().size());
+  for (const auto& c : world_.cities()) names.push_back(c.name);
+  return add_fleet_in_cities(names);
+}
+
+cdn::EdgeFleet& Testbed::add_fleet_in_cities(const std::vector<std::string>& cities) {
+  // Each fleet gets its own /16 inside the edge pool.
+  const IpAddress base = IpAddress::v4(
+      (95u << 24) | (static_cast<std::uint32_t>(fleets_.size()) << 16) | 1u);
+  fleets_.push_back(std::make_unique<cdn::EdgeFleet>(
+      cdn::EdgeFleet::in_cities(world_, base, cities)));
+  cdn::EdgeFleet& fleet = *fleets_.back();
+  for (const auto& edge : fleet.servers()) {
+    // Edges answer pings/TCP only; they never speak DNS.
+    network_.attach(edge.address, edge.location,
+                    [](const netsim::Datagram&)
+                        -> std::optional<std::vector<std::uint8_t>> {
+                      return std::vector<std::uint8_t>{};
+                    });
+    geolocate(edge.address, edge.location);
+  }
+  return fleet;
+}
+
+cdn::ProximityMapping& Testbed::add_mapping(cdn::ProximityMappingConfig config,
+                                            const cdn::EdgeFleet& fleet) {
+  mappings_.push_back(
+      std::make_unique<cdn::ProximityMapping>(std::move(config), fleet, geodb_));
+  return *mappings_.back();
+}
+
+authoritative::FlatteningAuthServer& Testbed::add_flattening_auth(
+    authoritative::FlatteningConfig config, const Name& apex,
+    const std::string& city, AuthConfig base_config) {
+  const IpAddress addr = alloc(AddressPool::kAuth);
+  flatteners_.push_back(std::make_unique<authoritative::FlatteningAuthServer>(
+      config, std::move(base_config), network_, addr));
+  auto& flattener = *flatteners_.back();
+  flattener.base().add_zone(apex);
+  const auto& c = world_.city(city);
+  flattener.attach(c.location);
+  geolocate(addr, c.location);
+
+  const std::string tld = apex.labels().back();
+  AuthServer& parent = tld_server(tld);
+  const Name ns_name = apex.prepend("ns1");
+  parent.find_zone(Name::from_string(tld))
+      ->delegate(apex, {dnscore::ResourceRecord::make_ns(apex, 86400, ns_name)},
+                 {dnscore::ResourceRecord::make_a(ns_name, 86400, addr)});
+  flattener.base().find_zone(apex)->add(
+      dnscore::ResourceRecord::make_a(ns_name, 86400, addr));
+  return flattener;
+}
+
+}  // namespace ecsdns::measurement

@@ -1,0 +1,143 @@
+// The experiment testbed: one object wiring together a world map, a
+// simulated network, a complete DNS hierarchy (root -> TLD -> leaf zones),
+// geolocation, and factories for every kind of node the paper's
+// measurements involve. Bench binaries, examples, and integration tests all
+// assemble their topologies through this fixture.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "authoritative/flattening.h"
+#include "authoritative/server.h"
+#include "cdn/edge.h"
+#include "cdn/mapping.h"
+#include "measurement/tracegen.h"
+#include "netsim/asndb.h"
+#include "netsim/geodb.h"
+#include "netsim/network.h"
+#include "netsim/world.h"
+#include "resolver/client.h"
+#include "resolver/forwarder.h"
+#include "resolver/recursive.h"
+
+namespace ecsdns::measurement {
+
+using authoritative::AuthConfig;
+using authoritative::AuthServer;
+using authoritative::EcsPolicy;
+using dnscore::IpAddress;
+using dnscore::Name;
+using resolver::Forwarder;
+using resolver::ForwarderConfig;
+using resolver::RecursiveResolver;
+using resolver::ResolverConfig;
+using resolver::StubClient;
+
+// Address pools keep node classes visually distinct in logs and make
+// "which /24 is this" questions trivial in tests.
+enum class AddressPool {
+  kClients,     // 100.64.0.0/10-ish
+  kForwarders,  // 60.0.0.0/8
+  kHidden,      // 70.0.0.0/8
+  kResolvers,   // 80.0.0.0/8
+  kAuth,        // 90.0.0.0/8
+  kEdges,       // 95.0.0.0/8
+  kProbes,      // 110.0.0.0/8
+};
+
+class Testbed {
+ public:
+  Testbed();
+
+  netsim::Network& network() noexcept { return network_; }
+  const netsim::World& world() const noexcept { return world_; }
+  netsim::IpGeoDb& geodb() noexcept { return geodb_; }
+  netsim::AsnDb& asndb() noexcept { return asndb_; }
+
+  // Registers AS attribution ground truth for the exact address.
+  void attribute(const IpAddress& addr, const netsim::AsInfo& info);
+
+  // Sequential allocation from a pool; every address is unique.
+  IpAddress alloc(AddressPool pool);
+
+  // Registers location ground truth for the address's /24 (and the exact
+  // address) in the geolocation database.
+  void geolocate(const IpAddress& addr, const netsim::GeoPoint& where);
+
+  // --- DNS hierarchy ---
+  // The root and TLD servers are created lazily; roots() feeds resolvers.
+  std::vector<IpAddress> root_hints();
+  // The root server itself (created on first use) — its query log is the
+  // stand-in for the paper's DITL A-root data.
+  AuthServer& root_server();
+  // Creates an authoritative server for `apex` in `city`, registers the
+  // delegation chain (root -> TLD -> apex) with glue, and attaches it.
+  AuthServer& add_auth(const std::string& label, const Name& apex,
+                       const std::string& city, std::unique_ptr<EcsPolicy> policy,
+                       AuthConfig config = {});
+  IpAddress auth_address(const AuthServer& server) const;
+
+  // --- resolver-side nodes ---
+  RecursiveResolver& add_resolver(ResolverConfig config, const std::string& city);
+  Forwarder& add_forwarder(const std::string& city, const IpAddress& upstream,
+                           ForwarderConfig config = {});
+  // Forwarder at an explicit address — fleet builders control /16 and /24
+  // placement (the §6.3 probing technique depends on it).
+  Forwarder& add_forwarder_at(const IpAddress& addr, const std::string& city,
+                              const IpAddress& upstream, ForwarderConfig config = {});
+  StubClient& add_client(const std::string& city);
+
+  // --- CDN assembly ---
+  // Builds a fleet with one edge per world city, attached to the network so
+  // pings and TCP handshakes against edges work.
+  cdn::EdgeFleet& add_global_fleet();
+  // A fleet restricted to the given cities (e.g. a CDN with no edge in the
+  // lab's own city, as in the paper's Table 2 setting).
+  cdn::EdgeFleet& add_fleet_in_cities(const std::vector<std::string>& cities);
+  // Registers a mapping policy the testbed keeps alive.
+  cdn::ProximityMapping& add_mapping(cdn::ProximityMappingConfig config,
+                                     const cdn::EdgeFleet& fleet);
+
+  authoritative::FlatteningAuthServer& add_flattening_auth(
+      authoritative::FlatteningConfig config, const Name& apex,
+      const std::string& city, AuthConfig base_config = {});
+
+  const std::vector<std::unique_ptr<RecursiveResolver>>& resolvers() const {
+    return resolvers_;
+  }
+  const std::vector<std::unique_ptr<AuthServer>>& auth_servers() const {
+    return auths_;
+  }
+
+ private:
+  AuthServer& tld_server(const std::string& tld_label);
+
+  netsim::World world_;
+  netsim::Network network_;
+  netsim::IpGeoDb geodb_;
+  netsim::AsnDb asndb_;
+
+  std::uint32_t next_in_pool_[7] = {};
+
+  std::unique_ptr<AuthServer> root_;
+  IpAddress root_addr_;
+  struct TldEntry {
+    std::string label;
+    AuthServer* server;
+    IpAddress addr;
+  };
+  std::vector<TldEntry> tlds_;
+
+  std::vector<std::unique_ptr<AuthServer>> auths_;
+  std::vector<IpAddress> auth_addrs_;
+  std::vector<std::unique_ptr<RecursiveResolver>> resolvers_;
+  std::vector<std::unique_ptr<Forwarder>> forwarders_;
+  std::vector<std::unique_ptr<StubClient>> clients_;
+  std::vector<std::unique_ptr<cdn::EdgeFleet>> fleets_;
+  std::vector<std::unique_ptr<cdn::ProximityMapping>> mappings_;
+  std::vector<std::unique_ptr<authoritative::FlatteningAuthServer>> flatteners_;
+};
+
+}  // namespace ecsdns::measurement

@@ -1,0 +1,95 @@
+// Synthetic DNS trace generators calibrated to the shape of the paper's two
+// resolver-side datasets (§4). The real traces are proprietary; these
+// generators expose the knobs the cache analysis of §7 actually depends on:
+// client-subnet diversity, hostname popularity, authoritative scope, TTL,
+// and arrival rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnscore/ip.h"
+#include "netsim/geo.h"
+#include "netsim/rng.h"
+
+namespace ecsdns::measurement {
+
+using dnscore::IpAddress;
+using netsim::SimTime;
+
+// One logged query/response pair, as a resolver-side log line: who asked,
+// for what, and what ECS scope and TTL the authoritative answered with.
+struct TraceQuery {
+  SimTime time = 0;
+  std::uint32_t resolver = 0;  // egress resolver instance
+  IpAddress client;            // the client the ECS prefix derives from
+  std::uint32_t name = 0;      // hostname id
+  int scope = 24;              // authoritative scope prefix length
+  std::uint32_t ttl_s = 20;    // answer TTL in seconds
+};
+
+struct Trace {
+  std::vector<TraceQuery> queries;
+  std::vector<IpAddress> clients;  // unique client addresses (for sampling)
+  std::uint32_t hostnames = 0;
+  std::uint32_t resolvers = 1;
+};
+
+// The Public Resolver/CDN dataset (§4): many egress resolvers of one public
+// DNS service querying one CDN. All responses share the CDN's fixed TTL and
+// carry non-zero scopes.
+struct PublicResolverCdnConfig {
+  std::uint32_t resolvers = 237;      // paper: 2370 (we default to 1:10)
+  // Egress resolvers of a public service are wildly heterogeneous: some
+  // serve a handful of client subnets at a trickle, others thousands at
+  // hundreds of qps. Per-resolver load and client diversity are sampled
+  // log-uniformly from these ranges — that heterogeneity is what spreads
+  // Figure 1's blow-up CDF across 1x..16x.
+  std::uint32_t min_clients_per_resolver = 200;
+  std::uint32_t max_clients_per_resolver = 4000;
+  double min_qps = 24.0;
+  double max_qps = 400.0;
+  std::uint32_t hostnames = 1000;     // distinct CDN-accelerated names
+  double zipf_exponent = 1.0;         // hostname popularity skew
+  std::uint32_t ttl_s = 20;           // the paper's CDN answers 20 s
+  SimTime duration = 4 * netsim::kMinute;  // paper observes 3 h
+  // Authoritative scope mix: mostly /24 mapping granularity with some
+  // coarser zones (weights normalized internally).
+  double scope24_weight = 0.80;
+  double scope16_weight = 0.15;
+  double scope8_weight = 0.05;
+  std::uint64_t seed = 1;
+};
+
+Trace generate_public_resolver_cdn_trace(const PublicResolverCdnConfig& config);
+
+// The All-Names Resolver dataset (§4): a single busy egress resolver, all
+// ECS-bearing interactions with every authoritative, real-world TTL and
+// scope diversity. Scope and TTL are properties of the zone, so they are
+// assigned per second-level domain.
+struct AllNamesConfig {
+  std::uint32_t clients = 7620;        // paper: 76.2K (1:10)
+  std::uint32_t client_subnets = 1510; // paper: 15.1K /24+/48 subnets (1:10)
+  // Fraction of clients on IPv6 (paper: 38.8K of 76.2K), each in its own
+  // /48; authoritative scopes for v6 zones sit at /48 or /56.
+  double v6_fraction = 0.5;
+  std::uint32_t hostnames = 13492;     // paper: 134,925 (1:10)
+  std::uint32_t slds = 1901;           // paper: 19,014 (1:10)
+  double zipf_exponent = 1.0;
+  double queries_per_second = 128.0;   // paper: 11.1M over 24 h
+  SimTime duration = 1 * netsim::kHour;
+  // Fraction of zones (SLDs) whose authoritatives support ECS. 1.0 models
+  // the All-Names dataset (which only contains ECS interactions); lower
+  // values answer §9's "what will the overall blow-up be as deployment
+  // grows" question — non-adopting zones return scope 0.
+  double ecs_zone_fraction = 1.0;
+  std::uint64_t seed = 2;
+};
+
+Trace generate_all_names_trace(const AllNamesConfig& config);
+
+// Restricts a trace to queries whose client falls in a random sample of
+// `fraction` of the client population (how Figures 2-3 vary population).
+Trace sample_clients(const Trace& trace, double fraction, std::uint64_t seed);
+
+}  // namespace ecsdns::measurement

@@ -1,0 +1,112 @@
+#include "measurement/workload.h"
+
+#include <memory>
+
+namespace ecsdns::measurement {
+
+WorkloadStats drive_fleet(Testbed& bed, Fleet& fleet, const WorkloadOptions& options) {
+  if (options.hostnames.empty()) {
+    throw std::invalid_argument("workload needs at least one hostname");
+  }
+  auto rng = std::make_shared<netsim::Rng>(options.seed);
+  auto names = std::make_shared<netsim::ZipfSampler>(options.hostnames.size(),
+                                                     options.zipf_exponent);
+  auto stats = std::make_shared<WorkloadStats>();
+  auto& loop = bed.network().loop();
+  const netsim::SimTime end = loop.now() + options.duration;
+  // Thousands of resolvers run concurrently here; their round trips must
+  // overlap rather than serialize onto the shared clock (see
+  // Network::set_advance_clock). Restored when the drive finishes.
+  const bool prev_advance = bed.network().advance_clock();
+  bed.network().set_advance_clock(false);
+
+  // One self-rescheduling event chain per fleet member.
+  for (std::size_t m = 0; m < fleet.members.size(); ++m) {
+    auto& member = fleet.members[m];
+    // Clients of this resolver live in a /24 of the client pool (or a /64
+    // apiece under 2001:db8::/32 for IPv6 populations).
+    std::vector<IpAddress> clients;
+    for (int c = 0; c < options.clients_per_resolver; ++c) {
+      if (member.v6_clients) {
+        std::array<std::uint8_t, 16> bytes{};
+        bytes[0] = 0x20;
+        bytes[1] = 0x01;
+        bytes[2] = 0x0d;
+        bytes[3] = 0xb8;
+        bytes[4] = static_cast<std::uint8_t>(m >> 8);
+        bytes[5] = static_cast<std::uint8_t>(m & 0xff);
+        bytes[6] = static_cast<std::uint8_t>(c);
+        bytes[15] = 0x42;
+        clients.push_back(IpAddress::v6(bytes));
+        continue;
+      }
+      // Host octets start at 0x20: last octets of 0x00/0x01 would collide
+      // with the jammed-last-byte fingerprint the census looks for.
+      clients.push_back(IpAddress::v4(
+          (120u << 24) | ((static_cast<std::uint32_t>(m) >> 8) << 16) |
+          ((static_cast<std::uint32_t>(m) & 0xff) << 8) |
+          static_cast<std::uint32_t>(c + 0x20)));
+    }
+
+    struct Chain : std::enable_shared_from_this<Chain> {
+      Testbed* bed;
+      resolver::RecursiveResolver* resolver;
+      std::vector<IpAddress> clients;
+      std::shared_ptr<netsim::Rng> rng;
+      std::shared_ptr<netsim::ZipfSampler> names;
+      std::shared_ptr<WorkloadStats> stats;
+      const WorkloadOptions* options;
+      netsim::SimTime end;
+      std::uint16_t next_id = 1;
+
+      void fire(const Name& qname, const IpAddress& client) {
+        ++stats->client_queries;
+        const auto query =
+            dnscore::Message::make_query(next_id++, qname, dnscore::RRType::A);
+        const auto response = resolver->handle_client_query(query, client);
+        if (response && response->header.rcode == dnscore::RCode::NOERROR) {
+          ++stats->answered;
+        }
+      }
+
+      void schedule_next() {
+        const auto gap = static_cast<netsim::SimTime>(
+            rng->exponential(static_cast<double>(options->mean_query_gap)));
+        const netsim::SimTime when = bed->network().loop().now() + std::max<netsim::SimTime>(gap, 1);
+        if (when >= end) return;
+        auto self = shared_from_this();
+        bed->network().loop().schedule_at(when, [self] {
+          const Name qname = self->options->hostnames[self->names->sample(*self->rng)];
+          const IpAddress client = self->rng->pick(self->clients);
+          self->fire(qname, client);
+          if (self->rng->chance(self->options->burst_probability)) {
+            const netsim::SimTime burst_at =
+                self->bed->network().loop().now() + self->options->burst_gap;
+            if (burst_at < self->end) {
+              self->bed->network().loop().schedule_at(
+                  burst_at, [self, qname, client] { self->fire(qname, client); });
+            }
+          }
+          self->schedule_next();
+        });
+      }
+    };
+
+    auto chain = std::make_shared<Chain>();
+    chain->bed = &bed;
+    chain->resolver = member.resolver;
+    chain->clients = std::move(clients);
+    chain->rng = rng;
+    chain->names = names;
+    chain->stats = stats;
+    chain->options = &options;
+    chain->end = end;
+    chain->schedule_next();
+  }
+
+  loop.run_until(end);
+  bed.network().set_advance_clock(prev_advance);
+  return *stats;
+}
+
+}  // namespace ecsdns::measurement

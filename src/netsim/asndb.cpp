@@ -1,0 +1,21 @@
+#include "netsim/asndb.h"
+
+namespace ecsdns::netsim {
+
+void AsnDb::add(const dnscore::Prefix& prefix, AsInfo info) {
+  auto& bucket = by_length_[prefix.length()];
+  const auto [it, inserted] = bucket.insert_or_assign(prefix, std::move(info));
+  (void)it;
+  if (inserted) ++count_;
+}
+
+std::optional<AsInfo> AsnDb::lookup(const dnscore::IpAddress& addr) const {
+  for (const auto& [len, bucket] : by_length_) {
+    if (len > addr.bit_length()) continue;
+    const auto it = bucket.find(dnscore::Prefix{addr, len});
+    if (it != bucket.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ecsdns::netsim

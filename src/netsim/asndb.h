@@ -1,0 +1,41 @@
+// Longest-prefix-match IP-to-AS attribution — the stand-in for the
+// BGP-table/whois lookups behind the paper's "4147 addresses belong to 83
+// different ASes" style statements. Like the geolocation database, the
+// simulation registers ground truth.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dnscore/ip.h"
+
+namespace ecsdns::netsim {
+
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string organization;
+  std::string country;  // ISO-ish code, e.g. "CN", "US"
+
+  bool operator==(const AsInfo&) const = default;
+};
+
+class AsnDb {
+ public:
+  void add(const dnscore::Prefix& prefix, AsInfo info);
+
+  // Longest-prefix match; nullopt for unattributed space.
+  std::optional<AsInfo> lookup(const dnscore::IpAddress& addr) const;
+
+  std::size_t size() const noexcept { return count_; }
+
+ private:
+  std::map<int, std::unordered_map<dnscore::Prefix, AsInfo, dnscore::PrefixHash>,
+           std::greater<>>
+      by_length_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ecsdns::netsim

@@ -1,0 +1,47 @@
+#include "netsim/event_loop.h"
+
+#include <stdexcept>
+
+namespace ecsdns::netsim {
+
+void EventLoop::schedule_in(SimTime delay, Callback fn) {
+  if (delay < 0) throw std::invalid_argument("negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventLoop::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) throw std::invalid_argument("scheduling in the past");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void EventLoop::advance(SimTime delta) {
+  if (delta < 0) throw std::invalid_argument("negative advance");
+  now_ += delta;
+}
+
+std::size_t EventLoop::run() {
+  std::size_t count = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.when > now_) now_ = ev.when;
+    ev.fn();
+    ++count;
+  }
+  return count;
+}
+
+std::size_t EventLoop::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.when > now_) now_ = ev.when;
+    ev.fn();
+    ++count;
+  }
+  if (deadline > now_) now_ = deadline;
+  return count;
+}
+
+}  // namespace ecsdns::netsim

@@ -1,0 +1,55 @@
+// A minimal discrete-event simulator: a virtual clock plus a priority queue
+// of scheduled callbacks. Events at equal times fire in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "netsim/geo.h"
+
+namespace ecsdns::netsim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  // Schedules `fn` to run `delay` from now (delay >= 0).
+  void schedule_in(SimTime delay, Callback fn);
+  // Schedules `fn` at an absolute virtual time (>= now).
+  void schedule_at(SimTime when, Callback fn);
+
+  // Advances the clock without running anything — used by the synchronous
+  // RPC transport to account for propagation delay.
+  void advance(SimTime delta);
+
+  // Runs events until the queue is empty; returns how many events ran.
+  std::size_t run();
+  // Runs events with fire time <= deadline, then sets now to the deadline.
+  std::size_t run_until(SimTime deadline);
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ecsdns::netsim

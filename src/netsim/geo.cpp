@@ -1,0 +1,42 @@
+#include "netsim/geo.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ecsdns::netsim {
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}  // namespace
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2);
+  const double s2 = std::sin(dlon / 2);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+SimTime LatencyModel::one_way(double km) const {
+  const double ms = fixed_overhead_ms + (km * path_stretch) / km_per_ms;
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+
+std::string format_duration(SimTime t) {
+  char buf[64];
+  if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%lld us", static_cast<long long>(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms",
+                  static_cast<double>(t) / static_cast<double>(kMillisecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s",
+                  static_cast<double>(t) / static_cast<double>(kSecond));
+  }
+  return buf;
+}
+
+}  // namespace ecsdns::netsim

@@ -1,0 +1,50 @@
+// Geographic model: coordinates, great-circle distance, and a latency model
+// translating distance into network delay.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ecsdns::netsim {
+
+// WGS84-ish point; we only ever need great-circle distances, so a sphere is
+// plenty.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  bool operator==(const GeoPoint&) const = default;
+};
+
+// Great-circle (haversine) distance in kilometers.
+double distance_km(const GeoPoint& a, const GeoPoint& b);
+
+// Virtual time is in integer microseconds from experiment start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+// Converts a distance into a one-way propagation delay.
+//
+// Model: light in fiber covers ~200 km/ms; real paths are not great circles
+// and traverse queues, so we apply a path-stretch factor plus a fixed
+// per-direction overhead. Calibrated so that, e.g., Cleveland->Chicago
+// (~500 km) yields an RTT around 10-15 ms and Cleveland->Johannesburg
+// (~13,400 km) an RTT in the 270-300 ms range — matching the magnitudes in
+// the paper's Table 2.
+struct LatencyModel {
+  double km_per_ms = 200.0;     // speed of light in fiber
+  double path_stretch = 1.8;    // routed path vs great circle
+  double fixed_overhead_ms = 2.0;  // last-mile + stack, per direction
+
+  SimTime one_way(double km) const;
+  SimTime round_trip(double km) const { return 2 * one_way(km); }
+};
+
+std::string format_duration(SimTime t);
+
+}  // namespace ecsdns::netsim

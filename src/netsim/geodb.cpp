@@ -1,0 +1,49 @@
+#include "netsim/geodb.h"
+
+namespace ecsdns::netsim {
+
+void IpGeoDb::add(const Prefix& prefix, const GeoPoint& location) {
+  auto& bucket = by_length_[prefix.length()];
+  const auto [it, inserted] = bucket.insert_or_assign(prefix, location);
+  (void)it;
+  if (inserted) ++count_;
+}
+
+std::optional<GeoPoint> IpGeoDb::locate(const IpAddress& addr) const {
+  for (const auto& [len, bucket] : by_length_) {
+    if (len > addr.bit_length()) continue;
+    const auto it = bucket.find(Prefix{addr, len});
+    if (it != bucket.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<GeoPoint> IpGeoDb::locate(const Prefix& prefix) const {
+  // Fast path: an entry at or above the query covering its base address.
+  for (const auto& [len, bucket] : by_length_) {
+    if (len > prefix.length()) continue;
+    const auto it = bucket.find(prefix.truncated(len));
+    if (it != bucket.end()) return it->second;
+  }
+  // Coarse query over finer data (e.g. locating an ECS /21 when ground
+  // truth is registered per /24): any entry inside the block answers; pick
+  // the smallest prefix for determinism.
+  const Prefix* best = nullptr;
+  const GeoPoint* where = nullptr;
+  // Ascending length order: prefer the granularity closest to the query.
+  for (auto it = by_length_.rbegin(); it != by_length_.rend(); ++it) {
+    if (it->first <= prefix.length()) continue;
+    for (const auto& [entry, location] : it->second) {
+      if (!prefix.contains(entry)) continue;
+      if (best == nullptr || entry < *best) {
+        best = &entry;
+        where = &location;
+      }
+    }
+    if (where != nullptr) break;
+  }
+  if (where != nullptr) return *where;
+  return std::nullopt;
+}
+
+}  // namespace ecsdns::netsim

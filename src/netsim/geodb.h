@@ -1,0 +1,39 @@
+// Longest-prefix-match IP geolocation — the stand-in for the commercial
+// EdgeScape service the paper uses. In the simulation we register ground
+// truth, so "geolocation" is exact rather than estimated.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "dnscore/ip.h"
+#include "netsim/geo.h"
+
+namespace ecsdns::netsim {
+
+using dnscore::IpAddress;
+using dnscore::Prefix;
+using dnscore::PrefixHash;
+
+class IpGeoDb {
+ public:
+  void add(const Prefix& prefix, const GeoPoint& location);
+
+  // Longest-prefix match for a full address.
+  std::optional<GeoPoint> locate(const IpAddress& addr) const;
+  // Locates a prefix by longest match on its base address, also matching
+  // entries exactly as coarse as the query (an ECS /24 matches a /24 entry).
+  std::optional<GeoPoint> locate(const Prefix& prefix) const;
+
+  std::size_t size() const noexcept { return count_; }
+
+ private:
+  // Buckets by prefix length, probed longest-first. DNS-scale simulations
+  // only use a handful of lengths, so this stays fast.
+  std::map<int, std::unordered_map<Prefix, GeoPoint, PrefixHash>, std::greater<>>
+      by_length_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ecsdns::netsim

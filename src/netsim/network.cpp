@@ -1,0 +1,76 @@
+#include "netsim/network.h"
+
+#include <stdexcept>
+
+namespace ecsdns::netsim {
+
+void Network::attach(const IpAddress& addr, const GeoPoint& location, Service service) {
+  nodes_[addr] = Node{location, std::move(service)};
+}
+
+void Network::detach(const IpAddress& addr) { nodes_.erase(addr); }
+
+bool Network::is_attached(const IpAddress& addr) const noexcept {
+  return nodes_.find(addr) != nodes_.end();
+}
+
+std::optional<GeoPoint> Network::location_of(const IpAddress& addr) const {
+  const auto it = nodes_.find(addr);
+  if (it == nodes_.end()) return std::nullopt;
+  return it->second.location;
+}
+
+double Network::distance_between(const IpAddress& a, const IpAddress& b) const {
+  const auto la = location_of(a);
+  const auto lb = location_of(b);
+  if (!la || !lb) throw std::out_of_range("distance_between on unattached address");
+  return distance_km(*la, *lb);
+}
+
+SimTime Network::rtt_between(const IpAddress& a, const IpAddress& b) const {
+  return latency_.round_trip(distance_between(a, b));
+}
+
+std::optional<std::vector<std::uint8_t>> Network::round_trip(
+    const IpAddress& src, const IpAddress& dst,
+    const std::vector<std::uint8_t>& payload, bool tcp) {
+  const auto src_it = nodes_.find(src);
+  const auto dst_it = nodes_.find(dst);
+  if (src_it == nodes_.end() || dst_it == nodes_.end()) {
+    ++dropped_;
+    if (advance_clock_) loop_.advance(timeout_);
+    return std::nullopt;
+  }
+  const SimTime one_way =
+      latency_.one_way(distance_km(src_it->second.location, dst_it->second.location));
+  // TCP pays the three-way handshake (one extra RTT) before the query.
+  if (advance_clock_ && tcp) loop_.advance(2 * one_way);
+  if (advance_clock_) loop_.advance(one_way);
+  ++delivered_;
+  auto response = dst_it->second.service(Datagram{src, dst, payload, tcp});
+  if (!response) {
+    ++dropped_;
+    // The sender burns the rest of its timeout waiting for a reply that
+    // never comes.
+    if (advance_clock_) loop_.advance(std::max<SimTime>(timeout_ - one_way, 0));
+    return std::nullopt;
+  }
+  if (advance_clock_) loop_.advance(one_way);
+  ++delivered_;
+  return response;
+}
+
+std::optional<SimTime> Network::ping(const IpAddress& src, const IpAddress& dst) const {
+  const auto ls = location_of(src);
+  const auto ld = location_of(dst);
+  if (!ls || !ld) return std::nullopt;
+  return latency_.round_trip(distance_km(*ls, *ld));
+}
+
+std::optional<SimTime> Network::tcp_handshake_time(const IpAddress& client,
+                                                   const IpAddress& server) const {
+  // SYN out, SYN|ACK back: the client can send data after exactly one RTT.
+  return ping(client, server);
+}
+
+}  // namespace ecsdns::netsim

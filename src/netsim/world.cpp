@@ -1,0 +1,132 @@
+#include "netsim/world.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ecsdns::netsim {
+
+World::World() {
+  cities_ = {
+      // North America
+      {"Cleveland", "US", "NA", {41.4993, -81.6944}},
+      {"Chicago", "US", "NA", {41.8781, -87.6298}},
+      {"New York", "US", "NA", {40.7128, -74.0060}},
+      {"Ashburn", "US", "NA", {39.0438, -77.4874}},
+      {"Atlanta", "US", "NA", {33.7490, -84.3880}},
+      {"Miami", "US", "NA", {25.7617, -80.1918}},
+      {"Dallas", "US", "NA", {32.7767, -96.7970}},
+      {"Denver", "US", "NA", {39.7392, -104.9903}},
+      {"Seattle", "US", "NA", {47.6062, -122.3321}},
+      {"Mountain View", "US", "NA", {37.3861, -122.0839}},
+      {"Los Angeles", "US", "NA", {34.0522, -118.2437}},
+      {"Toronto", "CA", "NA", {43.6532, -79.3832}},
+      {"Montreal", "CA", "NA", {45.5017, -73.5673}},
+      {"Mexico City", "MX", "NA", {19.4326, -99.1332}},
+      // South America
+      {"Santiago", "CL", "SA", {-33.4489, -70.6693}},
+      {"Sao Paulo", "BR", "SA", {-23.5505, -46.6333}},
+      {"Buenos Aires", "AR", "SA", {-34.6037, -58.3816}},
+      {"Bogota", "CO", "SA", {4.7110, -74.0721}},
+      {"Lima", "PE", "SA", {-12.0464, -77.0428}},
+      // Europe
+      {"Amsterdam", "NL", "EU", {52.3676, 4.9041}},
+      {"London", "GB", "EU", {51.5074, -0.1278}},
+      {"Paris", "FR", "EU", {48.8566, 2.3522}},
+      {"Frankfurt", "DE", "EU", {50.1109, 8.6821}},
+      {"Zurich", "CH", "EU", {47.3769, 8.5417}},
+      {"Milan", "IT", "EU", {45.4642, 9.1900}},
+      {"Rome", "IT", "EU", {41.9028, 12.4964}},
+      {"Madrid", "ES", "EU", {40.4168, -3.7038}},
+      {"Stockholm", "SE", "EU", {59.3293, 18.0686}},
+      {"Warsaw", "PL", "EU", {52.2297, 21.0122}},
+      {"Vienna", "AT", "EU", {48.2082, 16.3738}},
+      {"Prague", "CZ", "EU", {50.0755, 14.4378}},
+      {"Dublin", "IE", "EU", {53.3498, -6.2603}},
+      {"Helsinki", "FI", "EU", {60.1699, 24.9384}},
+      {"Lisbon", "PT", "EU", {38.7223, -9.1393}},
+      {"Athens", "GR", "EU", {37.9838, 23.7275}},
+      {"Bucharest", "RO", "EU", {44.4268, 26.1025}},
+      {"Moscow", "RU", "EU", {55.7558, 37.6173}},
+      {"Kyiv", "UA", "EU", {50.4501, 30.5234}},
+      // Africa
+      {"Johannesburg", "ZA", "AF", {-26.2041, 28.0473}},
+      {"Cape Town", "ZA", "AF", {-33.9249, 18.4241}},
+      {"Cairo", "EG", "AF", {30.0444, 31.2357}},
+      {"Lagos", "NG", "AF", {6.5244, 3.3792}},
+      {"Nairobi", "KE", "AF", {-1.2921, 36.8219}},
+      // Asia
+      {"Beijing", "CN", "AS", {39.9042, 116.4074}},
+      {"Shanghai", "CN", "AS", {31.2304, 121.4737}},
+      {"Guangzhou", "CN", "AS", {23.1291, 113.2644}},
+      {"Shenzhen", "CN", "AS", {22.5431, 114.0579}},
+      {"Chengdu", "CN", "AS", {30.5728, 104.0668}},
+      {"Hong Kong", "HK", "AS", {22.3193, 114.1694}},
+      {"Taipei", "TW", "AS", {25.0330, 121.5654}},
+      {"Tokyo", "JP", "AS", {35.6762, 139.6503}},
+      {"Osaka", "JP", "AS", {34.6937, 135.5023}},
+      {"Seoul", "KR", "AS", {37.5665, 126.9780}},
+      {"Singapore", "SG", "AS", {1.3521, 103.8198}},
+      {"Mumbai", "IN", "AS", {19.0760, 72.8777}},
+      {"Delhi", "IN", "AS", {28.7041, 77.1025}},
+      {"Bangalore", "IN", "AS", {12.9716, 77.5946}},
+      {"Jakarta", "ID", "AS", {-6.2088, 106.8456}},
+      {"Bangkok", "TH", "AS", {13.7563, 100.5018}},
+      {"Dubai", "AE", "AS", {25.2048, 55.2708}},
+      {"Tel Aviv", "IL", "AS", {32.0853, 34.7818}},
+      {"Istanbul", "TR", "AS", {41.0082, 28.9784}},
+      // Oceania
+      {"Sydney", "AU", "OC", {-33.8688, 151.2093}},
+      {"Melbourne", "AU", "OC", {-37.8136, 144.9631}},
+      {"Auckland", "NZ", "OC", {-36.8485, 174.7633}},
+  };
+}
+
+const City& World::city(const std::string& name) const {
+  for (const auto& c : cities_) {
+    if (c.name == name) return c;
+  }
+  throw std::out_of_range("unknown city: " + name);
+}
+
+bool World::has_city(const std::string& name) const noexcept {
+  for (const auto& c : cities_) {
+    if (c.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<const City*> World::cities_in(const std::string& continent) const {
+  std::vector<const City*> out;
+  for (const auto& c : cities_) {
+    if (c.continent == continent) out.push_back(&c);
+  }
+  return out;
+}
+
+const City& World::random_city(Rng& rng) const {
+  return cities_[rng.uniform(cities_.size())];
+}
+
+const City& World::random_city_atlas_biased(Rng& rng) const {
+  // RIPE Atlas hosts roughly half its probes in Europe; mimic that skew.
+  if (rng.chance(0.5)) {
+    const auto eu = cities_in("EU");
+    return *eu[rng.uniform(eu.size())];
+  }
+  return random_city(rng);
+}
+
+const City& World::nearest(const GeoPoint& p) const {
+  const City* best = &cities_.front();
+  double best_km = std::numeric_limits<double>::max();
+  for (const auto& c : cities_) {
+    const double d = distance_km(c.location, p);
+    if (d < best_km) {
+      best_km = d;
+      best = &c;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ecsdns::netsim

@@ -1,0 +1,50 @@
+// A synthetic world: a catalog of real cities with coordinates, the raw
+// material for placing clients, resolvers, edge servers, and probes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/geo.h"
+#include "netsim/rng.h"
+
+namespace ecsdns::netsim {
+
+struct City {
+  std::string name;
+  std::string country;
+  std::string continent;  // "NA", "SA", "EU", "AF", "AS", "OC"
+  GeoPoint location;
+};
+
+// Immutable city catalog. The set covers every location the paper names
+// (Cleveland, Chicago, Mountain View, Zurich, Johannesburg, Santiago,
+// Milan, Beijing, Shanghai, Guangzhou, Toronto, Amsterdam, ...) plus a
+// global spread for probe placement.
+class World {
+ public:
+  World();
+
+  const std::vector<City>& cities() const noexcept { return cities_; }
+  // Throws std::out_of_range if the city is not in the catalog.
+  const City& city(const std::string& name) const;
+  bool has_city(const std::string& name) const noexcept;
+
+  // All cities on a continent.
+  std::vector<const City*> cities_in(const std::string& continent) const;
+
+  // A random city, optionally biased: RIPE-Atlas-style sampling
+  // over-represents Europe (the paper notes this skew explains the CDF
+  // similarity of Figures 6 and 7).
+  const City& random_city(Rng& rng) const;
+  const City& random_city_atlas_biased(Rng& rng) const;
+
+  // Nearest catalog city to a point (for reverse "geolocation" displays).
+  const City& nearest(const GeoPoint& p) const;
+
+ private:
+  std::vector<City> cities_;
+};
+
+}  // namespace ecsdns::netsim

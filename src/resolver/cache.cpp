@@ -1,0 +1,130 @@
+#include "resolver/cache.h"
+
+#include <algorithm>
+
+namespace ecsdns::resolver {
+
+const CacheEntry* EcsCache::lookup(const Name& qname, RRType qtype,
+                                   const std::optional<IpAddress>& client,
+                                   SimTime now) {
+  const auto it = map_.find(Key{qname, qtype});
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  auto& buckets = it->second.by_length;
+
+  // Longest-prefix-first probe: one hash lookup per distinct scope length.
+  const CacheEntry* best = nullptr;
+  for (auto bucket_it = buckets.begin(); bucket_it != buckets.end();) {
+    auto& [length, bucket] = *bucket_it;
+    if (length == 0) {
+      // Global entries: a single slot keyed by the zero prefix.
+      const auto entry_it = bucket.find(Prefix{});
+      if (entry_it != bucket.end()) {
+        if (entry_it->second.expiry <= now) {
+          bucket.erase(entry_it);
+          ++stats_.expired_evictions;
+          --live_entries_;
+        } else if (best == nullptr) {
+          best = &entry_it->second;
+        }
+      }
+    } else if (client && length <= client->bit_length()) {
+      // The candidate inherits the client's family, so cross-family
+      // entries can never collide in the bucket.
+      const Prefix candidate{*client, length};
+      const auto entry_it = bucket.find(candidate);
+      if (entry_it != bucket.end()) {
+        if (entry_it->second.expiry <= now) {
+          bucket.erase(entry_it);
+          ++stats_.expired_evictions;
+          --live_entries_;
+        } else {
+          best = &entry_it->second;  // longest first: first hit wins
+          break;
+        }
+      }
+    }
+    if (bucket.empty()) {
+      bucket_it = buckets.erase(bucket_it);
+    } else {
+      ++bucket_it;
+    }
+    if (best != nullptr && best->network.length() != 0) break;
+  }
+
+  if (best != nullptr) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  if (buckets.empty()) map_.erase(it);
+  return best;
+}
+
+void EcsCache::insert(const Name& qname, RRType qtype, const Prefix& network,
+                      std::uint8_t echo_scope, std::vector<ResourceRecord> records,
+                      SimTime now, SimTime ttl) {
+  auto& buckets = map_[Key{qname, qtype}].by_length;
+  CacheEntry entry;
+  entry.network = network;
+  entry.global = network.length() == 0;
+  entry.records = std::move(records);
+  entry.scope = echo_scope;
+  entry.inserted_at = now;
+  entry.expiry = now + ttl;
+  auto& bucket = buckets[network.length()];
+  const auto key = entry.global ? Prefix{} : network;
+  const auto [slot, inserted] = bucket.insert_or_assign(key, std::move(entry));
+  (void)slot;
+  if (inserted) ++live_entries_;
+  ++stats_.insertions;
+  note_size();
+}
+
+void EcsCache::purge_expired(SimTime now) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    auto& buckets = it->second.by_length;
+    for (auto bucket_it = buckets.begin(); bucket_it != buckets.end();) {
+      auto& bucket = bucket_it->second;
+      const std::size_t before = bucket.size();
+      std::erase_if(bucket, [now](const auto& kv) { return kv.second.expiry <= now; });
+      stats_.expired_evictions += before - bucket.size();
+      live_entries_ -= before - bucket.size();
+      if (bucket.empty()) {
+        bucket_it = buckets.erase(bucket_it);
+      } else {
+        ++bucket_it;
+      }
+    }
+    if (buckets.empty()) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t EcsCache::entries_for(const Name& qname, RRType qtype, SimTime now) {
+  const auto it = map_.find(Key{qname, qtype});
+  if (it == map_.end()) return 0;
+  std::size_t count = 0;
+  for (const auto& [length, bucket] : it->second.by_length) {
+    count += static_cast<std::size_t>(
+        std::count_if(bucket.begin(), bucket.end(),
+                      [now](const auto& kv) { return kv.second.expiry > now; }));
+  }
+  return count;
+}
+
+void EcsCache::clear() {
+  map_.clear();
+  live_entries_ = 0;
+}
+
+void EcsCache::note_size() {
+  stats_.max_entries = std::max(stats_.max_entries, live_entries_);
+}
+
+}  // namespace ecsdns::resolver

@@ -1,0 +1,111 @@
+// The ECS-aware resolver cache (RFC 7871 §7.3).
+//
+// A classic resolver cache maps (qname, qtype) to one record set. Under ECS
+// the same question can hold many simultaneous entries, each valid only for
+// clients inside the network announced by the authoritative scope. This is
+// exactly the mechanism whose cost the paper quantifies in §7 (cache
+// blow-up, hit-rate collapse), so the cache exposes detailed accounting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "dnscore/ip.h"
+#include "dnscore/name.h"
+#include "dnscore/record.h"
+#include "dnscore/types.h"
+#include "netsim/geo.h"
+
+namespace ecsdns::resolver {
+
+using dnscore::IpAddress;
+using dnscore::Name;
+using dnscore::Prefix;
+using dnscore::ResourceRecord;
+using dnscore::RRType;
+using netsim::SimTime;
+
+// One cached answer, valid for clients covered by `network` until `expiry`.
+struct CacheEntry {
+  Prefix network;   // scope-truncated prefix; length 0 = any client (of family)
+  bool global = false;  // scope 0 entries match clients of either family
+  std::vector<ResourceRecord> records;
+  std::uint8_t scope = 0;  // scope to echo to clients (RFC 7871 §7.2.1)
+  SimTime inserted_at = 0;
+  SimTime expiry = 0;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t expired_evictions = 0;
+  std::size_t max_entries = 0;  // high-water mark of live entries
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class EcsCache {
+ public:
+  // Looks up an answer valid for `client` at virtual time `now`. A nullopt
+  // `client` matches only global (scope 0) entries — that is what a cache
+  // lookup without any client identity can safely reuse.
+  const CacheEntry* lookup(const Name& qname, RRType qtype,
+                           const std::optional<IpAddress>& client, SimTime now);
+
+  // Inserts an answer valid for `network` (already truncated to the
+  // effective scope by the caller's policy). scope 0 is stored as a global
+  // entry. Replaces any existing entry with the same network.
+  void insert(const Name& qname, RRType qtype, const Prefix& network,
+              std::uint8_t echo_scope, std::vector<ResourceRecord> records,
+              SimTime now, SimTime ttl);
+
+  // Drops expired entries; called opportunistically and by tests.
+  void purge_expired(SimTime now);
+
+  // Live entries for one question (diagnostics; the §6.3 prober counts
+  // upstream queries instead, but tests peek here).
+  std::size_t entries_for(const Name& qname, RRType qtype, SimTime now);
+
+  std::size_t size() const noexcept { return live_entries_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+  void clear();
+
+ private:
+  struct Key {
+    Name qname;
+    RRType qtype;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return k.qname.hash() * 31 + static_cast<std::size_t>(k.qtype);
+    }
+  };
+  // Entries per question are bucketed by scope length and hashed by block,
+  // so a lookup probes one bucket per distinct length instead of scanning
+  // every cached subnet — the same longest-prefix-first structure real
+  // resolvers (and our IpGeoDb) use.
+  struct QuestionEntries {
+    std::map<int, std::unordered_map<dnscore::Prefix, CacheEntry,
+                                     dnscore::PrefixHash>,
+             std::greater<>>
+        by_length;
+  };
+
+  std::unordered_map<Key, QuestionEntries, KeyHash> map_;
+  CacheStats stats_;
+  std::size_t live_entries_ = 0;
+
+  void note_size();
+};
+
+}  // namespace ecsdns::resolver

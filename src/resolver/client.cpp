@@ -1,0 +1,30 @@
+#include "resolver/client.h"
+
+namespace ecsdns::resolver {
+
+void StubClient::attach(const netsim::GeoPoint& location) {
+  // Clients never answer queries; they only need to exist for latency
+  // computation.
+  network_.attach(own_address_, location,
+                  [](const netsim::Datagram&)
+                      -> std::optional<std::vector<std::uint8_t>> {
+                    return std::nullopt;
+                  });
+}
+
+std::optional<Message> StubClient::query(const IpAddress& server, const Name& qname,
+                                         RRType qtype,
+                                         const std::optional<dnscore::EcsOption>& ecs) {
+  Message q = Message::make_query(next_id_++, qname, qtype);
+  q.opt = dnscore::OptRecord{};
+  if (ecs) q.set_ecs(*ecs);
+  const auto wire = network_.round_trip(own_address_, server, q.serialize());
+  if (!wire) return std::nullopt;
+  try {
+    return Message::parse({wire->data(), wire->size()});
+  } catch (const dnscore::WireFormatError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace ecsdns::resolver

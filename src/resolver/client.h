@@ -1,0 +1,41 @@
+// A stub client: the measurement machine's "dig". Builds real queries,
+// sends them through the simulated network, and parses the responses.
+#pragma once
+
+#include <optional>
+
+#include "dnscore/message.h"
+#include "netsim/network.h"
+
+namespace ecsdns::resolver {
+
+using dnscore::IpAddress;
+using dnscore::Message;
+using dnscore::Name;
+using dnscore::RRType;
+
+class StubClient {
+ public:
+  StubClient(netsim::Network& network, IpAddress own_address)
+      : network_(network), own_address_(std::move(own_address)) {}
+
+  const IpAddress& address() const noexcept { return own_address_; }
+
+  // Places the client on the map (it must be attached to send).
+  void attach(const netsim::GeoPoint& location);
+
+  // Queries `server` for (qname, qtype). `ecs` attaches a client-chosen ECS
+  // option — how the paper submits arbitrary prefixes to open resolvers.
+  // nullopt on timeout/drop.
+  std::optional<Message> query(const IpAddress& server, const Name& qname,
+                               RRType qtype,
+                               const std::optional<dnscore::EcsOption>& ecs =
+                                   std::nullopt);
+
+ private:
+  netsim::Network& network_;
+  IpAddress own_address_;
+  std::uint16_t next_id_ = 1;
+};
+
+}  // namespace ecsdns::resolver

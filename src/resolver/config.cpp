@@ -1,0 +1,117 @@
+#include "resolver/config.h"
+
+namespace ecsdns::resolver {
+
+std::string to_string(ProbingStrategy s) {
+  switch (s) {
+    case ProbingStrategy::kAlways: return "always";
+    case ProbingStrategy::kProbeHostnamesNoCache: return "probe-hostnames-nocache";
+    case ProbingStrategy::kPeriodicLoopbackProbe: return "periodic-loopback";
+    case ProbingStrategy::kProbeHostnamesOnMiss: return "probe-hostnames-onmiss";
+    case ProbingStrategy::kZoneWhitelist: return "zone-whitelist";
+    case ProbingStrategy::kNever: return "never";
+    case ProbingStrategy::kIrregular: return "irregular";
+  }
+  return "?";
+}
+
+std::string to_string(ScopeHandling s) {
+  switch (s) {
+    case ScopeHandling::kHonor: return "honor-scope";
+    case ScopeHandling::kIgnoreScope: return "ignore-scope";
+  }
+  return "?";
+}
+
+ResolverConfig ResolverConfig::correct() {
+  ResolverConfig c;
+  c.label = "correct";
+  c.probing = ProbingStrategy::kAlways;
+  c.scope_handling = ScopeHandling::kHonor;
+  c.v4_source_bits = 24;
+  c.max_cache_prefix_v4 = 24;
+  c.accept_client_ecs = true;  // accepts, but truncates to 24 bits
+  return c;
+}
+
+ResolverConfig ResolverConfig::google_like() {
+  ResolverConfig c = correct();
+  c.label = "google-like";
+  c.accept_client_ecs = false;  // derives from immediate sender
+  return c;
+}
+
+ResolverConfig ResolverConfig::scope_ignorer() {
+  ResolverConfig c;
+  c.label = "scope-ignorer";
+  c.probing = ProbingStrategy::kAlways;
+  c.scope_handling = ScopeHandling::kIgnoreScope;
+  return c;
+}
+
+ResolverConfig ResolverConfig::long_prefix_acceptor() {
+  ResolverConfig c;
+  c.label = "long-prefix-acceptor";
+  c.probing = ProbingStrategy::kAlways;
+  c.accept_client_ecs = true;
+  c.v4_source_bits = 32;
+  c.max_cache_prefix_v4 = 32;  // caches at scopes longer than /24
+  c.max_cache_prefix_v6 = 128;
+  return c;
+}
+
+ResolverConfig ResolverConfig::clamp22() {
+  ResolverConfig c;
+  c.label = "clamp-22";
+  c.probing = ProbingStrategy::kAlways;
+  c.accept_client_ecs = true;
+  c.v4_source_bits = 22;
+  c.max_cache_prefix_v4 = 22;  // imposes scope 22 even when told otherwise
+  return c;
+}
+
+ResolverConfig ResolverConfig::private_block_bug() {
+  ResolverConfig c;
+  c.label = "private-block-bug";
+  c.probing = ProbingStrategy::kAlways;
+  c.self_identification = SelfIdentification::kPrivateBlock;
+  // Not whitelisting anyone forces self-identification on every query.
+  c.client_ecs_whitelist = {Prefix::parse("203.0.113.0/32")};  // matches nobody
+  c.cache_scope_zero = false;
+  return c;
+}
+
+ResolverConfig ResolverConfig::jammed_32() {
+  ResolverConfig c;
+  c.label = "jammed-32";
+  c.probing = ProbingStrategy::kAlways;
+  c.v4_source_bits = 32;
+  c.jam_last_octet = true;
+  c.jam_octet_value = 0x01;
+  return c;
+}
+
+ResolverConfig ResolverConfig::periodic_loopback_prober() {
+  ResolverConfig c;
+  c.label = "periodic-loopback";
+  c.probing = ProbingStrategy::kPeriodicLoopbackProbe;
+  c.probe_interval = 30 * netsim::kMinute;
+  c.self_identification = SelfIdentification::kLoopback;
+  return c;
+}
+
+ResolverConfig ResolverConfig::hostname_prober_nocache() {
+  ResolverConfig c;
+  c.label = "hostname-prober-nocache";
+  c.probing = ProbingStrategy::kProbeHostnamesNoCache;
+  return c;
+}
+
+ResolverConfig ResolverConfig::hostname_prober_onmiss() {
+  ResolverConfig c;
+  c.label = "hostname-prober-onmiss";
+  c.probing = ProbingStrategy::kProbeHostnamesOnMiss;
+  return c;
+}
+
+}  // namespace ecsdns::resolver

@@ -1,0 +1,37 @@
+#include "resolver/forwarder.h"
+
+namespace ecsdns::resolver {
+
+Forwarder::Forwarder(ForwarderConfig config, netsim::Network& network,
+                     IpAddress own_address, IpAddress upstream)
+    : config_(config),
+      network_(network),
+      own_address_(std::move(own_address)),
+      upstream_(std::move(upstream)) {}
+
+std::optional<std::vector<std::uint8_t>> Forwarder::relay(
+    const netsim::Datagram& dgram) {
+  ++relayed_;
+  if (!config_.pass_client_ecs || config_.stamp_sender_subnet) {
+    try {
+      Message m = Message::parse({dgram.payload.data(), dgram.payload.size()});
+      if (!config_.pass_client_ecs) m.clear_ecs();
+      if (config_.stamp_sender_subnet) {
+        m.set_ecs(dnscore::EcsOption::for_query(
+            dnscore::Prefix{dgram.src, config_.stamp_bits}));
+      }
+      return network_.round_trip(own_address_, upstream_, m.serialize());
+    } catch (const dnscore::WireFormatError&) {
+      return std::nullopt;
+    }
+  }
+  // Blind relay: bytes in, bytes out.
+  return network_.round_trip(own_address_, upstream_, dgram.payload);
+}
+
+void Forwarder::attach(const netsim::GeoPoint& location) {
+  network_.attach(own_address_, location,
+                  [this](const netsim::Datagram& dgram) { return relay(dgram); });
+}
+
+}  // namespace ecsdns::resolver

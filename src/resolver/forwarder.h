@@ -1,0 +1,52 @@
+// Ingress forwarders and hidden resolvers (§3 terminology).
+//
+// A Forwarder is the "open ingress resolver" of the paper: typically a home
+// router that relays client queries verbatim to an upstream resolver. A
+// chain of forwarders models the hidden-resolver topologies of §8.2 — the
+// intermediate hop's *own source address* is what the egress resolver will
+// put into ECS, which is exactly how hidden resolvers derail CDN mapping.
+#pragma once
+
+#include <optional>
+
+#include "dnscore/message.h"
+#include "netsim/network.h"
+
+namespace ecsdns::resolver {
+
+using dnscore::IpAddress;
+using dnscore::Message;
+
+struct ForwarderConfig {
+  // Relay the payload untouched (most home devices "blindly forward",
+  // including any ECS option the client attached).
+  bool pass_client_ecs = true;
+  // If set, the forwarder overwrites/installs an ECS option carrying the
+  // /24 of the immediate sender before relaying — the behavior of an
+  // ECS-aware intermediary that does not trust its downstream.
+  bool stamp_sender_subnet = false;
+  int stamp_bits = 24;
+};
+
+class Forwarder {
+ public:
+  Forwarder(ForwarderConfig config, netsim::Network& network, IpAddress own_address,
+            IpAddress upstream);
+
+  const IpAddress& address() const noexcept { return own_address_; }
+  const IpAddress& upstream() const noexcept { return upstream_; }
+
+  std::optional<std::vector<std::uint8_t>> relay(const netsim::Datagram& dgram);
+  void attach(const netsim::GeoPoint& location);
+
+  std::uint64_t relayed() const noexcept { return relayed_; }
+
+ private:
+  ForwarderConfig config_;
+  netsim::Network& network_;
+  IpAddress own_address_;
+  IpAddress upstream_;
+  std::uint64_t relayed_ = 0;
+};
+
+}  // namespace ecsdns::resolver

@@ -1,0 +1,570 @@
+#include "resolver/recursive.h"
+
+#include <algorithm>
+
+#include "netsim/rng.h"
+
+namespace ecsdns::resolver {
+namespace {
+
+using dnscore::EcsOption;
+using dnscore::Name;
+using dnscore::Prefix;
+using dnscore::RCode;
+using dnscore::ResourceRecord;
+
+constexpr int kMaxReferrals = 16;
+constexpr int kMaxCnameRestarts = 8;
+
+}  // namespace
+
+RecursiveResolver::RecursiveResolver(ResolverConfig config, netsim::Network& network,
+                                     IpAddress own_address,
+                                     std::vector<IpAddress> root_hints)
+    : config_(std::move(config)),
+      network_(network),
+      own_address_(std::move(own_address)),
+      root_hints_(std::move(root_hints)) {}
+
+void RecursiveResolver::attach(const netsim::GeoPoint& location) {
+  network_.attach(own_address_, location,
+                  [this](const netsim::Datagram& dgram)
+                      -> std::optional<std::vector<std::uint8_t>> {
+                    Message query;
+                    try {
+                      query = Message::parse(
+                          {dgram.payload.data(), dgram.payload.size()});
+                    } catch (const dnscore::WireFormatError&) {
+                      return std::nullopt;
+                    }
+                    auto response = handle_client_query(query, dgram.src);
+                    if (!response) return std::nullopt;
+                    return response->serialize();
+                  });
+}
+
+ClientIdentity RecursiveResolver::identify_client(const Message& query,
+                                                  const IpAddress& sender) {
+  if (config_.accept_client_ecs) {
+    if (auto ecs = query.ecs()) {
+      if (ecs->source_prefix_length() == 0) {
+        // RFC 7871 §7.1.2: the client opted out; the resolver must either
+        // omit ECS or identify itself.
+        if (auto self = self_identity()) return *self;
+        return ClientIdentity{sender, sender.bit_length(), false,
+                              /*opted_out=*/true};
+      }
+      if (auto prefix = ecs->source_prefix()) {
+        return ClientIdentity{prefix->address(), prefix->length(), true};
+      }
+    }
+  }
+  // The common path, and the root of the hidden-resolver pathology (§8.2):
+  // identity is the *immediate sender*, whoever that is.
+  if (!config_.client_ecs_whitelist.empty()) {
+    const bool listed = std::any_of(
+        config_.client_ecs_whitelist.begin(), config_.client_ecs_whitelist.end(),
+        [&sender](const Prefix& p) { return p.contains(sender); });
+    if (!listed) {
+      if (auto self = self_identity()) return *self;
+    }
+  }
+  return ClientIdentity{sender, sender.bit_length(), false};
+}
+
+std::optional<ClientIdentity> RecursiveResolver::self_identity() const {
+  switch (config_.self_identification) {
+    case SelfIdentification::kOwnPublicAddress:
+      return ClientIdentity{own_address_, own_address_.bit_length(), false};
+    case SelfIdentification::kLoopback:
+      return ClientIdentity{IpAddress::v4(127, 0, 0, 1), 32, false};
+    case SelfIdentification::kPrivateBlock:
+      return ClientIdentity{IpAddress::v4(10, 0, 0, 1), 32, false};
+    case SelfIdentification::kOmitOption:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+EcsOption RecursiveResolver::build_option(const Question& question,
+                                          const ClientIdentity& identity) const {
+  const bool v4 = identity.address.is_v4();
+  int policy_bits = v4 ? config_.v4_source_bits : config_.v6_source_bits;
+  if (config_.adapt_source_to_scope) {
+    const auto it = learned_scope_.find(question.qname.second_level_domain());
+    if (it != learned_scope_.end() && it->second > 0 && it->second < policy_bits) {
+      policy_bits = it->second;
+    }
+  }
+  bool jam = v4 && config_.jam_last_octet;
+  if (v4 && !config_.v4_variants.empty()) {
+    const auto& variant =
+        config_.v4_variants[counters_.upstream_ecs_queries % config_.v4_variants.size()];
+    policy_bits = variant.bits;
+    jam = variant.jam;
+  }
+  if (!v4 && !config_.v6_variants.empty()) {
+    policy_bits =
+        config_.v6_variants[counters_.upstream_ecs_queries % config_.v6_variants.size()];
+  }
+  if (jam) {
+    // Claim a full /32 while fixing the last octet: reveals 24 bits but
+    // advertises 32 (Table 1's "32/jammed last byte" rows).
+    auto bytes = dnscore::truncate_address(identity.address, 24).bytes();
+    bytes[3] = config_.jam_octet_value;
+    const IpAddress jammed = IpAddress::v4(bytes[0], bytes[1], bytes[2], bytes[3]);
+    return EcsOption::for_query(Prefix{jammed, 32});
+  }
+  const int bits = std::min(identity.bits, policy_bits);
+  return EcsOption::for_query(Prefix{identity.address, bits});
+}
+
+bool RecursiveResolver::name_matches_probe_list(const Name& qname) const {
+  return std::any_of(config_.probe_hostnames.begin(), config_.probe_hostnames.end(),
+                     [&qname](const Name& n) { return qname.is_subdomain_of(n); });
+}
+
+bool RecursiveResolver::zone_whitelisted(const Name& qname) const {
+  return std::any_of(config_.zone_whitelist.begin(), config_.zone_whitelist.end(),
+                     [&qname](const Name& n) { return qname.is_subdomain_of(n); });
+}
+
+bool RecursiveResolver::caching_disabled_for(const Name& qname) const {
+  return config_.probing == ProbingStrategy::kProbeHostnamesNoCache &&
+         name_matches_probe_list(qname);
+}
+
+std::optional<EcsOption> RecursiveResolver::upstream_ecs(const Question& question,
+                                                         const ClientIdentity& identity,
+                                                         bool infrastructure_hop,
+                                                         bool cache_missed) {
+  if (infrastructure_hop && !config_.ecs_to_root_servers) return std::nullopt;
+  const bool address_query =
+      question.qtype == RRType::A || question.qtype == RRType::AAAA;
+  if (!address_query && question.qtype == RRType::NS && !config_.ecs_on_ns_queries) {
+    return std::nullopt;
+  }
+  if (!address_query && question.qtype != RRType::NS) return std::nullopt;
+
+  switch (config_.probing) {
+    case ProbingStrategy::kNever:
+      return std::nullopt;
+    case ProbingStrategy::kAlways:
+      break;
+    case ProbingStrategy::kProbeHostnamesNoCache:
+      if (!name_matches_probe_list(question.qname)) return std::nullopt;
+      break;
+    case ProbingStrategy::kProbeHostnamesOnMiss:
+      if (!name_matches_probe_list(question.qname) || !cache_missed) {
+        return std::nullopt;
+      }
+      break;
+    case ProbingStrategy::kPeriodicLoopbackProbe: {
+      const SimTime now = network_.now();
+      if (last_probe_ >= 0 && now - last_probe_ < config_.probe_interval) {
+        return std::nullopt;
+      }
+      last_probe_ = now;
+      // The probe deliberately reveals nothing: loopback, full length.
+      return EcsOption::for_query(Prefix{IpAddress::v4(127, 0, 0, 1), 32});
+    }
+    case ProbingStrategy::kZoneWhitelist:
+      if (!zone_whitelisted(question.qname)) return std::nullopt;
+      break;
+    case ProbingStrategy::kIrregular: {
+      // Deterministic per-(resolver, query-ordinal) coin flip.
+      netsim::SplitMix64 coin(config_.irregular_seed ^
+                              (0x9e3779b97f4a7c15ull * counters_.upstream_queries));
+      const double u = static_cast<double>(coin.next() >> 11) * 0x1.0p-53;
+      if (u >= config_.irregular_probability) return std::nullopt;
+      break;
+    }
+  }
+
+  // Client opted out (source 0) with a resolver configured to omit rather
+  // than self-identify: honor the opt-out.
+  if (identity.opted_out) return std::nullopt;
+  return build_option(question, identity);
+}
+
+std::optional<Message> RecursiveResolver::handle_client_query(const Message& query,
+                                                              const IpAddress& sender) {
+  ++counters_.client_queries;
+  if (query.questions.empty()) return std::nullopt;
+  const Question& q = query.question();
+
+  // RFC 7871 §7.1.1: a malformed client ECS option earns a FORMERR.
+  if (query.opt) {
+    if (const auto* raw =
+            query.opt->find_option(dnscore::EdnsOptionCode::ECS)) {
+      try {
+        const EcsOption ecs = EcsOption::from_edns(*raw);
+        const auto issues = ecs.validate(/*in_query=*/true);
+        const bool malformed = std::any_of(
+            issues.begin(), issues.end(), [](dnscore::EcsIssue issue) {
+              return issue == dnscore::EcsIssue::kUnknownFamily ||
+                     issue == dnscore::EcsIssue::kSourceLengthTooLong ||
+                     issue == dnscore::EcsIssue::kAddressLengthMismatch;
+            });
+        if (malformed) {
+          Message formerr = Message::make_response(query);
+          formerr.header.rcode = RCode::FORMERR;
+          return formerr;
+        }
+      } catch (const dnscore::WireFormatError&) {
+        Message formerr = Message::make_response(query);
+        formerr.header.rcode = RCode::FORMERR;
+        return formerr;
+      }
+    }
+  }
+
+  const ClientIdentity identity = identify_client(query, sender);
+
+  Resolution resolution = resolve(q, identity);
+
+  Message response = Message::make_response(query);
+  response.header.rcode = resolution.rcode;
+  response.answers = std::move(resolution.answers);
+  if (query.opt && query.ecs() && resolution.echo_scope && response.opt) {
+    const EcsOption echo = EcsOption::for_response(
+        Prefix{identity.address, std::min(identity.bits,
+                                          identity.address.is_v4()
+                                              ? config_.v4_source_bits
+                                              : config_.v6_source_bits)},
+        *resolution.echo_scope);
+    response.set_ecs(echo);
+  }
+  return response;
+}
+
+RecursiveResolver::Resolution RecursiveResolver::resolve(
+    const Question& question, const ClientIdentity& identity) {
+  Resolution out;
+  Question current = question;
+  const SimTime now = network_.now();
+
+  for (int restart = 0; restart <= kMaxCnameRestarts; ++restart) {
+    // 0. Negative cache (RFC 2308).
+    {
+      const auto it = negative_cache_.find(NegativeKey{current.qname, current.qtype});
+      if (it != negative_cache_.end()) {
+        if (it->second.expiry > now) {
+          ++counters_.negative_cache_hits;
+          out.rcode = it->second.rcode;
+          return out;
+        }
+        negative_cache_.erase(it);
+      }
+    }
+    // 1. Cache.
+    if (!caching_disabled_for(current.qname)) {
+      std::optional<IpAddress> lookup_client;
+      if (config_.scope_handling == ScopeHandling::kIgnoreScope) {
+        // Pretend every entry is global by looking entries up with the
+        // address they were inserted under. Implemented by storing
+        // everything globally in cache_answer(); a plain global lookup
+        // suffices here.
+        lookup_client = std::nullopt;
+      } else {
+        lookup_client = identity.address;
+      }
+      const CacheEntry* hit =
+          cache_.lookup(current.qname, current.qtype, lookup_client, now);
+      if (hit == nullptr && config_.scope_handling == ScopeHandling::kHonor) {
+        // A global entry may still match when no scoped one covers us;
+        // lookup() already prefers the most specific, so nothing more to
+        // do — hit stays null only if neither matched.
+      }
+      if (hit != nullptr) {
+        ++counters_.cache_hits;
+        out.rcode = RCode::NOERROR;
+        for (auto rr : hit->records) {
+          // Serve the remaining TTL, per standard resolver behavior.
+          rr.ttl = static_cast<std::uint32_t>(
+              std::max<SimTime>(hit->expiry - now, 0) / netsim::kSecond);
+          out.answers.push_back(std::move(rr));
+        }
+        out.echo_scope = hit->scope;
+        // CNAME chain may continue from the cached records.
+        bool restarted = false;
+        if (current.qtype != RRType::CNAME) {
+          for (const auto& rr : hit->records) {
+            if (rr.type == RRType::CNAME && rr.name == current.qname) {
+              bool have_final = false;
+              for (const auto& other : hit->records) {
+                if (other.type == current.qtype) have_final = true;
+              }
+              if (!have_final) {
+                current.qname = std::get<dnscore::CnameRdata>(rr.rdata).target;
+                restarted = true;
+              }
+              break;
+            }
+          }
+        }
+        if (!restarted) return out;
+        ++counters_.cname_restarts;
+        continue;
+      }
+    }
+
+    // 2. Iterative resolution.
+    auto response = query_authoritatives(current, identity);
+    if (!response) {
+      ++counters_.servfails;
+      out.rcode = RCode::SERVFAIL;
+      return out;
+    }
+    cache_answer(current, identity, *response, out);
+    out.rcode = response->header.rcode;
+    for (const auto& rr : response->answers) out.answers.push_back(rr);
+
+    // CNAME restart if the answer ends in a dangling CNAME.
+    if (current.qtype != RRType::CNAME && !response->answers.empty()) {
+      const auto& last = response->answers.back();
+      if (last.type == RRType::CNAME) {
+        current.qname = std::get<dnscore::CnameRdata>(last.rdata).target;
+        ++counters_.cname_restarts;
+        continue;
+      }
+    }
+    return out;
+  }
+  out.rcode = RCode::SERVFAIL;  // CNAME chain too long
+  return out;
+}
+
+void RecursiveResolver::note_rtt(const IpAddress& server, double sample_us) {
+  auto [it, inserted] = srtt_us_.try_emplace(server, sample_us);
+  if (!inserted) it->second = 0.7 * it->second + 0.3 * sample_us;
+}
+
+std::vector<IpAddress> RecursiveResolver::order_by_srtt(
+    std::vector<IpAddress> servers) const {
+  // Unknown servers sort ahead of anything slower than 10 ms so they get
+  // probed; a stable sort keeps referral order among ties.
+  const auto score = [this](const IpAddress& s) {
+    const auto it = srtt_us_.find(s);
+    return it == srtt_us_.end() ? 10'000.0 : it->second;
+  };
+  std::stable_sort(servers.begin(), servers.end(),
+                   [&score](const IpAddress& a, const IpAddress& b) {
+                     return score(a) < score(b);
+                   });
+  return servers;
+}
+
+RecursiveResolver::NsSet RecursiveResolver::nameservers_for(const Name& qname) {
+  // Deepest cached delegation wins.
+  Name walk = qname;
+  const SimTime now = network_.now();
+  for (;;) {
+    const auto it = ns_cache_.find(walk);
+    if (it != ns_cache_.end() && it->second.expiry > now &&
+        !it->second.addresses.empty()) {
+      return NsSet{walk, it->second.addresses};
+    }
+    if (walk.is_root()) break;
+    walk = walk.parent();
+  }
+  return NsSet{Name{}, root_hints_};
+}
+
+void RecursiveResolver::cache_referral(const Message& response) {
+  const SimTime now = network_.now();
+  for (const auto& ns : response.authorities) {
+    if (ns.type != RRType::NS) continue;
+    NsEntry& entry = ns_cache_[ns.name];
+    entry.expiry = now + static_cast<SimTime>(ns.ttl) * netsim::kSecond;
+    const auto& target = std::get<dnscore::NsRdata>(ns.rdata).nameserver;
+    for (const auto& glue : response.additional) {
+      if (glue.name != target) continue;
+      if (const auto* a = std::get_if<dnscore::ARdata>(&glue.rdata)) {
+        if (std::find(entry.addresses.begin(), entry.addresses.end(), a->address) ==
+            entry.addresses.end()) {
+          entry.addresses.push_back(a->address);
+        }
+      }
+    }
+  }
+}
+
+std::optional<Message> RecursiveResolver::query_authoritatives(
+    const Question& question, const ClientIdentity& identity) {
+  for (int hop = 0; hop < kMaxReferrals; ++hop) {
+    const NsSet ns_set = nameservers_for(question.qname);
+    const std::vector<IpAddress> servers = order_by_srtt(ns_set.addresses);
+    if (servers.empty()) return std::nullopt;
+
+    // ECS belongs on queries to the servers of the content zone, not on
+    // infrastructure hops: roots (zone depth 0) and TLDs (depth 1) are
+    // skipped unless the resolver exhibits the §6.1 root-ECS violation.
+    const bool infrastructure_hop = ns_set.zone.label_count() < 2;
+
+    // QNAME minimization (RFC 7816): infrastructure hops only learn the
+    // next delegation label, asked for as an NS query.
+    Name send_qname = question.qname;
+    RRType send_qtype = question.qtype;
+    if (config_.qname_minimization && infrastructure_hop &&
+        question.qname.label_count() > ns_set.zone.label_count() + 1) {
+      // The minimal name is the delegation zone plus one more label.
+      const auto& labels = question.qname.labels();
+      send_qname = ns_set.zone.prepend(
+          labels[labels.size() - ns_set.zone.label_count() - 1]);
+      send_qtype = RRType::NS;
+    }
+
+    Message query = Message::make_query(next_id_++, send_qname, send_qtype);
+    query.header.rd = false;
+    query.opt = dnscore::OptRecord{};
+    const auto ecs = upstream_ecs(question, identity, infrastructure_hop,
+                                  /*cache_missed=*/true);
+    if (ecs) query.set_ecs(*ecs);
+
+    std::optional<Message> response;
+    for (const auto& server : servers) {
+      ++counters_.upstream_queries;
+      if (ecs) ++counters_.upstream_ecs_queries;
+      const SimTime sent_at = network_.now();
+      const auto wire = network_.round_trip(own_address_, server, query.serialize());
+      note_rtt(server, static_cast<double>(network_.now() - sent_at));
+      if (!wire) continue;  // timeout: try the next address
+      try {
+        response = Message::parse({wire->data(), wire->size()});
+      } catch (const dnscore::WireFormatError&) {
+        continue;
+      }
+      if (response->header.tc) {
+        // Truncated over UDP: retry the same server over TCP.
+        ++counters_.upstream_queries;
+        const auto tcp_wire = network_.round_trip(own_address_, server,
+                                                  query.serialize(), /*tcp=*/true);
+        if (tcp_wire) {
+          try {
+            response = Message::parse({tcp_wire->data(), tcp_wire->size()});
+          } catch (const dnscore::WireFormatError&) {
+            response.reset();
+            continue;
+          }
+        }
+      }
+      if (response->header.rcode == RCode::FORMERR && query.opt) {
+        // RFC 6891 §6.2.2 fallback: a pre-EDNS server choked on the OPT
+        // record (§6.1 cites these); retry the same server plain.
+        ++counters_.edns_fallbacks;
+        Message plain = query;
+        plain.opt.reset();
+        ++counters_.upstream_queries;
+        const auto retry_wire =
+            network_.round_trip(own_address_, server, plain.serialize());
+        if (retry_wire) {
+          try {
+            response = Message::parse({retry_wire->data(), retry_wire->size()});
+          } catch (const dnscore::WireFormatError&) {
+            response.reset();
+            continue;
+          }
+        }
+      }
+      break;
+    }
+    if (!response) return std::nullopt;
+
+    if (!response->answers.empty() || response->header.rcode != RCode::NOERROR) {
+      return response;
+    }
+    // A referral has NS records in the authority section; a NoData answer
+    // carries at most an SOA there.
+    const bool is_referral = std::any_of(
+        response->authorities.begin(), response->authorities.end(),
+        [](const dnscore::ResourceRecord& rr) { return rr.type == RRType::NS; });
+    if (is_referral) {
+      ++counters_.referrals_followed;
+      cache_referral(*response);
+      continue;  // descend to the delegated servers
+    }
+    return response;  // authoritative NoData
+  }
+  return std::nullopt;
+}
+
+void RecursiveResolver::cache_answer(const Question& question,
+                                     const ClientIdentity& identity,
+                                     const Message& response, Resolution& out) {
+  // Negative results go into the RFC 2308 cache; the TTL comes from the
+  // authority SOA minimum when present.
+  if (response.header.rcode == RCode::NXDOMAIN ||
+      (response.header.rcode == RCode::NOERROR && response.answers.empty())) {
+    SimTime neg_ttl = 60 * netsim::kSecond;
+    for (const auto& rr : response.authorities) {
+      if (const auto* soa = std::get_if<dnscore::SoaRdata>(&rr.rdata)) {
+        neg_ttl = static_cast<SimTime>(
+                      std::min<std::uint32_t>(rr.ttl, soa->minimum)) *
+                  netsim::kSecond;
+      }
+    }
+    if (!caching_disabled_for(question.qname) && neg_ttl > 0) {
+      negative_cache_[NegativeKey{question.qname, question.qtype}] =
+          NegativeEntry{response.header.rcode, network_.now() + neg_ttl};
+    }
+    return;
+  }
+  if (response.header.rcode != RCode::NOERROR || response.answers.empty()) return;
+  if (caching_disabled_for(question.qname)) {
+    if (auto ecs = response.ecs()) out.echo_scope = ecs->scope_prefix_length();
+    return;
+  }
+  const SimTime now = network_.now();
+  const auto ttl_s = response.min_answer_ttl().value_or(0);
+  const SimTime ttl = static_cast<SimTime>(ttl_s) * netsim::kSecond;
+  if (ttl <= 0) return;
+
+  const auto ecs = response.ecs();
+  const int family_cap =
+      identity.address.is_v4() ? config_.max_cache_prefix_v4 : config_.max_cache_prefix_v6;
+
+  if (!ecs || config_.scope_handling == ScopeHandling::kIgnoreScope) {
+    // No ECS in the response, or a resolver that disregards scope: one
+    // global entry serves every client.
+    cache_.insert(question.qname, question.qtype, Prefix{}, 0, response.answers, now,
+                  ttl);
+    if (ecs) out.echo_scope = ecs->scope_prefix_length();
+    return;
+  }
+
+  const int scope = ecs->scope_prefix_length();
+  const int source = ecs->source_prefix_length();
+  if (config_.adapt_source_to_scope && scope > 0 && scope < source) {
+    // Learn the zone's demonstrated granularity. Note the deliberate
+    // ratchet: once we send fewer bits, the returned scope can never
+    // exceed them again, so adaptation only ever tightens — the §9
+    // experiment quantifies this trade-off.
+    auto& learned = learned_scope_[question.qname.second_level_domain()];
+    learned = learned == 0 ? scope : std::min(learned, scope);
+  }
+  if (scope == 0) {
+    if (!config_.cache_scope_zero) {
+      // The §6.3.2 misconfigured resolver: scope-0 answers are not cached
+      // (or reused), forcing an upstream query per client query.
+      out.echo_scope = 0;
+      return;
+    }
+    cache_.insert(question.qname, question.qtype, Prefix{}, 0, response.answers, now,
+                  ttl);
+    out.echo_scope = 0;
+    return;
+  }
+
+  // Correct resolvers cache at min(scope, source) — a scope longer than the
+  // source cannot be trusted beyond the bits actually announced — and apply
+  // the privacy cap.
+  const int effective = std::min({scope, source, family_cap,
+                                  identity.address.bit_length()});
+  const Prefix network{identity.address, effective};
+  cache_.insert(question.qname, question.qtype, network,
+                static_cast<std::uint8_t>(effective), response.answers, now, ttl);
+  out.echo_scope = effective;
+}
+
+}  // namespace ecsdns::resolver

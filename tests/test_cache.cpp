@@ -1,0 +1,180 @@
+// ECS cache semantics (RFC 7871 §7.3): scope-keyed entries, longest-prefix
+// preference, TTL expiry, and the statistics the §7 analysis reads.
+#include <gtest/gtest.h>
+
+#include "resolver/cache.h"
+
+namespace ecsdns::resolver {
+namespace {
+
+using dnscore::IpAddress;
+using dnscore::Name;
+using dnscore::Prefix;
+using dnscore::ResourceRecord;
+using netsim::kSecond;
+
+const Name kQname = Name::from_string("www.example.com");
+
+std::vector<ResourceRecord> answer(const char* ip) {
+  return {ResourceRecord::make_a(kQname, 20, IpAddress::parse(ip))};
+}
+
+TEST(EcsCache, MissOnEmpty) {
+  EcsCache cache;
+  EXPECT_EQ(cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.3.4"), 0), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(EcsCache, ScopedEntryMatchesOnlyCoveredClients) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.3.0/24"), 24, answer("9.9.9.1"),
+               0, 20 * kSecond);
+  EXPECT_NE(cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.3.77"), 1), nullptr);
+  EXPECT_EQ(cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.4.1"), 1), nullptr);
+  // Same /16, different /24 -> still a miss.
+  EXPECT_EQ(cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.9.1"), 1), nullptr);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(EcsCache, GlobalEntryMatchesAnyClient) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix{}, 0, answer("9.9.9.1"), 0, 20 * kSecond);
+  EXPECT_NE(cache.lookup(kQname, RRType::A, IpAddress::parse("8.8.8.8"), 1), nullptr);
+  EXPECT_NE(cache.lookup(kQname, RRType::A, IpAddress::parse("2001:db8::1"), 1),
+            nullptr);
+  EXPECT_NE(cache.lookup(kQname, RRType::A, std::nullopt, 1), nullptr);
+}
+
+TEST(EcsCache, NulloptClientOnlyMatchesGlobal) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.3.0/24"), 24, answer("9.9.9.1"),
+               0, 20 * kSecond);
+  EXPECT_EQ(cache.lookup(kQname, RRType::A, std::nullopt, 1), nullptr);
+}
+
+TEST(EcsCache, PrefersMostSpecificCoveringEntry) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix{}, 0, answer("1.1.1.1"), 0, 60 * kSecond);
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.0.0/16"), 16, answer("2.2.2.2"),
+               0, 60 * kSecond);
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.3.0/24"), 24, answer("3.3.3.3"),
+               0, 60 * kSecond);
+  const auto* hit = cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.3.4"), 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->network.length(), 24);
+  const auto* hit16 = cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.9.9"), 1);
+  ASSERT_NE(hit16, nullptr);
+  EXPECT_EQ(hit16->network.length(), 16);
+  const auto* hit0 = cache.lookup(kQname, RRType::A, IpAddress::parse("9.9.9.9"), 1);
+  ASSERT_NE(hit0, nullptr);
+  EXPECT_TRUE(hit0->global);
+}
+
+TEST(EcsCache, DistinctSubnetsCoexist) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.3.0/24"), 24, answer("1.1.1.1"),
+               0, 60 * kSecond);
+  cache.insert(kQname, RRType::A, Prefix::parse("5.6.7.0/24"), 24, answer("2.2.2.2"),
+               0, 60 * kSecond);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.entries_for(kQname, RRType::A, 1), 2u);
+  // Re-inserting the same network replaces rather than duplicates.
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.3.0/24"), 24, answer("3.3.3.3"),
+               0, 60 * kSecond);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(EcsCache, TtlExpiry) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.3.0/24"), 24, answer("1.1.1.1"),
+               0, 20 * kSecond);
+  EXPECT_NE(cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.3.4"),
+                         19 * kSecond),
+            nullptr);
+  EXPECT_EQ(cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.3.4"),
+                         20 * kSecond),
+            nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().expired_evictions, 1u);
+}
+
+TEST(EcsCache, PurgeExpired) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.3.0/24"), 24, answer("1.1.1.1"),
+               0, 20 * kSecond);
+  cache.insert(kQname, RRType::A, Prefix::parse("5.6.7.0/24"), 24, answer("2.2.2.2"),
+               0, 60 * kSecond);
+  cache.purge_expired(30 * kSecond);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EcsCache, TracksMaxEntries) {
+  EcsCache cache;
+  for (int i = 0; i < 10; ++i) {
+    cache.insert(kQname, RRType::A,
+                 Prefix{IpAddress::v4(1, 2, static_cast<std::uint8_t>(i), 0), 24}, 24,
+                 answer("1.1.1.1"), 0, 20 * kSecond);
+  }
+  EXPECT_EQ(cache.stats().max_entries, 10u);
+  cache.purge_expired(100 * kSecond);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().max_entries, 10u);  // high-water mark persists
+}
+
+TEST(EcsCache, SeparateQuestionsSeparateEntries) {
+  EcsCache cache;
+  const Name other = Name::from_string("other.example.com");
+  cache.insert(kQname, RRType::A, Prefix{}, 0, answer("1.1.1.1"), 0, 60 * kSecond);
+  cache.insert(other, RRType::A, Prefix{}, 0, answer("2.2.2.2"), 0, 60 * kSecond);
+  cache.insert(kQname, RRType::AAAA, Prefix{}, 0, {}, 0, 60 * kSecond);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.lookup(other, RRType::AAAA, std::nullopt, 1), nullptr);
+  EXPECT_NE(cache.lookup(other, RRType::A, std::nullopt, 1), nullptr);
+}
+
+TEST(EcsCache, ClearResetsEntriesButKeepsStats) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix{}, 0, answer("1.1.1.1"), 0, 60 * kSecond);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(EcsCacheStats, HitRate) {
+  CacheStats s;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.0);
+  s.hits = 3;
+  s.misses = 1;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.75);
+}
+
+// Property: an entry inserted for a /N block answers exactly the clients in
+// that block, across every scope length.
+class CacheScopeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheScopeSweep, BlockBoundariesRespected) {
+  const int scope = GetParam();
+  EcsCache cache;
+  const auto base = IpAddress::parse("172.20.154.200");
+  cache.insert(kQname, RRType::A, Prefix{base, scope},
+               static_cast<std::uint8_t>(scope), answer("1.1.1.1"), 0, 60 * kSecond);
+  // The base address always matches.
+  EXPECT_NE(cache.lookup(kQname, RRType::A, base, 1), nullptr);
+  if (scope > 0) {
+    // Flip the last bit *inside* the prefix to leave the block.
+    auto bytes = base.bytes();
+    const int bit = scope - 1;
+    bytes[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(0x80 >> (bit % 8));
+    const auto outside = IpAddress::v4(bytes[0], bytes[1], bytes[2], bytes[3]);
+    EXPECT_EQ(cache.lookup(kQname, RRType::A, outside, 1), nullptr) << scope;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scopes, CacheScopeSweep, ::testing::Range(0, 33));
+
+}  // namespace
+}  // namespace ecsdns::resolver

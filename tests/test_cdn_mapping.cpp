@@ -1,0 +1,186 @@
+// CDN edge fleets and mapping policies, including the CDN-1 (/24 cliff) and
+// CDN-2 (/21 cliff) behaviors behind Figures 6-7 and the unroutable-prefix
+// confusion behind Table 2.
+#include <gtest/gtest.h>
+
+#include "cdn/mapping.h"
+#include "netsim/world.h"
+
+namespace ecsdns::cdn {
+namespace {
+
+using dnscore::IpAddress;
+using dnscore::Prefix;
+using netsim::IpGeoDb;
+using netsim::World;
+
+class MappingTest : public ::testing::Test {
+ protected:
+  MappingTest() : fleet_(EdgeFleet::global(world_, IpAddress::parse("95.0.0.1"))) {
+    geo_.add(Prefix::parse("100.64.7.0/24"), world_.city("Tokyo").location);
+    geo_.add(Prefix::parse("100.64.0.0/21"), world_.city("Tokyo").location);
+    geo_.add(Prefix::parse("100.99.0.0/16"), world_.city("Santiago").location);
+    geo_.add(Prefix::parse("8.8.8.0/24"), world_.city("Cleveland").location);
+  }
+
+  const EdgeServer& edge_in(const std::string& city) const {
+    for (const auto& e : fleet_.servers()) {
+      if (e.city == city) return e;
+    }
+    throw std::out_of_range(city);
+  }
+
+  World world_;
+  IpGeoDb geo_;
+  EdgeFleet fleet_;
+};
+
+TEST_F(MappingTest, FleetNearest) {
+  EXPECT_EQ(fleet_.nearest(world_.city("Tokyo").location).city, "Tokyo");
+  const auto top3 = fleet_.nearest_n(world_.city("Zurich").location, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0]->city, "Zurich");
+  // hashed_pick is deterministic.
+  EXPECT_EQ(&fleet_.hashed_pick(1234), &fleet_.hashed_pick(1234));
+}
+
+TEST_F(MappingTest, EmptyFleetThrows) {
+  EdgeFleet empty;
+  EXPECT_THROW(empty.nearest(world_.city("Tokyo").location), std::logic_error);
+  EXPECT_THROW(empty.hashed_pick(1), std::logic_error);
+}
+
+TEST_F(MappingTest, EcsDrivenProximity) {
+  ProximityMapping mapping(ProximityMapping::cdn2_config(), fleet_, geo_);
+  MappingRequest req;
+  req.ecs = Prefix::parse("100.64.7.0/24");
+  req.resolver = IpAddress::parse("8.8.8.8");
+  const auto result = mapping.map(req);
+  EXPECT_TRUE(result.used_ecs);
+  EXPECT_EQ(result.scope, 21);
+  ASSERT_FALSE(result.addresses.empty());
+  EXPECT_EQ(result.addresses.front(), edge_in("Tokyo").address);
+}
+
+TEST_F(MappingTest, Cdn1IgnoresShortPrefixes) {
+  ProximityMapping mapping(ProximityMapping::cdn1_config(), fleet_, geo_);
+  MappingRequest req;
+  req.resolver = IpAddress::parse("8.8.8.8");
+  // /24: used.
+  req.ecs = Prefix::parse("100.64.7.0/24");
+  EXPECT_TRUE(mapping.map(req).used_ecs);
+  // /23 and shorter: the fixed default set, location-blind.
+  for (const int len : {23, 20, 16}) {
+    req.ecs = Prefix{IpAddress::parse("100.64.7.0"), len};
+    const auto result = mapping.map(req);
+    EXPECT_FALSE(result.used_ecs) << len;
+    EXPECT_EQ(result.scope, 0) << len;
+    // Default set = a rotation of the leading fleet edges, regardless of
+    // the Tokyo location.
+    bool in_default_pool = false;
+    for (std::size_t i = 0; i < mapping.config().default_set_size; ++i) {
+      if (result.addresses.front() == fleet_.servers()[i].address) {
+        in_default_pool = true;
+      }
+    }
+    EXPECT_TRUE(in_default_pool) << len;
+  }
+}
+
+TEST_F(MappingTest, Cdn2FallsBackToResolverProxyBelow21) {
+  ProximityMapping mapping(ProximityMapping::cdn2_config(), fleet_, geo_);
+  MappingRequest req;
+  req.resolver = IpAddress::parse("8.8.8.8");  // geolocated to Cleveland
+  req.ecs = Prefix{IpAddress::parse("100.64.0.0"), 20};
+  const auto result = mapping.map(req);
+  EXPECT_FALSE(result.used_ecs);
+  EXPECT_EQ(result.scope, 0);
+  // Resolver-proxy: nearest to Cleveland.
+  EXPECT_EQ(result.addresses.front(),
+            fleet_.nearest(world_.city("Cleveland").location).address);
+  // At /21 the ECS kicks in.
+  req.ecs = Prefix{IpAddress::parse("100.64.0.0"), 21};
+  EXPECT_TRUE(mapping.map(req).used_ecs);
+}
+
+TEST_F(MappingTest, NoEcsUsesResolverProxy) {
+  ProximityMapping mapping(ProximityMapping::cdn2_config(), fleet_, geo_);
+  MappingRequest req;
+  req.resolver = IpAddress::parse("8.8.8.8");
+  const auto result = mapping.map(req);
+  EXPECT_FALSE(result.used_ecs);
+  EXPECT_EQ(result.addresses.front(),
+            fleet_.nearest(world_.city("Cleveland").location).address);
+}
+
+TEST_F(MappingTest, UnroutableTreatAsResolver) {
+  ProximityMapping mapping(ProximityMapping::cdn2_config(), fleet_, geo_);
+  MappingRequest req;
+  req.resolver = IpAddress::parse("8.8.8.8");
+  req.ecs = Prefix{IpAddress::parse("127.0.0.1"), 32};
+  const auto result = mapping.map(req);
+  EXPECT_FALSE(result.used_ecs);
+  EXPECT_EQ(result.addresses.front(),
+            fleet_.nearest(world_.city("Cleveland").location).address);
+}
+
+TEST_F(MappingTest, UnroutableHashedConfusionDisjointAnswers) {
+  ProximityMapping mapping(ProximityMapping::google_like_config(), fleet_, geo_);
+  MappingRequest req;
+  req.resolver = IpAddress::parse("8.8.8.8");
+
+  req.ecs = Prefix{IpAddress::parse("127.0.0.1"), 32};
+  const auto loopback32 = mapping.map(req);
+  req.ecs = Prefix{IpAddress::parse("127.0.0.0"), 24};
+  const auto loopback24 = mapping.map(req);
+  req.ecs = Prefix{IpAddress::parse("169.254.252.0"), 24};
+  const auto linklocal = mapping.map(req);
+  req.ecs = std::nullopt;
+  const auto none = mapping.map(req);
+
+  // Each unroutable variant lands somewhere, deterministically, and the
+  // sets differ from each other and from the no-ECS answer (Table 2).
+  EXPECT_TRUE(loopback32.used_ecs);
+  EXPECT_NE(loopback32.addresses, loopback24.addresses);
+  EXPECT_NE(loopback32.addresses, linklocal.addresses);
+  EXPECT_NE(loopback24.addresses, linklocal.addresses);
+  EXPECT_NE(loopback32.addresses, none.addresses);
+  // Deterministic on repeat.
+  req.ecs = Prefix{IpAddress::parse("127.0.0.1"), 32};
+  EXPECT_EQ(mapping.map(req).addresses, loopback32.addresses);
+}
+
+TEST_F(MappingTest, UnknownRoutableSpaceFallsBack) {
+  ProximityMapping mapping(ProximityMapping::cdn2_config(), fleet_, geo_);
+  MappingRequest req;
+  req.resolver = IpAddress::parse("8.8.8.8");
+  req.ecs = Prefix::parse("203.0.113.0/24");  // no geo entry
+  const auto result = mapping.map(req);
+  EXPECT_FALSE(result.used_ecs);
+}
+
+TEST_F(MappingTest, AnswerCountRespected) {
+  auto config = ProximityMapping::cdn2_config();
+  config.answer_count = 2;
+  ProximityMapping mapping(config, fleet_, geo_);
+  MappingRequest req;
+  req.ecs = Prefix::parse("100.64.7.0/24");
+  req.resolver = IpAddress::parse("8.8.8.8");
+  EXPECT_EQ(mapping.map(req).addresses.size(), 2u);
+}
+
+TEST(EdgeFleetFactory, InCitiesAllocatesSequentially) {
+  World world;
+  const auto fleet =
+      EdgeFleet::in_cities(world, IpAddress::parse("95.1.0.1"), {"Tokyo", "Paris"});
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet.servers()[0].address, IpAddress::parse("95.1.0.1"));
+  EXPECT_EQ(fleet.servers()[1].address, IpAddress::parse("95.1.0.2"));
+  EXPECT_EQ(fleet.servers()[0].city, "Tokyo");
+  EXPECT_THROW(
+      EdgeFleet::in_cities(world, IpAddress::parse("::1"), {"Tokyo"}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsdns::cdn

@@ -1,0 +1,164 @@
+// System-level integration: a scaled-down version of the paper's complete
+// measurement pipeline — build fleets, drive client workloads, run the
+// passive census and the active probing experiments, and check that the
+// classifiers recover the behaviors the fleets were built with.
+#include <gtest/gtest.h>
+
+#include "authoritative/ecs_policy.h"
+#include "measurement/caching_prober.h"
+#include "measurement/fleet.h"
+#include "measurement/hidden.h"
+#include "measurement/probing_classifier.h"
+#include "measurement/prefix_census.h"
+#include "measurement/scanner.h"
+#include "measurement/workload.h"
+
+namespace ecsdns::measurement {
+namespace {
+
+using dnscore::Name;
+
+TEST(Integration, CdnPassiveCensusRecoversProbingMix) {
+  Testbed bed;
+  // The observed CDN: a zone with a handful of popular hostnames, logging
+  // queries. Non-whitelisted resolvers get no ECS treatment, mirroring the
+  // CDN dataset setup (ECS silently ignored).
+  const Name zone = Name::from_string("cdn.example");
+  auto& cdn = bed.add_auth(
+      "cdn", zone, "Ashburn",
+      std::make_unique<authoritative::WhitelistPolicy>(
+          std::make_unique<authoritative::FixedScopePolicy>(24),
+          std::vector<dnscore::IpAddress>{}));
+  std::vector<Name> hostnames;
+  for (int i = 0; i < 8; ++i) {
+    const Name host = zone.prepend("h" + std::to_string(i));
+    cdn.find_zone(zone)->add(dnscore::ResourceRecord::make_a(
+        host, 20, dnscore::IpAddress::v4(203, 0, 113, static_cast<std::uint8_t>(i))));
+    hostnames.push_back(host);
+  }
+
+  CdnFleetOptions fleet_options;
+  fleet_options.scale = 64;  // ~65 resolvers
+  fleet_options.probe_names = {hostnames[0], hostnames[1]};
+  Fleet fleet = build_cdn_dataset_fleet(bed, fleet_options);
+  ASSERT_GT(fleet.members.size(), 50u);
+
+  WorkloadOptions wl;
+  wl.hostnames = hostnames;
+  wl.duration = 3 * netsim::kHour;
+  wl.mean_query_gap = 3 * netsim::kMinute;
+  const auto stats = drive_fleet(bed, fleet, wl);
+  EXPECT_GT(stats.client_queries, fleet.members.size() * 10);
+  EXPECT_GT(stats.answered, stats.client_queries * 9 / 10);
+
+  const auto verdicts = classify_probing(cdn.log(), ProbingClassifierOptions{});
+  const auto histogram = probing_histogram(verdicts);
+
+  const auto count = [&](ProbingClass c) -> std::size_t {
+    const auto it = histogram.find(c);
+    return it == histogram.end() ? 0 : it->second;
+  };
+  // The scaled mix: ~48 always (dominant 45+2 full-32 + ~5 of the others),
+  // ~4 nocache, ~1 loopback, ~1 onmiss, ~6 irregular. Exact counts depend
+  // on query luck; assert the structure, not the noise.
+  EXPECT_GT(count(ProbingClass::kAlwaysEcs), 40u);
+  EXPECT_GE(count(ProbingClass::kHostnameNoCache), 1u);
+  EXPECT_GE(count(ProbingClass::kPeriodicLoopback), 1u);
+  EXPECT_GE(count(ProbingClass::kIrregular), 1u);
+
+  // Table 1, CDN column: jammed /32 dominates, /24 next.
+  const auto census = source_prefix_census(cdn.log());
+  std::size_t jammed = 0, plain24 = 0;
+  for (const auto& row : census) {
+    if (row.lengths == "32/jammed last byte") jammed = row.resolver_count;
+    if (row.lengths == "24") plain24 = row.resolver_count;
+  }
+  EXPECT_GT(jammed, 40u);  // the dominant AS
+  EXPECT_GE(plain24, 8u);
+}
+
+TEST(Integration, ScanPipelineEndToEnd) {
+  Testbed bed;
+  Scanner scanner(bed);
+  ScanFleetOptions options;
+  options.scale = 16;  // ~96 egress resolvers
+  options.forwarders_per_egress = 4;
+  Fleet fleet = build_scan_dataset_fleet(bed, options);
+
+  std::vector<dnscore::IpAddress> targets;
+  for (const auto& m : fleet.members) {
+    for (const auto* f : m.forwarders) targets.push_back(f->address());
+  }
+  // Plus dead space the scan must survive.
+  targets.push_back(dnscore::IpAddress::parse("198.18.0.1"));
+  const ScanResults results = scanner.scan(targets);
+
+  // Discovery: every fleet member is reachable through at least one open
+  // forwarder, so the scan finds them all; the single-forwarder members are
+  // discovered but remain unstudiable for the caching experiment below.
+  const auto found = results.ecs_egress_addresses();
+  EXPECT_EQ(found.size(), fleet.members.size());
+  std::size_t single_forwarder = 0;
+  for (const auto& m : fleet.members) {
+    if (m.forwarders.size() == 1) ++single_forwarder;
+  }
+  EXPECT_GT(single_forwarder, 0u);
+
+  // Hidden resolvers appear, and every one of them cross-validates against
+  // a CDN-side log of the same fleet (we fabricate the CDN log from the
+  // same observations the egresses would send).
+  const auto hidden = results.hidden_prefixes();
+  EXPECT_GT(hidden.size(), 0u);
+  const auto combos = find_hidden_combinations(results, bed.geodb());
+  EXPECT_GT(combos.size(), 0u);
+  const auto analysis = analyze_hidden(combos);
+  EXPECT_GT(analysis.above_diagonal_fraction, 0.5);
+
+  // Caching prober over a slice of the fleet: the correct/ignore split is
+  // recovered.
+  CachingProber prober(bed);
+  std::size_t correct = 0, ignores = 0, probed = 0;
+  for (const auto& m : fleet.members) {
+    if (m.forwarders.empty()) continue;
+    if (m.behavior != "AS-OK" && m.behavior != "AS-IGN") continue;
+    const auto v = prober.probe(m);
+    ++probed;
+    if (v.cls == CachingClass::kCorrect) ++correct;
+    if (v.cls == CachingClass::kIgnoresScope) ++ignores;
+  }
+  ASSERT_GT(probed, 5u);
+  EXPECT_EQ(correct + ignores, probed);
+  EXPECT_GT(ignores, correct);  // the paper's headline: >half ignore scope
+}
+
+TEST(Integration, WorkloadIsDeterministic) {
+  const auto run = [] {
+    Testbed bed;
+    const Name zone = Name::from_string("cdn.example");
+    auto& cdn = bed.add_auth("cdn", zone, "Ashburn",
+                             std::make_unique<authoritative::FixedScopePolicy>(24));
+    const Name host = zone.prepend("www");
+    cdn.find_zone(zone)->add(dnscore::ResourceRecord::make_a(
+        host, 20, dnscore::IpAddress::v4(203, 0, 113, 1)));
+    CdnFleetOptions fo;
+    fo.scale = 512;
+    fo.probe_names = {host};
+    Fleet fleet = build_cdn_dataset_fleet(bed, fo);
+    WorkloadOptions wl;
+    wl.hostnames = {host};
+    wl.duration = 30 * netsim::kMinute;
+    wl.mean_query_gap = 2 * netsim::kMinute;
+    drive_fleet(bed, fleet, wl);
+    std::string log_fingerprint;
+    for (const auto& e : cdn.log()) {
+      log_fingerprint += e.sender.to_string() + "|" + e.qname.to_string() + "|" +
+                         std::to_string(e.time) + "|" +
+                         (e.query_ecs ? e.query_ecs->to_string() : "-") + "\n";
+    }
+    return log_fingerprint;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ecsdns::measurement

@@ -1,0 +1,191 @@
+// Negative caching (RFC 2308) in the resolver, and IPv6 ECS end to end.
+#include <gtest/gtest.h>
+
+#include "authoritative/server.h"
+#include "measurement/fleet.h"
+#include "measurement/testbed.h"
+#include "measurement/workload.h"
+
+namespace ecsdns::resolver {
+namespace {
+
+using authoritative::ScopeDeltaPolicy;
+using dnscore::IpAddress;
+using dnscore::Message;
+using dnscore::Name;
+using dnscore::RCode;
+using dnscore::ResourceRecord;
+using measurement::Testbed;
+
+Name n(const char* s) { return Name::from_string(s); }
+
+class NegativeCacheTest : public ::testing::Test {
+ protected:
+  NegativeCacheTest() {
+    auth_ = &bed_.add_auth("auth", n("example.com"), "Ashburn",
+                           std::make_unique<ScopeDeltaPolicy>(0));
+    auto* zone = auth_->find_zone(n("example.com"));
+    zone->add(ResourceRecord::make_soa(n("example.com"), 3600,
+                                       n("ns1.example.com"), n("admin.example.com"),
+                                       1, 30));
+    zone->add(ResourceRecord::make_a(n("www.example.com"), 60,
+                                     IpAddress::parse("1.1.1.1")));
+    resolver_ = &bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  }
+
+  Message ask(const char* qname) {
+    Message q = Message::make_query(1, n(qname), dnscore::RRType::A);
+    q.opt = dnscore::OptRecord{};
+    auto r = resolver_->handle_client_query(q, IpAddress::parse("100.64.1.5"));
+    EXPECT_TRUE(r.has_value());
+    return *r;
+  }
+
+  std::size_t upstream_for(const char* qname) const {
+    std::size_t count = 0;
+    for (const auto& e : auth_->log()) {
+      if (e.qname == n(qname)) ++count;
+    }
+    return count;
+  }
+
+  Testbed bed_;
+  authoritative::AuthServer* auth_;
+  RecursiveResolver* resolver_;
+};
+
+TEST_F(NegativeCacheTest, NxDomainCachedForSoaMinimum) {
+  EXPECT_EQ(ask("missing.example.com").header.rcode, RCode::NXDOMAIN);
+  EXPECT_EQ(ask("missing.example.com").header.rcode, RCode::NXDOMAIN);
+  EXPECT_EQ(upstream_for("missing.example.com"), 1u);  // second was cached
+  EXPECT_EQ(resolver_->counters().negative_cache_hits, 1u);
+  // After the SOA minimum (30 s) the entry expires.
+  bed_.network().loop().advance(31 * netsim::kSecond);
+  ask("missing.example.com");
+  EXPECT_EQ(upstream_for("missing.example.com"), 2u);
+}
+
+TEST_F(NegativeCacheTest, NoDataCachedToo) {
+  // www exists but has no AAAA.
+  Message q = Message::make_query(1, n("www.example.com"), dnscore::RRType::AAAA);
+  q.opt = dnscore::OptRecord{};
+  resolver_->handle_client_query(q, IpAddress::parse("100.64.1.5"));
+  resolver_->handle_client_query(q, IpAddress::parse("100.64.1.5"));
+  EXPECT_EQ(resolver_->counters().negative_cache_hits, 1u);
+}
+
+TEST_F(NegativeCacheTest, NegativeEntriesAreGlobalAcrossClients) {
+  ask("missing.example.com");
+  Message q = Message::make_query(1, n("missing.example.com"), dnscore::RRType::A);
+  q.opt = dnscore::OptRecord{};
+  // A client in a completely different subnet still hits the negative
+  // cache: negative answers are not client-tailored.
+  resolver_->handle_client_query(q, IpAddress::parse("9.9.9.9"));
+  EXPECT_EQ(upstream_for("missing.example.com"), 1u);
+}
+
+TEST(AuthSoa, NxDomainCarriesSoaInAuthority) {
+  authoritative::AuthServer server(authoritative::AuthConfig{}, nullptr);
+  auto& zone = server.add_zone(n("example.com"));
+  zone.add(ResourceRecord::make_soa(n("example.com"), 3600, n("ns1.example.com"),
+                                    n("admin.example.com"), 1, 300));
+  Message q = Message::make_query(1, n("nope.example.com"), dnscore::RRType::A);
+  const auto r = server.handle(q, IpAddress::parse("8.8.8.8"), 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.rcode, RCode::NXDOMAIN);
+  ASSERT_EQ(r->authorities.size(), 1u);
+  EXPECT_EQ(r->authorities[0].type, dnscore::RRType::SOA);
+}
+
+TEST(V6Ecs, ResolverAnnouncesV6ClientPrefix) {
+  Testbed bed;
+  auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  auth.find_zone(n("example.com"))
+      ->add(ResourceRecord::make_a(n("www.example.com"), 60,
+                                   IpAddress::parse("1.1.1.1")));
+  ResolverConfig config = ResolverConfig::correct();
+  config.v6_source_bits = 56;
+  auto& resolver = bed.add_resolver(config, "Chicago");
+
+  Message q = Message::make_query(1, n("www.example.com"), dnscore::RRType::A);
+  q.opt = dnscore::OptRecord{};
+  resolver.handle_client_query(q, IpAddress::parse("2001:db8:7:9::42"));
+
+  bool seen = false;
+  for (const auto& e : auth.log()) {
+    if (!e.query_ecs) continue;
+    seen = true;
+    EXPECT_EQ(e.query_ecs->family(),
+              static_cast<std::uint16_t>(dnscore::EcsFamily::IPv6));
+    EXPECT_EQ(e.query_ecs->source_prefix_length(), 56);
+    // /56 zeroes the low byte of the fourth group: 0009 -> 0000.
+    EXPECT_EQ(e.query_ecs->source_prefix()->to_string(), "2001:db8:7::/56");
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(V6Ecs, V6VariantsCycle) {
+  Testbed bed;
+  auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  for (int i = 0; i < 3; ++i) {
+    auth.find_zone(n("example.com"))
+        ->add(ResourceRecord::make_a(n(("h" + std::to_string(i) + ".example.com").c_str()),
+                                     60, IpAddress::parse("1.1.1.1")));
+  }
+  ResolverConfig config = ResolverConfig::correct();
+  config.v6_variants = {64, 96, 128};
+  config.max_cache_prefix_v6 = 128;
+  auto& resolver = bed.add_resolver(config, "Chicago");
+
+  for (int i = 0; i < 3; ++i) {
+    Message q = Message::make_query(
+        1, n(("h" + std::to_string(i) + ".example.com").c_str()), dnscore::RRType::A);
+    q.opt = dnscore::OptRecord{};
+    resolver.handle_client_query(q, IpAddress::parse("2001:db8:7:9::42"));
+  }
+  std::set<int> lengths;
+  for (const auto& e : auth.log()) {
+    if (e.query_ecs) lengths.insert(e.query_ecs->source_prefix_length());
+  }
+  EXPECT_EQ(lengths, (std::set<int>{64, 96, 128}));
+}
+
+TEST(V6Ecs, FleetV6MembersProduceV6CensusRows) {
+  Testbed bed;
+  const Name zone = n("cdn.example");
+  auto& cdn = bed.add_auth("cdn", zone, "Ashburn",
+                           std::make_unique<authoritative::FixedScopePolicy>(24));
+  const Name host = zone.prepend("www");
+  cdn.find_zone(zone)->add(
+      ResourceRecord::make_a(host, 20, IpAddress::parse("203.0.113.1")));
+
+  measurement::CdnFleetOptions options;
+  options.scale = 64;
+  options.include_v6 = true;
+  auto fleet = measurement::build_cdn_dataset_fleet(bed, options);
+  bool has_v6_member = false;
+  for (const auto& m : fleet.members) {
+    if (m.v6_clients) has_v6_member = true;
+  }
+  ASSERT_TRUE(has_v6_member);
+
+  measurement::WorkloadOptions wl;
+  wl.hostnames = {host};
+  wl.duration = 20 * netsim::kMinute;
+  wl.mean_query_gap = 2 * netsim::kMinute;
+  drive_fleet(bed, fleet, wl);
+
+  bool v6_seen = false;
+  for (const auto& e : cdn.log()) {
+    if (e.query_ecs &&
+        e.query_ecs->family() == static_cast<std::uint16_t>(dnscore::EcsFamily::IPv6)) {
+      v6_seen = true;
+    }
+  }
+  EXPECT_TRUE(v6_seen);
+}
+
+}  // namespace
+}  // namespace ecsdns::resolver

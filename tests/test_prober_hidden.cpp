@@ -1,0 +1,225 @@
+// The §6.3 caching prober against resolvers of every known behavior class,
+// plus the §8.2 hidden-resolver analysis and §8.3/§8.1 mapping quality.
+#include <gtest/gtest.h>
+
+#include "authoritative/ecs_policy.h"
+#include "measurement/caching_prober.h"
+#include "measurement/fleet.h"
+#include "measurement/flattening_exp.h"
+#include "measurement/hidden.h"
+#include "measurement/mapping_quality.h"
+
+namespace ecsdns::measurement {
+namespace {
+
+using resolver::ResolverConfig;
+
+// Builds a single-member "fleet" of the given config with two direct
+// forwarders in the right /24-vs-/16 layout.
+FleetMember make_single(Testbed& bed, ResolverConfig config, int serial) {
+  FleetMember m;
+  auto& r = bed.add_resolver(std::move(config), "Chicago");
+  m.resolver = &r;
+  m.address = r.address();
+  for (int f = 0; f < 2; ++f) {
+    const auto addr = dnscore::IpAddress::v4(
+        (61u << 24) | (static_cast<std::uint32_t>(serial) << 16) |
+        (static_cast<std::uint32_t>(f) << 8) | 1u);
+    m.forwarders.push_back(&bed.add_forwarder_at(addr, "Toronto", m.address));
+    m.hidden.push_back(nullptr);
+  }
+  return m;
+}
+
+class ProberTest : public ::testing::Test {
+ protected:
+  ProberTest() : prober_(bed_) {}
+  Testbed bed_;
+  CachingProber prober_;
+};
+
+TEST_F(ProberTest, CorrectResolverViaForwarders) {
+  ResolverConfig c = ResolverConfig::correct();
+  c.accept_client_ecs = false;  // forces the two-forwarder technique
+  const auto member = make_single(bed_, c, 1);
+  const auto v = prober_.probe(member);
+  EXPECT_FALSE(v.accepts_client_ecs);
+  EXPECT_TRUE(v.honors_scope24);
+  EXPECT_TRUE(v.reuses_scope16);
+  EXPECT_TRUE(v.reuses_scope0);
+  EXPECT_EQ(v.cls, CachingClass::kCorrect);
+  EXPECT_LE(v.max_source_seen, 24);
+}
+
+TEST_F(ProberTest, CorrectResolverViaClientEcs) {
+  const auto member = make_single(bed_, ResolverConfig::correct(), 2);
+  const auto v = prober_.probe(member);
+  EXPECT_TRUE(v.accepts_client_ecs);
+  EXPECT_EQ(v.cls, CachingClass::kCorrect);
+  // Truncates our /28 marker to /24.
+  EXPECT_LE(v.max_source_seen, 24);
+}
+
+TEST_F(ProberTest, ScopeIgnorerDetected) {
+  const auto member = make_single(bed_, ResolverConfig::scope_ignorer(), 3);
+  const auto v = prober_.probe(member);
+  EXPECT_FALSE(v.honors_scope24);
+  EXPECT_EQ(v.cls, CachingClass::kIgnoresScope);
+}
+
+TEST_F(ProberTest, LongPrefixAcceptorDetected) {
+  const auto member = make_single(bed_, ResolverConfig::long_prefix_acceptor(), 4);
+  const auto v = prober_.probe(member);
+  EXPECT_TRUE(v.accepts_client_ecs);
+  EXPECT_EQ(v.cls, CachingClass::kAcceptsLongPrefixes);
+  EXPECT_GT(v.max_source_seen, 24);
+}
+
+TEST_F(ProberTest, Clamp22Detected) {
+  const auto member = make_single(bed_, ResolverConfig::clamp22(), 5);
+  const auto v = prober_.probe(member);
+  EXPECT_TRUE(v.accepts_client_ecs);
+  EXPECT_EQ(v.cls, CachingClass::kClamp22);
+}
+
+TEST_F(ProberTest, PrivateBlockBugDetected) {
+  const auto member = make_single(bed_, ResolverConfig::private_block_bug(), 6);
+  const auto v = prober_.probe(member);
+  EXPECT_TRUE(v.private_prefix_seen);
+  EXPECT_FALSE(v.reuses_scope0);
+  EXPECT_EQ(v.cls, CachingClass::kPrivatePrefixBug);
+}
+
+TEST_F(ProberTest, UnreachableMemberUnstudied) {
+  FleetMember m;
+  auto& r = bed_.add_resolver(ResolverConfig::google_like(), "Chicago");
+  m.resolver = &r;
+  m.address = r.address();
+  // No forwarders and closed to client ECS.
+  const auto verdicts = prober_.probe_fleet(Fleet{{m}});
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].cls, CachingClass::kUnstudied);
+}
+
+TEST_F(ProberTest, HistogramCounts) {
+  std::vector<CachingVerdict> verdicts(3);
+  verdicts[0].cls = CachingClass::kCorrect;
+  verdicts[1].cls = CachingClass::kCorrect;
+  verdicts[2].cls = CachingClass::kIgnoresScope;
+  const auto h = CachingProber::histogram(verdicts);
+  EXPECT_EQ(h.at(CachingClass::kCorrect), 2u);
+  EXPECT_EQ(h.at(CachingClass::kIgnoresScope), 1u);
+}
+
+TEST(HiddenAnalysisTest, PathologicalComboMeasured) {
+  Testbed bed;
+  Scanner scanner(bed);
+  // Egress in Santiago, hidden resolver in Milan, forwarder in Santiago —
+  // the paper's verified worst case.
+  // Distinct /24s per role, as in real deployments: the hidden detector
+  // compares blocks at /24.
+  auto& egress = bed.add_resolver(ResolverConfig::google_like(), "Santiago");
+  auto& hidden = bed.add_forwarder_at(dnscore::IpAddress::parse("70.0.0.1"), "Milan",
+                                      egress.address());
+  auto& fwd = bed.add_forwarder_at(dnscore::IpAddress::parse("60.0.0.1"), "Santiago",
+                                   hidden.address());
+  // And a sane chain: everything in Tokyo.
+  auto& egress2 = bed.add_resolver(ResolverConfig::google_like(), "Tokyo");
+  auto& hidden2 = bed.add_forwarder_at(dnscore::IpAddress::parse("70.0.1.1"), "Tokyo",
+                                       egress2.address());
+  auto& fwd2 = bed.add_forwarder_at(dnscore::IpAddress::parse("60.0.1.1"), "Tokyo",
+                                    hidden2.address());
+
+  const auto results = scanner.scan({fwd.address(), fwd2.address()});
+  const auto combos = find_hidden_combinations(results, bed.geodb());
+  ASSERT_EQ(combos.size(), 2u);
+
+  const auto analysis = analyze_hidden(combos);
+  EXPECT_EQ(analysis.combinations, 2u);
+  // One of two combos has the hidden resolver ~11,000 km farther.
+  EXPECT_DOUBLE_EQ(analysis.below_diagonal_fraction, 0.5);
+  EXPECT_GT(analysis.max_penalty_km, 9000.0);
+}
+
+TEST(HiddenAnalysisTest, CrossValidationAgainstCdnLog) {
+  const auto p1 = dnscore::Prefix::parse("70.0.1.0/24");
+  const auto p2 = dnscore::Prefix::parse("70.0.2.0/24");
+  std::vector<authoritative::QueryLogEntry> cdn_log;
+  authoritative::QueryLogEntry e;
+  e.query_ecs = dnscore::EcsOption::for_query(p1);
+  cdn_log.push_back(e);
+  EXPECT_DOUBLE_EQ(cross_validate_hidden({p1, p2}, cdn_log), 0.5);
+  EXPECT_DOUBLE_EQ(cross_validate_hidden({}, cdn_log), 0.0);
+}
+
+TEST(MappingQualityTest, PrefixLengthCliff) {
+  Testbed bed;
+  auto& fleet = bed.add_global_fleet();
+  auto& mapping = bed.add_mapping(cdn::ProximityMapping::cdn1_config(), fleet);
+  auto& auth = bed.add_auth("cdn1", dnscore::Name::from_string("cdn1.net"), "Ashburn",
+                            std::make_unique<authoritative::CdnMappingPolicy>(mapping));
+  const auto host = dnscore::Name::from_string("www.cdn1.net");
+  auth.find_zone(dnscore::Name::from_string("cdn1.net"))
+      ->add(dnscore::ResourceRecord::make_a(host, 20,
+                                            dnscore::IpAddress::parse("203.0.113.1")));
+
+  const auto probes = make_probe_sites(bed, 60, 5);
+  const auto results = run_prefix_length_sweep(bed, bed.auth_address(auth), host,
+                                               probes, {16, 20, 23, 24});
+  ASSERT_EQ(results.size(), 4u);
+  const auto& at24 = results.back();
+  EXPECT_EQ(at24.prefix_length, 24);
+  // /24 yields many distinct answers; shorter prefixes collapse to the
+  // default set (Figure 6's cliff).
+  EXPECT_GT(at24.unique_first_answers, 10u);
+  for (std::size_t i = 0; i + 1 < results.size(); ++i) {
+    EXPECT_LE(results[i].unique_first_answers, 8u) << results[i].prefix_length;
+    EXPECT_GT(results[i].connect_ms.median(), at24.connect_ms.median());
+  }
+}
+
+TEST(MappingQualityTest, UnroutableTable) {
+  Testbed bed;
+  auto& fleet = bed.add_global_fleet();
+  auto& mapping = bed.add_mapping(cdn::ProximityMapping::google_like_config(), fleet);
+  auto& auth = bed.add_auth("goog", dnscore::Name::from_string("video.net"), "Ashburn",
+                            std::make_unique<authoritative::CdnMappingPolicy>(mapping));
+  const auto host = dnscore::Name::from_string("www.video.net");
+  auth.find_zone(dnscore::Name::from_string("video.net"))
+      ->add(dnscore::ResourceRecord::make_a(host, 20,
+                                            dnscore::IpAddress::parse("203.0.113.1")));
+
+  const auto rows = run_unroutable_experiment(bed, bed.auth_address(auth), host);
+  ASSERT_EQ(rows.size(), 5u);
+  // No-ECS and /24-of-source rows map near the Cleveland lab.
+  EXPECT_LT(rows[0].rtt_ms, 60.0);
+  EXPECT_LT(rows[1].rtt_ms, 60.0);
+  // At least one unroutable variant lands far away (the Table 2 penalty).
+  const double worst = std::max({rows[2].rtt_ms, rows[3].rtt_ms, rows[4].rtt_ms});
+  EXPECT_GT(worst, 100.0);
+}
+
+TEST(FlatteningExperiment, ApexPaysThePenalty) {
+  Testbed bed;
+  FlatteningOptions options;
+  const auto timeline = run_cname_flattening_experiment(bed, options);
+  // The apex edge is near the DNS provider (Frankfurt), the www edge near
+  // the client (Santiago).
+  EXPECT_EQ(timeline.www_edge_city, "Santiago");
+  EXPECT_NE(timeline.apex_edge_city, "Santiago");
+  EXPECT_GT(timeline.penalty(), 100 * netsim::kMillisecond);
+  EXPECT_GT(timeline.apex_total(), timeline.www_total());
+}
+
+TEST(FlatteningExperiment, ForwardingEcsFixesTheMapping) {
+  Testbed bed;
+  FlatteningOptions options;
+  options.provider_forwards_ecs = true;
+  const auto timeline = run_cname_flattening_experiment(bed, options);
+  // With ECS forwarded on the backend, the apex maps to the client's city
+  // too, and the "penalty" reduces to the redirect round trip.
+  EXPECT_EQ(timeline.apex_edge_city, "Santiago");
+}
+
+}  // namespace
+}  // namespace ecsdns::measurement

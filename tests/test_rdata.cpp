@@ -1,0 +1,101 @@
+// Round-trip and error tests for typed RDATA.
+#include <gtest/gtest.h>
+
+#include "dnscore/rdata.h"
+
+namespace ecsdns::dnscore {
+namespace {
+
+Rdata roundtrip(const Rdata& in) {
+  WireWriter w;
+  serialize_rdata(in, w);
+  WireReader r({w.data().data(), w.data().size()});
+  return parse_rdata(rdata_type(in), static_cast<std::uint16_t>(w.size()), r);
+}
+
+TEST(Rdata, ARoundTrip) {
+  const Rdata in = ARdata{IpAddress::parse("1.2.3.4")};
+  EXPECT_EQ(roundtrip(in), in);
+  EXPECT_EQ(rdata_type(in), RRType::A);
+  EXPECT_EQ(rdata_to_string(in), "1.2.3.4");
+}
+
+TEST(Rdata, AaaaRoundTrip) {
+  const Rdata in = AaaaRdata{IpAddress::parse("2001:db8::42")};
+  EXPECT_EQ(roundtrip(in), in);
+  EXPECT_EQ(rdata_to_string(in), "2001:db8::42");
+}
+
+TEST(Rdata, NsCnamePtrRoundTrip) {
+  const Rdata ns = NsRdata{Name::from_string("ns1.example.com")};
+  const Rdata cname = CnameRdata{Name::from_string("target.example.net")};
+  const Rdata ptr = PtrRdata{Name::from_string("host.example.org")};
+  EXPECT_EQ(roundtrip(ns), ns);
+  EXPECT_EQ(roundtrip(cname), cname);
+  EXPECT_EQ(roundtrip(ptr), ptr);
+}
+
+TEST(Rdata, MxRoundTrip) {
+  const Rdata in = MxRdata{10, Name::from_string("mail.example.com")};
+  EXPECT_EQ(roundtrip(in), in);
+  EXPECT_EQ(rdata_to_string(in), "10 mail.example.com");
+}
+
+TEST(Rdata, TxtRoundTrip) {
+  const Rdata in = TxtRdata{{"hello", "world", std::string(255, 'x')}};
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(Rdata, TxtRejectsOversizedString) {
+  const Rdata in = TxtRdata{{std::string(256, 'x')}};
+  WireWriter w;
+  EXPECT_THROW(serialize_rdata(in, w), WireFormatError);
+}
+
+TEST(Rdata, SoaRoundTrip) {
+  const Rdata in = SoaRdata{Name::from_string("ns1.example.com"),
+                            Name::from_string("admin.example.com"),
+                            2024010101,
+                            7200,
+                            3600,
+                            1209600,
+                            300};
+  EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(Rdata, RawFallbackPreservesBytes) {
+  const Rdata in = RawRdata{99, {1, 2, 3, 4, 5}};
+  EXPECT_EQ(roundtrip(in), in);
+  EXPECT_EQ(static_cast<std::uint16_t>(rdata_type(in)), 99);
+}
+
+TEST(Rdata, ARejectsWrongLength) {
+  const std::uint8_t three[] = {1, 2, 3};
+  WireReader r({three, 3});
+  EXPECT_THROW(parse_rdata(RRType::A, 3, r), WireFormatError);
+}
+
+TEST(Rdata, AaaaRejectsWrongLength) {
+  const std::uint8_t four[] = {1, 2, 3, 4};
+  WireReader r({four, 4});
+  EXPECT_THROW(parse_rdata(RRType::AAAA, 4, r), WireFormatError);
+}
+
+TEST(Rdata, TxtRejectsLengthMismatch) {
+  // Declares a 5-byte string but rdlength is 4.
+  const std::uint8_t bad[] = {5, 'a', 'b', 'c'};
+  WireReader r({bad, 4});
+  EXPECT_THROW(parse_rdata(RRType::TXT, 4, r), WireFormatError);
+}
+
+TEST(RRTypeStrings, RoundTrip) {
+  for (const auto t : {RRType::A, RRType::NS, RRType::CNAME, RRType::SOA,
+                       RRType::PTR, RRType::MX, RRType::TXT, RRType::AAAA,
+                       RRType::OPT, RRType::ANY}) {
+    EXPECT_EQ(rrtype_from_string(to_string(t)), t);
+  }
+  EXPECT_THROW(rrtype_from_string("NOPE"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsdns::dnscore

@@ -1,0 +1,382 @@
+// End-to-end recursive resolver tests through the full simulated hierarchy
+// (root -> TLD -> authoritative), covering iterative resolution, ECS cache
+// behavior, and every probing/prefix policy the paper catalogs.
+#include <gtest/gtest.h>
+
+#include "authoritative/server.h"
+#include "measurement/testbed.h"
+
+namespace ecsdns::resolver {
+namespace {
+
+using authoritative::AuthServer;
+using authoritative::ScopeDeltaPolicy;
+using dnscore::EcsOption;
+using dnscore::Message;
+using dnscore::Name;
+using dnscore::Prefix;
+using dnscore::RCode;
+using dnscore::ResourceRecord;
+using measurement::Testbed;
+
+Name n(const char* s) { return Name::from_string(s); }
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  ResolverTest() {
+    auth_ = &bed_.add_auth("auth", n("example.com"), "Ashburn",
+                           std::make_unique<ScopeDeltaPolicy>(0));
+    auth_->find_zone(n("example.com"))
+        ->add(ResourceRecord::make_a(n("www.example.com"), 60,
+                                     dnscore::IpAddress::parse("1.1.1.1")));
+  }
+
+  // Sends a client query to `resolver` from `client_ip`.
+  Message ask(RecursiveResolver& resolver, const char* client_ip,
+              const char* qname = "www.example.com",
+              std::optional<EcsOption> ecs = std::nullopt) {
+    Message q = Message::make_query(1, n(qname), dnscore::RRType::A);
+    q.opt = dnscore::OptRecord{};
+    if (ecs) q.set_ecs(*ecs);
+    auto r = resolver.handle_client_query(q, dnscore::IpAddress::parse(client_ip));
+    EXPECT_TRUE(r.has_value());
+    return *r;
+  }
+
+  // Count of upstream queries the leaf authoritative saw, optionally only
+  // those carrying ECS.
+  std::size_t auth_queries(bool ecs_only = false) const {
+    std::size_t count = 0;
+    for (const auto& e : auth_->log()) {
+      if (e.qname.is_subdomain_of(n("example.com")) &&
+          e.qtype == dnscore::RRType::A && (!ecs_only || e.query_ecs)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  Testbed bed_;
+  AuthServer* auth_;
+};
+
+TEST_F(ResolverTest, ResolvesThroughHierarchy) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  const Message r = ask(resolver, "100.64.1.5");
+  EXPECT_EQ(r.header.rcode, RCode::NOERROR);
+  EXPECT_EQ(r.first_address(), dnscore::IpAddress::parse("1.1.1.1"));
+  // Walked root -> TLD -> leaf.
+  EXPECT_GE(resolver.counters().referrals_followed, 2u);
+  EXPECT_EQ(resolver.counters().client_queries, 1u);
+}
+
+TEST_F(ResolverTest, CachesWithinTtlAndDecrementsIt) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  ask(resolver, "100.64.1.5");
+  const std::size_t upstream_before = auth_queries();
+  bed_.network().loop().advance(10 * netsim::kSecond);
+  const Message r2 = ask(resolver, "100.64.1.6");  // same /24 client
+  EXPECT_EQ(auth_queries(), upstream_before);      // served from cache
+  EXPECT_EQ(resolver.counters().cache_hits, 1u);
+  ASSERT_FALSE(r2.answers.empty());
+  EXPECT_LE(r2.answers.front().ttl, 50u);  // TTL decremented
+  // After expiry the resolver goes upstream again.
+  bed_.network().loop().advance(60 * netsim::kSecond);
+  ask(resolver, "100.64.1.5");
+  EXPECT_EQ(auth_queries(), upstream_before + 1);
+}
+
+TEST_F(ResolverTest, HonorsScopeAcrossSubnets) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  // ScopeDelta(0): scope = source = 24, so distinct /24s need distinct
+  // upstream fetches.
+  ask(resolver, "100.64.1.5");
+  ask(resolver, "100.64.2.5");  // different /24
+  EXPECT_EQ(auth_queries(), 2u);
+  ask(resolver, "100.64.2.99");  // same /24 as the second client
+  EXPECT_EQ(auth_queries(), 2u);
+}
+
+TEST_F(ResolverTest, ScopeIgnorerReusesAcrossSubnets) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::scope_ignorer(), "Chicago");
+  ask(resolver, "100.64.1.5");
+  ask(resolver, "100.64.2.5");
+  ask(resolver, "7.8.9.10");
+  EXPECT_EQ(auth_queries(), 1u);  // one fetch serves the world
+}
+
+TEST_F(ResolverTest, SendsTruncated24ByDefault) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  ask(resolver, "100.64.1.77");
+  bool seen = false;
+  for (const auto& e : auth_->log()) {
+    if (!e.query_ecs) continue;
+    seen = true;
+    EXPECT_EQ(e.query_ecs->source_prefix_length(), 24);
+    EXPECT_EQ(e.query_ecs->source_prefix()->to_string(), "100.64.1.0/24");
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST_F(ResolverTest, JammedLastOctetAdvertises32) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::jammed_32(), "Beijing");
+  ask(resolver, "100.64.1.77");
+  bool seen = false;
+  for (const auto& e : auth_->log()) {
+    if (!e.query_ecs) continue;
+    seen = true;
+    EXPECT_EQ(e.query_ecs->source_prefix_length(), 32);
+    EXPECT_EQ(e.query_ecs->source_prefix()->to_string(), "100.64.1.1/32");
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST_F(ResolverTest, NoEcsToRootServersByDefault) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  ask(resolver, "100.64.1.5");
+  // Inspect the root server's log via the testbed's root hint machinery:
+  // the root is the first auth attached; its log lives in the root server.
+  // The leaf authoritative saw ECS, the root must not have.
+  EXPECT_GT(auth_queries(true), 0u);
+  // Root log: find it through the testbed root hints (the root answers the
+  // "com" referral).
+  // All root queries are logged by the root AuthServer, which the Testbed
+  // owns; absence of ECS there is asserted via the resolver's counters:
+  // upstream_ecs_queries < upstream_queries.
+  EXPECT_LT(resolver.counters().upstream_ecs_queries,
+            resolver.counters().upstream_queries);
+}
+
+TEST_F(ResolverTest, PeriodicLoopbackProbing) {
+  ResolverConfig config = ResolverConfig::periodic_loopback_prober();
+  config.probe_interval = 30 * netsim::kMinute;
+  auto& resolver = bed_.add_resolver(config, "Chicago");
+
+  ask(resolver, "100.64.1.5", "a.example.com");
+  // First query triggers the probe (interval never elapsed before).
+  std::size_t loopback_probes = 0;
+  for (const auto& e : auth_->log()) {
+    if (e.query_ecs && e.query_ecs->source_prefix() &&
+        e.query_ecs->source_prefix()->address().is_loopback()) {
+      ++loopback_probes;
+    }
+  }
+  EXPECT_EQ(loopback_probes, 1u);
+
+  // Within the interval: no ECS.
+  bed_.network().loop().advance(5 * netsim::kMinute);
+  ask(resolver, "100.64.1.5", "b.example.com");
+  EXPECT_EQ(auth_queries(true), 1u);
+
+  // After the interval: another loopback probe.
+  bed_.network().loop().advance(30 * netsim::kMinute);
+  ask(resolver, "100.64.1.5", "c.example.com");
+  EXPECT_EQ(auth_queries(true), 2u);
+}
+
+TEST_F(ResolverTest, HostnameProbeNoCacheRequeriesWithinTtl) {
+  ResolverConfig config = ResolverConfig::hostname_prober_nocache();
+  config.probe_hostnames = {n("www.example.com")};
+  auto& resolver = bed_.add_resolver(config, "Chicago");
+  ask(resolver, "100.64.1.5");
+  ask(resolver, "100.64.1.5");  // within TTL, same client
+  // Caching disabled for the probe name: both queries reach the auth.
+  EXPECT_EQ(auth_queries(), 2u);
+  EXPECT_EQ(auth_queries(true), 2u);
+}
+
+TEST_F(ResolverTest, HostnameProbeOnMissStaysQuietOnHits) {
+  // Add a non-probe name so we can verify plain queries carry no ECS.
+  auth_->find_zone(n("example.com"))
+      ->add(ResourceRecord::make_a(n("other.example.com"), 60,
+                                   dnscore::IpAddress::parse("2.2.2.2")));
+  ResolverConfig config = ResolverConfig::hostname_prober_onmiss();
+  config.probe_hostnames = {n("www.example.com")};
+  auto& resolver = bed_.add_resolver(config, "Chicago");
+  ask(resolver, "100.64.1.5");                        // miss: ECS probe
+  ask(resolver, "100.64.1.5");                        // hit: nothing upstream
+  ask(resolver, "100.64.1.5", "other.example.com");   // non-probe name: no ECS
+  EXPECT_EQ(auth_queries(true), 1u);
+  EXPECT_EQ(auth_queries(), 2u);
+}
+
+TEST_F(ResolverTest, ZoneWhitelistLimitsEcs) {
+  // A second zone outside the whitelist.
+  auto& other = bed_.add_auth("other", n("other.net"), "Ashburn",
+                              std::make_unique<ScopeDeltaPolicy>(0));
+  other.find_zone(n("other.net"))
+      ->add(ResourceRecord::make_a(n("www.other.net"), 60,
+                                   dnscore::IpAddress::parse("3.3.3.3")));
+  ResolverConfig config;
+  config.probing = ProbingStrategy::kZoneWhitelist;
+  config.zone_whitelist = {n("example.com")};
+  auto& resolver = bed_.add_resolver(config, "Chicago");
+  ask(resolver, "100.64.1.5", "www.example.com");
+  ask(resolver, "100.64.1.5", "www.other.net");
+  EXPECT_EQ(auth_queries(true), 1u);
+  bool other_saw_ecs = false;
+  for (const auto& e : other.log()) {
+    if (e.query_ecs) other_saw_ecs = true;
+  }
+  EXPECT_FALSE(other_saw_ecs);
+}
+
+TEST_F(ResolverTest, PrivateBlockBugSendsTenSlashEight) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::private_block_bug(), "Chicago");
+  ask(resolver, "100.64.1.5");
+  bool seen_private = false;
+  for (const auto& e : auth_->log()) {
+    if (!e.query_ecs) continue;
+    const auto src = e.query_ecs->source_prefix();
+    if (src && src->address().is_private()) seen_private = true;
+  }
+  EXPECT_TRUE(seen_private);
+}
+
+TEST_F(ResolverTest, AcceptsAndTruncatesClientEcs) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  ask(resolver, "100.64.1.5", "www.example.com",
+      EcsOption::for_query(Prefix{dnscore::IpAddress::parse("9.9.4.200"), 28}));
+  for (const auto& e : auth_->log()) {
+    if (!e.query_ecs) continue;
+    // The correct resolver truncates the client's /28 to /24.
+    EXPECT_EQ(e.query_ecs->source_prefix_length(), 24);
+    EXPECT_EQ(e.query_ecs->source_prefix()->to_string(), "9.9.4.0/24");
+  }
+}
+
+TEST_F(ResolverTest, ClosedResolverDerivesFromSender) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::google_like(), "Chicago");
+  ask(resolver, "100.64.1.5", "www.example.com",
+      EcsOption::for_query(Prefix{dnscore::IpAddress::parse("9.9.4.200"), 28}));
+  for (const auto& e : auth_->log()) {
+    if (!e.query_ecs) continue;
+    EXPECT_EQ(e.query_ecs->source_prefix()->to_string(), "100.64.1.0/24");
+  }
+}
+
+TEST_F(ResolverTest, EchoesEcsScopeToClient) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  const Message r = ask(resolver, "100.64.1.5", "www.example.com",
+                        EcsOption::for_query(Prefix::parse("9.9.4.0/24")));
+  ASSERT_TRUE(r.has_ecs());
+  EXPECT_EQ(r.ecs()->scope_prefix_length(), 24);
+}
+
+TEST_F(ResolverTest, CnameAcrossZonesRestartsResolution) {
+  auto& cdn = bed_.add_auth("cdn", n("cdn.net"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  cdn.find_zone(n("cdn.net"))
+      ->add(ResourceRecord::make_a(n("edge.cdn.net"), 60,
+                                   dnscore::IpAddress::parse("4.4.4.4")));
+  auth_->find_zone(n("example.com"))
+      ->add(ResourceRecord::make_cname(n("video.example.com"), 60, n("edge.cdn.net")));
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  const Message r = ask(resolver, "100.64.1.5", "video.example.com");
+  EXPECT_EQ(r.header.rcode, RCode::NOERROR);
+  EXPECT_EQ(r.first_address(), dnscore::IpAddress::parse("4.4.4.4"));
+  EXPECT_GE(resolver.counters().cname_restarts, 1u);
+}
+
+TEST_F(ResolverTest, NxDomainPassedThrough) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  const Message r = ask(resolver, "100.64.1.5", "missing.example.com");
+  EXPECT_EQ(r.header.rcode, RCode::NXDOMAIN);
+}
+
+TEST_F(ResolverTest, UnknownTldGetsNxDomainFromRoot) {
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  const Message r = ask(resolver, "100.64.1.5", "www.unknown-zone.org");
+  EXPECT_EQ(r.header.rcode, RCode::NXDOMAIN);
+}
+
+TEST_F(ResolverTest, ServfailWhenAuthoritativeUnreachable) {
+  // Delegate a zone whose nameserver then disappears from the network.
+  auto& dead = bed_.add_auth("dead", n("dead.com"), "Ashburn",
+                             std::make_unique<ScopeDeltaPolicy>(0));
+  const auto dead_addr = bed_.auth_address(dead);
+  bed_.network().detach(dead_addr);
+  auto& resolver = bed_.add_resolver(ResolverConfig::correct(), "Chicago");
+  const Message r = ask(resolver, "100.64.1.5", "www.dead.com");
+  EXPECT_EQ(r.header.rcode, RCode::SERVFAIL);
+  EXPECT_GE(resolver.counters().servfails, 1u);
+}
+
+TEST(ForwarderTest, BlindRelayPreservesClientEcs) {
+  Testbed bed;
+  auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  auth.find_zone(n("example.com"))
+      ->add(ResourceRecord::make_a(n("www.example.com"), 60,
+                                   dnscore::IpAddress::parse("1.1.1.1")));
+  ResolverConfig config = ResolverConfig::correct();  // accepts client ECS
+  auto& resolver = bed.add_resolver(config, "Chicago");
+  auto& fwd = bed.add_forwarder("Santiago", resolver.address());
+  auto& client = bed.add_client("Santiago");
+
+  const auto r = client.query(fwd.address(), n("www.example.com"), dnscore::RRType::A,
+                              EcsOption::for_query(Prefix::parse("9.9.4.0/24")));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first_address(), dnscore::IpAddress::parse("1.1.1.1"));
+  bool seen = false;
+  for (const auto& e : auth.log()) {
+    if (!e.query_ecs) continue;
+    seen = true;
+    EXPECT_EQ(e.query_ecs->source_prefix()->to_string(), "9.9.4.0/24");
+  }
+  EXPECT_TRUE(seen);
+  EXPECT_EQ(fwd.relayed(), 1u);
+}
+
+TEST(ForwarderTest, HiddenResolverBecomesTheAnnouncedSubnet) {
+  Testbed bed;
+  auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  auth.find_zone(n("example.com"))
+      ->add(ResourceRecord::make_a(n("www.example.com"), 60,
+                                   dnscore::IpAddress::parse("1.1.1.1")));
+  // A closed egress: derives ECS from the immediate sender.
+  auto& egress = bed.add_resolver(ResolverConfig::google_like(), "Miami");
+  // Hidden resolver in Milan relaying to the egress; forwarder in Santiago.
+  auto& hidden = bed.add_forwarder("Milan", egress.address());
+  auto& fwd = bed.add_forwarder("Santiago", hidden.address());
+  auto& client = bed.add_client("Santiago");
+
+  const auto r = client.query(fwd.address(), n("www.example.com"), dnscore::RRType::A);
+  ASSERT_TRUE(r.has_value());
+  bool seen = false;
+  for (const auto& e : auth.log()) {
+    if (!e.query_ecs) continue;
+    seen = true;
+    // The announced subnet is the *hidden resolver's* /24 — the §8.2
+    // pathology: the CDN now thinks the client is in Milan.
+    EXPECT_TRUE(e.query_ecs->source_prefix()->contains(hidden.address()));
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(ForwarderTest, StampSenderSubnetOverridesClientEcs) {
+  Testbed bed;
+  auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  auth.find_zone(n("example.com"))
+      ->add(ResourceRecord::make_a(n("www.example.com"), 60,
+                                   dnscore::IpAddress::parse("1.1.1.1")));
+  auto& resolver = bed.add_resolver(ResolverConfig::correct(), "Chicago");
+  ForwarderConfig fc;
+  fc.stamp_sender_subnet = true;
+  auto& fwd = bed.add_forwarder("Santiago", resolver.address(), fc);
+  auto& client = bed.add_client("Santiago");
+
+  client.query(fwd.address(), n("www.example.com"), dnscore::RRType::A,
+               EcsOption::for_query(Prefix::parse("9.9.4.0/24")));
+  for (const auto& e : auth.log()) {
+    if (!e.query_ecs) continue;
+    // The forwarder stamped the *client's* /24, overriding the spoofable
+    // client option.
+    EXPECT_TRUE(e.query_ecs->source_prefix()->contains(client.address()));
+  }
+}
+
+}  // namespace
+}  // namespace ecsdns::resolver

@@ -1,0 +1,120 @@
+// Remaining resolver behavior corners: ECS on NS queries, irregular-probing
+// determinism, and mixed-type answers under CDN tailoring.
+#include <gtest/gtest.h>
+
+#include "authoritative/ecs_policy.h"
+#include "measurement/testbed.h"
+
+namespace ecsdns::resolver {
+namespace {
+
+using authoritative::ScopeDeltaPolicy;
+using dnscore::IpAddress;
+using dnscore::Message;
+using dnscore::Name;
+using dnscore::ResourceRecord;
+using measurement::Testbed;
+
+Name n(const char* s) { return Name::from_string(s); }
+
+Message ns_query(RecursiveResolver& resolver, const char* qname) {
+  Message q = Message::make_query(1, n(qname), dnscore::RRType::NS);
+  q.opt = dnscore::OptRecord{};
+  auto r = resolver.handle_client_query(q, IpAddress::parse("100.64.1.5"));
+  EXPECT_TRUE(r.has_value());
+  return *r;
+}
+
+TEST(ResolverMisc, NsQueriesCarryNoEcsByDefault) {
+  Testbed bed;
+  auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  auth.find_zone(n("example.com"))
+      ->add(ResourceRecord::make_ns(n("example.com"), 3600, n("ns1.example.com")));
+  auto& resolver = bed.add_resolver(ResolverConfig::correct(), "Chicago");
+  ns_query(resolver, "example.com");
+  for (const auto& e : auth.log()) {
+    EXPECT_FALSE(e.query_ecs.has_value()) << e.qname.to_string();
+  }
+}
+
+TEST(ResolverMisc, NsQueriesCarryEcsWhenMisconfigured) {
+  // The §6.1 observation: "some resolvers send client subnet information
+  // unnecessarily, for queries that are unlikely to be answered based on
+  // ECS information, such as NS queries."
+  Testbed bed;
+  auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  auth.find_zone(n("example.com"))
+      ->add(ResourceRecord::make_ns(n("example.com"), 3600, n("ns1.example.com")));
+  ResolverConfig config = ResolverConfig::correct();
+  config.ecs_on_ns_queries = true;
+  auto& resolver = bed.add_resolver(config, "Chicago");
+  const Message r = ns_query(resolver, "example.com");
+  EXPECT_EQ(r.header.rcode, dnscore::RCode::NOERROR);
+  bool ecs_seen = false;
+  int scope = -1;
+  for (const auto& e : auth.log()) {
+    if (e.query_ecs) ecs_seen = true;
+    if (e.response_ecs) scope = e.response_ecs->scope_prefix_length();
+  }
+  EXPECT_TRUE(ecs_seen);
+  EXPECT_EQ(scope, 0);  // the RFC's zero-scope answer for non-address types
+}
+
+TEST(ResolverMisc, IrregularStrategyIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Testbed bed;
+    auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                              std::make_unique<ScopeDeltaPolicy>(0));
+    for (int i = 0; i < 20; ++i) {
+      auth.find_zone(n("example.com"))
+          ->add(ResourceRecord::make_a(
+              n(("h" + std::to_string(i) + ".example.com").c_str()), 5,
+              IpAddress::parse("1.1.1.1")));
+    }
+    ResolverConfig config;
+    config.probing = ProbingStrategy::kIrregular;
+    config.irregular_probability = 0.5;
+    config.irregular_seed = seed;
+    auto& resolver = bed.add_resolver(config, "Chicago");
+    std::string pattern;
+    for (int i = 0; i < 20; ++i) {
+      Message q = Message::make_query(
+          1, n(("h" + std::to_string(i) + ".example.com").c_str()),
+          dnscore::RRType::A);
+      q.opt = dnscore::OptRecord{};
+      resolver.handle_client_query(q, IpAddress::parse("100.64.1.5"));
+    }
+    for (const auto& e : auth.log()) pattern += e.query_ecs ? '1' : '0';
+    return pattern;
+  };
+  const auto a = run(42);
+  EXPECT_EQ(a, run(42));
+  EXPECT_NE(a, run(43));
+  // And it is genuinely mixed, not all-or-nothing.
+  EXPECT_NE(a.find('0'), std::string::npos);
+  EXPECT_NE(a.find('1'), std::string::npos);
+}
+
+TEST(ResolverMisc, AaaaUnderCdnTailoringFallsBackToStaticRecords) {
+  Testbed bed;
+  auto& fleet = bed.add_global_fleet();
+  auto& mapping = bed.add_mapping(cdn::ProximityMapping::cdn2_config(), fleet);
+  auto& auth = bed.add_auth("cdn", n("cdn.example"), "Ashburn",
+                            std::make_unique<authoritative::CdnMappingPolicy>(mapping));
+  auth.find_zone(n("cdn.example"))
+      ->add(ResourceRecord::make_aaaa(n("www.cdn.example"), 60,
+                                      IpAddress::parse("2001:db8::1")));
+  auto& resolver = bed.add_resolver(ResolverConfig::google_like(), "Chicago");
+  Message q = Message::make_query(1, n("www.cdn.example"), dnscore::RRType::AAAA);
+  q.opt = dnscore::OptRecord{};
+  const auto r = resolver.handle_client_query(q, IpAddress::parse("100.64.1.5"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.rcode, dnscore::RCode::NOERROR);
+  ASSERT_EQ(r->answers.size(), 1u);
+  EXPECT_EQ(r->answers[0].type, dnscore::RRType::AAAA);
+}
+
+}  // namespace
+}  // namespace ecsdns::resolver

@@ -1,0 +1,236 @@
+// Scanner methodology, probe-name encoding, the Table 1 census, and the
+// §6.1 probing classifier on controlled fleets.
+#include <gtest/gtest.h>
+
+#include "measurement/fleet.h"
+#include "measurement/prefix_census.h"
+#include "measurement/probing_classifier.h"
+#include "measurement/scanner.h"
+#include "measurement/workload.h"
+
+namespace ecsdns::measurement {
+namespace {
+
+using dnscore::IpAddress;
+using dnscore::Name;
+using resolver::ResolverConfig;
+
+TEST(ProbeNames, EncodeDecodeRoundTrip) {
+  const Name zone = Name::from_string("scan-experiment.net");
+  const auto addr = IpAddress::parse("60.12.200.3");
+  const Name encoded = encode_probe_name(addr, zone);
+  EXPECT_EQ(encoded.to_string(), "ip-60-12-200-3.scan-experiment.net");
+  EXPECT_EQ(decode_probe_name(encoded, zone), addr);
+}
+
+TEST(ProbeNames, DecodeRejectsJunk) {
+  const Name zone = Name::from_string("scan.net");
+  EXPECT_FALSE(decode_probe_name(Name::from_string("www.scan.net"), zone));
+  EXPECT_FALSE(decode_probe_name(Name::from_string("ip-1-2-3.scan.net"), zone));
+  EXPECT_FALSE(decode_probe_name(Name::from_string("ip-1-2-3-999.scan.net"), zone));
+  EXPECT_FALSE(decode_probe_name(Name::from_string("ip-1-2-3-4.other.net"), zone));
+  EXPECT_FALSE(
+      decode_probe_name(Name::from_string("a.ip-1-2-3-4.scan.net"), zone));
+  EXPECT_FALSE(decode_probe_name(Name::from_string("ip-1-2-3-4x.scan.net"), zone));
+}
+
+class ScanTest : public ::testing::Test {
+ protected:
+  // A miniature scan fleet: a handful of egress resolvers with forwarders.
+  ScanTest() : scanner_(bed_) {
+    ScanFleetOptions options;
+    options.scale = 40;  // tiny fleet for unit-test speed
+    options.forwarders_per_egress = 4;
+    fleet_ = build_scan_dataset_fleet(bed_, options);
+  }
+
+  std::vector<IpAddress> all_forwarders() const {
+    std::vector<IpAddress> out;
+    for (const auto& m : fleet_.members) {
+      for (const auto* f : m.forwarders) out.push_back(f->address());
+    }
+    return out;
+  }
+
+  Testbed bed_;
+  Scanner scanner_;
+  Fleet fleet_;
+};
+
+TEST_F(ScanTest, DiscoversEcsEgressResolvers) {
+  const auto targets = all_forwarders();
+  ASSERT_FALSE(targets.empty());
+  const ScanResults results = scanner_.scan(targets);
+  EXPECT_EQ(results.probes_sent, targets.size());
+  // Open forwarders respond to the scanner.
+  EXPECT_GT(results.responses_received, targets.size() / 2);
+  EXPECT_GT(results.open_ingress_count(), 0u);
+  // All our fleet's egress resolvers speak ECS, so the scan finds them.
+  const auto egresses = results.ecs_egress_addresses();
+  EXPECT_GT(egresses.size(), 0u);
+  // Every discovered egress is actually a fleet member address.
+  std::set<IpAddress> member_addrs;
+  for (const auto& m : fleet_.members) member_addrs.insert(m.address);
+  for (const auto& e : egresses) {
+    EXPECT_TRUE(member_addrs.count(e) == 1) << e.to_string();
+  }
+}
+
+TEST_F(ScanTest, SingleForwarderMembersAreStillDiscovered) {
+  // The paper's 75 "unstudiable" resolvers are found by the scan (they
+  // carry ECS); they just lack the forwarder *pair* the caching probe
+  // needs.
+  const ScanResults results = scanner_.scan(all_forwarders());
+  const auto egresses = results.ecs_egress_addresses();
+  const std::set<IpAddress> found(egresses.begin(), egresses.end());
+  std::size_t singles = 0;
+  for (const auto& m : fleet_.members) {
+    if (m.forwarders.size() == 1) {
+      ++singles;
+      EXPECT_TRUE(found.count(m.address) == 1);
+    }
+  }
+  EXPECT_GT(singles, 0u);
+}
+
+TEST_F(ScanTest, DeadAddressSpaceYieldsNothing) {
+  const ScanResults results =
+      scanner_.scan({IpAddress::parse("203.0.113.77"), IpAddress::parse("198.18.0.1")});
+  EXPECT_EQ(results.responses_received, 0u);
+  EXPECT_EQ(results.observations.size(), 0u);
+}
+
+TEST_F(ScanTest, CensusSeparatesJammedFrom24) {
+  const ScanResults results = scanner_.scan(all_forwarders());
+  const auto census = results.source_length_census();
+  // The fleet contains /24 senders (MP members) and jammed-/32 senders.
+  EXPECT_TRUE(census.count("24") == 1);
+  EXPECT_TRUE(census.count("32/jammed last byte") == 1);
+  std::size_t total = 0;
+  for (const auto& [key, members] : census) total += members.size();
+  EXPECT_EQ(total, results.ecs_egress_addresses().size());
+}
+
+TEST_F(ScanTest, HiddenPrefixesComeFromHiddenPool) {
+  const ScanResults results = scanner_.scan(all_forwarders());
+  const auto hidden = results.hidden_prefixes();
+  // The fleet routes about half its chains through hidden resolvers.
+  EXPECT_GT(hidden.size(), 0u);
+  for (const auto& p : hidden) {
+    // Hidden resolvers live in the 70-76/8 pool by fleet construction.
+    const auto first = p.address().bytes()[0];
+    EXPECT_GE(first, 70);
+    EXPECT_LE(first, 76);
+  }
+}
+
+TEST(PrefixCensusLog, CountsCombinationsPerResolver) {
+  std::vector<authoritative::QueryLogEntry> log;
+  const auto r1 = IpAddress::parse("80.0.0.1");
+  const auto r2 = IpAddress::parse("80.0.0.2");
+  authoritative::QueryLogEntry e;
+  e.qtype = dnscore::RRType::A;
+
+  e.sender = r1;
+  e.query_ecs = dnscore::EcsOption::for_query(dnscore::Prefix::parse("1.2.3.0/24"));
+  log.push_back(e);
+  // r2 alternates /25 and jammed /32.
+  e.sender = r2;
+  e.query_ecs =
+      dnscore::EcsOption::for_query(dnscore::Prefix::parse("1.2.3.128/25"));
+  log.push_back(e);
+  e.query_ecs = dnscore::EcsOption::for_query(
+      dnscore::Prefix{IpAddress::parse("1.2.3.1"), 32});
+  log.push_back(e);
+
+  const auto rows = source_prefix_census(log);
+  ASSERT_EQ(rows.size(), 2u);
+  bool saw24 = false, saw_combo = false;
+  for (const auto& row : rows) {
+    if (row.lengths == "24") {
+      saw24 = true;
+      EXPECT_EQ(row.resolver_count, 1u);
+    }
+    if (row.lengths == "25,32/jammed last byte") {
+      saw_combo = true;
+      EXPECT_EQ(row.resolver_count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw24);
+  EXPECT_TRUE(saw_combo);
+}
+
+TEST(ProbingClassifierTest, ClassifiesSyntheticLogs) {
+  using netsim::kMinute;
+  using netsim::kSecond;
+  std::vector<authoritative::QueryLogEntry> log;
+  const Name host = Name::from_string("x.cdn.net");
+  const Name other = Name::from_string("y.cdn.net");
+  const auto ecs = dnscore::EcsOption::for_query(dnscore::Prefix::parse("1.2.3.0/24"));
+  const auto loop =
+      dnscore::EcsOption::for_query(dnscore::Prefix{IpAddress::parse("127.0.0.1"), 32});
+
+  const auto add = [&log](IpAddress sender, Name qname, netsim::SimTime t,
+                          std::optional<dnscore::EcsOption> e) {
+    authoritative::QueryLogEntry entry;
+    entry.sender = sender;
+    entry.qname = std::move(qname);
+    entry.qtype = dnscore::RRType::A;
+    entry.time = t;
+    entry.query_ecs = std::move(e);
+    log.push_back(entry);
+  };
+
+  // Resolver A: 100% ECS.
+  const auto a = IpAddress::parse("80.1.0.1");
+  for (int i = 0; i < 12; ++i) add(a, host, i * kMinute, ecs);
+  // Resolver B: ECS for `host` only, with repeats inside the 20 s TTL.
+  const auto b = IpAddress::parse("80.1.0.2");
+  for (int i = 0; i < 6; ++i) {
+    add(b, host, i * kMinute, ecs);
+    add(b, host, i * kMinute + 5 * kSecond, ecs);  // within TTL
+    add(b, other, i * kMinute, std::nullopt);
+  }
+  // Resolver C: loopback probes every 30 minutes, plain queries otherwise.
+  const auto c = IpAddress::parse("80.1.0.3");
+  for (int i = 0; i < 6; ++i) {
+    add(c, host, i * 30 * kMinute, loop);
+    add(c, host, i * 30 * kMinute + 10 * kMinute, std::nullopt);
+  }
+  // Resolver D: ECS for `host` only on cache miss. On-miss probing means
+  // the authoritative only ever sees the misses — all with ECS, all spaced
+  // beyond the TTL; other names arrive without ECS.
+  const auto d = IpAddress::parse("80.1.0.4");
+  for (int i = 0; i < 6; ++i) {
+    add(d, host, i * 5 * kMinute, ecs);
+    add(d, other, i * 5 * kMinute + 30 * kSecond, std::nullopt);
+  }
+  // Resolver E: no ECS at all.
+  const auto e = IpAddress::parse("80.1.0.5");
+  for (int i = 0; i < 12; ++i) add(e, host, i * kMinute, std::nullopt);
+  // Resolver F: too few queries.
+  const auto f = IpAddress::parse("80.1.0.6");
+  add(f, host, 0, ecs);
+
+  const auto verdicts = classify_probing(log, ProbingClassifierOptions{});
+  ASSERT_EQ(verdicts.size(), 6u);
+  const auto find = [&](const IpAddress& addr) {
+    for (const auto& v : verdicts) {
+      if (v.resolver == addr) return v.cls;
+    }
+    throw std::logic_error("missing verdict");
+  };
+  EXPECT_EQ(find(a), ProbingClass::kAlwaysEcs);
+  EXPECT_EQ(find(b), ProbingClass::kHostnameNoCache);
+  EXPECT_EQ(find(c), ProbingClass::kPeriodicLoopback);
+  EXPECT_EQ(find(d), ProbingClass::kHostnameOnMiss);
+  EXPECT_EQ(find(e), ProbingClass::kNoEcs);
+  EXPECT_EQ(find(f), ProbingClass::kTooFewQueries);
+
+  const auto histogram = probing_histogram(verdicts);
+  EXPECT_EQ(histogram.at(ProbingClass::kAlwaysEcs), 1u);
+  EXPECT_EQ(histogram.at(ProbingClass::kNoEcs), 1u);
+}
+
+}  // namespace
+}  // namespace ecsdns::measurement

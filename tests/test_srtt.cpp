@@ -1,0 +1,115 @@
+// SRTT-based nameserver selection: a resolver facing a zone with a nearby
+// and a far-away nameserver converges onto the nearby one.
+#include <gtest/gtest.h>
+
+#include "authoritative/ecs_policy.h"
+#include "measurement/testbed.h"
+
+namespace ecsdns::resolver {
+namespace {
+
+using authoritative::AuthConfig;
+using authoritative::AuthServer;
+using authoritative::ScopeDeltaPolicy;
+using dnscore::IpAddress;
+using dnscore::Message;
+using dnscore::Name;
+using dnscore::ResourceRecord;
+using measurement::Testbed;
+
+Name n(const char* s) { return Name::from_string(s); }
+
+TEST(SrttSelection, ConvergesOnTheFasterNameserver) {
+  Testbed bed;
+  // Two authoritative servers for "dual.com": one in Chicago (near the
+  // resolver), one in Sydney. Register a two-NS delegation by hand.
+  AuthConfig config;
+  AuthServer near_server(config, std::make_unique<ScopeDeltaPolicy>(0));
+  AuthServer far_server(config, std::make_unique<ScopeDeltaPolicy>(0));
+  for (AuthServer* s : {&near_server, &far_server}) {
+    auto& zone = s->add_zone(n("dual.com"));
+    for (int i = 0; i < 40; ++i) {
+      zone.add(ResourceRecord::make_a(
+          n(("h" + std::to_string(i) + ".dual.com").c_str()), 5,
+          IpAddress::parse("1.1.1.1")));
+    }
+  }
+  const auto near_addr = IpAddress::parse("90.9.0.1");
+  const auto far_addr = IpAddress::parse("90.9.0.2");
+  near_server.attach(bed.network(), near_addr, bed.world().city("Chicago").location);
+  far_server.attach(bed.network(), far_addr, bed.world().city("Sydney").location);
+
+  // Delegate dual.com straight from the root, with the FAR server listed
+  // first — naive referral-order selection would keep using it.
+  auto& root_zone = *bed.root_server().find_zone(Name{});
+  root_zone.delegate(
+      n("dual.com"),
+      {ResourceRecord::make_ns(n("dual.com"), 86400, n("ns1.dual.com")),
+       ResourceRecord::make_ns(n("dual.com"), 86400, n("ns2.dual.com"))},
+      {ResourceRecord::make_a(n("ns1.dual.com"), 86400, far_addr),
+       ResourceRecord::make_a(n("ns2.dual.com"), 86400, near_addr)});
+
+  auto& resolver = bed.add_resolver(ResolverConfig::correct(), "Chicago");
+  const auto ask = [&](int i) {
+    Message q = Message::make_query(
+        1, n(("h" + std::to_string(i) + ".dual.com").c_str()), dnscore::RRType::A);
+    q.opt = dnscore::OptRecord{};
+    const auto r = resolver.handle_client_query(q, IpAddress::parse("100.64.1.5"));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->header.rcode, dnscore::RCode::NOERROR);
+  };
+
+  // Distinct names defeat the answer cache, forcing an upstream choice
+  // every time.
+  for (int i = 0; i < 20; ++i) ask(i);
+
+  // Both servers were probed, but the near one carries the bulk of the
+  // traffic once its SRTT advantage is known.
+  EXPECT_GT(near_server.queries_served(), far_server.queries_served());
+  EXPECT_GE(far_server.queries_served(), 1u);  // exploration happened
+  EXPECT_GE(near_server.queries_served(), 15u);
+}
+
+TEST(SrttSelection, TimeoutsArePenalized) {
+  Testbed bed;
+  AuthConfig config;
+  AuthServer live(config, std::make_unique<ScopeDeltaPolicy>(0));
+  auto& zone = live.add_zone(n("dual.com"));
+  for (int i = 0; i < 10; ++i) {
+    zone.add(ResourceRecord::make_a(
+        n(("h" + std::to_string(i) + ".dual.com").c_str()), 5,
+        IpAddress::parse("1.1.1.1")));
+  }
+  const auto dead_addr = IpAddress::parse("90.9.0.1");  // never attached
+  const auto live_addr = IpAddress::parse("90.9.0.2");
+  live.attach(bed.network(), live_addr, bed.world().city("Chicago").location);
+
+  bed.root_hints();
+  bed.root_server().find_zone(Name{})->delegate(
+      n("dual.com"),
+      {ResourceRecord::make_ns(n("dual.com"), 86400, n("ns1.dual.com")),
+       ResourceRecord::make_ns(n("dual.com"), 86400, n("ns2.dual.com"))},
+      {ResourceRecord::make_a(n("ns1.dual.com"), 86400, dead_addr),
+       ResourceRecord::make_a(n("ns2.dual.com"), 86400, live_addr)});
+
+  auto& resolver = bed.add_resolver(ResolverConfig::correct(), "Chicago");
+  std::uint64_t upstream_before = 0;
+  for (int i = 0; i < 6; ++i) {
+    Message q = Message::make_query(
+        1, n(("h" + std::to_string(i) + ".dual.com").c_str()), dnscore::RRType::A);
+    q.opt = dnscore::OptRecord{};
+    const auto r = resolver.handle_client_query(q, IpAddress::parse("100.64.1.5"));
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->header.rcode, dnscore::RCode::NOERROR) << i;
+    if (i == 0) upstream_before = resolver.counters().upstream_queries;
+  }
+  // After the first timeout the dead server's SRTT is poisoned; later
+  // queries go straight to the live server (1 upstream query per fresh
+  // name plus the infrastructure walk already cached).
+  const auto spent_after =
+      resolver.counters().upstream_queries - upstream_before;
+  EXPECT_LE(spent_after, 6u);
+}
+
+}  // namespace
+}  // namespace ecsdns::resolver

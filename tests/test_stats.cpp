@@ -1,0 +1,126 @@
+// Statistics toolkit tests: CDFs, binned scatter, table rendering.
+#include <gtest/gtest.h>
+
+#include "measurement/stats.h"
+
+namespace ecsdns::measurement {
+namespace {
+
+TEST(Cdf, PercentilesOnKnownData) {
+  Cdf cdf({5, 1, 3, 2, 4});
+  EXPECT_EQ(cdf.count(), 5u);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1);
+  EXPECT_DOUBLE_EQ(cdf.max(), 5);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 3);
+  EXPECT_DOUBLE_EQ(cdf.median(), 3);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.0), 1);
+  EXPECT_DOUBLE_EQ(cdf.percentile(1.0), 5);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.2), 1);
+  EXPECT_DOUBLE_EQ(cdf.percentile(0.21), 2);
+}
+
+TEST(Cdf, FractionAtMost) {
+  Cdf cdf({1, 2, 2, 3});
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(2), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.fraction_at_most(10), 1.0);
+  EXPECT_DOUBLE_EQ(Cdf({}).fraction_at_most(1), 0.0);
+}
+
+TEST(Cdf, EmptyThrowsOnStats) {
+  Cdf empty({});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(empty.min(), std::logic_error);
+  EXPECT_THROW(empty.percentile(0.5), std::logic_error);
+  EXPECT_TRUE(empty.series(10).empty());
+}
+
+TEST(Cdf, SeriesIsMonotone) {
+  Cdf cdf({9, 1, 7, 3, 5, 2, 8, 4, 6});
+  const auto series = cdf.series(5);
+  ASSERT_EQ(series.size(), 5u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GT(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(RenderCdfPlot, ContainsLegendAndAxis) {
+  const std::string plot = render_cdf_plot(
+      {{"with", Cdf({1, 2, 3})}, {"without", Cdf({2, 4, 6})}}, "latency ms");
+  EXPECT_NE(plot.find("with"), std::string::npos);
+  EXPECT_NE(plot.find("without"), std::string::npos);
+  EXPECT_NE(plot.find("latency ms"), std::string::npos);
+  EXPECT_EQ(render_cdf_plot({}, "x"), "(no data)\n");
+}
+
+TEST(BinnedScatter, DiagonalAccounting) {
+  BinnedScatter scatter(100, 100, 10);
+  scatter.add(50, 10);  // below: y < x
+  scatter.add(10, 50);  // above
+  scatter.add(30, 31);  // on (within one-bin tolerance)
+  EXPECT_EQ(scatter.total(), 3u);
+  EXPECT_DOUBLE_EQ(scatter.fraction_below_diagonal(), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(scatter.fraction_above_diagonal(), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(scatter.fraction_on_diagonal(), 1.0 / 3);
+  const auto rendered = scatter.render("F-H km", "F-R km");
+  EXPECT_NE(rendered.find("F-H km"), std::string::npos);
+  EXPECT_NE(rendered.find("below diag"), std::string::npos);
+}
+
+TEST(BinnedScatter, ClampsOutOfRange) {
+  BinnedScatter scatter(10, 10, 5);
+  scatter.add(1000, -5);  // clamped into the grid, counted below diagonal
+  EXPECT_EQ(scatter.total(), 1u);
+  EXPECT_DOUBLE_EQ(scatter.fraction_below_diagonal(), 1.0);
+}
+
+TEST(BinnedScatter, RejectsBadConstruction) {
+  EXPECT_THROW(BinnedScatter(0, 10, 5), std::invalid_argument);
+  EXPECT_THROW(BinnedScatter(10, 10, 0), std::invalid_argument);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "count"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  | count |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  // Short rows are padded with empty cells rather than crashing.
+  TextTable t2({"a", "b"});
+  t2.add_row({"only"});
+  EXPECT_NE(t2.render().find("only"), std::string::npos);
+}
+
+TEST(CsvWriterTest, WritesHeaderAndEscapedRows) {
+  {
+    CsvWriter csv("unit_test_artifact", {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.row({"1", "plain"});
+    csv.row({"2", "needs,\"escaping\""});
+    csv.row({"3"});  // short row padded with an empty cell
+  }
+  std::FILE* f = std::fopen("results/unit_test_artifact.csv", "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) content += buf;
+  std::fclose(f);
+  std::remove("results/unit_test_artifact.csv");
+  EXPECT_EQ(content,
+            "a,b\n"
+            "1,plain\n"
+            "2,\"needs,\"\"escaping\"\"\"\n"
+            "3,\n");
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(static_cast<std::uint64_t>(12345)), "12345");
+}
+
+}  // namespace
+}  // namespace ecsdns::measurement

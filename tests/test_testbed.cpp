@@ -1,0 +1,146 @@
+// Testbed fixture invariants: address allocation, geolocation wiring, the
+// lazily built DNS hierarchy, and fleet construction properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "authoritative/ecs_policy.h"
+#include "measurement/fleet.h"
+#include "measurement/testbed.h"
+
+namespace ecsdns::measurement {
+namespace {
+
+using dnscore::IpAddress;
+using dnscore::Name;
+
+TEST(TestbedAlloc, AddressesAreUniqueAcrossPools) {
+  Testbed bed;
+  std::set<IpAddress> seen;
+  for (const auto pool :
+       {AddressPool::kClients, AddressPool::kForwarders, AddressPool::kHidden,
+        AddressPool::kResolvers, AddressPool::kAuth, AddressPool::kProbes}) {
+    for (int i = 0; i < 50; ++i) {
+      const auto addr = bed.alloc(pool);
+      EXPECT_TRUE(seen.insert(addr).second) << addr.to_string();
+    }
+  }
+}
+
+TEST(TestbedAlloc, ClientsGetTheirOwnSlash16) {
+  Testbed bed;
+  const auto a = bed.alloc(AddressPool::kClients);
+  const auto b = bed.alloc(AddressPool::kClients);
+  EXPECT_NE(dnscore::Prefix(a, 16), dnscore::Prefix(b, 16));
+}
+
+TEST(TestbedGeo, NodesAreGeolocatedAtTheir24) {
+  Testbed bed;
+  auto& client = bed.add_client("Tokyo");
+  const auto where = bed.geodb().locate(client.address());
+  ASSERT_TRUE(where.has_value());
+  EXPECT_EQ(bed.world().nearest(*where).name, "Tokyo");
+  // The /24 block resolves too (what an ECS prefix lookup sees).
+  const auto block = bed.geodb().locate(dnscore::Prefix{client.address(), 24});
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(bed.world().nearest(*block).name, "Tokyo");
+}
+
+TEST(TestbedHierarchy, RootAndTldBuiltLazilyOnce) {
+  Testbed bed;
+  const auto hints1 = bed.root_hints();
+  const auto hints2 = bed.root_hints();
+  ASSERT_EQ(hints1.size(), 1u);
+  EXPECT_EQ(hints1, hints2);
+  // Two zones under the same TLD share one TLD server: the root zone holds
+  // exactly one delegation for "com" plus one for "net".
+  bed.add_auth("a", Name::from_string("a.com"), "Ashburn", nullptr);
+  bed.add_auth("b", Name::from_string("b.com"), "Ashburn", nullptr);
+  bed.add_auth("c", Name::from_string("c.net"), "Ashburn", nullptr);
+  auto& root = bed.root_server();
+  // Resolving through a fresh resolver exercises the delegations.
+  auto& resolver = bed.add_resolver(resolver::ResolverConfig::correct(), "Chicago");
+  for (const char* qname : {"a.com", "b.com", "c.net"}) {
+    dnscore::Message q = dnscore::Message::make_query(
+        1, Name::from_string(qname), dnscore::RRType::NS);
+    const auto r = resolver.handle_client_query(q, IpAddress::parse("100.64.0.1"));
+    ASSERT_TRUE(r.has_value()) << qname;
+    EXPECT_NE(r->header.rcode, dnscore::RCode::SERVFAIL) << qname;
+  }
+  EXPECT_GT(root.queries_served(), 0u);
+}
+
+TEST(TestbedHierarchy, AuthAddressRoundTrip) {
+  Testbed bed;
+  auto& auth = bed.add_auth("x", Name::from_string("x.org"), "Zurich", nullptr);
+  const auto addr = bed.auth_address(auth);
+  EXPECT_TRUE(bed.network().is_attached(addr));
+  authoritative::AuthServer other(authoritative::AuthConfig{}, nullptr);
+  EXPECT_THROW(bed.auth_address(other), std::out_of_range);
+}
+
+TEST(TestbedHierarchy, AddAuthRejectsTldApex) {
+  Testbed bed;
+  EXPECT_THROW(bed.add_auth("bad", Name::from_string("com"), "Ashburn", nullptr),
+               std::invalid_argument);
+}
+
+TEST(FleetBuild, CdnFleetScalesAndKeepsClasses) {
+  Testbed bed;
+  CdnFleetOptions options;
+  options.scale = 128;
+  const Fleet fleet = build_cdn_dataset_fleet(bed, options);
+  // Even at extreme scale every behavior class keeps >= 1 member.
+  std::set<std::string> prefixes;
+  for (const auto& m : fleet.members) {
+    const auto& label = m.resolver->config().label;
+    prefixes.insert(label.substr(0, label.rfind('-')));
+  }
+  EXPECT_TRUE(prefixes.count("always"));
+  EXPECT_TRUE(prefixes.count("probe-hostnames-nocache"));
+  EXPECT_TRUE(prefixes.count("periodic-loopback"));
+  EXPECT_TRUE(prefixes.count("probe-hostnames-onmiss"));
+  EXPECT_TRUE(prefixes.count("irregular"));
+  EXPECT_TRUE(prefixes.count("dominant"));
+  EXPECT_TRUE(prefixes.count("v6"));
+}
+
+TEST(FleetBuild, ScanFleetForwarderLayout) {
+  Testbed bed;
+  ScanFleetOptions options;
+  options.scale = 32;
+  const Fleet fleet = build_scan_dataset_fleet(bed, options);
+  for (const auto& m : fleet.members) {
+    ASSERT_FALSE(m.forwarders.empty());
+    ASSERT_EQ(m.forwarders.size(), m.hidden.size());
+    if (m.forwarders.size() < 2) continue;
+    // Any two forwarders of one egress share a /16 but differ at /24 —
+    // the layout the §6.3 technique needs.
+    const auto a = m.forwarders[0]->address();
+    const auto b = m.forwarders[1]->address();
+    EXPECT_EQ(dnscore::Prefix(a, 16), dnscore::Prefix(b, 16));
+    EXPECT_NE(dnscore::Prefix(a, 24), dnscore::Prefix(b, 24));
+  }
+  // Deterministic: same options, same fleet shape.
+  Testbed bed2;
+  const Fleet fleet2 = build_scan_dataset_fleet(bed2, options);
+  ASSERT_EQ(fleet.members.size(), fleet2.members.size());
+  for (std::size_t i = 0; i < fleet.members.size(); ++i) {
+    EXPECT_EQ(fleet.members[i].address, fleet2.members[i].address);
+    EXPECT_EQ(fleet.members[i].city, fleet2.members[i].city);
+  }
+}
+
+TEST(FleetBuild, InAsFiltersMembers) {
+  Testbed bed;
+  ScanFleetOptions options;
+  options.scale = 64;
+  const Fleet fleet = build_scan_dataset_fleet(bed, options);
+  const auto mp = fleet.in_as("AS-MP");
+  EXPECT_FALSE(mp.empty());
+  for (const auto* m : mp) EXPECT_EQ(m->as_label, "AS-MP");
+  EXPECT_GT(fleet.total_forwarders(), fleet.members.size());
+}
+
+}  // namespace
+}  // namespace ecsdns::measurement

@@ -1,0 +1,252 @@
+// Zone lookup and authoritative-server behavior: answers, CNAME chasing,
+// referrals, EDNS/ECS handling including the FORMERR and whitelist paths.
+#include <gtest/gtest.h>
+
+#include "authoritative/server.h"
+#include "cdn/mapping.h"
+#include "netsim/world.h"
+
+namespace ecsdns::authoritative {
+namespace {
+
+using dnscore::EcsOption;
+using dnscore::IpAddress;
+using dnscore::Message;
+using dnscore::Name;
+using dnscore::Prefix;
+using dnscore::RCode;
+using dnscore::ResourceRecord;
+using dnscore::RRType;
+
+Name n(const char* s) { return Name::from_string(s); }
+
+TEST(Zone, AnswerAndNxDomain) {
+  Zone zone(n("example.com"));
+  zone.add(ResourceRecord::make_a(n("www.example.com"), 60, IpAddress::parse("1.1.1.1")));
+  auto r = zone.lookup(n("www.example.com"), RRType::A);
+  EXPECT_EQ(r.kind, ZoneLookup::Kind::kAnswer);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(zone.lookup(n("nope.example.com"), RRType::A).kind,
+            ZoneLookup::Kind::kNxDomain);
+  EXPECT_EQ(zone.lookup(n("www.example.com"), RRType::AAAA).kind,
+            ZoneLookup::Kind::kNoData);
+  EXPECT_EQ(zone.lookup(n("other.org"), RRType::A).kind,
+            ZoneLookup::Kind::kNotInZone);
+}
+
+TEST(Zone, CnamePrecedence) {
+  Zone zone(n("example.com"));
+  zone.add(ResourceRecord::make_cname(n("www.example.com"), 60, n("cdn.example.net")));
+  EXPECT_EQ(zone.lookup(n("www.example.com"), RRType::A).kind,
+            ZoneLookup::Kind::kCname);
+  EXPECT_EQ(zone.lookup(n("www.example.com"), RRType::CNAME).kind,
+            ZoneLookup::Kind::kAnswer);
+}
+
+TEST(Zone, DelegationCutShadowsNames) {
+  Zone zone(n("com"));
+  zone.delegate(n("example.com"),
+                {ResourceRecord::make_ns(n("example.com"), 3600, n("ns1.example.com"))},
+                {ResourceRecord::make_a(n("ns1.example.com"), 3600,
+                                        IpAddress::parse("9.9.9.9"))});
+  const auto r = zone.lookup(n("deep.www.example.com"), RRType::A);
+  EXPECT_EQ(r.kind, ZoneLookup::Kind::kDelegation);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.glue.size(), 1u);
+}
+
+TEST(Zone, RejectsOutOfZoneRecords) {
+  Zone zone(n("example.com"));
+  EXPECT_THROW(zone.add(ResourceRecord::make_a(n("www.other.org"), 60,
+                                               IpAddress::parse("1.1.1.1"))),
+               std::invalid_argument);
+  EXPECT_THROW(zone.delegate(n("example.com"), {}, {}), std::invalid_argument);
+}
+
+class AuthServerTest : public ::testing::Test {
+ protected:
+  AuthServerTest() : server_(AuthConfig{}, nullptr) {
+    auto& zone = server_.add_zone(n("example.com"));
+    zone.add(ResourceRecord::make_a(n("www.example.com"), 60,
+                                    IpAddress::parse("1.1.1.1")));
+    zone.add(ResourceRecord::make_cname(n("alias.example.com"), 60,
+                                        n("www.example.com")));
+    zone.add(ResourceRecord::make_cname(n("ext.example.com"), 60, n("www.other.net")));
+  }
+
+  Message ask(const Name& qname, RRType t = RRType::A, bool edns = true,
+              std::optional<EcsOption> ecs = std::nullopt) {
+    Message q = Message::make_query(1, qname, t);
+    if (edns) q.opt = dnscore::OptRecord{};
+    if (ecs) q.set_ecs(*ecs);
+    auto r = server_.handle(q, IpAddress::parse("8.8.8.8"), 0);
+    EXPECT_TRUE(r.has_value());
+    return *r;
+  }
+
+  AuthServer server_;
+};
+
+TEST_F(AuthServerTest, AnswersInZone) {
+  const Message r = ask(n("www.example.com"));
+  EXPECT_EQ(r.header.rcode, RCode::NOERROR);
+  EXPECT_TRUE(r.header.aa);
+  EXPECT_FALSE(r.header.ra);
+  EXPECT_EQ(r.first_address(), IpAddress::parse("1.1.1.1"));
+}
+
+TEST_F(AuthServerTest, ChasesInZoneCname) {
+  const Message r = ask(n("alias.example.com"));
+  EXPECT_EQ(r.answers.size(), 2u);
+  EXPECT_EQ(r.answers[0].type, RRType::CNAME);
+  EXPECT_EQ(r.first_address(), IpAddress::parse("1.1.1.1"));
+}
+
+TEST_F(AuthServerTest, LeavesOutOfZoneCnameDangling) {
+  const Message r = ask(n("ext.example.com"));
+  EXPECT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].type, RRType::CNAME);
+}
+
+TEST_F(AuthServerTest, RefusesOutOfZone) {
+  EXPECT_EQ(ask(n("www.google.com")).header.rcode, RCode::REFUSED);
+}
+
+TEST_F(AuthServerTest, NxDomain) {
+  EXPECT_EQ(ask(n("missing.example.com")).header.rcode, RCode::NXDOMAIN);
+}
+
+TEST_F(AuthServerTest, NoEcsPolicyIgnoresOption) {
+  const Message r = ask(n("www.example.com"), RRType::A, true,
+                        EcsOption::for_query(Prefix::parse("1.2.3.0/24")));
+  EXPECT_EQ(r.header.rcode, RCode::NOERROR);
+  EXPECT_FALSE(r.has_ecs());  // a non-adopter stays silent about ECS
+  ASSERT_EQ(server_.log().size(), 1u);
+  EXPECT_TRUE(server_.log()[0].query_ecs.has_value());
+  EXPECT_FALSE(server_.log()[0].response_ecs.has_value());
+}
+
+TEST_F(AuthServerTest, MalformedEcsGetsFormErr) {
+  auto bad = EcsOption::for_query(Prefix::parse("1.2.3.0/24"));
+  bad.set_address_bytes({1, 2, 3, 4, 5});  // wrong length for /24
+  const Message r = ask(n("www.example.com"), RRType::A, true, bad);
+  EXPECT_EQ(r.header.rcode, RCode::FORMERR);
+}
+
+TEST_F(AuthServerTest, BadEdnsVersionGetsBadVers) {
+  Message q = Message::make_query(1, n("www.example.com"), RRType::A);
+  q.opt = dnscore::OptRecord{};
+  q.opt->version = 1;
+  const auto r = server_.handle(q, IpAddress::parse("8.8.8.8"), 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.rcode, RCode::BADVERS);
+}
+
+TEST_F(AuthServerTest, EmptyQuestionGetsFormErr) {
+  Message q;
+  const auto r = server_.handle(q, IpAddress::parse("8.8.8.8"), 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.rcode, RCode::FORMERR);
+}
+
+TEST(AuthServerConfig, PreEdnsServerFormErrsOptQueries) {
+  AuthConfig config;
+  config.edns_supported = false;
+  AuthServer server(config, nullptr);
+  server.add_zone(n("example.com"));
+  Message q = Message::make_query(1, n("www.example.com"), RRType::A);
+  q.opt = dnscore::OptRecord{};
+  const auto r = server.handle(q, IpAddress::parse("8.8.8.8"), 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.rcode, RCode::FORMERR);
+  EXPECT_FALSE(r->opt.has_value());
+}
+
+TEST(AuthServerConfig, DropsEcsQueriesWhenConfigured) {
+  AuthConfig config;
+  config.drop_ecs_queries = true;
+  AuthServer server(config, nullptr);
+  server.add_zone(n("example.com"));
+  Message q = Message::make_query(1, n("www.example.com"), RRType::A);
+  q.set_ecs(EcsOption::for_query(Prefix::parse("1.2.3.0/24")));
+  EXPECT_FALSE(server.handle(q, IpAddress::parse("8.8.8.8"), 0).has_value());
+  // The same query without ECS is answered.
+  Message q2 = Message::make_query(2, n("missing.example.com"), RRType::A);
+  EXPECT_TRUE(server.handle(q2, IpAddress::parse("8.8.8.8"), 0).has_value());
+}
+
+TEST(ScopeDeltaPolicy, ScopeIsSourceMinusDelta) {
+  AuthServer server(AuthConfig{}, std::make_unique<ScopeDeltaPolicy>(4));
+  auto& zone = server.add_zone(n("scan.net"));
+  zone.add(ResourceRecord::make_a(n("probe.scan.net"), 60, IpAddress::parse("1.1.1.1")));
+
+  Message q = Message::make_query(1, n("probe.scan.net"), RRType::A);
+  q.set_ecs(EcsOption::for_query(Prefix::parse("100.64.7.0/24")));
+  const auto r = server.handle(q, IpAddress::parse("8.8.8.8"), 0);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r->has_ecs());
+  EXPECT_EQ(r->ecs()->scope_prefix_length(), 20);  // 24 - 4
+  EXPECT_EQ(r->ecs()->source_prefix_length(), 24);
+
+  // No ECS in -> no ECS out.
+  Message q2 = Message::make_query(2, n("probe.scan.net"), RRType::A);
+  q2.opt = dnscore::OptRecord{};
+  const auto r2 = server.handle(q2, IpAddress::parse("8.8.8.8"), 0);
+  EXPECT_FALSE(r2->has_ecs());
+}
+
+TEST(ScopeDeltaPolicy, NsQueriesGetZeroScope) {
+  AuthServer server(AuthConfig{}, std::make_unique<ScopeDeltaPolicy>(4));
+  auto& zone = server.add_zone(n("scan.net"));
+  zone.add(ResourceRecord::make_ns(n("scan.net"), 3600, n("ns1.scan.net")));
+  Message q = Message::make_query(1, n("scan.net"), RRType::NS);
+  q.set_ecs(EcsOption::for_query(Prefix::parse("100.64.7.0/24")));
+  const auto r = server.handle(q, IpAddress::parse("8.8.8.8"), 0);
+  ASSERT_TRUE(r->has_ecs());
+  EXPECT_EQ(r->ecs()->scope_prefix_length(), 0);
+}
+
+TEST(WhitelistPolicy, NonWhitelistedSeeNoEcs) {
+  auto inner = std::make_unique<FixedScopePolicy>(24);
+  auto policy = std::make_unique<WhitelistPolicy>(
+      std::move(inner), std::vector<IpAddress>{IpAddress::parse("5.5.5.5")});
+  AuthServer server(AuthConfig{}, std::move(policy));
+  auto& zone = server.add_zone(n("cdn.net"));
+  zone.add(ResourceRecord::make_a(n("x.cdn.net"), 20, IpAddress::parse("1.1.1.1")));
+
+  Message q = Message::make_query(1, n("x.cdn.net"), RRType::A);
+  q.set_ecs(EcsOption::for_query(Prefix::parse("100.64.7.0/24")));
+
+  const auto blocked = server.handle(q, IpAddress::parse("6.6.6.6"), 0);
+  EXPECT_FALSE(blocked->has_ecs());
+  const auto allowed = server.handle(q, IpAddress::parse("5.5.5.5"), 0);
+  ASSERT_TRUE(allowed->has_ecs());
+  EXPECT_EQ(allowed->ecs()->scope_prefix_length(), 24);
+}
+
+TEST(CdnMappingPolicyTest, TailorsAnswersByEcs) {
+  netsim::World world;
+  netsim::IpGeoDb geo;
+  geo.add(Prefix::parse("100.64.7.0/24"), world.city("Tokyo").location);
+  auto fleet = cdn::EdgeFleet::global(world, IpAddress::parse("95.0.0.1"));
+  cdn::ProximityMapping mapping(cdn::ProximityMapping::cdn2_config(), fleet, geo);
+
+  AuthServer server(AuthConfig{}, std::make_unique<CdnMappingPolicy>(mapping));
+  auto& zone = server.add_zone(n("cdn.net"));
+  zone.add(ResourceRecord::make_a(n("x.cdn.net"), 20, IpAddress::parse("203.0.113.1")));
+
+  Message q = Message::make_query(1, n("x.cdn.net"), RRType::A);
+  q.set_ecs(EcsOption::for_query(Prefix::parse("100.64.7.0/24")));
+  const auto r = server.handle(q, IpAddress::parse("8.8.8.8"), 0);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_TRUE(r->has_ecs());
+  EXPECT_EQ(r->ecs()->scope_prefix_length(), 21);  // CDN-2 granularity
+  // The tailored answer is the Tokyo edge, not the static record.
+  const auto tokyo_edge = fleet.nearest(world.city("Tokyo").location).address;
+  EXPECT_EQ(r->first_address(), tokyo_edge);
+  // The tailored TTL applies.
+  EXPECT_EQ(r->answers.front().ttl, server.config().tailored_ttl);
+}
+
+}  // namespace
+}  // namespace ecsdns::authoritative
