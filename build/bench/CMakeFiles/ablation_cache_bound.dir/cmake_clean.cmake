@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_bound.dir/ablation_cache_bound.cpp.o"
+  "CMakeFiles/ablation_cache_bound.dir/ablation_cache_bound.cpp.o.d"
+  "ablation_cache_bound"
+  "ablation_cache_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

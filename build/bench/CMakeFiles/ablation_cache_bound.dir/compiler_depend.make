@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_cache_bound.
+# This may be replaced when dependencies are built.

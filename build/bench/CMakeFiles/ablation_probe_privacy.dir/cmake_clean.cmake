@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probe_privacy.dir/ablation_probe_privacy.cpp.o"
+  "CMakeFiles/ablation_probe_privacy.dir/ablation_probe_privacy.cpp.o.d"
+  "ablation_probe_privacy"
+  "ablation_probe_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scope_granularity.dir/ablation_scope_granularity.cpp.o"
+  "CMakeFiles/ablation_scope_granularity.dir/ablation_scope_granularity.cpp.o.d"
+  "ablation_scope_granularity"
+  "ablation_scope_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scope_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

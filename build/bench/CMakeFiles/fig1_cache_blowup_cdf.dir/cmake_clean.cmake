@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cache_blowup_cdf.dir/fig1_cache_blowup_cdf.cpp.o"
+  "CMakeFiles/fig1_cache_blowup_cdf.dir/fig1_cache_blowup_cdf.cpp.o.d"
+  "fig1_cache_blowup_cdf"
+  "fig1_cache_blowup_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cache_blowup_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1_cache_blowup_cdf.
+# This may be replaced when dependencies are built.

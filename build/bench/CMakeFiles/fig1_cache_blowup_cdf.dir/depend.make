@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_cache_blowup_cdf.
+# This may be replaced when dependencies are built.

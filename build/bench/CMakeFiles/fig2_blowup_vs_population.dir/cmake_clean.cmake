@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_blowup_vs_population.dir/fig2_blowup_vs_population.cpp.o"
+  "CMakeFiles/fig2_blowup_vs_population.dir/fig2_blowup_vs_population.cpp.o.d"
+  "fig2_blowup_vs_population"
+  "fig2_blowup_vs_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_blowup_vs_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

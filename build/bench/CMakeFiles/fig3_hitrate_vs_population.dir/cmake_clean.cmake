@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hitrate_vs_population.dir/fig3_hitrate_vs_population.cpp.o"
+  "CMakeFiles/fig3_hitrate_vs_population.dir/fig3_hitrate_vs_population.cpp.o.d"
+  "fig3_hitrate_vs_population"
+  "fig3_hitrate_vs_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hitrate_vs_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

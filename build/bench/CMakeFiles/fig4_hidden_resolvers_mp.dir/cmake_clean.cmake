@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hidden_resolvers_mp.dir/fig4_hidden_resolvers_mp.cpp.o"
+  "CMakeFiles/fig4_hidden_resolvers_mp.dir/fig4_hidden_resolvers_mp.cpp.o.d"
+  "fig4_hidden_resolvers_mp"
+  "fig4_hidden_resolvers_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hidden_resolvers_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_hidden_resolvers_nonmp.dir/fig5_hidden_resolvers_nonmp.cpp.o"
+  "CMakeFiles/fig5_hidden_resolvers_nonmp.dir/fig5_hidden_resolvers_nonmp.cpp.o.d"
+  "fig5_hidden_resolvers_nonmp"
+  "fig5_hidden_resolvers_nonmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hidden_resolvers_nonmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_hidden_resolvers_nonmp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cdn1_prefixlen.dir/fig6_cdn1_prefixlen.cpp.o"
+  "CMakeFiles/fig6_cdn1_prefixlen.dir/fig6_cdn1_prefixlen.cpp.o.d"
+  "fig6_cdn1_prefixlen"
+  "fig6_cdn1_prefixlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cdn1_prefixlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

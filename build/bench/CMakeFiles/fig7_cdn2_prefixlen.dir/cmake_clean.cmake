@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cdn2_prefixlen.dir/fig7_cdn2_prefixlen.cpp.o"
+  "CMakeFiles/fig7_cdn2_prefixlen.dir/fig7_cdn2_prefixlen.cpp.o.d"
+  "fig7_cdn2_prefixlen"
+  "fig7_cdn2_prefixlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cdn2_prefixlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

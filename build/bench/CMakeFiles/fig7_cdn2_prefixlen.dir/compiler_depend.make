@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_cdn2_prefixlen.
+# This may be replaced when dependencies are built.

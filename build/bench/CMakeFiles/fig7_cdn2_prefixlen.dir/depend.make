@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_cdn2_prefixlen.
+# This may be replaced when dependencies are built.

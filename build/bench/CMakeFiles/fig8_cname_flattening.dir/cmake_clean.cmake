@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cname_flattening.dir/fig8_cname_flattening.cpp.o"
+  "CMakeFiles/fig8_cname_flattening.dir/fig8_cname_flattening.cpp.o.d"
+  "fig8_cname_flattening"
+  "fig8_cname_flattening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cname_flattening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

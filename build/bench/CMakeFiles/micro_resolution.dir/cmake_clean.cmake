@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_resolution.dir/micro_resolution.cpp.o"
+  "CMakeFiles/micro_resolution.dir/micro_resolution.cpp.o.d"
+  "micro_resolution"
+  "micro_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_wire.dir/micro_wire.cpp.o"
+  "CMakeFiles/micro_wire.dir/micro_wire.cpp.o.d"
+  "micro_wire"
+  "micro_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

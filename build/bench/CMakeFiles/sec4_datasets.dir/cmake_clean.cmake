@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_datasets.dir/sec4_datasets.cpp.o"
+  "CMakeFiles/sec4_datasets.dir/sec4_datasets.cpp.o.d"
+  "sec4_datasets"
+  "sec4_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_discovery.dir/sec5_discovery.cpp.o"
+  "CMakeFiles/sec5_discovery.dir/sec5_discovery.cpp.o.d"
+  "sec5_discovery"
+  "sec5_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

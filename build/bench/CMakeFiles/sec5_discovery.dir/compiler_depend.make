@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec5_discovery.
+# This may be replaced when dependencies are built.

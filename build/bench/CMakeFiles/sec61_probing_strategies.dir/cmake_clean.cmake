@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec61_probing_strategies.dir/sec61_probing_strategies.cpp.o"
+  "CMakeFiles/sec61_probing_strategies.dir/sec61_probing_strategies.cpp.o.d"
+  "sec61_probing_strategies"
+  "sec61_probing_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec61_probing_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec61_probing_strategies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec61_root_ecs.dir/sec61_root_ecs.cpp.o"
+  "CMakeFiles/sec61_root_ecs.dir/sec61_root_ecs.cpp.o.d"
+  "sec61_root_ecs"
+  "sec61_root_ecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec61_root_ecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

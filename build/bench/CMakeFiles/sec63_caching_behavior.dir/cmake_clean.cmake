@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_caching_behavior.dir/sec63_caching_behavior.cpp.o"
+  "CMakeFiles/sec63_caching_behavior.dir/sec63_caching_behavior.cpp.o.d"
+  "sec63_caching_behavior"
+  "sec63_caching_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_caching_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec63_caching_behavior.
+# This may be replaced when dependencies are built.

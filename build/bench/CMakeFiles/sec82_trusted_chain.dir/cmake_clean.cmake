@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec82_trusted_chain.dir/sec82_trusted_chain.cpp.o"
+  "CMakeFiles/sec82_trusted_chain.dir/sec82_trusted_chain.cpp.o.d"
+  "sec82_trusted_chain"
+  "sec82_trusted_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec82_trusted_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec82_trusted_chain.
+# This may be replaced when dependencies are built.

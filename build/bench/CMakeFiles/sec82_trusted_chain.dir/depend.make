@@ -1,0 +1,2 @@
+# Empty dependencies file for sec82_trusted_chain.
+# This may be replaced when dependencies are built.

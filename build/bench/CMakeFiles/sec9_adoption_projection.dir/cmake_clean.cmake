@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec9_adoption_projection.dir/sec9_adoption_projection.cpp.o"
+  "CMakeFiles/sec9_adoption_projection.dir/sec9_adoption_projection.cpp.o.d"
+  "sec9_adoption_projection"
+  "sec9_adoption_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec9_adoption_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

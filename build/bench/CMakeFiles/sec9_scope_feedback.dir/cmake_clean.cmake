@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec9_scope_feedback.dir/sec9_scope_feedback.cpp.o"
+  "CMakeFiles/sec9_scope_feedback.dir/sec9_scope_feedback.cpp.o.d"
+  "sec9_scope_feedback"
+  "sec9_scope_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec9_scope_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

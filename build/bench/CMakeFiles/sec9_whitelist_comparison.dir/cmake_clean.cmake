@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec9_whitelist_comparison.dir/sec9_whitelist_comparison.cpp.o"
+  "CMakeFiles/sec9_whitelist_comparison.dir/sec9_whitelist_comparison.cpp.o.d"
+  "sec9_whitelist_comparison"
+  "sec9_whitelist_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec9_whitelist_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

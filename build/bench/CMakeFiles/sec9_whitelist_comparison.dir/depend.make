@@ -1,0 +1,2 @@
+# Empty dependencies file for sec9_whitelist_comparison.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_source_prefix_census.dir/table1_source_prefix_census.cpp.o"
+  "CMakeFiles/table1_source_prefix_census.dir/table1_source_prefix_census.cpp.o.d"
+  "table1_source_prefix_census"
+  "table1_source_prefix_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_source_prefix_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_source_prefix_census.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_source_prefix_census.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_unroutable_prefixes.dir/table2_unroutable_prefixes.cpp.o"
+  "CMakeFiles/table2_unroutable_prefixes.dir/table2_unroutable_prefixes.cpp.o.d"
+  "table2_unroutable_prefixes"
+  "table2_unroutable_prefixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_unroutable_prefixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_cost_estimator.dir/cache_cost_estimator.cpp.o"
+  "CMakeFiles/cache_cost_estimator.dir/cache_cost_estimator.cpp.o.d"
+  "cache_cost_estimator"
+  "cache_cost_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_cost_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cache_cost_estimator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_mapping_explorer.dir/cdn_mapping_explorer.cpp.o"
+  "CMakeFiles/cdn_mapping_explorer.dir/cdn_mapping_explorer.cpp.o.d"
+  "cdn_mapping_explorer"
+  "cdn_mapping_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_mapping_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cdn_mapping_explorer.
+# This may be replaced when dependencies are built.

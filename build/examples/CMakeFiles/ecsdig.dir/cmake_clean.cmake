@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsdig.dir/ecsdig.cpp.o"
+  "CMakeFiles/ecsdig.dir/ecsdig.cpp.o.d"
+  "ecsdig"
+  "ecsdig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsdig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecsdig.
+# This may be replaced when dependencies are built.

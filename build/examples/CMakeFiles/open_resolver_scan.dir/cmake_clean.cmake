@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_resolver_scan.dir/open_resolver_scan.cpp.o"
+  "CMakeFiles/open_resolver_scan.dir/open_resolver_scan.cpp.o.d"
+  "open_resolver_scan"
+  "open_resolver_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_resolver_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

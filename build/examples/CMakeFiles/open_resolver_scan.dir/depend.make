@@ -1,0 +1,2 @@
+# Empty dependencies file for open_resolver_scan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_inspector.dir/packet_inspector.cpp.o"
+  "CMakeFiles/packet_inspector.dir/packet_inspector.cpp.o.d"
+  "packet_inspector"
+  "packet_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_audit.dir/resolver_audit.cpp.o"
+  "CMakeFiles/resolver_audit.dir/resolver_audit.cpp.o.d"
+  "resolver_audit"
+  "resolver_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

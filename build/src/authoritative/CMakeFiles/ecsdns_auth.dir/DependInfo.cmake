@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authoritative/ecs_policy.cpp" "src/authoritative/CMakeFiles/ecsdns_auth.dir/ecs_policy.cpp.o" "gcc" "src/authoritative/CMakeFiles/ecsdns_auth.dir/ecs_policy.cpp.o.d"
+  "/root/repo/src/authoritative/flattening.cpp" "src/authoritative/CMakeFiles/ecsdns_auth.dir/flattening.cpp.o" "gcc" "src/authoritative/CMakeFiles/ecsdns_auth.dir/flattening.cpp.o.d"
+  "/root/repo/src/authoritative/server.cpp" "src/authoritative/CMakeFiles/ecsdns_auth.dir/server.cpp.o" "gcc" "src/authoritative/CMakeFiles/ecsdns_auth.dir/server.cpp.o.d"
+  "/root/repo/src/authoritative/zone.cpp" "src/authoritative/CMakeFiles/ecsdns_auth.dir/zone.cpp.o" "gcc" "src/authoritative/CMakeFiles/ecsdns_auth.dir/zone.cpp.o.d"
+  "/root/repo/src/authoritative/zone_text.cpp" "src/authoritative/CMakeFiles/ecsdns_auth.dir/zone_text.cpp.o" "gcc" "src/authoritative/CMakeFiles/ecsdns_auth.dir/zone_text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnscore/CMakeFiles/ecsdns_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ecsdns_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/ecsdns_cdn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

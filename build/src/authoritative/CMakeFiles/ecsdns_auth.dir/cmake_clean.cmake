@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsdns_auth.dir/ecs_policy.cpp.o"
+  "CMakeFiles/ecsdns_auth.dir/ecs_policy.cpp.o.d"
+  "CMakeFiles/ecsdns_auth.dir/flattening.cpp.o"
+  "CMakeFiles/ecsdns_auth.dir/flattening.cpp.o.d"
+  "CMakeFiles/ecsdns_auth.dir/server.cpp.o"
+  "CMakeFiles/ecsdns_auth.dir/server.cpp.o.d"
+  "CMakeFiles/ecsdns_auth.dir/zone.cpp.o"
+  "CMakeFiles/ecsdns_auth.dir/zone.cpp.o.d"
+  "CMakeFiles/ecsdns_auth.dir/zone_text.cpp.o"
+  "CMakeFiles/ecsdns_auth.dir/zone_text.cpp.o.d"
+  "libecsdns_auth.a"
+  "libecsdns_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsdns_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/edge.cpp" "src/cdn/CMakeFiles/ecsdns_cdn.dir/edge.cpp.o" "gcc" "src/cdn/CMakeFiles/ecsdns_cdn.dir/edge.cpp.o.d"
+  "/root/repo/src/cdn/mapping.cpp" "src/cdn/CMakeFiles/ecsdns_cdn.dir/mapping.cpp.o" "gcc" "src/cdn/CMakeFiles/ecsdns_cdn.dir/mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnscore/CMakeFiles/ecsdns_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ecsdns_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

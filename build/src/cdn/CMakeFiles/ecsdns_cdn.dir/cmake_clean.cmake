@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsdns_cdn.dir/edge.cpp.o"
+  "CMakeFiles/ecsdns_cdn.dir/edge.cpp.o.d"
+  "CMakeFiles/ecsdns_cdn.dir/mapping.cpp.o"
+  "CMakeFiles/ecsdns_cdn.dir/mapping.cpp.o.d"
+  "libecsdns_cdn.a"
+  "libecsdns_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsdns_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

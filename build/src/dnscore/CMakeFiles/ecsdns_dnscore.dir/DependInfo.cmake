@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnscore/ecs.cpp" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/ecs.cpp.o" "gcc" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/ecs.cpp.o.d"
+  "/root/repo/src/dnscore/edns.cpp" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/edns.cpp.o" "gcc" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/edns.cpp.o.d"
+  "/root/repo/src/dnscore/ip.cpp" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/ip.cpp.o" "gcc" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/ip.cpp.o.d"
+  "/root/repo/src/dnscore/message.cpp" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/message.cpp.o" "gcc" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/message.cpp.o.d"
+  "/root/repo/src/dnscore/name.cpp" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/name.cpp.o" "gcc" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/name.cpp.o.d"
+  "/root/repo/src/dnscore/rdata.cpp" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/rdata.cpp.o" "gcc" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/rdata.cpp.o.d"
+  "/root/repo/src/dnscore/record.cpp" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/record.cpp.o" "gcc" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/record.cpp.o.d"
+  "/root/repo/src/dnscore/types.cpp" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/types.cpp.o" "gcc" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/types.cpp.o.d"
+  "/root/repo/src/dnscore/wire.cpp" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/wire.cpp.o" "gcc" "src/dnscore/CMakeFiles/ecsdns_dnscore.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsdns_dnscore.dir/ecs.cpp.o"
+  "CMakeFiles/ecsdns_dnscore.dir/ecs.cpp.o.d"
+  "CMakeFiles/ecsdns_dnscore.dir/edns.cpp.o"
+  "CMakeFiles/ecsdns_dnscore.dir/edns.cpp.o.d"
+  "CMakeFiles/ecsdns_dnscore.dir/ip.cpp.o"
+  "CMakeFiles/ecsdns_dnscore.dir/ip.cpp.o.d"
+  "CMakeFiles/ecsdns_dnscore.dir/message.cpp.o"
+  "CMakeFiles/ecsdns_dnscore.dir/message.cpp.o.d"
+  "CMakeFiles/ecsdns_dnscore.dir/name.cpp.o"
+  "CMakeFiles/ecsdns_dnscore.dir/name.cpp.o.d"
+  "CMakeFiles/ecsdns_dnscore.dir/rdata.cpp.o"
+  "CMakeFiles/ecsdns_dnscore.dir/rdata.cpp.o.d"
+  "CMakeFiles/ecsdns_dnscore.dir/record.cpp.o"
+  "CMakeFiles/ecsdns_dnscore.dir/record.cpp.o.d"
+  "CMakeFiles/ecsdns_dnscore.dir/types.cpp.o"
+  "CMakeFiles/ecsdns_dnscore.dir/types.cpp.o.d"
+  "CMakeFiles/ecsdns_dnscore.dir/wire.cpp.o"
+  "CMakeFiles/ecsdns_dnscore.dir/wire.cpp.o.d"
+  "libecsdns_dnscore.a"
+  "libecsdns_dnscore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsdns_dnscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecsdns_dnscore.
+# This may be replaced when dependencies are built.

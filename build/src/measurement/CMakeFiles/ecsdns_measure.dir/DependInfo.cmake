@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measurement/cache_sim.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/cache_sim.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/measurement/caching_prober.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/caching_prober.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/caching_prober.cpp.o.d"
+  "/root/repo/src/measurement/flattening_exp.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/flattening_exp.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/flattening_exp.cpp.o.d"
+  "/root/repo/src/measurement/fleet.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/fleet.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/fleet.cpp.o.d"
+  "/root/repo/src/measurement/hidden.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/hidden.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/hidden.cpp.o.d"
+  "/root/repo/src/measurement/mapping_quality.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/mapping_quality.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/mapping_quality.cpp.o.d"
+  "/root/repo/src/measurement/prefix_census.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/prefix_census.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/prefix_census.cpp.o.d"
+  "/root/repo/src/measurement/probing_classifier.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/probing_classifier.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/probing_classifier.cpp.o.d"
+  "/root/repo/src/measurement/scanner.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/scanner.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/scanner.cpp.o.d"
+  "/root/repo/src/measurement/stats.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/stats.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/stats.cpp.o.d"
+  "/root/repo/src/measurement/testbed.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/testbed.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/testbed.cpp.o.d"
+  "/root/repo/src/measurement/tracegen.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/tracegen.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/tracegen.cpp.o.d"
+  "/root/repo/src/measurement/workload.cpp" "src/measurement/CMakeFiles/ecsdns_measure.dir/workload.cpp.o" "gcc" "src/measurement/CMakeFiles/ecsdns_measure.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnscore/CMakeFiles/ecsdns_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ecsdns_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/ecsdns_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/authoritative/CMakeFiles/ecsdns_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/ecsdns_cdn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsdns_measure.dir/cache_sim.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/caching_prober.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/caching_prober.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/flattening_exp.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/flattening_exp.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/fleet.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/fleet.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/hidden.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/hidden.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/mapping_quality.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/mapping_quality.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/prefix_census.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/prefix_census.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/probing_classifier.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/probing_classifier.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/scanner.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/scanner.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/stats.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/stats.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/testbed.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/testbed.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/tracegen.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/tracegen.cpp.o.d"
+  "CMakeFiles/ecsdns_measure.dir/workload.cpp.o"
+  "CMakeFiles/ecsdns_measure.dir/workload.cpp.o.d"
+  "libecsdns_measure.a"
+  "libecsdns_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsdns_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

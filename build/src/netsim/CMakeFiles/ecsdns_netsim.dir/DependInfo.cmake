@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/asndb.cpp" "src/netsim/CMakeFiles/ecsdns_netsim.dir/asndb.cpp.o" "gcc" "src/netsim/CMakeFiles/ecsdns_netsim.dir/asndb.cpp.o.d"
+  "/root/repo/src/netsim/event_loop.cpp" "src/netsim/CMakeFiles/ecsdns_netsim.dir/event_loop.cpp.o" "gcc" "src/netsim/CMakeFiles/ecsdns_netsim.dir/event_loop.cpp.o.d"
+  "/root/repo/src/netsim/geo.cpp" "src/netsim/CMakeFiles/ecsdns_netsim.dir/geo.cpp.o" "gcc" "src/netsim/CMakeFiles/ecsdns_netsim.dir/geo.cpp.o.d"
+  "/root/repo/src/netsim/geodb.cpp" "src/netsim/CMakeFiles/ecsdns_netsim.dir/geodb.cpp.o" "gcc" "src/netsim/CMakeFiles/ecsdns_netsim.dir/geodb.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/ecsdns_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/ecsdns_netsim.dir/network.cpp.o.d"
+  "/root/repo/src/netsim/rng.cpp" "src/netsim/CMakeFiles/ecsdns_netsim.dir/rng.cpp.o" "gcc" "src/netsim/CMakeFiles/ecsdns_netsim.dir/rng.cpp.o.d"
+  "/root/repo/src/netsim/world.cpp" "src/netsim/CMakeFiles/ecsdns_netsim.dir/world.cpp.o" "gcc" "src/netsim/CMakeFiles/ecsdns_netsim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnscore/CMakeFiles/ecsdns_dnscore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

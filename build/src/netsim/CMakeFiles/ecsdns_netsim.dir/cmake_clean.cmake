@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsdns_netsim.dir/asndb.cpp.o"
+  "CMakeFiles/ecsdns_netsim.dir/asndb.cpp.o.d"
+  "CMakeFiles/ecsdns_netsim.dir/event_loop.cpp.o"
+  "CMakeFiles/ecsdns_netsim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/ecsdns_netsim.dir/geo.cpp.o"
+  "CMakeFiles/ecsdns_netsim.dir/geo.cpp.o.d"
+  "CMakeFiles/ecsdns_netsim.dir/geodb.cpp.o"
+  "CMakeFiles/ecsdns_netsim.dir/geodb.cpp.o.d"
+  "CMakeFiles/ecsdns_netsim.dir/network.cpp.o"
+  "CMakeFiles/ecsdns_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/ecsdns_netsim.dir/rng.cpp.o"
+  "CMakeFiles/ecsdns_netsim.dir/rng.cpp.o.d"
+  "CMakeFiles/ecsdns_netsim.dir/world.cpp.o"
+  "CMakeFiles/ecsdns_netsim.dir/world.cpp.o.d"
+  "libecsdns_netsim.a"
+  "libecsdns_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsdns_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/cache.cpp" "src/resolver/CMakeFiles/ecsdns_resolver.dir/cache.cpp.o" "gcc" "src/resolver/CMakeFiles/ecsdns_resolver.dir/cache.cpp.o.d"
+  "/root/repo/src/resolver/client.cpp" "src/resolver/CMakeFiles/ecsdns_resolver.dir/client.cpp.o" "gcc" "src/resolver/CMakeFiles/ecsdns_resolver.dir/client.cpp.o.d"
+  "/root/repo/src/resolver/config.cpp" "src/resolver/CMakeFiles/ecsdns_resolver.dir/config.cpp.o" "gcc" "src/resolver/CMakeFiles/ecsdns_resolver.dir/config.cpp.o.d"
+  "/root/repo/src/resolver/forwarder.cpp" "src/resolver/CMakeFiles/ecsdns_resolver.dir/forwarder.cpp.o" "gcc" "src/resolver/CMakeFiles/ecsdns_resolver.dir/forwarder.cpp.o.d"
+  "/root/repo/src/resolver/recursive.cpp" "src/resolver/CMakeFiles/ecsdns_resolver.dir/recursive.cpp.o" "gcc" "src/resolver/CMakeFiles/ecsdns_resolver.dir/recursive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnscore/CMakeFiles/ecsdns_dnscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ecsdns_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsdns_resolver.dir/cache.cpp.o"
+  "CMakeFiles/ecsdns_resolver.dir/cache.cpp.o.d"
+  "CMakeFiles/ecsdns_resolver.dir/client.cpp.o"
+  "CMakeFiles/ecsdns_resolver.dir/client.cpp.o.d"
+  "CMakeFiles/ecsdns_resolver.dir/config.cpp.o"
+  "CMakeFiles/ecsdns_resolver.dir/config.cpp.o.d"
+  "CMakeFiles/ecsdns_resolver.dir/forwarder.cpp.o"
+  "CMakeFiles/ecsdns_resolver.dir/forwarder.cpp.o.d"
+  "CMakeFiles/ecsdns_resolver.dir/recursive.cpp.o"
+  "CMakeFiles/ecsdns_resolver.dir/recursive.cpp.o.d"
+  "libecsdns_resolver.a"
+  "libecsdns_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsdns_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

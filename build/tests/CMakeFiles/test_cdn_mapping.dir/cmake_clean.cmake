@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdn_mapping.dir/test_cdn_mapping.cpp.o"
+  "CMakeFiles/test_cdn_mapping.dir/test_cdn_mapping.cpp.o.d"
+  "test_cdn_mapping"
+  "test_cdn_mapping.pdb"
+  "test_cdn_mapping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdn_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

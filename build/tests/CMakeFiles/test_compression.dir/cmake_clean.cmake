@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compression.dir/test_compression.cpp.o"
+  "CMakeFiles/test_compression.dir/test_compression.cpp.o.d"
+  "test_compression"
+  "test_compression.pdb"
+  "test_compression[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edns_ecs.dir/test_edns_ecs.cpp.o"
+  "CMakeFiles/test_edns_ecs.dir/test_edns_ecs.cpp.o.d"
+  "test_edns_ecs"
+  "test_edns_ecs.pdb"
+  "test_edns_ecs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edns_ecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

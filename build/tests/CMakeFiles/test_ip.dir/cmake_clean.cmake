@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ip.dir/test_ip.cpp.o"
+  "CMakeFiles/test_ip.dir/test_ip.cpp.o.d"
+  "test_ip"
+  "test_ip.pdb"
+  "test_ip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_cache.dir/test_model_cache.cpp.o"
+  "CMakeFiles/test_model_cache.dir/test_model_cache.cpp.o.d"
+  "test_model_cache"
+  "test_model_cache.pdb"
+  "test_model_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

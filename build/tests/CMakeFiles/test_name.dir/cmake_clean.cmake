@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_name.dir/test_name.cpp.o"
+  "CMakeFiles/test_name.dir/test_name.cpp.o.d"
+  "test_name"
+  "test_name.pdb"
+  "test_name[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_name.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

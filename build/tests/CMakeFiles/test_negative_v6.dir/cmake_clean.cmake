@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negative_v6.dir/test_negative_v6.cpp.o"
+  "CMakeFiles/test_negative_v6.dir/test_negative_v6.cpp.o.d"
+  "test_negative_v6"
+  "test_negative_v6.pdb"
+  "test_negative_v6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negative_v6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

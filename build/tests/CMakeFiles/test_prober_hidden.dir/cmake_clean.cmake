@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prober_hidden.dir/test_prober_hidden.cpp.o"
+  "CMakeFiles/test_prober_hidden.dir/test_prober_hidden.cpp.o.d"
+  "test_prober_hidden"
+  "test_prober_hidden.pdb"
+  "test_prober_hidden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prober_hidden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_prober_hidden.
+# This may be replaced when dependencies are built.

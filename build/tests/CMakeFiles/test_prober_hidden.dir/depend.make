@@ -1,0 +1,2 @@
+# Empty dependencies file for test_prober_hidden.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdata.dir/test_rdata.cpp.o"
+  "CMakeFiles/test_rdata.dir/test_rdata.cpp.o.d"
+  "test_rdata"
+  "test_rdata.pdb"
+  "test_rdata[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolver.dir/test_resolver.cpp.o"
+  "CMakeFiles/test_resolver.dir/test_resolver.cpp.o.d"
+  "test_resolver"
+  "test_resolver.pdb"
+  "test_resolver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

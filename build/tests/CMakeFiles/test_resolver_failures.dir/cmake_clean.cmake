@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolver_failures.dir/test_resolver_failures.cpp.o"
+  "CMakeFiles/test_resolver_failures.dir/test_resolver_failures.cpp.o.d"
+  "test_resolver_failures"
+  "test_resolver_failures.pdb"
+  "test_resolver_failures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolver_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

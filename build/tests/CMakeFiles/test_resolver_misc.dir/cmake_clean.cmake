@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resolver_misc.dir/test_resolver_misc.cpp.o"
+  "CMakeFiles/test_resolver_misc.dir/test_resolver_misc.cpp.o.d"
+  "test_resolver_misc"
+  "test_resolver_misc.pdb"
+  "test_resolver_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resolver_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

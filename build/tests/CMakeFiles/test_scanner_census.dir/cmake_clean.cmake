@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scanner_census.dir/test_scanner_census.cpp.o"
+  "CMakeFiles/test_scanner_census.dir/test_scanner_census.cpp.o.d"
+  "test_scanner_census"
+  "test_scanner_census.pdb"
+  "test_scanner_census[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scanner_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srtt.dir/test_srtt.cpp.o"
+  "CMakeFiles/test_srtt.dir/test_srtt.cpp.o.d"
+  "test_srtt"
+  "test_srtt.pdb"
+  "test_srtt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_srtt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tracegen_cachesim.dir/test_tracegen_cachesim.cpp.o"
+  "CMakeFiles/test_tracegen_cachesim.dir/test_tracegen_cachesim.cpp.o.d"
+  "test_tracegen_cachesim"
+  "test_tracegen_cachesim.pdb"
+  "test_tracegen_cachesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tracegen_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truncation.dir/test_truncation.cpp.o"
+  "CMakeFiles/test_truncation.dir/test_truncation.cpp.o.d"
+  "test_truncation"
+  "test_truncation.pdb"
+  "test_truncation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zone_auth.dir/test_zone_auth.cpp.o"
+  "CMakeFiles/test_zone_auth.dir/test_zone_auth.cpp.o.d"
+  "test_zone_auth"
+  "test_zone_auth.pdb"
+  "test_zone_auth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zone_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

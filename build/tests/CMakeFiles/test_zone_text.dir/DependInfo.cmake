@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_zone_text.cpp" "tests/CMakeFiles/test_zone_text.dir/test_zone_text.cpp.o" "gcc" "tests/CMakeFiles/test_zone_text.dir/test_zone_text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measurement/CMakeFiles/ecsdns_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/ecsdns_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/authoritative/CMakeFiles/ecsdns_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/ecsdns_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ecsdns_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnscore/CMakeFiles/ecsdns_dnscore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

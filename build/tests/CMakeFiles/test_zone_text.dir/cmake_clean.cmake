@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zone_text.dir/test_zone_text.cpp.o"
+  "CMakeFiles/test_zone_text.dir/test_zone_text.cpp.o.d"
+  "test_zone_text"
+  "test_zone_text.pdb"
+  "test_zone_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zone_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_name[1]_include.cmake")
+include("/root/repo/build/tests/test_ip[1]_include.cmake")
+include("/root/repo/build/tests/test_rdata[1]_include.cmake")
+include("/root/repo/build/tests/test_edns_ecs[1]_include.cmake")
+include("/root/repo/build/tests/test_message[1]_include.cmake")
+include("/root/repo/build/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_zone_auth[1]_include.cmake")
+include("/root/repo/build/tests/test_resolver[1]_include.cmake")
+include("/root/repo/build/tests/test_cdn_mapping[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_tracegen_cachesim[1]_include.cmake")
+include("/root/repo/build/tests/test_scanner_census[1]_include.cmake")
+include("/root/repo/build/tests/test_prober_hidden[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_zone_text[1]_include.cmake")
+include("/root/repo/build/tests/test_negative_v6[1]_include.cmake")
+include("/root/repo/build/tests/test_model_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_resolver_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_compression[1]_include.cmake")
+include("/root/repo/build/tests/test_truncation[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_srtt[1]_include.cmake")
+include("/root/repo/build/tests/test_resolver_misc[1]_include.cmake")
