@@ -15,6 +15,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "ablation_cache_bound");
   bench::banner("ablation_cache_bound",
                 "ablation - premature evictions when the cache is not resized");
 

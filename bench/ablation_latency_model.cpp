@@ -23,6 +23,7 @@ struct Variant {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "ablation_latency_model");
   bench::banner("ablation_latency_model",
                 "ablation - Table 2 / Figure 8 conclusions vs latency model");
   (void)argc;

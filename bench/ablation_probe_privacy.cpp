@@ -15,6 +15,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "ablation_probe_privacy");
   bench::banner("ablation_probe_privacy",
                 "ablation - client bits leaked to a non-ECS authoritative");
   const long minutes = bench::flag(argc, argv, "minutes", 240);

@@ -14,6 +14,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "ablation_scope_granularity");
   bench::banner("ablation_scope_granularity",
                 "ablation - cache blow-up and hit rate vs authoritative scope");
 

@@ -1,11 +1,17 @@
-// Shared helpers for the experiment binaries: flag parsing and the
-// paper-vs-measured report format every bench prints.
+// Shared helpers for the experiment binaries: flag parsing, the
+// paper-vs-measured report format every bench prints, and the ObsSession
+// wrapper that exports the run's metrics/trace when asked to.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ecsdns::bench {
 
@@ -19,6 +25,82 @@ inline long flag(int argc, char** argv, const char* name, long fallback) {
   }
   return fallback;
 }
+
+// Parses "--name=value" string flags; returns "" when absent.
+inline std::string str_flag(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return {};
+}
+
+// Per-run observability scope. Construct at the top of main(); on
+// destruction it writes the global registry to --metrics-out=FILE and the
+// trace ring to --trace-out=FILE (tracing is only switched on when a trace
+// destination was requested, so untraced runs pay one cold branch per event).
+class ObsSession {
+ public:
+  ObsSession(int argc, char** argv, const char* run_name)
+      : run_name_(run_name),
+        metrics_path_(str_flag(argc, argv, "metrics-out")),
+        trace_path_(str_flag(argc, argv, "trace-out")),
+        start_(std::chrono::steady_clock::now()) {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.reset();
+    obs::preregister_core_metrics(registry);
+    auto& tracer = obs::TraceRing::global();
+    tracer.clear();
+    tracer.set_enabled(!trace_path_.empty());
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() { finish(); }
+
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    if (!metrics_path_.empty()) {
+      const std::string doc = obs::metrics_json(obs::MetricsRegistry::global(),
+                                                run_name_, wall_ms);
+      if (obs::write_text_file(metrics_path_, doc)) {
+        std::fprintf(stderr, "[obs] metrics written to %s\n",
+                     metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "[obs] failed to write %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    auto& tracer = obs::TraceRing::global();
+    if (!trace_path_.empty()) {
+      const std::string doc = obs::trace_json(tracer);
+      if (obs::write_text_file(trace_path_, doc)) {
+        std::fprintf(stderr, "[obs] trace written to %s (%llu events)\n",
+                     trace_path_.c_str(),
+                     static_cast<unsigned long long>(tracer.recorded()));
+      } else {
+        std::fprintf(stderr, "[obs] failed to write %s\n",
+                     trace_path_.c_str());
+      }
+    }
+    tracer.set_enabled(false);
+  }
+
+ private:
+  std::string run_name_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::chrono::steady_clock::time_point start_;
+  bool finished_ = false;
+};
 
 inline void banner(const char* experiment, const char* paper_artifact) {
   std::printf("================================================================\n");

@@ -12,6 +12,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "fig1_cache_blowup_cdf");
   bench::banner("fig1_cache_blowup_cdf",
                 "Figure 1 - cache blow-up CDF, TTL in {20, 40, 60} s");
 

@@ -13,6 +13,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "fig2_blowup_vs_population");
   bench::banner("fig2_blowup_vs_population",
                 "Figure 2 - cache blow-up vs client population fraction");
 

@@ -11,6 +11,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "fig3_hitrate_vs_population");
   bench::banner("fig3_hitrate_vs_population",
                 "Figure 3 - cache hit rate with/without ECS vs population");
 

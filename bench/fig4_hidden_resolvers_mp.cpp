@@ -14,6 +14,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "fig4_hidden_resolvers_mp");
   bench::banner("fig4_hidden_resolvers_mp",
                 "Figure 4 - distances forwarder->hidden vs forwarder->egress (MP)");
 

@@ -14,6 +14,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "fig5_hidden_resolvers_nonmp");
   bench::banner(
       "fig5_hidden_resolvers_nonmp",
       "Figure 5 - distances forwarder->hidden vs forwarder->egress (non-MP)");

@@ -12,6 +12,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "fig6_cdn1_prefixlen");
   bench::banner("fig6_cdn1_prefixlen",
                 "Figure 6 - mapping quality vs source prefix length (CDN-1)");
 

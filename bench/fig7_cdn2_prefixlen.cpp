@@ -12,6 +12,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "fig7_cdn2_prefixlen");
   bench::banner("fig7_cdn2_prefixlen",
                 "Figure 7 - mapping quality vs source prefix length (CDN-2)");
 

@@ -12,6 +12,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "fig8_cname_flattening");
   bench::banner("fig8_cname_flattening",
                 "Figure 8 / section 8.4 - CNAME flattening penalty");
   (void)argc;

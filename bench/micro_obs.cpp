@@ -1,0 +1,186 @@
+// Microbenchmarks for the observability layer itself: what one counter
+// bump, histogram observation, or trace record costs, and — the number that
+// justifies leaving instrumentation always-on — the end-to-end overhead the
+// obs mirrors add to a cache-hit resolution. The acceptance bar is <5%
+// overhead on BM_ResolveCacheHit with metrics enabled vs disabled.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+#include "authoritative/ecs_policy.h"
+#include "measurement/testbed.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace ecsdns;
+using dnscore::IpAddress;
+using dnscore::Name;
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::CounterHandle c(obs::MetricsRegistry::global().counter("micro.counter"));
+  for (auto _ : state) {
+    c.inc();
+  }
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_CounterIncDisabled(benchmark::State& state) {
+  obs::CounterHandle c(obs::MetricsRegistry::global().counter("micro.counter"));
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    c.inc();
+  }
+  obs::set_enabled(true);
+}
+BENCHMARK(BM_CounterIncDisabled);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::HistogramHandle h(
+      obs::MetricsRegistry::global().histogram("micro.histogram"));
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    h.observe(++v & 0xFFFFF);
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TraceRecordDisabled(benchmark::State& state) {
+  auto& tracer = obs::TraceRing::global();
+  tracer.set_enabled(false);
+  for (auto _ : state) {
+    if (tracer.enabled()) {
+      tracer.record({0, obs::TraceKind::kNote, {}, {}, 0, "never"});
+    }
+  }
+}
+BENCHMARK(BM_TraceRecordDisabled);
+
+void BM_TraceRecordEnabled(benchmark::State& state) {
+  obs::TraceRing tracer(1024);
+  tracer.set_enabled(true);
+  const auto src = IpAddress::parse("10.0.0.1");
+  const auto dst = IpAddress::parse("10.0.0.2");
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    tracer.record({++t, obs::TraceKind::kDatagram, src, dst, 64, {}});
+  }
+}
+BENCHMARK(BM_TraceRecordEnabled);
+
+void BM_MetricsSnapshot(benchmark::State& state) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::preregister_core_metrics(registry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::metrics_json(registry, "micro_obs", 0.0));
+  }
+}
+BENCHMARK(BM_MetricsSnapshot);
+
+// The same cache-hit loop as micro_resolution's BM_ResolveCacheHit, run with
+// the obs mirrors live and dead. google-benchmark prints both; the custom
+// main below computes the overhead ratio from a direct timed comparison.
+struct Rig {
+  measurement::Testbed bed;
+  resolver::RecursiveResolver* resolver;
+  Name host = Name::from_string("www.example.com");
+
+  Rig() {
+    auto& auth = bed.add_auth("auth", Name::from_string("example.com"), "Ashburn",
+                              std::make_unique<authoritative::ScopeDeltaPolicy>(0));
+    auth.find_zone(Name::from_string("example.com"))
+        ->add(dnscore::ResourceRecord::make_a(host, 60,
+                                              IpAddress::parse("1.1.1.1")));
+    resolver = &bed.add_resolver(resolver::ResolverConfig::correct(), "Chicago");
+    bed.network().set_advance_clock(false);
+  }
+};
+
+void resolve_cache_hit_loop(benchmark::State& state, bool obs_on) {
+  Rig rig;
+  const auto client = IpAddress::parse("100.64.1.5");
+  dnscore::Message q = dnscore::Message::make_query(1, rig.host, dnscore::RRType::A);
+  q.opt = dnscore::OptRecord{};
+  (void)rig.resolver->handle_client_query(q, client);  // warm the cache
+  obs::set_enabled(obs_on);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.resolver->handle_client_query(q, client));
+  }
+  obs::set_enabled(true);
+}
+
+void BM_ResolveCacheHitObsOn(benchmark::State& state) {
+  resolve_cache_hit_loop(state, true);
+}
+BENCHMARK(BM_ResolveCacheHitObsOn);
+
+void BM_ResolveCacheHitObsOff(benchmark::State& state) {
+  resolve_cache_hit_loop(state, false);
+}
+BENCHMARK(BM_ResolveCacheHitObsOff);
+
+// Direct A/B measurement outside google-benchmark: interleaved batches so
+// frequency scaling hits both arms equally, median-of-batches so one noisy
+// batch can't skew the ratio.
+double timed_batch(resolver::RecursiveResolver& r, const dnscore::Message& q,
+                   const IpAddress& client, int iters) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    benchmark::DoNotOptimize(r.handle_client_query(q, client));
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void report_overhead() {
+  Rig rig;
+  const auto client = IpAddress::parse("100.64.1.5");
+  dnscore::Message q = dnscore::Message::make_query(1, rig.host, dnscore::RRType::A);
+  q.opt = dnscore::OptRecord{};
+  (void)rig.resolver->handle_client_query(q, client);
+
+  constexpr int kIters = 20000;
+  constexpr int kBatches = 9;
+  std::vector<double> on, off;
+  timed_batch(*rig.resolver, q, client, kIters);  // warm-up
+  for (int b = 0; b < kBatches; ++b) {
+    obs::set_enabled(false);
+    off.push_back(timed_batch(*rig.resolver, q, client, kIters));
+    obs::set_enabled(true);
+    on.push_back(timed_batch(*rig.resolver, q, client, kIters));
+  }
+  std::sort(on.begin(), on.end());
+  std::sort(off.begin(), off.end());
+  const double on_med = on[kBatches / 2], off_med = off[kBatches / 2];
+  const double overhead_pct = (on_med / off_med - 1.0) * 100.0;
+  std::printf("\nobs overhead on cache-hit resolution (median of %d batches):\n",
+              kBatches);
+  std::printf("  obs enabled : %.1f ns/op\n", on_med / kIters * 1e9);
+  std::printf("  obs disabled: %.1f ns/op\n", off_med / kIters * 1e9);
+  std::printf("  overhead    : %+.2f%% (target < 5%%)\n", overhead_pct);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "micro_obs");
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) continue;
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) continue;
+    passthrough.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  report_overhead();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,8 @@
 // drive per wall-clock second.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "authoritative/ecs_policy.h"
 #include "measurement/scanner.h"
 #include "measurement/testbed.h"
@@ -74,4 +76,23 @@ BENCHMARK(BM_ScanProbe);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the obs flags
+// (--metrics-out/--trace-out) are not google-benchmark flags, so they are
+// consumed by ObsSession before Initialize() sees argv.
+int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "micro_resolution");
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) continue;
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) continue;
+    passthrough.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

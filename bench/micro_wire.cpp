@@ -2,6 +2,8 @@
 // ECS option paths that every simulated packet crosses.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "dnscore/message.h"
 
 namespace {
@@ -85,4 +87,23 @@ BENCHMARK(BM_EcsValidate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the obs flags
+// (--metrics-out/--trace-out) are not google-benchmark flags, so they are
+// consumed by ObsSession before Initialize() sees argv.
+int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "micro_wire");
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) continue;
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) continue;
+    passthrough.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

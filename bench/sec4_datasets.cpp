@@ -16,6 +16,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "sec4_datasets");
   bench::banner("sec4_datasets", "Section 4 - the four datasets, calibrated shapes");
   const int scale = static_cast<int>(bench::flag(argc, argv, "scale", 4));
 

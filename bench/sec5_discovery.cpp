@@ -16,6 +16,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "sec5_discovery");
   bench::banner("sec5_discovery",
                 "Section 5 - passive vs active discovery of ECS resolvers");
 

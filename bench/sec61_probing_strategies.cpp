@@ -13,6 +13,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "sec61_probing_strategies");
   bench::banner("sec61_probing_strategies",
                 "Section 6.1 - probing strategies (3382/258/32/88/387 mix)");
   const int scale = static_cast<int>(bench::flag(argc, argv, "scale", 4));

@@ -15,6 +15,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "sec61_root_ecs");
   bench::banner("sec61_root_ecs",
                 "Section 6.1 - resolvers sending ECS to root servers (DITL)");
   const int violators = static_cast<int>(bench::flag(argc, argv, "violators", 15));

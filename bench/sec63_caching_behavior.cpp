@@ -13,6 +13,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "sec63_caching_behavior");
   bench::banner("sec63_caching_behavior",
                 "Section 6.3 - caching behavior classes (76/103/15/8/1)");
   const int scale = static_cast<int>(bench::flag(argc, argv, "scale", 1));

@@ -35,6 +35,7 @@ struct Regime {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "sec82_trusted_chain");
   bench::banner("sec82_trusted_chain",
                 "Section 8.2 mitigation - trusted hidden-resolver chains");
   (void)argc;

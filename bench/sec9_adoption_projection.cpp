@@ -19,6 +19,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "sec9_adoption_projection");
   bench::banner("sec9_adoption_projection",
                 "Section 9 future work - overall cache cost vs ECS deployment");
 

@@ -40,6 +40,7 @@ class ScheduledScopePolicy : public authoritative::EcsPolicy {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "sec9_scope_feedback");
   bench::banner("sec9_scope_feedback",
                 "Section 9 future work - does returned scope steer source length?");
   (void)argc;

@@ -18,6 +18,7 @@ using namespace ecsdns::measurement;
 using dnscore::Name;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "sec9_whitelist_comparison");
   bench::banner("sec9_whitelist_comparison",
                 "Section 9 future work - whitelisted vs non-whitelisted resolver");
   const int clients = static_cast<int>(bench::flag(argc, argv, "clients", 48));

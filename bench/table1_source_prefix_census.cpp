@@ -17,6 +17,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "table1_source_prefix_census");
   bench::banner("table1_source_prefix_census",
                 "Table 1 - ECS source prefix lengths (Scan + CDN datasets)");
   const int scan_scale = static_cast<int>(bench::flag(argc, argv, "scan-scale", 1));

@@ -12,6 +12,7 @@ using namespace ecsdns;
 using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
+  ecsdns::bench::ObsSession obs_session(argc, argv, "table2_unroutable_prefixes");
   bench::banner("table2_unroutable_prefixes",
                 "Table 2 - mapping quality under unroutable ECS prefixes");
   (void)argc;

@@ -29,6 +29,11 @@ bool is_malformed(const std::vector<dnscore::EcsIssue>& issues) {
 AuthServer::AuthServer(AuthConfig config, std::unique_ptr<EcsPolicy> policy)
     : config_(std::move(config)), policy_(std::move(policy)) {
   if (!policy_) policy_ = std::make_unique<NoEcsPolicy>();
+  auto& registry = obs::MetricsRegistry::global();
+  metrics_.queries = obs::CounterHandle(registry.counter("auth.queries"));
+  metrics_.ecs_queries = obs::CounterHandle(registry.counter("auth.ecs_queries"));
+  metrics_.ecs_responses = obs::CounterHandle(registry.counter("auth.ecs_responses"));
+  metrics_.dropped = obs::CounterHandle(registry.counter("auth.dropped"));
 }
 
 Zone& AuthServer::add_zone(const Name& apex) {
@@ -50,6 +55,7 @@ Zone* AuthServer::find_zone(const Name& qname) {
 std::optional<Message> AuthServer::handle(const Message& query,
                                           const IpAddress& sender, SimTime now) {
   ++queries_served_;
+  metrics_.queries.inc();
   QueryLogEntry entry;
   entry.time = now;
   entry.sender = sender;
@@ -58,8 +64,10 @@ std::optional<Message> AuthServer::handle(const Message& query,
     entry.qtype = query.question().qtype;
   }
   entry.query_ecs = query.opt ? query.ecs() : std::nullopt;
+  if (entry.query_ecs) metrics_.ecs_queries.inc();
 
   if (config_.drop_ecs_queries && entry.query_ecs) {
+    metrics_.dropped.inc();
     if (config_.log_queries) log_.push_back(std::move(entry));
     return std::nullopt;  // the buggy silent drop
   }
@@ -67,6 +75,7 @@ std::optional<Message> AuthServer::handle(const Message& query,
   Message response = answer(query, sender);
   entry.rcode = response.header.rcode;
   entry.response_ecs = response.ecs();
+  if (entry.response_ecs) metrics_.ecs_responses.inc();
   if (config_.log_queries) log_.push_back(std::move(entry));
   return response;
 }

@@ -14,6 +14,7 @@
 #include "authoritative/zone.h"
 #include "dnscore/message.h"
 #include "netsim/network.h"
+#include "obs/metrics.h"
 
 namespace ecsdns::authoritative {
 
@@ -78,11 +79,21 @@ class AuthServer {
  private:
   Message answer(const Message& query, const IpAddress& sender);
 
+  // Registry mirrors (see src/obs): `queries_served_` and the query log
+  // remain the per-server API; the registry aggregates across the fleet.
+  struct Metrics {
+    obs::CounterHandle queries;
+    obs::CounterHandle ecs_queries;
+    obs::CounterHandle ecs_responses;
+    obs::CounterHandle dropped;
+  };
+
   AuthConfig config_;
   std::unique_ptr<EcsPolicy> policy_;
   std::vector<std::unique_ptr<Zone>> zones_;
   std::vector<QueryLogEntry> log_;
   std::uint64_t queries_served_ = 0;
+  Metrics metrics_;
 };
 
 }  // namespace ecsdns::authoritative

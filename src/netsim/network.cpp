@@ -2,7 +2,21 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace ecsdns::netsim {
+
+Network::Network(LatencyModel latency) : latency_(latency) {
+  auto& registry = obs::MetricsRegistry::global();
+  metrics_.round_trips = obs::CounterHandle(registry.counter("net.round_trips"));
+  metrics_.tcp_round_trips =
+      obs::CounterHandle(registry.counter("net.tcp_round_trips"));
+  metrics_.timeouts = obs::CounterHandle(registry.counter("net.timeouts"));
+  metrics_.bytes_sent = obs::CounterHandle(registry.counter("net.bytes_sent"));
+  metrics_.bytes_received =
+      obs::CounterHandle(registry.counter("net.bytes_received"));
+  metrics_.rtt_us = obs::HistogramHandle(registry.histogram("net.rtt_us"));
+}
 
 void Network::attach(const IpAddress& addr, const GeoPoint& location, Service service) {
   nodes_[addr] = Node{location, std::move(service)};
@@ -34,10 +48,20 @@ SimTime Network::rtt_between(const IpAddress& a, const IpAddress& b) const {
 std::optional<std::vector<std::uint8_t>> Network::round_trip(
     const IpAddress& src, const IpAddress& dst,
     const std::vector<std::uint8_t>& payload, bool tcp) {
+  metrics_.round_trips.inc();
+  if (tcp) metrics_.tcp_round_trips.inc();
+  metrics_.bytes_sent.inc(payload.size());
+  auto& tracer = obs::TraceRing::global();
   const auto src_it = nodes_.find(src);
   const auto dst_it = nodes_.find(dst);
   if (src_it == nodes_.end() || dst_it == nodes_.end()) {
     ++dropped_;
+    metrics_.timeouts.inc();
+    metrics_.rtt_us.observe(static_cast<std::uint64_t>(timeout_));
+    if (tracer.enabled()) {
+      tracer.record({loop_.now(), obs::TraceKind::kTimeout, src, dst,
+                     static_cast<std::uint32_t>(payload.size()), "unknown destination"});
+    }
     if (advance_clock_) loop_.advance(timeout_);
     return std::nullopt;
   }
@@ -50,6 +74,12 @@ std::optional<std::vector<std::uint8_t>> Network::round_trip(
   auto response = dst_it->second.service(Datagram{src, dst, payload, tcp});
   if (!response) {
     ++dropped_;
+    metrics_.timeouts.inc();
+    metrics_.rtt_us.observe(static_cast<std::uint64_t>(timeout_));
+    if (tracer.enabled()) {
+      tracer.record({loop_.now(), obs::TraceKind::kTimeout, src, dst,
+                     static_cast<std::uint32_t>(payload.size()), "service dropped"});
+    }
     // The sender burns the rest of its timeout waiting for a reply that
     // never comes.
     if (advance_clock_) loop_.advance(std::max<SimTime>(timeout_ - one_way, 0));
@@ -57,6 +87,14 @@ std::optional<std::vector<std::uint8_t>> Network::round_trip(
   }
   if (advance_clock_) loop_.advance(one_way);
   ++delivered_;
+  metrics_.bytes_received.inc(response->size());
+  // The modeled RTT, independent of clock mode so concurrent drivers (which
+  // freeze the shared clock) still populate the latency distribution.
+  metrics_.rtt_us.observe(static_cast<std::uint64_t>((tcp ? 4 : 2) * one_way));
+  if (tracer.enabled()) {
+    tracer.record({loop_.now(), obs::TraceKind::kDatagram, src, dst,
+                   static_cast<std::uint32_t>(payload.size()), tcp ? "tcp" : ""});
+  }
   return response;
 }
 

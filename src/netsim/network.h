@@ -19,6 +19,7 @@
 #include "dnscore/ip.h"
 #include "netsim/event_loop.h"
 #include "netsim/geo.h"
+#include "obs/metrics.h"
 
 namespace ecsdns::netsim {
 
@@ -40,7 +41,7 @@ using Service = std::function<std::optional<std::vector<std::uint8_t>>(const Dat
 
 class Network {
  public:
-  explicit Network(LatencyModel latency = {}) : latency_(latency) {}
+  explicit Network(LatencyModel latency = {});
 
   EventLoop& loop() noexcept { return loop_; }
   SimTime now() const noexcept { return loop_.now(); }
@@ -97,6 +98,17 @@ class Network {
     Service service;
   };
 
+  // Registry mirrors for the transport hot path; bound once at
+  // construction, each update is one relaxed atomic op (see src/obs).
+  struct Metrics {
+    obs::CounterHandle round_trips;
+    obs::CounterHandle tcp_round_trips;
+    obs::CounterHandle timeouts;
+    obs::CounterHandle bytes_sent;
+    obs::CounterHandle bytes_received;
+    obs::HistogramHandle rtt_us;
+  };
+
   EventLoop loop_;
   LatencyModel latency_;
   SimTime timeout_ = 2 * kSecond;
@@ -104,6 +116,7 @@ class Network {
   std::unordered_map<IpAddress, Node, IpAddressHash> nodes_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  Metrics metrics_;
 };
 
 }  // namespace ecsdns::netsim

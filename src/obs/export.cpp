@@ -1,0 +1,76 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ecsdns::obs {
+
+std::string metrics_json(const MetricsRegistry& registry, std::string_view run_name,
+                         double wall_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("ecsdns.metrics.v1");
+  w.key("run").value(run_name);
+  w.key("wall_ms").value(wall_ms);
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : registry.counters()) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, gv] : registry.gauges()) {
+    w.key(name).begin_object();
+    w.key("value").value(gv.value);
+    w.key("max").value(gv.max);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, hist] : registry.histograms()) {
+    w.key(name).begin_object();
+    w.key("count").value(hist->count());
+    w.key("sum").value(hist->sum());
+    w.key("min").value(hist->min());
+    w.key("max").value(hist->max());
+    w.key("mean").value(hist->mean());
+    w.key("p50").value(hist->percentile(0.50));
+    w.key("p90").value(hist->percentile(0.90));
+    w.key("p99").value(hist->percentile(0.99));
+    // Sparse bucket dump: [bit_width, count] pairs for non-empty buckets,
+    // enough to rebuild the full log-scale distribution.
+    w.key("log2_buckets").begin_array();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = hist->bucket(b);
+      if (n == 0) continue;
+      w.begin_array().value(b).value(n).end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.take();
+}
+
+std::string trace_json(const TraceRing& ring) {
+  JsonWriter w;
+  ring.write_json(w);
+  return w.take();
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  return written == content.size() && close_rc == 0;
+}
+
+}  // namespace ecsdns::obs

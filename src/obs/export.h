@@ -1,0 +1,26 @@
+// Serialization of the observability state into the BENCH_*.json-style
+// documents the bench binaries drop via --metrics-out / --trace-out.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ecsdns::obs {
+
+class MetricsRegistry;
+class TraceRing;
+
+// The full metrics document: run identity, wall-clock timing, and every
+// counter/gauge/histogram in the registry.
+std::string metrics_json(const MetricsRegistry& registry, std::string_view run_name,
+                         double wall_ms);
+
+// The trace document for a ring (schema ecsdns.trace.v1).
+std::string trace_json(const TraceRing& ring);
+
+// Writes `content` to `path`; returns false (and leaves any partial file)
+// on I/O failure. Deliberately tiny — no tempfile dance, benches are the
+// only writers.
+bool write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace ecsdns::obs

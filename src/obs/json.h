@@ -1,0 +1,55 @@
+// A minimal, dependency-free JSON writer.
+//
+// The observability layer emits machine-readable metrics and trace
+// documents (the BENCH_*.json trajectory files) without pulling a JSON
+// library into the build. The writer tracks nesting and comma placement so
+// call sites read linearly; it never allocates beyond the output string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecsdns::obs {
+
+// Escapes `text` per RFC 8259 (quotes, backslash, control characters) and
+// returns it wrapped in double quotes.
+std::string json_quote(std::string_view text);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Emits an object key; the next value/begin_* call supplies its value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(bool b);
+  JsonWriter& value(std::uint64_t n);
+  JsonWriter& value(std::int64_t n);
+  JsonWriter& value(int n) { return value(static_cast<std::int64_t>(n)); }
+  // Doubles print with enough precision to round-trip; non-finite values
+  // (invalid JSON) degrade to null.
+  JsonWriter& value(double d);
+  JsonWriter& null();
+
+  // The document so far. Call once nesting is closed; unbalanced documents
+  // are the caller's bug, not detected here.
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  // One flag per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ecsdns::obs

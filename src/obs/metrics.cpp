@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+namespace ecsdns::obs {
+
+std::uint64_t Histogram::percentile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample, 1-based; walk buckets until reached.
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen >= rank) return bucket_upper_bound(b);
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::GaugeValue>>
+MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, GaugeValue>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.emplace_back(name, GaugeValue{g->value(), g->max()});
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> MetricsRegistry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void preregister_core_metrics(MetricsRegistry& registry) {
+  registry.counter("cache.hits");
+  registry.counter("cache.misses");
+  registry.counter("cache.insertions");
+  registry.counter("cache.expired_evictions");
+  registry.gauge("cache.live_entries");
+  registry.counter("resolver.client_queries");
+  registry.counter("resolver.upstream_queries");
+  registry.counter("resolver.upstream_ecs_queries");
+  registry.counter("resolver.cache_hits");
+  registry.counter("resolver.negative_cache_hits");
+  registry.counter("resolver.edns_fallbacks");
+  registry.counter("resolver.servfails");
+  registry.counter("resolver.referrals_followed");
+  registry.counter("resolver.cname_restarts");
+  registry.counter("auth.queries");
+  registry.counter("auth.ecs_queries");
+  registry.counter("auth.ecs_responses");
+  registry.counter("auth.dropped");
+  registry.counter("net.round_trips");
+  registry.counter("net.timeouts");
+  registry.counter("net.tcp_round_trips");
+  registry.counter("net.bytes_sent");
+  registry.counter("net.bytes_received");
+  registry.histogram("net.rtt_us");
+}
+
+}  // namespace ecsdns::obs

@@ -4,45 +4,54 @@
 
 namespace ecsdns::resolver {
 
+EcsCache::EcsCache() {
+  auto& registry = obs::MetricsRegistry::global();
+  metrics_.hits = obs::CounterHandle(registry.counter("cache.hits"));
+  metrics_.misses = obs::CounterHandle(registry.counter("cache.misses"));
+  metrics_.insertions = obs::CounterHandle(registry.counter("cache.insertions"));
+  metrics_.expired_evictions =
+      obs::CounterHandle(registry.counter("cache.expired_evictions"));
+  metrics_.live_entries = obs::GaugeHandle(registry.gauge("cache.live_entries"));
+}
+
 const CacheEntry* EcsCache::lookup(const Name& qname, RRType qtype,
                                    const std::optional<IpAddress>& client,
                                    SimTime now) {
   const auto it = map_.find(Key{qname, qtype});
   if (it == map_.end()) {
     ++stats_.misses;
+    metrics_.misses.inc();
     return nullptr;
   }
   auto& buckets = it->second.by_length;
 
   // Longest-prefix-first probe: one hash lookup per distinct scope length.
+  // Cleanup is uniform across every exit path — each probed bucket sheds
+  // its expired entries and is erased when emptied *before* the loop can
+  // break on a hit, so no all-expired bucket lingers until purge_expired()
+  // and live-entry accounting stays exact.
   const CacheEntry* best = nullptr;
   for (auto bucket_it = buckets.begin(); bucket_it != buckets.end();) {
     auto& [length, bucket] = *bucket_it;
-    if (length == 0) {
-      // Global entries: a single slot keyed by the zero prefix.
-      const auto entry_it = bucket.find(Prefix{});
-      if (entry_it != bucket.end()) {
-        if (entry_it->second.expiry <= now) {
-          bucket.erase(entry_it);
-          ++stats_.expired_evictions;
-          --live_entries_;
-        } else if (best == nullptr) {
-          best = &entry_it->second;
-        }
-      }
-    } else if (client && length <= client->bit_length()) {
-      // The candidate inherits the client's family, so cross-family
+    const bool global_bucket = length == 0;
+    if (global_bucket || (client && length <= client->bit_length())) {
+      // Global entries occupy a single slot keyed by the zero prefix; a
+      // scoped candidate inherits the client's family, so cross-family
       // entries can never collide in the bucket.
-      const Prefix candidate{*client, length};
+      const Prefix candidate = global_bucket ? Prefix{} : Prefix{*client, length};
       const auto entry_it = bucket.find(candidate);
       if (entry_it != bucket.end()) {
         if (entry_it->second.expiry <= now) {
-          bucket.erase(entry_it);
-          ++stats_.expired_evictions;
-          --live_entries_;
-        } else {
-          best = &entry_it->second;  // longest first: first hit wins
-          break;
+          // The candidate expired under us. Sweep the whole bucket while it
+          // is hot: expiry is bulk-correlated (entries inserted together
+          // age together), and sweeping here keeps size() truthful instead
+          // of deferring to the next purge_expired().
+          const std::size_t before = bucket.size();
+          std::erase_if(bucket,
+                        [now](const auto& kv) { return kv.second.expiry <= now; });
+          note_expirations(before - bucket.size());
+        } else if (best == nullptr) {
+          best = &entry_it->second;  // longest first: first live hit wins
         }
       }
     }
@@ -51,15 +60,19 @@ const CacheEntry* EcsCache::lookup(const Name& qname, RRType qtype,
     } else {
       ++bucket_it;
     }
-    if (best != nullptr && best->network.length() != 0) break;
+    // The hit's own bucket is non-empty by construction, so `best` survives
+    // the cleanup above.
+    if (best != nullptr) break;
   }
+  if (buckets.empty()) map_.erase(it);
 
   if (best != nullptr) {
     ++stats_.hits;
+    metrics_.hits.inc();
   } else {
     ++stats_.misses;
+    metrics_.misses.inc();
   }
-  if (buckets.empty()) map_.erase(it);
   return best;
 }
 
@@ -78,8 +91,12 @@ void EcsCache::insert(const Name& qname, RRType qtype, const Prefix& network,
   const auto key = entry.global ? Prefix{} : network;
   const auto [slot, inserted] = bucket.insert_or_assign(key, std::move(entry));
   (void)slot;
-  if (inserted) ++live_entries_;
+  if (inserted) {
+    ++live_entries_;
+    metrics_.live_entries.add(1);
+  }
   ++stats_.insertions;
+  metrics_.insertions.inc();
   note_size();
 }
 
@@ -90,8 +107,7 @@ void EcsCache::purge_expired(SimTime now) {
       auto& bucket = bucket_it->second;
       const std::size_t before = bucket.size();
       std::erase_if(bucket, [now](const auto& kv) { return kv.second.expiry <= now; });
-      stats_.expired_evictions += before - bucket.size();
-      live_entries_ -= before - bucket.size();
+      note_expirations(before - bucket.size());
       if (bucket.empty()) {
         bucket_it = buckets.erase(bucket_it);
       } else {
@@ -120,11 +136,20 @@ std::size_t EcsCache::entries_for(const Name& qname, RRType qtype, SimTime now) 
 
 void EcsCache::clear() {
   map_.clear();
+  metrics_.live_entries.add(-static_cast<std::int64_t>(live_entries_));
   live_entries_ = 0;
 }
 
 void EcsCache::note_size() {
   stats_.max_entries = std::max(stats_.max_entries, live_entries_);
+}
+
+void EcsCache::note_expirations(std::size_t n) {
+  if (n == 0) return;
+  stats_.expired_evictions += n;
+  live_entries_ -= n;
+  metrics_.expired_evictions.inc(n);
+  metrics_.live_entries.add(-static_cast<std::int64_t>(n));
 }
 
 }  // namespace ecsdns::resolver

@@ -19,6 +19,7 @@
 #include "dnscore/record.h"
 #include "dnscore/types.h"
 #include "netsim/geo.h"
+#include "obs/metrics.h"
 
 namespace ecsdns::resolver {
 
@@ -54,6 +55,8 @@ struct CacheStats {
 
 class EcsCache {
  public:
+  EcsCache();
+
   // Looks up an answer valid for `client` at virtual time `now`. A nullopt
   // `client` matches only global (scope 0) entries — that is what a cache
   // lookup without any client identity can safely reuse.
@@ -101,11 +104,24 @@ class EcsCache {
         by_length;
   };
 
+  // Mirrors into the process-wide obs registry: per-instance accounting
+  // stays in `stats_` (the pre-existing API surface), while the registry
+  // aggregates across every cache in the process for --metrics-out export.
+  struct Metrics {
+    obs::CounterHandle hits;
+    obs::CounterHandle misses;
+    obs::CounterHandle insertions;
+    obs::CounterHandle expired_evictions;
+    obs::GaugeHandle live_entries;
+  };
+
   std::unordered_map<Key, QuestionEntries, KeyHash> map_;
   CacheStats stats_;
   std::size_t live_entries_ = 0;
+  Metrics metrics_;
 
   void note_size();
+  void note_expirations(std::size_t n);
 };
 
 }  // namespace ecsdns::resolver

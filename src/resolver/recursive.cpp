@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "netsim/rng.h"
+#include "obs/trace.h"
 
 namespace ecsdns::resolver {
 namespace {
@@ -24,7 +25,25 @@ RecursiveResolver::RecursiveResolver(ResolverConfig config, netsim::Network& net
     : config_(std::move(config)),
       network_(network),
       own_address_(std::move(own_address)),
-      root_hints_(std::move(root_hints)) {}
+      root_hints_(std::move(root_hints)) {
+  auto& registry = obs::MetricsRegistry::global();
+  metrics_.client_queries =
+      obs::CounterHandle(registry.counter("resolver.client_queries"));
+  metrics_.upstream_queries =
+      obs::CounterHandle(registry.counter("resolver.upstream_queries"));
+  metrics_.upstream_ecs_queries =
+      obs::CounterHandle(registry.counter("resolver.upstream_ecs_queries"));
+  metrics_.cache_hits = obs::CounterHandle(registry.counter("resolver.cache_hits"));
+  metrics_.negative_cache_hits =
+      obs::CounterHandle(registry.counter("resolver.negative_cache_hits"));
+  metrics_.edns_fallbacks =
+      obs::CounterHandle(registry.counter("resolver.edns_fallbacks"));
+  metrics_.servfails = obs::CounterHandle(registry.counter("resolver.servfails"));
+  metrics_.referrals_followed =
+      obs::CounterHandle(registry.counter("resolver.referrals_followed"));
+  metrics_.cname_restarts =
+      obs::CounterHandle(registry.counter("resolver.cname_restarts"));
+}
 
 void RecursiveResolver::attach(const netsim::GeoPoint& location) {
   network_.attach(own_address_, location,
@@ -108,12 +127,17 @@ EcsOption RecursiveResolver::build_option(const Question& question,
         config_.v6_variants[counters_.upstream_ecs_queries % config_.v6_variants.size()];
   }
   if (jam) {
-    // Claim a full /32 while fixing the last octet: reveals 24 bits but
-    // advertises 32 (Table 1's "32/jammed last byte" rows).
-    auto bytes = dnscore::truncate_address(identity.address, 24).bytes();
-    bytes[3] = config_.jam_octet_value;
+    // "Jammed last byte": claim one more octet than the resolver actually
+    // saw, fixing that octet to a constant. A full-address identity reveals
+    // 24 bits but advertises 32 (Table 1's "32/jammed last byte" rows). A
+    // shorter identity — e.g. a /16 learned from a forwarded ECS option —
+    // must be truncated to min(identity.bits, 24) *before* jamming, or the
+    // option would fabricate address bits the resolver never saw.
+    const int keep = std::min(identity.bits, 24) / 8 * 8;
+    auto bytes = dnscore::truncate_address(identity.address, keep).bytes();
+    bytes[static_cast<std::size_t>(keep / 8)] = config_.jam_octet_value;
     const IpAddress jammed = IpAddress::v4(bytes[0], bytes[1], bytes[2], bytes[3]);
-    return EcsOption::for_query(Prefix{jammed, 32});
+    return EcsOption::for_query(Prefix{jammed, keep + 8});
   }
   const int bits = std::min(identity.bits, policy_bits);
   return EcsOption::for_query(Prefix{identity.address, bits});
@@ -190,10 +214,18 @@ std::optional<EcsOption> RecursiveResolver::upstream_ecs(const Question& questio
 std::optional<Message> RecursiveResolver::handle_client_query(const Message& query,
                                                               const IpAddress& sender) {
   ++counters_.client_queries;
+  metrics_.client_queries.inc();
   if (query.questions.empty()) return std::nullopt;
   const Question& q = query.question();
 
+  auto& tracer = obs::TraceRing::global();
+  if (tracer.enabled()) {
+    tracer.record({network_.now(), obs::TraceKind::kClientQuery, sender,
+                   own_address_, 0, q.qname.to_string()});
+  }
+
   // RFC 7871 §7.1.1: a malformed client ECS option earns a FORMERR.
+  std::optional<EcsOption> client_ecs;
   if (query.opt) {
     if (const auto* raw =
             query.opt->find_option(dnscore::EdnsOptionCode::ECS)) {
@@ -211,6 +243,7 @@ std::optional<Message> RecursiveResolver::handle_client_query(const Message& que
           formerr.header.rcode = RCode::FORMERR;
           return formerr;
         }
+        client_ecs = ecs;
       } catch (const dnscore::WireFormatError&) {
         Message formerr = Message::make_response(query);
         formerr.header.rcode = RCode::FORMERR;
@@ -226,14 +259,20 @@ std::optional<Message> RecursiveResolver::handle_client_query(const Message& que
   Message response = Message::make_response(query);
   response.header.rcode = resolution.rcode;
   response.answers = std::move(resolution.answers);
-  if (query.opt && query.ecs() && resolution.echo_scope && response.opt) {
-    const EcsOption echo = EcsOption::for_response(
-        Prefix{identity.address, std::min(identity.bits,
-                                          identity.address.is_v4()
-                                              ? config_.v4_source_bits
-                                              : config_.v6_source_bits)},
-        *resolution.echo_scope);
-    response.set_ecs(echo);
+  if (client_ecs && resolution.echo_scope && response.opt) {
+    // RFC 7871 §7.2.2: the response option echoes the client's FAMILY,
+    // SOURCE PREFIX-LENGTH, and address exactly as received — not the
+    // resolver's own truncation policy. A source-0 opt-out is echoed as
+    // /0 with scope 0; the old behavior of announcing a non-/0 prefix to
+    // an opted-out client leaked the resolver's identity policy.
+    if (const auto src = client_ecs->source_prefix()) {
+      const int scope = src->length() == 0 ? 0 : *resolution.echo_scope;
+      response.set_ecs(EcsOption::for_response(*src, scope));
+    }
+  }
+  if (tracer.enabled()) {
+    tracer.record({network_.now(), obs::TraceKind::kClientResponse, own_address_,
+                   sender, 0, dnscore::to_string(response.header.rcode)});
   }
   return response;
 }
@@ -251,6 +290,7 @@ RecursiveResolver::Resolution RecursiveResolver::resolve(
       if (it != negative_cache_.end()) {
         if (it->second.expiry > now) {
           ++counters_.negative_cache_hits;
+          metrics_.negative_cache_hits.inc();
           out.rcode = it->second.rcode;
           return out;
         }
@@ -278,6 +318,12 @@ RecursiveResolver::Resolution RecursiveResolver::resolve(
       }
       if (hit != nullptr) {
         ++counters_.cache_hits;
+        metrics_.cache_hits.inc();
+        auto& tracer = obs::TraceRing::global();
+        if (tracer.enabled()) {
+          tracer.record({now, obs::TraceKind::kCacheHit, identity.address,
+                         own_address_, 0, current.qname.to_string()});
+        }
         out.rcode = RCode::NOERROR;
         for (auto rr : hit->records) {
           // Serve the remaining TTL, per standard resolver behavior.
@@ -305,6 +351,7 @@ RecursiveResolver::Resolution RecursiveResolver::resolve(
         }
         if (!restarted) return out;
         ++counters_.cname_restarts;
+        metrics_.cname_restarts.inc();
         continue;
       }
     }
@@ -313,6 +360,7 @@ RecursiveResolver::Resolution RecursiveResolver::resolve(
     auto response = query_authoritatives(current, identity);
     if (!response) {
       ++counters_.servfails;
+      metrics_.servfails.inc();
       out.rcode = RCode::SERVFAIL;
       return out;
     }
@@ -326,6 +374,7 @@ RecursiveResolver::Resolution RecursiveResolver::resolve(
       if (last.type == RRType::CNAME) {
         current.qname = std::get<dnscore::CnameRdata>(last.rdata).target;
         ++counters_.cname_restarts;
+        metrics_.cname_restarts.inc();
         continue;
       }
     }
@@ -425,7 +474,18 @@ std::optional<Message> RecursiveResolver::query_authoritatives(
     std::optional<Message> response;
     for (const auto& server : servers) {
       ++counters_.upstream_queries;
-      if (ecs) ++counters_.upstream_ecs_queries;
+      metrics_.upstream_queries.inc();
+      if (ecs) {
+        ++counters_.upstream_ecs_queries;
+        metrics_.upstream_ecs_queries.inc();
+      }
+      auto& tracer = obs::TraceRing::global();
+      if (tracer.enabled()) {
+        tracer.record({network_.now(), obs::TraceKind::kUpstreamQuery,
+                       own_address_, server, 0,
+                       send_qname.to_string() +
+                           (ecs ? " " + ecs->to_string() : std::string{})});
+      }
       const SimTime sent_at = network_.now();
       const auto wire = network_.round_trip(own_address_, server, query.serialize());
       note_rtt(server, static_cast<double>(network_.now() - sent_at));
@@ -438,6 +498,7 @@ std::optional<Message> RecursiveResolver::query_authoritatives(
       if (response->header.tc) {
         // Truncated over UDP: retry the same server over TCP.
         ++counters_.upstream_queries;
+        metrics_.upstream_queries.inc();
         const auto tcp_wire = network_.round_trip(own_address_, server,
                                                   query.serialize(), /*tcp=*/true);
         if (tcp_wire) {
@@ -453,9 +514,11 @@ std::optional<Message> RecursiveResolver::query_authoritatives(
         // RFC 6891 §6.2.2 fallback: a pre-EDNS server choked on the OPT
         // record (§6.1 cites these); retry the same server plain.
         ++counters_.edns_fallbacks;
+        metrics_.edns_fallbacks.inc();
         Message plain = query;
         plain.opt.reset();
         ++counters_.upstream_queries;
+        metrics_.upstream_queries.inc();
         const auto retry_wire =
             network_.round_trip(own_address_, server, plain.serialize());
         if (retry_wire) {
@@ -481,6 +544,7 @@ std::optional<Message> RecursiveResolver::query_authoritatives(
         [](const dnscore::ResourceRecord& rr) { return rr.type == RRType::NS; });
     if (is_referral) {
       ++counters_.referrals_followed;
+      metrics_.referrals_followed.inc();
       cache_referral(*response);
       continue;  // descend to the delegated servers
     }

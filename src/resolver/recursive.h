@@ -15,6 +15,7 @@
 
 #include "dnscore/message.h"
 #include "netsim/network.h"
+#include "obs/metrics.h"
 #include "resolver/cache.h"
 #include "resolver/config.h"
 
@@ -145,6 +146,22 @@ class RecursiveResolver {
   SimTime last_probe_ = -1;
   std::uint16_t next_id_ = 1;
   ResolverCounters counters_;
+
+  // Registry mirrors (see src/obs): `counters_` stays the per-instance
+  // view the tests and experiments read, while the global registry
+  // aggregates the same events across every resolver for --metrics-out.
+  struct Metrics {
+    obs::CounterHandle client_queries;
+    obs::CounterHandle upstream_queries;
+    obs::CounterHandle upstream_ecs_queries;
+    obs::CounterHandle cache_hits;
+    obs::CounterHandle negative_cache_hits;
+    obs::CounterHandle edns_fallbacks;
+    obs::CounterHandle servfails;
+    obs::CounterHandle referrals_followed;
+    obs::CounterHandle cname_restarts;
+  };
+  Metrics metrics_;
 
   // Smoothed per-nameserver RTT (BIND-style server selection): candidates
   // are tried fastest-first, unknown servers optimistically early, and

@@ -109,6 +109,33 @@ TEST(EcsCache, PurgeExpired) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
+// Regression: a scoped hit used to break out of the bucket walk before the
+// expired-entry sweep ran, so entries that expired under a lookup stayed in
+// size() (and in memory) until the next purge_expired(). The sweep must run
+// on the hit path too.
+TEST(EcsCache, ExpiryOnLookupSweepsEvenWhenAShorterEntryHits) {
+  EcsCache cache;
+  // Two /24 entries that expire together, and a covering /16 that outlives
+  // them. The client matches one expired /24 and the live /16.
+  cache.insert(kQname, RRType::A, Prefix::parse("10.1.1.0/24"), 24,
+               answer("1.1.1.1"), 0, 20 * kSecond);
+  cache.insert(kQname, RRType::A, Prefix::parse("10.1.2.0/24"), 24,
+               answer("2.2.2.2"), 0, 20 * kSecond);
+  cache.insert(kQname, RRType::A, Prefix::parse("10.1.0.0/16"), 16,
+               answer("3.3.3.3"), 0, 60 * kSecond);
+  EXPECT_EQ(cache.size(), 3u);
+
+  const CacheEntry* hit =
+      cache.lookup(kQname, RRType::A, IpAddress::parse("10.1.1.5"), 30 * kSecond);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->network, Prefix::parse("10.1.0.0/16"));
+  // Both expired /24s were swept during the lookup, not just the probed one.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().expired_evictions, 2u);
+  EXPECT_EQ(cache.entries_for(kQname, RRType::A, 30 * kSecond), 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
 TEST(EcsCache, TracksMaxEntries) {
   EcsCache cache;
   for (int i = 0; i < 10; ++i) {

@@ -143,6 +143,48 @@ TEST(EcsOption, ValidateFlagsUnknownFamilyAndLongSource) {
             issues.end());
 }
 
+TEST(EcsOption, ScopeLongerThanSourceToleratedInResponse) {
+  // RFC 7871 §7.1.3 allows SCOPE > SOURCE in a response (the answer covers
+  // a *wider* network than asked about is the common case, but narrower is
+  // legal too); only scope beyond the family's bit length is malformed.
+  auto ecs = EcsOption::for_response(Prefix::parse("1.2.3.0/24"), 32);
+  EXPECT_TRUE(ecs.validate(false).empty());
+  ecs.set_scope_prefix_length(40);  // past the v4 family limit
+  const auto issues = ecs.validate(false);
+  EXPECT_NE(std::find(issues.begin(), issues.end(), EcsIssue::kScopeLengthTooLong),
+            issues.end());
+}
+
+TEST(EcsOption, FromEdnsRejectsAllSubHeaderPayloads) {
+  // The fixed header is 4 octets (family, source, scope); anything shorter
+  // must throw, not read past the payload.
+  for (std::size_t len = 0; len < 4; ++len) {
+    EdnsOption opt{8, std::vector<std::uint8_t>(len, 0)};
+    EXPECT_THROW(EcsOption::from_edns(opt), WireFormatError) << "len=" << len;
+  }
+  // Exactly 4 octets is a legal source-0 option.
+  EXPECT_NO_THROW(EcsOption::from_edns(EdnsOption{8, {0, 1, 0, 0}}));
+}
+
+TEST(EcsOption, NonOctetSourceMasksOnlyTrailingBits) {
+  // source 20: the low nibble of the third octet is past the prefix. 0xAB
+  // has trailing bits set (0x0B); 0xA0 does not — validate must test the
+  // masked bits exactly, not the whole final octet.
+  EcsOption dirty;
+  dirty.set_family(1);
+  dirty.set_source_prefix_length(20);
+  dirty.set_address_bytes({10, 1, 0xAB});
+  const auto issues = dirty.validate(true);
+  EXPECT_NE(std::find(issues.begin(), issues.end(), EcsIssue::kNonZeroTrailingBits),
+            issues.end());
+
+  EcsOption clean;
+  clean.set_family(1);
+  clean.set_source_prefix_length(20);
+  clean.set_address_bytes({10, 1, 0xA0});
+  EXPECT_TRUE(clean.validate(true).empty());
+}
+
 // Fuzz: arbitrary option payloads either decode (possibly into an invalid
 // option that validate() flags) or throw WireFormatError — never crash,
 // and never produce an option whose re-encoding diverges from its fields.

@@ -1,0 +1,372 @@
+// The observability layer: metric primitives, the registry, the JSON
+// writer, the trace ring, and the end-to-end wiring from a testbed
+// resolution into the global registry.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <limits>
+#include <string>
+
+#include "authoritative/ecs_policy.h"
+#include "measurement/testbed.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ecsdns::obs {
+namespace {
+
+using dnscore::IpAddress;
+using dnscore::Name;
+
+// A tiny structural validator: walks the document with a recursive-descent
+// parser that accepts exactly RFC 8259 grammar shapes. Good enough to catch
+// comma/nesting bugs in the writer without pulling in a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view doc) : doc_(doc) {}
+
+  bool valid() {
+    skip_ws();
+    if (!parse_value()) return false;
+    skip_ws();
+    return pos_ == doc_.size();
+  }
+
+ private:
+  bool parse_value() {
+    if (pos_ >= doc_.size()) return false;
+    switch (doc_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return parse_number();
+    }
+  }
+  bool parse_object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!parse_string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool parse_array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!parse_value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool parse_string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < doc_.size()) {
+      const char c = doc_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= doc_.size()) return false;
+        const char esc = doc_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= doc_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(doc_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < doc_.size() &&
+           (std::isdigit(static_cast<unsigned char>(doc_[pos_])) ||
+            doc_[pos_] == '.' || doc_[pos_] == 'e' || doc_[pos_] == 'E' ||
+            doc_[pos_] == '+' || doc_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view word) {
+    if (doc_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char peek() const { return pos_ < doc_.size() ? doc_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < doc_.size() &&
+           std::isspace(static_cast<unsigned char>(doc_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+};
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    MetricsRegistry::global().reset();
+    TraceRing::global().set_enabled(false);
+    TraceRing::global().clear();
+  }
+  void TearDown() override { set_enabled(true); }
+};
+
+TEST_F(ObsTest, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, GaugeTracksHighWaterMark) {
+  Gauge g;
+  g.add(10);
+  g.add(-4);
+  g.add(7);   // 13: new max
+  g.add(-13);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 13);
+  g.set(5);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.max(), 13);
+}
+
+TEST_F(ObsTest, HistogramBucketsByBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), 64);
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(64), ~0ull);
+}
+
+TEST_F(ObsTest, HistogramSummaryStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reports 0, not the sentinel
+  h.observe(100);
+  h.observe(200);
+  h.observe(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 600u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+  // All three samples land in buckets 7 (100: 64..127) and 9 (200,300:
+  // 256..511 holds 300; 200 is bucket 8). p100 is the top occupied bucket's
+  // upper bound.
+  EXPECT_EQ(h.percentile(1.0), Histogram::bucket_upper_bound(9));
+  EXPECT_LE(h.percentile(0.0), Histogram::bucket_upper_bound(7));
+}
+
+TEST_F(ObsTest, RegistryReturnsSameMetricForSameName) {
+  auto& registry = MetricsRegistry::global();
+  Counter& a = registry.counter("test.same");
+  Counter& b = registry.counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(ObsTest, RegistryResetKeepsHandlesBound) {
+  auto& registry = MetricsRegistry::global();
+  CounterHandle handle(registry.counter("test.reset"));
+  handle.inc(5);
+  EXPECT_EQ(registry.counter("test.reset").value(), 5u);
+  registry.reset();
+  EXPECT_EQ(registry.counter("test.reset").value(), 0u);
+  handle.inc();  // the handle still points at the (zeroed) counter
+  EXPECT_EQ(registry.counter("test.reset").value(), 1u);
+}
+
+TEST_F(ObsTest, KillSwitchSuppressesHandleUpdates) {
+  auto& registry = MetricsRegistry::global();
+  CounterHandle handle(registry.counter("test.kill"));
+  set_enabled(false);
+  handle.inc(100);
+  EXPECT_EQ(registry.counter("test.kill").value(), 0u);
+  set_enabled(true);
+  handle.inc();
+  EXPECT_EQ(registry.counter("test.kill").value(), 1u);
+}
+
+TEST_F(ObsTest, NullHandlesAreNoOps) {
+  CounterHandle c;
+  GaugeHandle g;
+  HistogramHandle h;
+  c.inc();       // must not crash
+  g.add(1);
+  h.observe(1);
+}
+
+TEST_F(ObsTest, JsonQuoteEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_quote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+TEST_F(ObsTest, JsonWriterProducesValidDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("x\"y");
+  w.key("n").value(std::uint64_t{7});
+  w.key("neg").value(std::int64_t{-3});
+  w.key("pi").value(3.25);
+  w.key("flag").value(true);
+  w.key("nothing").null();
+  w.key("arr").begin_array();
+  w.value(std::uint64_t{1});
+  w.value("two");
+  w.begin_object().key("k").value(std::uint64_t{3}).end_object();
+  w.end_array();
+  w.key("empty").begin_object().end_object();
+  w.end_object();
+  const std::string doc = w.str();
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("\"x\\\"y\""), std::string::npos);
+  EXPECT_NE(doc.find("-3"), std::string::npos);
+  EXPECT_NE(doc.find("3.25"), std::string::npos);
+  EXPECT_NE(doc.find("null"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonWriterNonFiniteDoubleBecomesNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST_F(ObsTest, MetricsJsonCarriesCoreKeysAndValidates) {
+  auto& registry = MetricsRegistry::global();
+  preregister_core_metrics(registry);
+  registry.counter("cache.hits").inc(3);
+  registry.histogram("net.rtt_us").observe(1500);
+  const std::string doc = metrics_json(registry, "unit-test", 12.5);
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  for (const char* k :
+       {"\"schema\"", "\"ecsdns.metrics.v1\"", "\"cache.hits\"",
+        "\"cache.misses\"", "\"resolver.upstream_queries\"",
+        "\"net.rtt_us\"", "\"wall_ms\"", "\"log2_buckets\""}) {
+    EXPECT_NE(doc.find(k), std::string::npos) << "missing " << k;
+  }
+}
+
+TEST_F(ObsTest, TraceRingIsBoundedAndKeepsNewest) {
+  TraceRing ring(4);
+  ring.set_enabled(true);
+  for (int i = 1; i <= 10; ++i) {
+    ring.record({i, TraceKind::kNote, {}, {}, 0, ""});
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.overwritten(), 6u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first among the survivors: 7, 8, 9, 10.
+  EXPECT_EQ(events.front().time, 7);
+  EXPECT_EQ(events.back().time, 10);
+}
+
+TEST_F(ObsTest, TraceRingDisabledRecordsNothing) {
+  TraceRing ring(4);
+  ring.record({1, TraceKind::kNote, {}, {}, 0, ""});
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.events().empty());
+}
+
+TEST_F(ObsTest, TraceJsonValidates) {
+  TraceRing ring(8);
+  ring.set_enabled(true);
+  ring.record({42, TraceKind::kUpstreamQuery, IpAddress::parse("10.0.0.1"),
+               IpAddress::parse("10.0.0.2"), 64, "www.example.com [ECS \"x\"]"});
+  const std::string doc = trace_json(ring);
+  EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+  EXPECT_NE(doc.find("ecsdns.trace.v1"), std::string::npos);
+  EXPECT_NE(doc.find("upstream_query"), std::string::npos);
+}
+
+// End-to-end: one resolution through a testbed must land in the global
+// registry (cache miss, upstream query, network RTT) and in the trace ring.
+TEST_F(ObsTest, TestbedResolutionFlowsIntoRegistryAndTrace) {
+  auto& registry = MetricsRegistry::global();
+  auto& tracer = TraceRing::global();
+  tracer.set_enabled(true);
+
+  measurement::Testbed bed;
+  const Name host = Name::from_string("www.example.com");
+  auto& auth = bed.add_auth("auth", Name::from_string("example.com"), "Ashburn",
+                            std::make_unique<authoritative::ScopeDeltaPolicy>(0));
+  auth.find_zone(Name::from_string("example.com"))
+      ->add(dnscore::ResourceRecord::make_a(host, 60,
+                                            IpAddress::parse("1.1.1.1")));
+  auto& resolver =
+      bed.add_resolver(resolver::ResolverConfig::correct(), "Chicago");
+
+  dnscore::Message q =
+      dnscore::Message::make_query(1, host, dnscore::RRType::A);
+  q.opt = dnscore::OptRecord{};
+  (void)resolver.handle_client_query(q, IpAddress::parse("100.64.1.5"));
+
+  EXPECT_GE(registry.counter("cache.misses").value(), 1u);
+  EXPECT_GE(registry.counter("resolver.client_queries").value(), 1u);
+  EXPECT_GE(registry.counter("resolver.upstream_queries").value(), 1u);
+  EXPECT_GE(registry.counter("auth.queries").value(), 1u);
+  EXPECT_GE(registry.counter("net.round_trips").value(), 1u);
+  EXPECT_GE(registry.histogram("net.rtt_us").count(), 1u);
+  EXPECT_GT(tracer.recorded(), 0u);
+
+  // A second identical query is a cache hit, and per-instance stats agree
+  // with the registry mirror.
+  (void)resolver.handle_client_query(q, IpAddress::parse("100.64.1.5"));
+  EXPECT_GE(registry.counter("cache.hits").value(), 1u);
+  EXPECT_EQ(resolver.cache().stats().hits,
+            registry.counter("cache.hits").value());
+  tracer.set_enabled(false);
+}
+
+}  // namespace
+}  // namespace ecsdns::obs

@@ -116,5 +116,95 @@ TEST(ResolverMisc, AaaaUnderCdnTailoringFallsBackToStaticRecords) {
   EXPECT_EQ(r->answers[0].type, dnscore::RRType::AAAA);
 }
 
+// RFC 7871 §7.2.2 echo regressions: the response option must carry the
+// client's FAMILY, SOURCE PREFIX-LENGTH, and address exactly as received,
+// regardless of how the resolver truncates identities upstream.
+TEST(ResolverEcsEcho, EchoesClientSourceExactlyAsReceived) {
+  Testbed bed;
+  auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  auth.find_zone(n("example.com"))
+      ->add(ResourceRecord::make_a(n("www.example.com"), 60,
+                                   IpAddress::parse("1.1.1.1")));
+  ResolverConfig config = ResolverConfig::correct();
+  config.accept_client_ecs = true;
+  config.v4_source_bits = 16;  // resolver truncates harder than the client
+  auto& resolver = bed.add_resolver(config, "Chicago");
+
+  Message q = Message::make_query(1, n("www.example.com"), dnscore::RRType::A);
+  q.opt = dnscore::OptRecord{};
+  const auto client_prefix = dnscore::Prefix::parse("100.64.9.0/24");
+  q.set_ecs(dnscore::EcsOption::for_query(client_prefix));
+
+  const auto r = resolver.handle_client_query(q, IpAddress::parse("203.0.113.7"));
+  ASSERT_TRUE(r.has_value());
+  const auto echoed = r->ecs();
+  ASSERT_TRUE(echoed.has_value());
+  // The bug echoed the resolver's /16 truncation; the RFC wants /24 back.
+  EXPECT_EQ(echoed->source_prefix_length(), 24);
+  ASSERT_TRUE(echoed->source_prefix().has_value());
+  EXPECT_EQ(*echoed->source_prefix(), client_prefix);
+}
+
+TEST(ResolverEcsEcho, OptOutClientGetsZeroSourceZeroScope) {
+  Testbed bed;
+  auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  auth.find_zone(n("example.com"))
+      ->add(ResourceRecord::make_a(n("www.example.com"), 60,
+                                   IpAddress::parse("1.1.1.1")));
+  ResolverConfig config = ResolverConfig::correct();
+  config.accept_client_ecs = true;
+  auto& resolver = bed.add_resolver(config, "Chicago");
+
+  Message q = Message::make_query(1, n("www.example.com"), dnscore::RRType::A);
+  q.opt = dnscore::OptRecord{};
+  dnscore::EcsOption opt_out;  // family v4, source 0, empty address
+  opt_out.set_family(1);
+  q.set_ecs(opt_out);
+
+  const auto r = resolver.handle_client_query(q, IpAddress::parse("203.0.113.7"));
+  ASSERT_TRUE(r.has_value());
+  const auto echoed = r->ecs();
+  ASSERT_TRUE(echoed.has_value());
+  // §7.1.2: an opted-out client must not learn what the resolver sent
+  // upstream — the echo is /0 with scope 0, never a longer prefix.
+  EXPECT_EQ(echoed->source_prefix_length(), 0);
+  EXPECT_EQ(echoed->scope_prefix_length(), 0);
+}
+
+// Jam regression: a jamming resolver that learned only a /16 identity (a
+// forwarded client ECS) must not fabricate the unseen third octet; it jams
+// the first octet past the identity and advertises /24, not /32.
+TEST(ResolverEcsJam, JamTruncatesToIdentityBeforeFixingOctet) {
+  Testbed bed;
+  auto& auth = bed.add_auth("auth", n("example.com"), "Ashburn",
+                            std::make_unique<ScopeDeltaPolicy>(0));
+  auth.find_zone(n("example.com"))
+      ->add(ResourceRecord::make_a(n("www.example.com"), 60,
+                                   IpAddress::parse("1.1.1.1")));
+  ResolverConfig config = ResolverConfig::correct();
+  config.accept_client_ecs = true;
+  config.jam_last_octet = true;  // jam_octet_value defaults to 0x01
+  auto& resolver = bed.add_resolver(config, "Chicago");
+
+  Message q = Message::make_query(1, n("www.example.com"), dnscore::RRType::A);
+  q.opt = dnscore::OptRecord{};
+  q.set_ecs(dnscore::EcsOption::for_query(dnscore::Prefix::parse("10.32.0.0/16")));
+  ASSERT_TRUE(
+      resolver.handle_client_query(q, IpAddress::parse("203.0.113.7")).has_value());
+
+  bool upstream_ecs_seen = false;
+  for (const auto& e : auth.log()) {
+    if (!e.query_ecs) continue;
+    upstream_ecs_seen = true;
+    // The bug advertised 10.32.<fabricated>.1/32; only 24 bits may appear.
+    EXPECT_EQ(e.query_ecs->source_prefix_length(), 24);
+    ASSERT_TRUE(e.query_ecs->source_prefix().has_value());
+    EXPECT_EQ(e.query_ecs->source_prefix()->to_string(), "10.32.1.0/24");
+  }
+  EXPECT_TRUE(upstream_ecs_seen);
+}
+
 }  // namespace
 }  // namespace ecsdns::resolver
