@@ -18,9 +18,10 @@ using namespace ecsdns::measurement;
 
 int main(int argc, char** argv) {
   AllNamesConfig config;
-  config.clients = argc > 1 ? std::atoi(argv[1]) : 4000;
-  config.client_subnets = argc > 2 ? std::atoi(argv[2]) : 900;
-  config.hostnames = argc > 3 ? std::atoi(argv[3]) : 8000;
+  config.clients = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4000;
+  config.client_subnets =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 900;
+  config.hostnames = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 8000;
   config.slds = std::max(1u, config.hostnames / 7);
   config.queries_per_second = argc > 4 ? std::atof(argv[4]) : 100.0;
   config.duration = (argc > 5 ? std::atol(argv[5]) : 45) * netsim::kMinute;

@@ -1,0 +1,10 @@
+// libFuzzer entry point for the EDNS option / ECS payload oracle.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/oracles.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  ecsdns::fuzz::check_edns_ecs(data, size);
+  return 0;
+}

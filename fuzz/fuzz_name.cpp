@@ -1,0 +1,10 @@
+// libFuzzer entry point for the Name wire-decompression oracle.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/oracles.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  ecsdns::fuzz::check_name(data, size);
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Shared fuzzing oracles.
+//
+// Each check_* function is the whole body of one fuzz target AND the replay
+// logic behind tests/test_fuzz_regressions.cpp, so a corpus crasher and its
+// regression test exercise byte-identical code. The contract is uniform:
+//
+//   * rejecting the input with the parser's documented exception type is a
+//     normal outcome and returns quietly;
+//   * anything else the oracle cannot prove — a round-trip mismatch, an
+//     undocumented exception escaping, a serializer throwing on a value its
+//     own parser accepted — fails an ECSDNS_CHECK, which aborts. libFuzzer,
+//     the standalone replay driver, and gtest all surface that abort.
+//
+// The message oracle is differential, not a crash detector: parse →
+// serialize → re-parse must be a fixed point both with and without name
+// compression.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "authoritative/zone_text.h"
+#include "dnscore/contracts.h"
+#include "dnscore/ecs.h"
+#include "dnscore/edns.h"
+#include "dnscore/message.h"
+#include "dnscore/name.h"
+#include "dnscore/record.h"
+#include "dnscore/wire.h"
+
+namespace ecsdns::fuzz {
+
+// Message::parse round-trip oracle. Any message the parser accepts must
+// serialize without throwing, re-parse, and normalize to the same bytes —
+// under both wire layouts.
+inline void check_message(const std::uint8_t* data, std::size_t size) {
+  using dnscore::Message;
+  Message first;
+  try {
+    first = Message::parse({data, size});
+  } catch (const dnscore::WireFormatError&) {
+    return;  // malformed input rejected: the expected outcome
+  }
+  const auto canon = first.serialize(false);
+  for (const bool compress : {false, true}) {
+    const auto wire = first.serialize(compress);
+    Message again;
+    try {
+      again = Message::parse({wire.data(), wire.size()});
+    } catch (const dnscore::WireFormatError&) {
+      ECSDNS_CHECK(!"serialized message must re-parse");
+    }
+    ECSDNS_CHECK(again.header == first.header);
+    ECSDNS_CHECK(again.questions == first.questions);
+    ECSDNS_CHECK(again.answers == first.answers);
+    ECSDNS_CHECK(again.authorities == first.authorities);
+    ECSDNS_CHECK(again.additional == first.additional);
+    ECSDNS_CHECK(again.opt == first.opt);
+    if (!compress) {
+      // Byte-exact fixed point. Only claimed for the uncompressed layout:
+      // the compression table matches suffixes case-insensitively (as RFC
+      // 1035 §2.3.3 allows), so a compressed round trip may legally rewrite
+      // label case; the field comparisons above cover that path.
+      ECSDNS_CHECK(again.serialize(false) == canon);
+    }
+  }
+  (void)first.to_string();  // rendering must not crash either
+}
+
+// Name wire-decompression oracle: an accepted name fits RFC 1035 bounds,
+// survives an uncompressed wire round trip, and its presentation form
+// parses back to the identical name (escape-aware).
+inline void check_name(const std::uint8_t* data, std::size_t size) {
+  using dnscore::Name;
+  dnscore::WireReader r({data, size});
+  Name n;
+  try {
+    n = Name::parse(r);
+  } catch (const dnscore::WireFormatError&) {
+    return;
+  }
+  dnscore::WireWriter w;
+  n.serialize(w);
+  ECSDNS_CHECK(w.size() == n.wire_length());
+  ECSDNS_CHECK(w.size() <= 255);
+  dnscore::WireReader r2({w.data().data(), w.data().size()});
+  Name back;
+  try {
+    back = Name::parse(r2);
+  } catch (const dnscore::WireFormatError&) {
+    ECSDNS_CHECK(!"reserialized name must re-parse");
+  }
+  ECSDNS_CHECK(back == n);
+  ECSDNS_CHECK(r2.at_end());
+  Name from_text;
+  try {
+    from_text = Name::from_string(n.to_string());
+  } catch (const dnscore::WireFormatError&) {
+    ECSDNS_CHECK(!"to_string() output must parse via from_string()");
+  }
+  ECSDNS_CHECK(from_text == n);
+}
+
+// EDNS/ECS oracle, two interpretations of the same bytes:
+//  (a) as an ECS option payload — encode(decode(x)) must be the identity on
+//      everything from_edns accepts, including the non-compliant options
+//      the library deliberately represents (validate() classifies them);
+//  (b) as a full OPT RR body — parse_body → serialize → parse_body must be
+//      a fixed point.
+inline void check_edns_ecs(const std::uint8_t* data, std::size_t size) {
+  using namespace dnscore;
+  EdnsOption raw;
+  raw.code = static_cast<std::uint16_t>(EdnsOptionCode::ECS);
+  raw.payload.assign(data, data + size);
+  try {
+    const EcsOption ecs = EcsOption::from_edns(raw);
+    const EcsOption back = EcsOption::from_edns(ecs.to_edns());
+    ECSDNS_CHECK(back == ecs);
+    (void)ecs.validate(/*in_query=*/true);
+    (void)ecs.validate(/*in_query=*/false);
+    (void)ecs.source_prefix();
+    (void)ecs.scope_prefix();
+    (void)ecs.to_string();
+  } catch (const WireFormatError&) {
+  }
+
+  WireReader r({data, size});
+  try {
+    const OptRecord opt = OptRecord::parse_body(r);
+    WireWriter w;
+    opt.serialize(w);
+    WireReader r2({w.data().data(), w.data().size()});
+    r2.skip(3);  // root owner + TYPE emitted by serialize()
+    const OptRecord again = OptRecord::parse_body(r2);
+    ECSDNS_CHECK(again == opt);
+    ECSDNS_CHECK(r2.at_end());
+  } catch (const WireFormatError&) {
+  }
+}
+
+// Zone-text oracle: the only documented rejection is std::invalid_argument
+// (with a line number), and every record the parser hands back must
+// serialize to wire and round-trip through ResourceRecord::parse.
+inline void check_zone_text(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::vector<dnscore::ResourceRecord> records;
+  try {
+    records = authoritative::parse_zone_text(
+        dnscore::Name::from_string("fuzz.example"), text);
+  } catch (const std::invalid_argument&) {
+    return;
+  }
+  dnscore::WireWriter w;
+  for (const auto& rr : records) rr.serialize(w);
+  dnscore::WireReader r({w.data().data(), w.data().size()});
+  for (const auto& rr : records) {
+    const auto back = dnscore::ResourceRecord::parse(r);
+    ECSDNS_CHECK(back == rr);
+  }
+  ECSDNS_CHECK(r.at_end());
+}
+
+}  // namespace ecsdns::fuzz

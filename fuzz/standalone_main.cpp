@@ -1,0 +1,59 @@
+// Replay driver for toolchains without libFuzzer (-fsanitize=fuzzer is
+// Clang-only). Links against the same LLVMFuzzerTestOneInput as the real
+// fuzzer and feeds it every argument: a file runs once, a directory runs
+// each regular file inside it in sorted order, so corpus replay is
+// deterministic across filesystems. Exits non-zero on the first unreadable
+// input; oracle failures abort inside the target, as under libFuzzer.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+bool run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    return false;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // ignore libFuzzer-style flags
+    const std::filesystem::path path(arg);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) {
+        if (!run_file(file)) return 1;
+        ++ran;
+      }
+    } else {
+      if (!run_file(path)) return 1;
+      ++ran;
+    }
+  }
+  std::fprintf(stderr, "replayed %zu input(s)\n", ran);
+  return 0;
+}

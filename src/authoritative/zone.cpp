@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "dnscore/contracts.h"
+
 namespace ecsdns::authoritative {
 
 Zone::Zone(Name apex) : apex_(std::move(apex)) {}
@@ -35,6 +37,9 @@ ZoneLookup Zone::lookup(const Name& qname, RRType qtype) const {
   // qname up so the deepest cut wins; there is at most one in practice).
   Name walk = qname;
   while (walk != apex_) {
+    // The walk stays inside the zone: qname passed the subdomain check and
+    // parent() only ever strips leading labels.
+    ECSDNS_DCHECK(walk.is_subdomain_of(apex_));
     const auto dit = delegations_.find(walk);
     if (dit != delegations_.end()) {
       out.kind = ZoneLookup::Kind::kDelegation;
@@ -62,6 +67,9 @@ ZoneLookup Zone::lookup(const Name& qname, RRType qtype) const {
     }
   }
   for (const auto& rr : it->second) {
+    // add() rejects out-of-zone records, so the bucket only ever holds
+    // records owned by the exact name it is keyed under.
+    ECSDNS_DCHECK(rr.name == qname);
     if (rr.type == qtype || qtype == RRType::ANY) out.records.push_back(rr);
   }
   out.kind = out.records.empty() ? ZoneLookup::Kind::kNoData : ZoneLookup::Kind::kAnswer;

@@ -46,18 +46,27 @@ std::vector<std::string> tokenize(const std::string& line, std::size_t line_no) 
   return tokens;
 }
 
-Name resolve_name(const std::string& token, const Name& origin) {
-  if (token == "@") return origin;
-  if (!token.empty() && token.back() == '.') {
-    return Name::from_string(token.substr(0, token.size() - 1));
+// The documented contract of parse_zone_text is that every rejection is a
+// std::invalid_argument carrying a line number, so name errors
+// (WireFormatError) are translated rather than allowed to escape.
+Name resolve_name(const std::string& token, const Name& origin,
+                  std::size_t line_no) {
+  try {
+    if (token == "@") return origin;
+    if (!token.empty() && token.back() == '.') {
+      return Name::from_string(token.substr(0, token.size() - 1));
+    }
+    // Relative: append the origin.
+    Name relative = Name::from_string(token);
+    Name out = origin;
+    for (auto it = relative.labels().rbegin(); it != relative.labels().rend();
+         ++it) {
+      out = out.prepend(*it);
+    }
+    return out;
+  } catch (const dnscore::WireFormatError& e) {
+    fail(line_no, std::string("bad name '") + token + "': " + e.what());
   }
-  // Relative: append the origin.
-  Name relative = Name::from_string(token);
-  Name out = origin;
-  for (auto it = relative.labels().rbegin(); it != relative.labels().rend(); ++it) {
-    out = out.prepend(*it);
-  }
-  return out;
 }
 
 bool is_number(const std::string& s) {
@@ -70,7 +79,15 @@ bool is_number(const std::string& s) {
 
 std::uint32_t to_u32(const std::string& s, std::size_t line_no) {
   if (!is_number(s)) fail(line_no, "expected a number, got '" + s + "'");
-  return static_cast<std::uint32_t>(std::stoul(s));
+  // Accumulate with an explicit range check: std::stoul would throw
+  // std::out_of_range (not the documented std::invalid_argument) on inputs
+  // like a 25-digit TTL, and silently accept values above 2^32 on LP64.
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    if (value > 0xffffffffull) fail(line_no, "number out of range: '" + s + "'");
+  }
+  return static_cast<std::uint32_t>(value);
 }
 
 }  // namespace
@@ -117,7 +134,7 @@ std::vector<ResourceRecord> parse_zone_text(const Name& origin,
     };
     if (!starts_indented && !is_number(tokens[0]) && tokens[0] != "IN" &&
         !looks_like_type(tokens[0])) {
-      owner = resolve_name(tokens[0], origin);
+      owner = resolve_name(tokens[0], origin, line_no);
       cursor = 1;
     } else if (!have_previous && starts_indented) {
       fail(line_no, "first record needs an owner name");
@@ -159,32 +176,40 @@ std::vector<ResourceRecord> parse_zone_text(const Name& origin,
       case RRType::NS: {
         need(1);
         records.push_back(
-            ResourceRecord::make_ns(owner, ttl, resolve_name(tokens[cursor], origin)));
+            ResourceRecord::make_ns(owner, ttl, resolve_name(tokens[cursor], origin, line_no)));
         break;
       }
       case RRType::CNAME: {
         need(1);
         records.push_back(ResourceRecord::make_cname(
-            owner, ttl, resolve_name(tokens[cursor], origin)));
+            owner, ttl, resolve_name(tokens[cursor], origin, line_no)));
         break;
       }
       case RRType::PTR: {
         need(1);
         records.push_back(
             ResourceRecord{owner, RRType::PTR, dnscore::RRClass::IN, ttl,
-                           dnscore::PtrRdata{resolve_name(tokens[cursor], origin)}});
+                           dnscore::PtrRdata{resolve_name(tokens[cursor], origin, line_no)}});
         break;
       }
       case RRType::MX: {
         need(2);
+        const std::uint32_t pref = to_u32(tokens[cursor], line_no);
+        if (pref > 0xffff) fail(line_no, "MX preference out of range");
         records.push_back(ResourceRecord{
             owner, RRType::MX, dnscore::RRClass::IN, ttl,
-            dnscore::MxRdata{static_cast<std::uint16_t>(to_u32(tokens[cursor], line_no)),
-                             resolve_name(tokens[cursor + 1], origin)}});
+            dnscore::MxRdata{static_cast<std::uint16_t>(pref),
+                             resolve_name(tokens[cursor + 1], origin, line_no)}});
         break;
       }
       case RRType::TXT: {
         need(1);
+        // Reject here rather than handing back a record whose wire
+        // serialization would throw later (TXT strings are length-prefixed
+        // by a single octet).
+        if (tokens[cursor].size() > 255) {
+          fail(line_no, "TXT string exceeds 255 octets");
+        }
         records.push_back(ResourceRecord::make_txt(owner, ttl, tokens[cursor]));
         break;
       }
@@ -192,8 +217,8 @@ std::vector<ResourceRecord> parse_zone_text(const Name& origin,
         need(7);
         records.push_back(ResourceRecord{
             owner, RRType::SOA, dnscore::RRClass::IN, ttl,
-            dnscore::SoaRdata{resolve_name(tokens[cursor], origin),
-                              resolve_name(tokens[cursor + 1], origin),
+            dnscore::SoaRdata{resolve_name(tokens[cursor], origin, line_no),
+                              resolve_name(tokens[cursor + 1], origin, line_no),
                               to_u32(tokens[cursor + 2], line_no),
                               to_u32(tokens[cursor + 3], line_no),
                               to_u32(tokens[cursor + 4], line_no),

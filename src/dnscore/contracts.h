@@ -1,0 +1,48 @@
+// Invariant-checking macros for internal contracts.
+//
+// These are NOT input validation: untrusted bytes keep raising
+// WireFormatError (or std::invalid_argument) so callers can handle them.
+// Contracts assert what the code itself guarantees — cursor never passes the
+// buffer, a Name constructed through validate() fits in 255 octets, a cache
+// entry's scope never exceeds its family — and abort loudly when a refactor
+// breaks one. libFuzzer and the sanitizer CI job treat that abort as a
+// finding, which turns every documented invariant into a fuzzable oracle.
+//
+//   ECSDNS_CHECK(cond)       always active, aborts on violation
+//   ECSDNS_DCHECK(cond)      active in Debug builds and whenever
+//                            ECSDNS_ENABLE_CONTRACTS is defined (the
+//                            sanitizer and fuzz builds define it); in plain
+//                            Release builds it compiles to nothing but still
+//                            type-checks its expression.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ecsdns::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s (%s:%d)\n", kind, expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ecsdns::detail
+
+#define ECSDNS_CHECK(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::ecsdns::detail::contract_failure("ECSDNS_CHECK", #cond,      \
+                                               __FILE__, __LINE__))
+
+#if !defined(NDEBUG) || defined(ECSDNS_ENABLE_CONTRACTS)
+#define ECSDNS_CONTRACTS_ACTIVE 1
+#define ECSDNS_DCHECK(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::ecsdns::detail::contract_failure("ECSDNS_DCHECK", #cond,     \
+                                               __FILE__, __LINE__))
+#else
+#define ECSDNS_CONTRACTS_ACTIVE 0
+// Compiled out, but the expression still parses so it cannot rot.
+#define ECSDNS_DCHECK(cond) static_cast<void>(sizeof((cond) ? 1 : 0))
+#endif

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "dnscore/contracts.h"
+
 namespace ecsdns::dnscore {
 namespace {
 
@@ -126,6 +128,7 @@ EcsOption EcsOption::from_edns(const EdnsOption& option) {
   o.scope_ = r.u8();
   const auto rest = r.bytes(r.remaining());
   o.address_.assign(rest.begin(), rest.end());
+  ECSDNS_DCHECK(r.at_end());
   return o;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dnscore/contracts.h"
+
 namespace ecsdns::dnscore {
 
 const EdnsOption* OptRecord::find_option(EdnsOptionCode code) const noexcept {
@@ -30,10 +32,12 @@ void OptRecord::serialize(WireWriter& writer) const {
   const std::size_t rdlen_at = writer.reserve_u16();
   const std::size_t rdata_start = writer.size();
   for (const auto& opt : options) {
+    ECSDNS_DCHECK(opt.payload.size() <= 0xffff);
     writer.u16(opt.code);
     writer.u16(static_cast<std::uint16_t>(opt.payload.size()));
     writer.bytes({opt.payload.data(), opt.payload.size()});
   }
+  ECSDNS_DCHECK(writer.size() - rdata_start <= 0xffff);
   writer.patch_u16(rdlen_at, static_cast<std::uint16_t>(writer.size() - rdata_start));
 }
 
@@ -60,6 +64,9 @@ OptRecord OptRecord::parse_body(WireReader& reader) {
     o.payload.assign(raw.begin(), raw.end());
     opt.options.push_back(std::move(o));
   }
+  // Each TLV was bounds-checked against `end`, so a successful parse lands
+  // exactly on the declared RDLENGTH boundary.
+  ECSDNS_DCHECK(reader.offset() == end);
   return opt;
 }
 

@@ -61,7 +61,7 @@ IpAddress IpAddress::parse(const std::string& text) {
     // IPv4 dotted quad.
     std::size_t pos = 0;
     std::array<std::uint8_t, 4> q{};
-    for (int i = 0; i < 4; ++i) {
+    for (std::size_t i = 0; i < 4; ++i) {
       if (i != 0) {
         if (pos >= text.size() || text[pos] != '.') {
           throw std::invalid_argument("bad IPv4 address: " + text);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "dnscore/contracts.h"
+
 namespace ecsdns::dnscore {
 namespace {
 
@@ -103,6 +105,12 @@ std::vector<std::uint8_t> Message::serialize(bool compress) const {
   if (header.cd) flags |= kCdMask;
   flags |= static_cast<std::uint16_t>(static_cast<std::uint16_t>(header.rcode) & 0x0f);
   w.u16(flags);
+  // Section counts are 16-bit on the wire; a message that outgrew them is a
+  // construction bug, not a parse problem.
+  ECSDNS_DCHECK(questions.size() <= 0xffff);
+  ECSDNS_DCHECK(answers.size() <= 0xffff);
+  ECSDNS_DCHECK(authorities.size() <= 0xffff);
+  ECSDNS_DCHECK(additional.size() + (opt ? 1 : 0) <= 0xffff);
   w.u16(static_cast<std::uint16_t>(questions.size()));
   w.u16(static_cast<std::uint16_t>(answers.size()));
   w.u16(static_cast<std::uint16_t>(authorities.size()));

@@ -4,12 +4,17 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "dnscore/contracts.h"
+
 namespace ecsdns::dnscore {
 namespace {
 
 constexpr std::size_t kMaxLabel = 63;
 constexpr std::size_t kMaxName = 255;
 constexpr std::uint8_t kPointerMask = 0xc0;
+// A 14-bit pointer can target at most 0x3fff distinct offsets and each hop
+// must move strictly backwards, so any chain longer than this is a loop.
+constexpr std::size_t kMaxPointerJumps = 64;
 
 char ascii_lower(char c) {
   return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
@@ -47,8 +52,14 @@ Name Name::from_string(const std::string& text) {
   if (text.empty() || text == ".") return Name{};
   std::vector<std::string> labels;
   std::string current;
-  for (const char c : text) {
-    if (c == '.') {
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\') {
+      if (i + 1 >= text.size()) {
+        throw WireFormatError("trailing backslash in name: " + text);
+      }
+      current.push_back(text[++i]);
+    } else if (c == '.') {
       if (current.empty()) throw WireFormatError("empty label in name: " + text);
       labels.push_back(std::move(current));
       current.clear();
@@ -78,7 +89,9 @@ Name Name::parse(WireReader& reader) {
       if (target >= label_start) {
         throw WireFormatError("compression pointer does not point backwards");
       }
-      if (++jumps > 64) throw WireFormatError("compression pointer loop");
+      if (++jumps > kMaxPointerJumps) {
+        throw WireFormatError("compression pointer loop");
+      }
       if (!resume_at) resume_at = reader.offset();
       reader.seek(target);
       continue;
@@ -92,6 +105,8 @@ Name Name::parse(WireReader& reader) {
     const auto raw = reader.bytes(len);
     labels.emplace_back(reinterpret_cast<const char*>(raw.data()), raw.size());
   }
+  ECSDNS_DCHECK(total <= kMaxName);
+  ECSDNS_DCHECK(jumps <= kMaxPointerJumps);
   if (resume_at) reader.seek(*resume_at);
   return Name{std::move(labels)};
 }
@@ -104,6 +119,8 @@ std::size_t Name::wire_length() const noexcept {
 
 void Name::serialize(WireWriter& writer) const {
   for (const auto& label : labels_) {
+    // validate() bounded every label at construction.
+    ECSDNS_DCHECK(!label.empty() && label.size() <= kMaxLabel);
     writer.u8(static_cast<std::uint8_t>(label.size()));
     writer.bytes({reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
   }
@@ -147,6 +164,7 @@ void Name::serialize_compressed(WireWriter& writer, CompressionTable& table) con
     }
     table.remember(*this, i, writer.size());
     const std::string& label = labels_[i];
+    ECSDNS_DCHECK(!label.empty() && label.size() <= kMaxLabel);
     writer.u8(static_cast<std::uint8_t>(label.size()));
     writer.bytes({reinterpret_cast<const std::uint8_t*>(label.data()), label.size()});
   }
@@ -158,7 +176,10 @@ std::string Name::to_string() const {
   std::string out;
   for (std::size_t i = 0; i < labels_.size(); ++i) {
     if (i != 0) out.push_back('.');
-    out += labels_[i];
+    for (const char c : labels_[i]) {
+      if (c == '.' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
   }
   return out;
 }

@@ -23,9 +23,17 @@ class Name {
  public:
   Name() = default;  // the root name "."
 
-  // Parses presentation format ("www.example.com" or "www.example.com.").
-  // Throws WireFormatError on empty labels, oversized labels, or oversized
-  // names. Unescaped dots only; this library never needs escapes.
+  // Parses presentation format. Accepted grammar:
+  //
+  //   name   = "." | label *("." label) ["."]
+  //   label  = 1*63 octets, where a backslash escapes the next octet:
+  //            "\." is a literal dot inside a label, "\\" a literal
+  //            backslash, and "\X" for any other X is X itself. Decimal
+  //            escapes ("\065") are NOT supported.
+  //
+  // Throws WireFormatError on empty labels, a trailing backslash, labels
+  // over 63 octets, or names whose wire form exceeds 255 octets.
+  // to_string() re-escapes "." and "\" so from_string(to_string(n)) == n.
   static Name from_string(const std::string& text);
 
   // Reads a (possibly compressed) name from the current reader position.
@@ -60,6 +68,8 @@ class Name {
   void serialize_compressed(WireWriter& writer, CompressionTable& table) const;
 
   // Presentation form without the trailing dot except for the root (".").
+  // Dots and backslashes inside a label are escaped ("\." / "\\") so the
+  // output always parses back to the same name.
   std::string to_string() const;
 
   // True if this name equals `zone` or is a subdomain of it.

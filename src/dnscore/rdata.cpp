@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "dnscore/contracts.h"
+
 namespace ecsdns::dnscore {
 namespace {
 
@@ -10,6 +12,7 @@ namespace {
 struct RdataBounds {
   std::size_t end;
   void check(const WireReader& reader, const char* what) const {
+    ECSDNS_DCHECK(end <= reader.size() + 0xffffu);  // offset + u16 rdlength
     if (reader.offset() > end) {
       throw WireFormatError(std::string("rdata overruns RDLENGTH in ") + what);
     }

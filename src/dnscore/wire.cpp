@@ -1,8 +1,11 @@
 #include "dnscore/wire.h"
 
+#include "dnscore/contracts.h"
+
 namespace ecsdns::dnscore {
 
 void WireReader::require(std::size_t n) const {
+  ECSDNS_DCHECK(pos_ <= data_.size());
   if (remaining() < n) {
     throw WireFormatError("truncated message: need " + std::to_string(n) +
                           " bytes at offset " + std::to_string(pos_) +
@@ -35,12 +38,14 @@ std::span<const std::uint8_t> WireReader::bytes(std::size_t n) {
   require(n);
   auto out = data_.subspan(pos_, n);
   pos_ += n;
+  ECSDNS_DCHECK(pos_ <= data_.size());
   return out;
 }
 
 void WireReader::skip(std::size_t n) {
   require(n);
   pos_ += n;
+  ECSDNS_DCHECK(pos_ <= data_.size());
 }
 
 void WireReader::seek(std::size_t offset) {
@@ -82,8 +87,10 @@ std::size_t WireWriter::reserve_u16() {
 }
 
 void WireWriter::patch_u16(std::size_t offset, std::uint16_t v) {
-  buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
-  buf_.at(offset + 1) = static_cast<std::uint8_t>(v & 0xff);
+  // Patching a slot that was never reserved is a caller bug, not bad input.
+  ECSDNS_CHECK(offset + 2 <= buf_.size());
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
 }
 
 std::string hex_dump(std::span<const std::uint8_t> data) {

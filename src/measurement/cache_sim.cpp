@@ -82,11 +82,14 @@ CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options
   std::vector<std::size_t> live(trace.resolvers, 0);
 
   const auto erase_entry = [&](const Key& key, const Slot& slot) {
-    cache.erase(key);
+    // `slot` aliases the node `cache.erase` destroys, so every read of it
+    // (and of `key`, when the caller passes a reference into the node) must
+    // happen before the erase.
     --live[key.resolver];
     if (options.max_entries_per_resolver) {
       lru[key.resolver].erase(slot.lru_stamp);
     }
+    cache.erase(key);
   };
 
   for (const auto& q : trace.queries) {

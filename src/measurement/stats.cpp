@@ -209,7 +209,7 @@ std::string csv_escape(const std::string& cell) {
 
 }  // namespace
 
-CsvWriter::CsvWriter(const std::string& name, std::vector<std::string> columns)
+CsvWriter::CsvWriter(const std::string& name, const std::vector<std::string>& columns)
     : path_("results/" + name + ".csv"), columns_(columns.size()) {
   std::error_code ec;
   std::filesystem::create_directories("results", ec);

@@ -74,7 +74,7 @@ class CsvWriter {
  public:
   // Opens results/<name>.csv (creating the directory) and writes the
   // header row.
-  CsvWriter(const std::string& name, std::vector<std::string> columns);
+  CsvWriter(const std::string& name, const std::vector<std::string>& columns);
   ~CsvWriter();
   CsvWriter(const CsvWriter&) = delete;
   CsvWriter& operator=(const CsvWriter&) = delete;

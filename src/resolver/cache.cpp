@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dnscore/contracts.h"
+
 namespace ecsdns::resolver {
 
 EcsCache::EcsCache() {
@@ -67,6 +69,10 @@ const CacheEntry* EcsCache::lookup(const Name& qname, RRType qtype,
   if (buckets.empty()) map_.erase(it);
 
   if (best != nullptr) {
+    // The sweep above guarantees a returned entry is live and its global
+    // flag agrees with its prefix length.
+    ECSDNS_DCHECK(best->expiry > now);
+    ECSDNS_DCHECK(best->global == (best->network.length() == 0));
     ++stats_.hits;
     metrics_.hits.inc();
   } else {
@@ -79,6 +85,13 @@ const CacheEntry* EcsCache::lookup(const Name& qname, RRType qtype,
 void EcsCache::insert(const Name& qname, RRType qtype, const Prefix& network,
                       std::uint8_t echo_scope, std::vector<ResourceRecord> records,
                       SimTime now, SimTime ttl) {
+  // RFC 7871 §7.3.1: entries are cached at the *effective* scope, so the
+  // stored network can never be more specific than the scope echoed to
+  // clients, and neither exceeds the family's bit length.
+  ECSDNS_DCHECK(network.length() <= network.address().bit_length());
+  ECSDNS_DCHECK(network.length() <= static_cast<int>(echo_scope) ||
+                network.length() == 0);
+  ECSDNS_DCHECK(static_cast<int>(echo_scope) <= network.address().bit_length());
   auto& buckets = map_[Key{qname, qtype}].by_length;
   CacheEntry entry;
   entry.network = network;

@@ -164,7 +164,8 @@ TEST(GarbageParseMutation, SingleByteFlipsAreSafe) {
   q.set_ecs(EcsOption::for_query(Prefix::parse("10.0.0.0/8")));
   const auto wire = q.serialize();
   for (std::size_t i = 0; i < wire.size(); ++i) {
-    for (const std::uint8_t v : {0x00, 0xff, 0xc0}) {
+    for (const std::uint8_t v : {std::uint8_t{0x00}, std::uint8_t{0xff},
+                                 std::uint8_t{0xc0}}) {
       auto mutated = wire;
       mutated[i] = v;
       try {

@@ -90,6 +90,94 @@ TEST(Name, RejectsPointerLoop) {
   EXPECT_THROW(Name::parse(r), WireFormatError);
 }
 
+// A root label at offset 0 followed by `hops` pointers, each targeting the
+// previous one. Every hop is a legal backwards pointer, so only the
+// jump-depth bound can stop a long chain. Parsing starts at the last link.
+WireWriter pointer_chain(std::size_t hops) {
+  WireWriter w;
+  w.u8(0);  // root name at offset 0
+  for (std::size_t i = 0; i < hops; ++i) {
+    const std::size_t target = i == 0 ? 0 : 1 + 2 * (i - 1);
+    w.u16(static_cast<std::uint16_t>(0xc000 | target));
+  }
+  return w;
+}
+
+TEST(Name, PointerChainAtDepthLimitParses) {
+  const WireWriter w = pointer_chain(64);
+  WireReader r({w.data().data(), w.data().size()});
+  r.seek(1 + 2 * 63);
+  EXPECT_EQ(Name::parse(r), Name{});
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Name, PointerChainBeyondDepthLimitRejected) {
+  const WireWriter w = pointer_chain(65);
+  WireReader r({w.data().data(), w.data().size()});
+  r.seek(1 + 2 * 64);
+  EXPECT_THROW(Name::parse(r), WireFormatError);
+}
+
+TEST(Name, FromStringLabelLengthBoundary) {
+  const std::string label63(63, 'a');
+  EXPECT_EQ(Name::from_string(label63 + ".com").labels()[0], label63);
+  EXPECT_THROW(Name::from_string(std::string(64, 'a') + ".com"), WireFormatError);
+  // Escapes do not count toward the label length: 63 escaped dots are one
+  // 63-octet label.
+  std::string escaped;
+  for (int i = 0; i < 63; ++i) escaped += "\\.";
+  EXPECT_EQ(Name::from_string(escaped).labels()[0], std::string(63, '.'));
+  EXPECT_THROW(Name::from_string(escaped + "\\."), WireFormatError);
+}
+
+TEST(Name, FromStringWireLengthBoundary) {
+  // Three 63-octet labels plus one 61-octet label: wire length exactly 255.
+  const std::string l63(63, 'a');
+  const Name max = Name::from_string(l63 + "." + l63 + "." + l63 + "." +
+                                     std::string(61, 'b'));
+  EXPECT_EQ(max.wire_length(), 255u);
+  // One octet more must be rejected.
+  EXPECT_THROW(Name::from_string(l63 + "." + l63 + "." + l63 + "." +
+                                 std::string(62, 'b')),
+               WireFormatError);
+}
+
+TEST(Name, EscapedCharactersRoundTrip) {
+  const Name dotted = Name::from_string("a\\.b.example");
+  ASSERT_EQ(dotted.label_count(), 2u);
+  EXPECT_EQ(dotted.labels()[0], "a.b");
+  EXPECT_EQ(dotted.to_string(), "a\\.b.example");
+  EXPECT_EQ(Name::from_string(dotted.to_string()), dotted);
+
+  const Name slashed = Name::from_string("c\\\\d.example");
+  EXPECT_EQ(slashed.labels()[0], "c\\d");
+  EXPECT_EQ(Name::from_string(slashed.to_string()), slashed);
+
+  // "\X" for any other X is X itself; decimal escapes are not special.
+  EXPECT_EQ(Name::from_string("\\w\\w\\w.example"),
+            Name::from_string("www.example"));
+  EXPECT_EQ(Name::from_string("\\065.example").labels()[0], "065");
+
+  EXPECT_THROW(Name::from_string("oops\\"), WireFormatError);
+  // An escaped dot cannot rescue an otherwise empty label.
+  EXPECT_THROW(Name::from_string("a..b"), WireFormatError);
+}
+
+TEST(Name, WireLabelWithDotSurvivesPresentationRoundTrip) {
+  // Regression: a wire label containing a literal '.' used to render
+  // unescaped, so from_string(to_string(n)) produced a different name.
+  WireWriter w;
+  w.u8(3);
+  w.u8('a');
+  w.u8('.');
+  w.u8('b');
+  w.u8(0);
+  WireReader r({w.data().data(), w.data().size()});
+  const Name n = Name::parse(r);
+  EXPECT_EQ(n.to_string(), "a\\.b");
+  EXPECT_EQ(Name::from_string(n.to_string()), n);
+}
+
 TEST(Name, RejectsReservedLabelTypes) {
   WireWriter w;
   w.u8(0x80);  // 10xxxxxx reserved

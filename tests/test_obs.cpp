@@ -90,7 +90,7 @@ class JsonChecker {
         if (pos_ >= doc_.size()) return false;
         const char esc = doc_[pos_];
         if (esc == 'u') {
-          for (int i = 1; i <= 4; ++i) {
+          for (std::size_t i = 1; i <= 4; ++i) {
             if (pos_ + i >= doc_.size() ||
                 !std::isxdigit(static_cast<unsigned char>(doc_[pos_ + i]))) {
               return false;

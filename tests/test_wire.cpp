@@ -67,6 +67,41 @@ TEST(WireReader, SeekBounds) {
   EXPECT_EQ(r.peek_at(1), 2);
 }
 
+TEST(WireReader, SeekOnEmptyBuffer) {
+  WireReader r({static_cast<const std::uint8_t*>(nullptr), 0});
+  EXPECT_TRUE(r.at_end());
+  r.seek(0);  // one-past-end of an empty buffer is offset 0
+  EXPECT_TRUE(r.at_end());
+  EXPECT_THROW(r.seek(1), WireFormatError);
+  EXPECT_THROW(r.peek_at(0), WireFormatError);
+  EXPECT_THROW(r.u8(), WireFormatError);
+}
+
+TEST(WireReader, ReadsAfterSeekToEndThrow) {
+  const std::uint8_t buf[] = {1, 2, 3};
+  WireReader r({buf, 3});
+  r.seek(3);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.u8(), WireFormatError);
+  EXPECT_THROW(r.u16(), WireFormatError);
+  EXPECT_THROW(r.bytes(1), WireFormatError);
+  EXPECT_THROW(r.skip(1), WireFormatError);
+  EXPECT_EQ(r.bytes(0).size(), 0u);  // zero-length read stays legal at end
+  // A failed read leaves the cursor usable.
+  r.seek(2);
+  EXPECT_EQ(r.u8(), 3);
+}
+
+TEST(WireReader, PeekAtDoesNotMoveCursor) {
+  const std::uint8_t buf[] = {0xaa, 0xbb, 0xcc};
+  WireReader r({buf, 3});
+  EXPECT_EQ(r.peek_at(2), 0xcc);
+  EXPECT_EQ(r.offset(), 0u);
+  EXPECT_EQ(r.u8(), 0xaa);
+  EXPECT_THROW(r.peek_at(4), WireFormatError);
+  EXPECT_EQ(r.offset(), 1u);
+}
+
 TEST(WireReader, BytesReturnsView) {
   const std::uint8_t buf[] = {9, 8, 7, 6};
   WireReader r({buf, 4});
