@@ -3,6 +3,7 @@
 // wrapper that exports the run's metrics/trace when asked to.
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -15,13 +16,28 @@
 
 namespace ecsdns::bench {
 
-// Parses "--name=value" integer flags; returns `fallback` when absent.
+// Parses "--name=value" integer flags; returns `fallback` when absent. A
+// malformed value — empty, trailing garbage ("--shards=4x"), or out of
+// range — is a hard error (exit 2): silently truncating would run the
+// bench with a number the user never asked for.
 inline long flag(int argc, char** argv, const char* name, long fallback) {
   const std::string prefix = std::string("--") + name + "=";
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      return std::strtol(argv[i] + prefix.size(), nullptr, 10);
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0) continue;
+    const char* text = argv[i] + prefix.size();
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0') {
+      std::fprintf(stderr, "error: %s: expected an integer, got \"%s\"\n",
+                   argv[i], text);
+      std::exit(2);
     }
+    if (errno == ERANGE) {
+      std::fprintf(stderr, "error: %s: value out of range\n", argv[i]);
+      std::exit(2);
+    }
+    return value;
   }
   return fallback;
 }
@@ -47,14 +63,23 @@ class ObsSession {
       : run_name_(run_name),
         metrics_path_(str_flag(argc, argv, "metrics-out")),
         trace_path_(str_flag(argc, argv, "trace-out")),
+        shards_(flag(argc, argv, "shards", 1)),
         start_(std::chrono::steady_clock::now()) {
+    if (shards_ < 1) shards_ = 1;
     auto& registry = obs::MetricsRegistry::global();
     registry.reset();
     obs::preregister_core_metrics(registry);
+    // Every bench records its shard count so an exported metrics document
+    // says how the run was parallelized (wall_ms is only comparable within
+    // one shard count; the simulation metrics must not differ at all).
+    registry.gauge("run.shards").set(shards_);
     auto& tracer = obs::TraceRing::global();
     tracer.clear();
     tracer.set_enabled(!trace_path_.empty());
   }
+
+  // The validated --shards=N value (>= 1, default 1).
+  long shards() const { return shards_; }
 
   ObsSession(const ObsSession&) = delete;
   ObsSession& operator=(const ObsSession&) = delete;
@@ -98,6 +123,7 @@ class ObsSession {
   std::string run_name_;
   std::string metrics_path_;
   std::string trace_path_;
+  long shards_ = 1;
   std::chrono::steady_clock::time_point start_;
   bool finished_ = false;
 };

@@ -16,15 +16,16 @@ int main(int argc, char** argv) {
   bench::banner("fig1_cache_blowup_cdf",
                 "Figure 1 - cache blow-up CDF, TTL in {20, 40, 60} s");
 
+  const auto shards = static_cast<std::size_t>(obs_session.shards());
   PublicResolverCdnConfig config;
   config.resolvers = static_cast<std::uint32_t>(bench::flag(argc, argv, "resolvers", 160));
   config.duration = bench::flag(argc, argv, "minutes", 4) * netsim::kMinute;
   config.seed = static_cast<std::uint64_t>(bench::flag(argc, argv, "seed", 1));
   std::printf(
       "trace: %u resolvers (paper: 2370), %.0f-%.0f qps each (log-uniform), "
-      "%lld min\n",
+      "%lld min, %zu replay shard(s)\n",
       config.resolvers, config.min_qps, config.max_qps,
-      static_cast<long long>(config.duration / netsim::kMinute));
+      static_cast<long long>(config.duration / netsim::kMinute), shards);
   const Trace trace = generate_public_resolver_cdn_trace(config);
   std::printf("generated %zu queries, %zu clients\n\n", trace.queries.size(),
               trace.clients.size());
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
   double max20 = 0;
   double median20 = 0;
   for (const std::uint32_t ttl : {20u, 40u, 60u}) {
-    auto factors = blowup_factors(trace, ttl);
+    auto factors = blowup_factors(trace, ttl, shards);
     Cdf cdf(std::move(factors));
     for (const auto& [x, p] : cdf.series(100)) {
       csv.row({std::to_string(ttl), TextTable::num(x, 4), TextTable::num(p, 4)});

@@ -1,6 +1,7 @@
 // Figure 2: cache blow-up factor vs fraction of the client population, on
 // the All-Names Resolver trace (single busy resolver, all ECS zones).
 // Three random samples per fraction, averaged, as in the paper.
+#include <algorithm>
 #include <cstdio>
 #include <numeric>
 
@@ -17,16 +18,24 @@ int main(int argc, char** argv) {
   bench::banner("fig2_blowup_vs_population",
                 "Figure 2 - cache blow-up vs client population fraction");
 
+  const auto shards = static_cast<std::size_t>(obs_session.shards());
   AllNamesConfig config;
   config.duration = bench::flag(argc, argv, "minutes", 60) * netsim::kMinute;
   config.queries_per_second =
       static_cast<double>(bench::flag(argc, argv, "qps", 128));
   config.seed = static_cast<std::uint64_t>(bench::flag(argc, argv, "seed", 2));
+  // --clients scales the population (keeping the ~5 clients-per-subnet
+  // ratio of the defaults) for large sharded runs.
+  const long clients = bench::flag(argc, argv, "clients", 0);
+  if (clients > 0) {
+    config.clients = static_cast<std::uint32_t>(clients);
+    config.client_subnets = static_cast<std::uint32_t>(std::max(1L, clients / 5));
+  }
   const Trace trace = generate_all_names_trace(config);
   std::printf(
-      "trace: %zu queries, %zu clients, %u hostnames (paper: 11.1M / 76.2K / "
-      "134,925)\n\n",
-      trace.queries.size(), trace.clients.size(), trace.hostnames);
+      "trace: %zu queries, %zu clients, %u hostnames, %zu replay shard(s) "
+      "(paper: 11.1M / 76.2K / 134,925)\n\n",
+      trace.queries.size(), trace.clients.size(), trace.hostnames, shards);
 
   TextTable table({"% of clients", "blow-up (avg of 3 runs)"});
   CsvWriter csv("fig2_blowup_vs_population", {"client_pct", "blowup"});
@@ -35,7 +44,7 @@ int main(int argc, char** argv) {
     double sum = 0;
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       const Trace sampled = sample_clients(trace, pct / 100.0, seed * 101);
-      const auto factors = blowup_factors(sampled, std::nullopt);
+      const auto factors = blowup_factors(sampled, std::nullopt, shards);
       sum += factors.empty() ? 0.0 : factors.front();
     }
     const double avg = sum / 3.0;

@@ -1,5 +1,6 @@
 // Figure 3: resolver cache hit rate with and without ECS as the client
 // population grows (All-Names Resolver trace; averages of three samples).
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -15,14 +16,29 @@ int main(int argc, char** argv) {
   bench::banner("fig3_hitrate_vs_population",
                 "Figure 3 - cache hit rate with/without ECS vs population");
 
+  const auto shards = static_cast<std::size_t>(obs_session.shards());
   AllNamesConfig config;
   config.duration = bench::flag(argc, argv, "minutes", 60) * netsim::kMinute;
   config.queries_per_second =
       static_cast<double>(bench::flag(argc, argv, "qps", 128));
   config.seed = static_cast<std::uint64_t>(bench::flag(argc, argv, "seed", 2));
+  // --clients scales the population (keeping the ~5 clients-per-subnet
+  // ratio of the defaults) for large sharded runs.
+  const long clients = bench::flag(argc, argv, "clients", 0);
+  if (clients > 0) {
+    config.clients = static_cast<std::uint32_t>(clients);
+    config.client_subnets = static_cast<std::uint32_t>(std::max(1L, clients / 5));
+  }
   const Trace trace = generate_all_names_trace(config);
-  std::printf("trace: %zu queries, %zu clients\n\n", trace.queries.size(),
-              trace.clients.size());
+  std::printf("trace: %zu queries, %zu clients, %zu replay shard(s)\n\n",
+              trace.queries.size(), trace.clients.size(), shards);
+
+  CacheSimOptions with_ecs_options;
+  with_ecs_options.with_ecs = true;
+  with_ecs_options.shards = shards;
+  CacheSimOptions no_ecs_options;
+  no_ecs_options.with_ecs = false;
+  no_ecs_options.shards = shards;
 
   TextTable table({"% of clients", "hit rate no ECS (%)", "hit rate with ECS (%)"});
   CsvWriter csv("fig3_hitrate_vs_population",
@@ -32,10 +48,8 @@ int main(int argc, char** argv) {
     double sum_with = 0, sum_without = 0;
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       const Trace sampled = sample_clients(trace, pct / 100.0, seed * 101);
-      sum_with +=
-          simulate_cache(sampled, CacheSimOptions{true, std::nullopt, std::nullopt}).overall_hit_rate();
-      sum_without += simulate_cache(sampled, CacheSimOptions{false, std::nullopt, std::nullopt})
-                         .overall_hit_rate();
+      sum_with += simulate_cache(sampled, with_ecs_options).overall_hit_rate();
+      sum_without += simulate_cache(sampled, no_ecs_options).overall_hit_rate();
     }
     const double with_ecs = 100 * sum_with / 3.0;
     const double without_ecs = 100 * sum_without / 3.0;

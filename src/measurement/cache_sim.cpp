@@ -1,11 +1,16 @@
 #include "measurement/cache_sim.h"
 
+#include <algorithm>
 #include <map>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "dnscore/contracts.h"
 #include "dnscore/ip.h"
+#include "measurement/sharding.h"
+#include "netsim/parallel_engine.h"
+#include "obs/metrics.h"
 
 namespace ecsdns::measurement {
 namespace {
@@ -31,6 +36,44 @@ struct KeyHash {
     return h;
   }
 };
+
+Key key_of(const TraceQuery& q, bool with_ecs) {
+  Key key{q.resolver, q.name, Prefix{}};
+  if (with_ecs && q.scope > 0) {
+    const int bits = std::min(q.scope, q.client.bit_length());
+    key.block = Prefix{q.client, bits};
+  }
+  return key;
+}
+
+// Content hash of a query's cache key, cheap enough for every shard to run
+// over the full trace as its partition filter (no Prefix construction for
+// foreign queries). Equal keys always hash equal; collisions only co-locate
+// two keys on one shard, which is harmless.
+std::uint64_t key_shard_hash(const TraceQuery& q, bool with_ecs) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = 14695981039346656037ull;
+  h = (h ^ q.resolver) * kPrime;
+  h = (h ^ q.name) * kPrime;
+  if (with_ecs && q.scope > 0) {
+    const int bits = std::min(q.scope, q.client.bit_length());
+    const auto& bytes = q.client.bytes();
+    const int full = bits / 8;
+    const int partial = bits % 8;
+    for (int i = 0; i < full; ++i) {
+      h = (h ^ bytes[static_cast<std::size_t>(i)]) * kPrime;
+    }
+    if (partial != 0) {
+      const auto mask = static_cast<std::uint8_t>(0xff00u >> partial);
+      h = (h ^ static_cast<std::uint8_t>(
+               bytes[static_cast<std::size_t>(full)] & mask)) *
+          kPrime;
+    }
+    h = (h ^ static_cast<std::uint64_t>(bits)) * kPrime;
+    h = (h ^ static_cast<std::uint64_t>(q.client.is_v4() ? 4 : 6)) * kPrime;
+  }
+  return h;
+}
 
 }  // namespace
 
@@ -59,7 +102,9 @@ double CacheSimResult::overall_hit_rate() const {
                     : static_cast<double>(total_hits()) / static_cast<double>(total);
 }
 
-CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options) {
+namespace {
+
+CacheSimResult simulate_serial(const Trace& trace, const CacheSimOptions& options) {
   struct Slot {
     SimTime expiry = 0;
     std::uint64_t lru_stamp = 0;
@@ -105,11 +150,7 @@ CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options
       }
     }
 
-    Key key{q.resolver, q.name, Prefix{}};
-    if (options.with_ecs && q.scope > 0) {
-      const int bits = std::min(q.scope, q.client.bit_length());
-      key.block = Prefix{q.client, bits};
-    }
+    const Key key = key_of(q, options.with_ecs);
 
     auto& result = results.at(q.resolver);
     const auto it = cache.find(key);
@@ -156,14 +197,318 @@ CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Sharded replay (see docs/parallel_engine.md).
+//
+// With an unbounded cache, each key's hit/miss sequence depends only on the
+// queries that map to it, so keys partition across shards by stable hash
+// and replay independently. The one cross-key quantity — a resolver's peak
+// live-entry count, sampled by the serial replay after every insert — is
+// reconstructed exactly from per-shard occupancy deltas: every insert emits
+// (+1, time, trace index) and every real expiration (-1, expiry time).
+// Deltas stream each epoch to the shard that owns the resolver's
+// accounting, which applies them in (time, expire-before-insert, trace
+// index) order — precisely the order the serial replay's lazy expiration
+// sweep induces, because an expiration with `when <= q.time` always fires
+// before query q. Batches are confined to one epoch window, so the owner
+// merges N already-sorted runs per window.
+
+// One occupancy change of a resolver's cache.
+struct Delta {
+  SimTime time;
+  std::uint32_t resolver;
+  // 0 = entry expired (-1), 1 = entry inserted (+1). Expires sort first at
+  // equal times, matching the serial sweep-then-query order; this is exact
+  // whenever effective TTLs are positive (an entry then never expires at
+  // its own insertion time), which `shardable` guarantees.
+  std::uint8_t kind;
+  // Trace index of the (creating) insert: the deterministic tie-break.
+  std::uint64_t seq;
+};
+
+bool delta_less(const Delta& a, const Delta& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.seq < b.seq;
+}
+
+class ReplayShard final : public netsim::ShardProgram {
+ public:
+  ReplayShard(const Trace& trace, const CacheSimOptions& options,
+              std::size_t index, std::size_t shards,
+              std::vector<ReplayShard*>& directory,
+              std::vector<ResolverCacheResult>& results)
+      : trace_(trace),
+        options_(options),
+        index_(index),
+        shards_(shards),
+        directory_(directory),
+        results_(results),
+        hits_(trace.resolvers, 0),
+        misses_(trace.resolvers, 0),
+        live_(trace.resolvers, 0),
+        peak_(trace.resolvers, 0),
+        out_(shards) {}
+
+  void epoch(netsim::ShardContext& ctx, SimTime epoch_end) override {
+    apply_pending();
+    replay_until(epoch_end);
+    flush_expirations(epoch_end);
+    ship(ctx);
+  }
+
+  bool done(const netsim::ShardContext&) const override {
+    return cursor_ == trace_.queries.size() && expirations_.empty() &&
+           pending_.empty();
+  }
+
+  void finish(netsim::ShardContext& ctx) override {
+    // Serial, in shard-index order: fold this shard's tallies and its owned
+    // resolvers' exact peaks into the shared result.
+    std::uint64_t hit_total = 0;
+    std::uint64_t miss_total = 0;
+    for (std::uint32_t r = 0; r < trace_.resolvers; ++r) {
+      results_[r].hits += hits_[r];
+      results_[r].misses += misses_[r];
+      hit_total += hits_[r];
+      miss_total += misses_[r];
+      if (shard_of_id(r, shards_) == index_) {
+        ECSDNS_DCHECK(live_[r] == 0);
+        results_[r].max_cache_size = peak_[r];
+      }
+    }
+    auto& metrics = ctx.metrics();
+    metrics.counter("cache_sim.queries").inc(hit_total + miss_total);
+    metrics.counter("cache_sim.hits").inc(hit_total);
+    metrics.counter("cache_sim.misses").inc(miss_total);
+  }
+
+  void absorb(std::vector<Delta> batch) { pending_.push_back(std::move(batch)); }
+
+ private:
+  struct Slot {
+    SimTime expiry;
+    std::uint64_t seq;
+  };
+  struct PendingExpiry {
+    SimTime when;
+    std::uint64_t seq;
+    Key key;
+  };
+  struct LaterExpiry {
+    bool operator()(const PendingExpiry& a, const PendingExpiry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Owner role: merge the batches for the window that just closed. Every
+  // source batch is sorted and covers the same window, so this is an N-way
+  // merge on a strict total order (trace indexes never repeat).
+  void apply_pending() {
+    if (pending_.empty()) return;
+    std::vector<std::size_t> cursor(pending_.size(), 0);
+    for (;;) {
+      std::size_t best = pending_.size();
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (cursor[i] >= pending_[i].size()) continue;
+        if (best == pending_.size() ||
+            delta_less(pending_[i][cursor[i]], pending_[best][cursor[best]])) {
+          best = i;
+        }
+      }
+      if (best == pending_.size()) break;
+      const Delta& d = pending_[best][cursor[best]++];
+      if (d.kind == 0) {
+        ECSDNS_DCHECK(live_[d.resolver] > 0);
+        --live_[d.resolver];
+      } else {
+        const std::int64_t now_live = ++live_[d.resolver];
+        if (static_cast<std::uint64_t>(now_live) > peak_[d.resolver]) {
+          peak_[d.resolver] = static_cast<std::uint64_t>(now_live);
+        }
+      }
+    }
+    pending_.clear();
+  }
+
+  // Replayer role: consume this window's slice of the trace, keeping only
+  // the keys this shard owns.
+  void replay_until(SimTime epoch_end) {
+    const auto& queries = trace_.queries;
+    while (cursor_ < queries.size() && queries[cursor_].time < epoch_end) {
+      const TraceQuery& q = queries[cursor_];
+      const auto seq = static_cast<std::uint64_t>(cursor_);
+      ++cursor_;
+      if (shard_of_hash(key_shard_hash(q, options_.with_ecs), shards_) !=
+          index_) {
+        continue;
+      }
+      sweep(q.time);
+      const Key key = key_of(q, options_.with_ecs);
+      const auto it = cache_.find(key);
+      if (it != cache_.end() && it->second.expiry > q.time) {
+        ++hits_[q.resolver];
+        continue;
+      }
+      // With positive TTLs the sweep has already erased an expired entry,
+      // so a miss always inserts a fresh one.
+      ECSDNS_DCHECK(it == cache_.end());
+      ++misses_[q.resolver];
+      const std::uint32_t ttl_s = options_.ttl_override.value_or(q.ttl_s);
+      const SimTime expiry =
+          q.time + static_cast<SimTime>(ttl_s) * netsim::kSecond;
+      cache_.insert_or_assign(key, Slot{expiry, seq});
+      emit(Delta{q.time, q.resolver, 1, seq});
+      expirations_.push(PendingExpiry{expiry, seq, key});
+    }
+  }
+
+  void sweep(SimTime now) {
+    while (!expirations_.empty() && expirations_.top().when <= now) {
+      pop_expiry();
+    }
+  }
+
+  // Emits every expiration inside the closing window even when no local
+  // query observed it — the owner's merge needs each window complete.
+  void flush_expirations(SimTime epoch_end) {
+    while (!expirations_.empty() && expirations_.top().when < epoch_end) {
+      pop_expiry();
+    }
+  }
+
+  void pop_expiry() {
+    const PendingExpiry e = expirations_.top();
+    expirations_.pop();
+    const auto it = cache_.find(e.key);
+    // Skip stale records: the entry was refreshed after this expiry was
+    // scheduled (mirrors the serial replay's currentness check).
+    if (it != cache_.end() && it->second.expiry <= e.when) {
+      emit(Delta{e.when, e.key.resolver, 0, it->second.seq});
+      cache_.erase(it);
+    }
+  }
+
+  void emit(const Delta& d) { out_[shard_of_id(d.resolver, shards_)].push_back(d); }
+
+  void ship(netsim::ShardContext& ctx) {
+    for (std::size_t owner = 0; owner < shards_; ++owner) {
+      auto& bucket = out_[owner];
+      if (bucket.empty()) continue;
+      ECSDNS_DCHECK(std::is_sorted(bucket.begin(), bucket.end(), delta_less));
+      ctx.post(owner, [target = directory_[owner], batch = std::move(bucket)](
+                          netsim::ShardContext&) mutable {
+        target->absorb(std::move(batch));
+      });
+      bucket = {};
+    }
+  }
+
+  const Trace& trace_;
+  const CacheSimOptions& options_;
+  std::size_t index_;
+  std::size_t shards_;
+  std::vector<ReplayShard*>& directory_;
+  std::vector<ResolverCacheResult>& results_;
+
+  std::size_t cursor_ = 0;
+  std::unordered_map<Key, Slot, KeyHash> cache_;
+  std::priority_queue<PendingExpiry, std::vector<PendingExpiry>, LaterExpiry>
+      expirations_;
+  std::vector<std::uint64_t> hits_;
+  std::vector<std::uint64_t> misses_;
+  std::vector<std::int64_t> live_;
+  std::vector<std::uint64_t> peak_;
+  std::vector<std::vector<Delta>> out_;
+  std::vector<std::vector<Delta>> pending_;
+};
+
+CacheSimResult simulate_sharded(const Trace& trace, const CacheSimOptions& options) {
+  const std::size_t shards = options.shards;
+  std::vector<ResolverCacheResult> results(trace.resolvers);
+  for (std::uint32_t r = 0; r < trace.resolvers; ++r) results[r].resolver = r;
+
+  std::vector<ReplayShard*> directory(shards, nullptr);
+  std::vector<std::unique_ptr<netsim::ShardProgram>> programs;
+  programs.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto program = std::make_unique<ReplayShard>(trace, options, s, shards,
+                                                 directory, results);
+    directory[s] = program.get();
+    programs.push_back(std::move(program));
+  }
+
+  netsim::ParallelConfig config;
+  config.shards = shards;
+  config.threads = options.threads;
+  // Delta mail is accounting, not simulation traffic, so the window length
+  // is free — it only has to be a pure function of the trace so every
+  // shard count sees the same windows.
+  const SimTime last = trace.queries.empty() ? 0 : trace.queries.back().time;
+  config.epoch = std::max<SimTime>(netsim::kSecond, (last + 1) / 128);
+  netsim::ParallelEngine engine(config, std::move(programs));
+  engine.run();
+  engine.merge_metrics(obs::MetricsRegistry::global());
+
+  CacheSimResult out;
+  out.per_resolver = std::move(results);
+  return out;
+}
+
+// The sharded path's preconditions; anything else replays serially. Bounded
+// caches couple keys through the LRU order; a zero effective TTL makes an
+// entry expire at its own insert time, which the expire-before-insert merge
+// order cannot represent; replay windows assume a time-sorted trace.
+bool shardable(const Trace& trace, const CacheSimOptions& options) {
+  if (options.shards <= 1) return false;
+  if (options.max_entries_per_resolver) return false;
+  SimTime prev = 0;
+  for (const auto& q : trace.queries) {
+    if (q.time < prev) return false;
+    prev = q.time;
+    if (options.ttl_override.value_or(q.ttl_s) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options) {
+  CacheSimResult out;
+  if (shardable(trace, options)) {
+    out = simulate_sharded(trace, options);
+  } else {
+    out = simulate_serial(trace, options);
+    // Mirror the merged metrics of the sharded path so exports are
+    // byte-identical across shard counts.
+    auto& registry = obs::MetricsRegistry::global();
+    registry.counter("cache_sim.queries").inc(out.total_hits() + out.total_misses());
+    registry.counter("cache_sim.hits").inc(out.total_hits());
+    registry.counter("cache_sim.misses").inc(out.total_misses());
+  }
+  std::uint64_t peak = 0;
+  for (const auto& r : out.per_resolver) {
+    peak = std::max<std::uint64_t>(peak, r.max_cache_size);
+  }
+  obs::MetricsRegistry::global().gauge("cache_sim.peak_entries").set(
+      static_cast<std::int64_t>(peak));
+  return out;
+}
+
 std::vector<double> blowup_factors(const Trace& trace,
-                                   std::optional<std::uint32_t> ttl_override) {
+                                   std::optional<std::uint32_t> ttl_override,
+                                   std::size_t shards, std::size_t threads) {
   CacheSimOptions with;
   with.with_ecs = true;
   with.ttl_override = ttl_override;
+  with.shards = shards;
+  with.threads = threads;
   CacheSimOptions without;
   without.with_ecs = false;
   without.ttl_override = ttl_override;
+  without.shards = shards;
+  without.threads = threads;
 
   const CacheSimResult ecs = simulate_cache(trace, with);
   const CacheSimResult plain = simulate_cache(trace, without);

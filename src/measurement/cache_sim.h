@@ -24,6 +24,16 @@ struct CacheSimOptions {
   // says operators must size against). Unset = unbounded, the paper's
   // baseline assumption.
   std::optional<std::size_t> max_entries_per_resolver;
+  // Shards the replay over N event-loop shards (netsim::ParallelEngine):
+  // cache keys partition by stable hash, per-resolver occupancy merges via
+  // cross-shard delta streams. Results are bit-identical to the serial
+  // replay for every shard and thread count (the serial-equivalence oracle
+  // in tests/test_parallel_determinism.cpp enforces this). Bounded caches
+  // couple keys through the LRU order and always replay serially.
+  std::size_t shards = 1;
+  // Worker threads for the sharded replay; 0 = one per shard, capped at
+  // the hardware. Never affects results.
+  std::size_t threads = 0;
 };
 
 struct ResolverCacheResult {
@@ -52,8 +62,10 @@ CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options
 
 // Per-resolver blow-up factors: peak cache size with ECS divided by peak
 // size without (Figure 1's metric). Resolvers with an empty no-ECS cache
-// are skipped.
+// are skipped. `shards`/`threads` forward to CacheSimOptions.
 std::vector<double> blowup_factors(const Trace& trace,
-                                   std::optional<std::uint32_t> ttl_override);
+                                   std::optional<std::uint32_t> ttl_override,
+                                   std::size_t shards = 1,
+                                   std::size_t threads = 0);
 
 }  // namespace ecsdns::measurement

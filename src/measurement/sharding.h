@@ -1,0 +1,40 @@
+// Stable shard partitioning shared by the cache replay, the workload
+// driver, and the fleet utilities. Every hash here is content-based (never
+// a pointer or an iteration order), so a partition reproduces exactly
+// across runs, platforms, and thread counts — the foundation of the
+// determinism contract in docs/parallel_engine.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dnscore/ip.h"
+
+namespace ecsdns::measurement {
+
+// SplitMix64 finalizer: one cheap, well-mixed round so that dense inputs
+// (resolver ids, member indexes) spread evenly over shards.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Maps a content hash onto a shard index.
+inline std::size_t shard_of_hash(std::uint64_t hash, std::size_t shards) noexcept {
+  return shards <= 1 ? 0 : static_cast<std::size_t>(hash % shards);
+}
+
+// Shard owning a dense integer id (resolver ids, fleet member indexes).
+inline std::size_t shard_of_id(std::uint64_t id, std::size_t shards) noexcept {
+  return shard_of_hash(mix64(id), shards);
+}
+
+// Shard owning an address-keyed entity (fleet members, client populations).
+inline std::size_t shard_of_address(const dnscore::IpAddress& address,
+                                    std::size_t shards) noexcept {
+  return shard_of_hash(static_cast<std::uint64_t>(address.hash()), shards);
+}
+
+}  // namespace ecsdns::measurement

@@ -23,6 +23,14 @@ WorkloadStats drive_fleet(Testbed& bed, Fleet& fleet, const WorkloadOptions& opt
   // One self-rescheduling event chain per fleet member.
   for (std::size_t m = 0; m < fleet.members.size(); ++m) {
     auto& member = fleet.members[m];
+    // Sharded mode: member m draws from its own split stream, so its query
+    // sequence does not depend on what any other member drew (see
+    // WorkloadOptions::shards).
+    const auto member_rng =
+        options.shards > 1
+            ? std::make_shared<netsim::Rng>(
+                  netsim::Rng::stream(options.seed, static_cast<std::uint64_t>(m)))
+            : rng;
     // Clients of this resolver live in a /24 of the client pool (or a /64
     // apiece under 2001:db8::/32 for IPv6 populations).
     std::vector<IpAddress> clients;
@@ -96,7 +104,7 @@ WorkloadStats drive_fleet(Testbed& bed, Fleet& fleet, const WorkloadOptions& opt
     chain->bed = &bed;
     chain->resolver = member.resolver;
     chain->clients = std::move(clients);
-    chain->rng = rng;
+    chain->rng = member_rng;
     chain->names = names;
     chain->stats = stats;
     chain->options = &options;

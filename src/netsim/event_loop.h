@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -14,6 +15,9 @@ namespace ecsdns::netsim {
 class EventLoop {
  public:
   using Callback = std::function<void()>;
+
+  // Sentinel returned by next_event_time() on an empty queue.
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
 
   SimTime now() const noexcept { return now_; }
 
@@ -33,6 +37,13 @@ class EventLoop {
 
   bool empty() const noexcept { return queue_.empty(); }
   std::size_t pending() const noexcept { return queue_.size(); }
+
+  // Fire time of the earliest pending event, or kNever when the queue is
+  // empty. The parallel engine uses this to decide whether a shard still
+  // has work inside the current epoch.
+  SimTime next_event_time() const noexcept {
+    return queue_.empty() ? kNever : queue_.top().when;
+  }
 
  private:
   struct Event {

@@ -1,0 +1,183 @@
+#include "netsim/parallel_engine.h"
+
+#include <barrier>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace ecsdns::netsim {
+
+SimTime conservative_epoch(const LatencyModel& model) {
+  const SimTime bound = model.one_way(0.0);
+  return bound > 0 ? bound : 1;
+}
+
+std::size_t ShardContext::shard_count() const noexcept {
+  return engine_.shard_count();
+}
+
+SimTime ShardContext::epoch_end() const noexcept { return engine_.epoch_end_; }
+
+void ShardContext::post(std::size_t to, Mail mail) {
+  if (to >= engine_.shard_count()) {
+    throw std::out_of_range("post: no such shard");
+  }
+  engine_.control_mail_[engine_.parity_][engine_.mailbox_index(index_, to)]
+      .push_back(std::move(mail));
+}
+
+void ShardContext::post_at(std::size_t to, SimTime when, EventLoop::Callback fn) {
+  if (to >= engine_.shard_count()) {
+    throw std::out_of_range("post_at: no such shard");
+  }
+  if (when < engine_.epoch_end_) {
+    // Delivering below the lookahead bound would rewind the receiver's
+    // clock: it may already sit at the epoch boundary. The epoch length
+    // must not exceed the minimum cross-shard latency (conservative_epoch).
+    throw std::invalid_argument(
+        "post_at: delivery time below the conservative epoch bound");
+  }
+  engine_.timed_mail_[engine_.parity_][engine_.mailbox_index(index_, to)]
+      .push_back(ParallelEngine::TimedMail{when, std::move(fn)});
+}
+
+ParallelEngine::ParallelEngine(ParallelConfig config,
+                               std::vector<std::unique_ptr<ShardProgram>> programs)
+    : config_(config), programs_(std::move(programs)) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.epoch <= 0) {
+    throw std::invalid_argument("epoch length must be positive");
+  }
+  if (programs_.size() != config_.shards) {
+    throw std::invalid_argument("need exactly one program per shard");
+  }
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.emplace_back(new ShardContext(*this, i, config_.seed));
+  }
+  const std::size_t pairs = config_.shards * config_.shards;
+  for (auto& parity : control_mail_) parity.resize(pairs);
+  for (auto& parity : timed_mail_) parity.resize(pairs);
+  errors_.resize(config_.shards);
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+std::size_t ParallelEngine::effective_threads() const {
+  std::size_t threads = config_.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  if (threads > shards_.size()) threads = shards_.size();
+  return threads == 0 ? 1 : threads;
+}
+
+void ParallelEngine::step_shard(std::size_t i) {
+  ShardContext& ctx = *shards_[i];
+  // Drain the inbox written last round (opposite parity), ascending source
+  // index, FIFO within a source. Control mail runs immediately; timed mail
+  // lands on the loop, where the (when, seq) order keeps equal-time events
+  // in delivery order.
+  const std::size_t read = parity_ ^ 1u;
+  for (std::size_t src = 0; src < shards_.size(); ++src) {
+    auto& control = control_mail_[read][mailbox_index(src, i)];
+    for (auto& mail : control) mail(ctx);
+    control.clear();
+    auto& timed = timed_mail_[read][mailbox_index(src, i)];
+    for (auto& m : timed) ctx.loop_.schedule_at(m.when, std::move(m.fn));
+    timed.clear();
+  }
+  programs_[i]->epoch(ctx, epoch_end_);
+  ctx.loop_.run_until(epoch_end_);
+}
+
+bool ParallelEngine::coordinate() noexcept {
+  ++rounds_;
+  for (const auto& err : errors_) {
+    if (err) return false;
+  }
+  bool more = false;
+  for (std::size_t i = 0; i < shards_.size() && !more; ++i) {
+    if (!shards_[i]->loop_.empty()) more = true;
+    if (!programs_[i]->done(*shards_[i])) more = true;
+  }
+  if (!more) {
+    // Mail written this round still needs one more epoch to deliver.
+    for (const auto& box : control_mail_[parity_]) {
+      if (!box.empty()) {
+        more = true;
+        break;
+      }
+    }
+  }
+  if (!more) {
+    for (const auto& box : timed_mail_[parity_]) {
+      if (!box.empty()) {
+        more = true;
+        break;
+      }
+    }
+  }
+  if (!more) return false;
+  parity_ ^= 1u;
+  epoch_end_ += config_.epoch;
+  return true;
+}
+
+std::uint64_t ParallelEngine::run() {
+  const std::size_t n = shards_.size();
+  parity_ = 0;
+  epoch_end_ = 0;
+  rounds_ = 0;
+  stop_ = false;
+  for (auto& err : errors_) err = nullptr;
+  for (std::size_t i = 0; i < n; ++i) programs_[i]->setup(*shards_[i]);
+  epoch_end_ = config_.epoch;
+
+  const std::size_t threads = effective_threads();
+  if (threads <= 1) {
+    for (;;) {
+      for (std::size_t i = 0; i < n; ++i) {
+        try {
+          step_shard(i);
+        } catch (...) {
+          errors_[i] = std::current_exception();
+        }
+      }
+      if (!coordinate()) break;
+    }
+  } else {
+    auto on_round_complete = [this]() noexcept { stop_ = !coordinate(); };
+    std::barrier sync(static_cast<std::ptrdiff_t>(threads), on_round_complete);
+    auto worker = [&](std::size_t w) {
+      for (;;) {
+        for (std::size_t i = w; i < n; i += threads) {
+          try {
+            step_shard(i);
+          } catch (...) {
+            errors_[i] = std::current_exception();
+          }
+        }
+        sync.arrive_and_wait();
+        if (stop_) return;
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+    for (auto& t : pool) t.join();
+  }
+
+  for (const auto& err : errors_) {
+    if (err) std::rethrow_exception(err);
+  }
+  for (std::size_t i = 0; i < n; ++i) programs_[i]->finish(*shards_[i]);
+  return rounds_;
+}
+
+void ParallelEngine::merge_metrics(obs::MetricsRegistry& into) const {
+  for (const auto& shard : shards_) into.merge_from(shard->metrics_);
+}
+
+}  // namespace ecsdns::netsim

@@ -28,12 +28,31 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+// Derives the sub-seed for an independent stream split off a base seed —
+// the convention sharded simulations use to give every shard its own
+// generator. Two SplitMix64 passes separated by a golden-ratio stride keep
+// stream i statistically unrelated both to stream j and to Rng(seed)
+// itself (which expands the raw seed through a single pass).
+inline std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream_id) {
+  SplitMix64 outer(seed);
+  const std::uint64_t base = outer.next();
+  SplitMix64 inner(base ^ (0x9e3779b97f4a7c15ull * (stream_id + 1)));
+  return inner.next();
+}
+
 // xoshiro256**: fast, high-quality, tiny-state generator.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) {
     SplitMix64 sm(seed);
     for (auto& s : state_) s = sm.next();
+  }
+
+  // Stream `stream_id` split from `seed` (see stream_seed above). The
+  // determinism contract for sharded runs relies on shard i always drawing
+  // from stream i, regardless of how shards map onto threads.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id) {
+    return Rng(stream_seed(seed, stream_id));
   }
 
   std::uint64_t next_u64() {

@@ -26,6 +26,19 @@ void Histogram::reset() noexcept {
   max_.store(0, std::memory_order_relaxed);
 }
 
+void Histogram::merge_from(const Histogram& other) noexcept {
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = other.bucket(b);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (other.count() != 0) {
+    note_bound(min_, other.min(), /*want_lower=*/true);
+    note_bound(max_, other.max(), /*want_lower=*/false);
+  }
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -86,6 +99,34 @@ std::vector<std::pair<std::string, const Histogram*>> MetricsRegistry::histogram
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
   return out;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  if (&other == this) return;  // self-merge would double-lock and double-count
+  // Lock both registries together; scoped_lock orders acquisition so two
+  // concurrent cross-merges cannot deadlock.
+  std::scoped_lock lock(mu_, other.mu_);
+  for (const auto& [name, c] : other.counters_) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(name, std::make_unique<Counter>()).first;
+    }
+    it->second->merge_from(*c);
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+    }
+    it->second->merge_from(*g);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+    }
+    it->second->merge_from(*h);
+  }
 }
 
 MetricsRegistry& MetricsRegistry::global() {

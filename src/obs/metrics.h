@@ -47,6 +47,9 @@ class Counter {
   }
   void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
+  // Folds another counter in (sharded runs merge per-shard registries).
+  void merge_from(const Counter& other) noexcept { inc(other.value()); }
+
  private:
   std::atomic<std::uint64_t> value_{0};
 };
@@ -70,6 +73,16 @@ class Gauge {
   void reset() noexcept {
     value_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
+  }
+
+  // Merge rule for sharded runs: levels add, high-water marks take the
+  // larger per-shard peak. The sum of per-shard peaks is NOT the combined
+  // peak (shards peak at different times), so a merged max is a lower
+  // bound; exact cross-shard peaks must be computed by the simulation
+  // itself (as the sharded cache replay does).
+  void merge_from(const Gauge& other) noexcept {
+    value_.fetch_add(other.value(), std::memory_order_relaxed);
+    note_max(other.max());
   }
 
  private:
@@ -134,6 +147,11 @@ class Histogram {
     if (b >= 64) return ~0ull;
     return (1ull << b) - 1;
   }
+
+  // Bucket-wise fold of another histogram. Exact: the merged histogram is
+  // identical to one that observed the union of both sample multisets, so
+  // sharded exports are byte-identical to serial ones.
+  void merge_from(const Histogram& other) noexcept;
 
  private:
   static void note_bound(std::atomic<std::uint64_t>& slot, std::uint64_t sample,
@@ -204,6 +222,13 @@ class MetricsRegistry {
   // Zeroes every metric, keeping registrations (and thus bound handles)
   // intact. Bench binaries call this at startup so exports cover one run.
   void reset();
+
+  // Folds every metric of `other` into this registry, creating any metric
+  // not yet registered here. Counters and histograms merge exactly; gauges
+  // follow the Gauge::merge_from rule. Sharded engines merge per-shard
+  // registries in shard-index order, but every merge rule is commutative
+  // and associative, so the merged export does not depend on the partition.
+  void merge_from(const MetricsRegistry& other);
 
   // Sorted snapshots for export; histogram pointers remain valid.
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;

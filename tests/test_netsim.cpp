@@ -108,6 +108,73 @@ TEST(EventLoop, RejectsPastScheduling) {
   EXPECT_THROW(loop.schedule_in(-1, [] {}), std::invalid_argument);
 }
 
+TEST(EventLoop, EqualTimeEventsFireInSchedulingOrderAcrossApis) {
+  // The sharded engine's determinism leans on this: equal-time events fire
+  // in the order they were scheduled no matter which API scheduled them.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_in(40, [&] { order.push_back(1); });   // absolute 40
+  loop.schedule_at(40, [&] { order.push_back(2); });
+  loop.schedule_in(40, [&] { order.push_back(3); });
+  loop.schedule_at(40, [&] { order.push_back(4); });
+  // An event that schedules more work at its own timestamp: the new events
+  // run after everything already queued for that time.
+  loop.schedule_at(40, [&] {
+    order.push_back(5);
+    loop.schedule_at(40, [&] { order.push_back(7); });
+    loop.schedule_in(0, [&] { order.push_back(8); });
+  });
+  loop.schedule_at(40, [&] { order.push_back(6); });
+  EXPECT_EQ(loop.run(), 8u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(EventLoop, RunUntilLandsOnDeadline) {
+  EventLoop loop;
+  // Empty queue: run_until still advances the clock to the deadline.
+  EXPECT_EQ(loop.run_until(70), 0u);
+  EXPECT_EQ(loop.now(), 70);
+  // An event exactly at the deadline fires; the clock stays there.
+  int fired = 0;
+  loop.schedule_at(90, [&] { ++fired; });
+  loop.schedule_at(120, [&] { ++fired; });
+  EXPECT_EQ(loop.run_until(90), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), 90);
+  // Draining the queue before the deadline still parks at the deadline,
+  // so lock-step shards always agree on the epoch boundary.
+  EXPECT_EQ(loop.run_until(500), 1u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 500);
+}
+
+TEST(EventLoop, NextEventTimeReportsHeadOrNever) {
+  EventLoop loop;
+  EXPECT_EQ(loop.next_event_time(), EventLoop::kNever);
+  loop.schedule_at(30, [] {});
+  loop.schedule_at(10, [] {});
+  EXPECT_EQ(loop.next_event_time(), 10);
+  loop.run_until(10);
+  EXPECT_EQ(loop.next_event_time(), 30);
+  loop.run();
+  EXPECT_EQ(loop.next_event_time(), EventLoop::kNever);
+}
+
+TEST(Rng, StreamSplittingIsDeterministicAndDecorrelated) {
+  // Same (seed, stream) -> same sequence.
+  Rng a = Rng::stream(42, 3);
+  Rng b = Rng::stream(42, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  // Different streams (and the unsplit base RNG) disagree immediately.
+  EXPECT_NE(Rng::stream(42, 0).next_u64(), Rng::stream(42, 1).next_u64());
+  EXPECT_NE(Rng::stream(42, 0).next_u64(), Rng(42).next_u64());
+  // Stream seeds are pure functions of (seed, id): no hidden state, so a
+  // shard can derive its stream without coordinating with the others.
+  EXPECT_EQ(stream_seed(7, 11), stream_seed(7, 11));
+  EXPECT_NE(stream_seed(7, 11), stream_seed(7, 12));
+  EXPECT_NE(stream_seed(7, 11), stream_seed(8, 11));
+}
+
 TEST(Geo, KnownDistances) {
   const World world;
   // Cleveland-Chicago ~ 500 km, Cleveland-Johannesburg ~ 13,400 km.

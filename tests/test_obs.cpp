@@ -231,6 +231,85 @@ TEST_F(ObsTest, KillSwitchSuppressesHandleUpdates) {
   EXPECT_EQ(registry.counter("test.kill").value(), 1u);
 }
 
+TEST_F(ObsTest, CounterMergeAdds) {
+  Counter a, b;
+  a.inc(5);
+  b.inc(37);
+  a.merge_from(b);
+  EXPECT_EQ(a.value(), 42u);
+  EXPECT_EQ(b.value(), 37u);  // source untouched
+}
+
+TEST_F(ObsTest, GaugeMergeSumsLevelsAndTakesLargerPeak) {
+  Gauge a, b;
+  a.add(10);
+  a.add(-8);  // level 2, max 10
+  b.add(7);   // level 7, max 7
+  a.merge_from(b);
+  EXPECT_EQ(a.value(), 9);
+  EXPECT_EQ(a.max(), 10);  // max-of-maxes, not sum: a lower bound by design
+}
+
+TEST_F(ObsTest, HistogramMergeEqualsUnionOfSamples) {
+  Histogram a, b, direct;
+  for (const std::uint64_t s : {0ull, 3ull, 100ull}) {
+    a.observe(s);
+    direct.observe(s);
+  }
+  for (const std::uint64_t s : {1ull, 5000ull}) {
+    b.observe(s);
+    direct.observe(s);
+  }
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), direct.count());
+  EXPECT_EQ(a.sum(), direct.sum());
+  EXPECT_EQ(a.min(), direct.min());
+  EXPECT_EQ(a.max(), direct.max());
+  for (int bk = 0; bk < Histogram::kBuckets; ++bk) {
+    EXPECT_EQ(a.bucket(bk), direct.bucket(bk)) << "bucket " << bk;
+  }
+  // Merging an empty histogram must not disturb min/max.
+  Histogram empty;
+  a.merge_from(empty);
+  EXPECT_EQ(a.min(), direct.min());
+  EXPECT_EQ(a.max(), direct.max());
+}
+
+TEST_F(ObsTest, RegistryMergeCreatesMissingMetricsAndFolds) {
+  MetricsRegistry into, shard;
+  into.counter("seen.both").inc(1);
+  shard.counter("seen.both").inc(2);
+  shard.counter("only.shard").inc(9);
+  shard.gauge("g").add(4);
+  shard.histogram("h").observe(17);
+  into.merge_from(shard);
+  EXPECT_EQ(into.counter("seen.both").value(), 3u);
+  EXPECT_EQ(into.counter("only.shard").value(), 9u);
+  EXPECT_EQ(into.gauge("g").value(), 4);
+  EXPECT_EQ(into.histogram("h").count(), 1u);
+  // Self-merge is a no-op (it would otherwise self-deadlock/double-count).
+  into.merge_from(into);
+  EXPECT_EQ(into.counter("seen.both").value(), 3u);
+}
+
+TEST_F(ObsTest, RegistryMergeExportIndependentOfMergeOrder) {
+  // The determinism contract needs merged exports that do not depend on
+  // which shard's registry folds in first.
+  const auto fill = [](MetricsRegistry& r, std::uint64_t base) {
+    r.counter("c").inc(base);
+    r.gauge("g").add(static_cast<std::int64_t>(base));
+    r.histogram("h").observe(base * 3);
+  };
+  MetricsRegistry s0, s1, ab, ba;
+  fill(s0, 10);
+  fill(s1, 20);
+  ab.merge_from(s0);
+  ab.merge_from(s1);
+  ba.merge_from(s1);
+  ba.merge_from(s0);
+  EXPECT_EQ(metrics_json(ab, "m", 0.0), metrics_json(ba, "m", 0.0));
+}
+
 TEST_F(ObsTest, NullHandlesAreNoOps) {
   CounterHandle c;
   GaugeHandle g;
