@@ -1,0 +1,49 @@
+// Counting allocator hooks, linked into bench executables only.
+//
+// Every global operator new funnels through here and bumps the obs
+// allocation counter that ObsSession exports as the run.allocations gauge;
+// scripts/bench_report.py diffs that gauge against the checked-in baseline
+// to catch allocation regressions on the hot path. Libraries and tests do
+// NOT link this translation unit, so sanitizer interceptors and unit tests
+// see the stock allocator.
+//
+// The hooks add one relaxed atomic increment per allocation — noise next to
+// the allocation itself — and deliberately do not track frees or bytes:
+// the harness cares about allocation *count* (how often the hot path hits
+// the heap), which a single monotonic counter answers robustly.
+#include <cstdlib>
+#include <new>
+
+#include "obs/alloc_counter.h"
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  ecsdns::obs::count_allocation();
+  // malloc(0) may return nullptr legally; operator new must not.
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ecsdns::obs::count_allocation();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ecsdns::obs::count_allocation();
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/alloc_counter.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -94,6 +95,12 @@ class ObsSession {
             std::chrono::steady_clock::now() - start_)
             .count();
     if (!metrics_path_.empty()) {
+      // Heap allocations observed during this run (see obs/alloc_counter.h;
+      // non-zero only in binaries linking bench/alloc_hooks.cpp). A run
+      // property like wall_ms, not simulation state, so it is exempt from
+      // the cross-shard byte-identity contract.
+      obs::MetricsRegistry::global().gauge("run.allocations").set(
+          static_cast<std::int64_t>(obs::allocation_count() - start_allocations_));
       const std::string doc = obs::metrics_json(obs::MetricsRegistry::global(),
                                                 run_name_, wall_ms);
       if (obs::write_text_file(metrics_path_, doc)) {
@@ -125,6 +132,7 @@ class ObsSession {
   std::string trace_path_;
   long shards_ = 1;
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t start_allocations_ = obs::allocation_count();
   bool finished_ = false;
 };
 

@@ -59,9 +59,8 @@ Name resolve_name(const std::string& token, const Name& origin,
     // Relative: append the origin.
     Name relative = Name::from_string(token);
     Name out = origin;
-    for (auto it = relative.labels().rbegin(); it != relative.labels().rend();
-         ++it) {
-      out = out.prepend(*it);
+    for (std::size_t i = relative.label_count(); i-- > 0;) {
+      out = out.prepend(relative.label(i));
     }
     return out;
   } catch (const dnscore::WireFormatError& e) {

@@ -1,0 +1,37 @@
+// Shared hash primitives.
+//
+// Every container key in the hot path (cache keys, shard partitions, name
+// interning) funnels through these two functions so the whole project mixes
+// bits the same way. Both are pure value functions — no pointers, no
+// iteration order — which keeps them inside the determinism contract of
+// docs/parallel_engine.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ecsdns::dnscore {
+
+// SplitMix64 finalizer: one cheap, well-mixed avalanche round. Dense inputs
+// (resolver ids, interned name ids, small enums) spread over the full 64-bit
+// range, so open-addressing tables and shard partitions see uniform keys.
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Combines two hashes with a full SplitMix64-style finalize. Replaces the
+// assorted `h * 31 + x` combiners that used to live in EcsCache::KeyHash and
+// NegativeKeyHash: a multiply-add leaves the low bits of `seed` nearly
+// intact, so keys differing only in a small enum (e.g. qtype) collided into
+// adjacent buckets. The finalize avalanches every input bit into every
+// output bit.
+inline std::size_t hash_combine(std::size_t seed, std::size_t value) noexcept {
+  return static_cast<std::size_t>(
+      mix64(static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ull ^
+            static_cast<std::uint64_t>(value)));
+}
+
+}  // namespace ecsdns::dnscore

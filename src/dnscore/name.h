@@ -2,9 +2,11 @@
 // case-insensitive comparison semantics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -12,16 +14,33 @@
 
 namespace ecsdns::dnscore {
 
-// An absolute domain name stored as a sequence of labels (without the
-// terminating empty root label). The empty vector is the root name ".".
+// An absolute domain name stored as ONE contiguous buffer of labels in wire
+// form — [len][octets][len][octets]... without the terminating root byte.
+// Names whose packed form fits kInlineCapacity octets (the overwhelming
+// majority of real hostnames) live entirely inside the object; longer names
+// spill to a single exact-size heap block. An empty buffer is the root
+// name ".".
 //
 // Invariants enforced on construction:
 //   * each label is 1..63 octets,
 //   * total wire length (labels + separators + root byte) <= 255 octets.
 // Comparison and hashing are ASCII-case-insensitive per RFC 1035 §2.3.3.
+// The hash is computed once on first use and cached; Name is immutable
+// after construction (assignment replaces the whole value, carrying the
+// source's cached hash with it), so the cache can never go stale.
 class Name {
  public:
-  Name() = default;  // the root name "."
+  // Packed octets stored inline; chosen so sizeof(Name) is one cache line.
+  // A name packs to wire_length()-1 octets, so everything up to 47 octets
+  // on the wire — e.g. any name of at most 45 characters — avoids the heap.
+  static constexpr std::size_t kInlineCapacity = 46;
+
+  Name() noexcept {}  // the root name "."
+  Name(const Name& other);
+  Name(Name&& other) noexcept;
+  Name& operator=(const Name& other);
+  Name& operator=(Name&& other) noexcept;
+  ~Name() { release(); }
 
   // Parses presentation format. Accepted grammar:
   //
@@ -41,12 +60,19 @@ class Name {
   // pointers raise WireFormatError (RFC 1035 §4.1.4).
   static Name parse(WireReader& reader);
 
-  const std::vector<std::string>& labels() const noexcept { return labels_; }
-  bool is_root() const noexcept { return labels_.empty(); }
-  std::size_t label_count() const noexcept { return labels_.size(); }
+  // Label `i` (0 = leftmost), viewing the packed buffer — no allocation.
+  // The view is invalidated by assigning to or destroying this Name.
+  std::string_view label(std::size_t i) const noexcept;
+  // All labels, materialized. Prefer label()/label_count() on hot paths.
+  std::vector<std::string> labels() const;
+  bool is_root() const noexcept { return label_count_ == 0; }
+  std::size_t label_count() const noexcept { return label_count_; }
+
+  // True when the packed form lives inside the object (no heap block).
+  bool is_inline() const noexcept { return packed_size_ <= kInlineCapacity; }
 
   // Wire length in octets if written without compression.
-  std::size_t wire_length() const noexcept;
+  std::size_t wire_length() const noexcept { return packed_size_ + 1u; }
 
   // Writes the uncompressed wire form.
   void serialize(WireWriter& writer) const;
@@ -85,7 +111,7 @@ class Name {
   Name second_level_domain() const;
 
   // Prepends one label, e.g. Name("example.com").prepend("www").
-  Name prepend(const std::string& label) const;
+  Name prepend(std::string_view label) const;
 
   bool operator==(const Name& other) const noexcept;
   bool operator!=(const Name& other) const noexcept { return !(*this == other); }
@@ -93,15 +119,43 @@ class Name {
   // Name can key ordered containers.
   bool operator<(const Name& other) const noexcept;
 
-  // Case-insensitive FNV-1a over the canonical lowercase form.
+  // Case-insensitive FNV-1a over the canonical lowercase form. Computed
+  // lazily on first call and cached (an atomic store, so concurrent readers
+  // of a shared const Name are race-free); every later call is one load.
   std::size_t hash() const noexcept;
 
  private:
-  explicit Name(std::vector<std::string> labels);
-  void validate() const;
+  // Adopts `size` packed octets holding `labels` validated labels. The
+  // octets are copied; callers guarantee they came from an already
+  // validated name (every factory funnels through validated paths).
+  Name(const std::uint8_t* packed, std::size_t size, std::size_t labels);
 
-  std::vector<std::string> labels_;
+  const std::uint8_t* packed() const noexcept {
+    return is_inline() ? storage_.inline_octets : storage_.heap;
+  }
+  std::uint8_t* mutable_packed() noexcept {
+    return is_inline() ? storage_.inline_octets : storage_.heap;
+  }
+  // Byte offset of label `i` in the packed buffer.
+  std::size_t label_offset(std::size_t i) const noexcept;
+  void adopt(const std::uint8_t* packed, std::size_t size, std::size_t labels);
+  void release() noexcept;
+
+  // Sentinel for "hash not computed yet"; a real hash that lands on 0 is
+  // remapped to a fixed non-zero constant by the computation.
+  static constexpr std::uint64_t kHashUnset = 0;
+
+  mutable std::atomic<std::uint64_t> hash_{kHashUnset};
+  union Storage {
+    std::uint8_t inline_octets[kInlineCapacity];
+    std::uint8_t* heap;
+    Storage() noexcept {}  // storage is managed by Name
+  } storage_;
+  std::uint8_t packed_size_ = 0;
+  std::uint8_t label_count_ = 0;
 };
+
+static_assert(sizeof(Name) == 64, "Name should stay one cache line");
 
 struct NameHash {
   std::size_t operator()(const Name& n) const noexcept { return n.hash(); }

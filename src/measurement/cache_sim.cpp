@@ -4,9 +4,10 @@
 #include <map>
 #include <queue>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "dnscore/contracts.h"
+#include "dnscore/flat_hash.h"
+#include "dnscore/hashing.h"
 #include "dnscore/ip.h"
 #include "measurement/sharding.h"
 #include "netsim/parallel_engine.h"
@@ -30,10 +31,8 @@ struct Key {
 
 struct KeyHash {
   std::size_t operator()(const Key& k) const noexcept {
-    std::size_t h = k.block.hash();
-    h = h * 1099511628211ull ^ k.resolver;
-    h = h * 1099511628211ull ^ k.name;
-    return h;
+    return dnscore::hash_combine(
+        dnscore::hash_combine(k.block.hash(), k.resolver), k.name);
   }
 };
 
@@ -109,7 +108,7 @@ CacheSimResult simulate_serial(const Trace& trace, const CacheSimOptions& option
     SimTime expiry = 0;
     std::uint64_t lru_stamp = 0;
   };
-  std::unordered_map<Key, Slot, KeyHash> cache;
+  dnscore::FlatHashMap<Key, Slot, KeyHash> cache;
   // Expiration queue so current size is exact at every query time.
   struct Expiry {
     SimTime when;
@@ -127,9 +126,8 @@ CacheSimResult simulate_serial(const Trace& trace, const CacheSimOptions& option
   std::vector<std::size_t> live(trace.resolvers, 0);
 
   const auto erase_entry = [&](const Key& key, const Slot& slot) {
-    // `slot` aliases the node `cache.erase` destroys, so every read of it
-    // (and of `key`, when the caller passes a reference into the node) must
-    // happen before the erase.
+    // `slot` aliases storage `cache.erase` destroys (and backward-shift
+    // relocates), so every read of it must happen before the erase.
     --live[key.resolver];
     if (options.max_entries_per_resolver) {
       lru[key.resolver].erase(slot.lru_stamp);
@@ -142,28 +140,33 @@ CacheSimResult simulate_serial(const Trace& trace, const CacheSimOptions& option
     while (!expirations.empty() && expirations.top().when <= q.time) {
       const Expiry e = expirations.top();
       expirations.pop();
-      const auto it = cache.find(e.key);
+      const Slot* slot = cache.find(e.key);
       // Only erase if this expiration is current (the entry may have been
       // refreshed after a miss).
-      if (it != cache.end() && it->second.expiry <= e.when) {
-        erase_entry(e.key, it->second);
+      if (slot != nullptr && slot->expiry <= e.when) {
+        erase_entry(e.key, *slot);
       }
     }
 
     const Key key = key_of(q, options.with_ecs);
 
     auto& result = results.at(q.resolver);
-    const auto it = cache.find(key);
-    if (it != cache.end() && it->second.expiry > q.time) {
+    Slot* found = cache.find(key);
+    if (found != nullptr && found->expiry > q.time) {
       ++result.hits;
       if (options.max_entries_per_resolver) {
-        // Refresh recency.
-        lru[q.resolver].erase(it->second.lru_stamp);
-        it->second.lru_stamp = next_stamp++;
-        lru[q.resolver].emplace(it->second.lru_stamp, key);
+        // Refresh recency (in-place value mutation; the table itself is
+        // untouched, so `found` stays valid through it).
+        lru[q.resolver].erase(found->lru_stamp);
+        found->lru_stamp = next_stamp++;
+        lru[q.resolver].emplace(found->lru_stamp, key);
       }
       continue;
     }
+    // Everything needed from the stale entry must be read NOW: the eviction
+    // and the insert below both relocate slots, after which `found` dangles.
+    const bool was_present = found != nullptr;
+    const std::uint64_t stale_stamp = was_present ? found->lru_stamp : 0;
     ++result.misses;
     const std::uint32_t ttl_s = options.ttl_override.value_or(q.ttl_s);
     const SimTime expiry = q.time + static_cast<SimTime>(ttl_s) * netsim::kSecond;
@@ -173,17 +176,17 @@ CacheSimResult simulate_serial(const Trace& trace, const CacheSimOptions& option
       auto& order = lru[q.resolver];
       if (!order.empty()) {
         const Key victim = order.begin()->second;
-        const auto vit = cache.find(victim);
-        if (vit != cache.end()) erase_entry(victim, vit->second);
+        const Slot* vslot = cache.find(victim);
+        if (vslot != nullptr) erase_entry(victim, *vslot);
         ++result.premature_evictions;
       }
     }
     Slot slot{expiry, next_stamp++};
-    if (options.max_entries_per_resolver && it != cache.end()) {
-      lru[q.resolver].erase(it->second.lru_stamp);  // drop the stale stamp
+    if (options.max_entries_per_resolver && was_present) {
+      lru[q.resolver].erase(stale_stamp);  // drop the stale stamp
     }
-    const auto [slot_it, inserted] = cache.insert_or_assign(key, slot);
-    (void)slot_it;
+    const auto [new_slot, inserted] = cache.insert_or_assign(key, slot);
+    (void)new_slot;
     if (inserted) ++live[q.resolver];
     result.max_cache_size = std::max(result.max_cache_size, live[q.resolver]);
     if (options.max_entries_per_resolver) {
@@ -346,14 +349,14 @@ class ReplayShard final : public netsim::ShardProgram {
       }
       sweep(q.time);
       const Key key = key_of(q, options_.with_ecs);
-      const auto it = cache_.find(key);
-      if (it != cache_.end() && it->second.expiry > q.time) {
+      const Slot* slot = cache_.find(key);
+      if (slot != nullptr && slot->expiry > q.time) {
         ++hits_[q.resolver];
         continue;
       }
       // With positive TTLs the sweep has already erased an expired entry,
       // so a miss always inserts a fresh one.
-      ECSDNS_DCHECK(it == cache_.end());
+      ECSDNS_DCHECK(slot == nullptr);
       ++misses_[q.resolver];
       const std::uint32_t ttl_s = options_.ttl_override.value_or(q.ttl_s);
       const SimTime expiry =
@@ -381,12 +384,13 @@ class ReplayShard final : public netsim::ShardProgram {
   void pop_expiry() {
     const PendingExpiry e = expirations_.top();
     expirations_.pop();
-    const auto it = cache_.find(e.key);
+    const Slot* slot = cache_.find(e.key);
     // Skip stale records: the entry was refreshed after this expiry was
-    // scheduled (mirrors the serial replay's currentness check).
-    if (it != cache_.end() && it->second.expiry <= e.when) {
-      emit(Delta{e.when, e.key.resolver, 0, it->second.seq});
-      cache_.erase(it);
+    // scheduled (mirrors the serial replay's currentness check). The delta
+    // reads the slot before the erase relocates it.
+    if (slot != nullptr && slot->expiry <= e.when) {
+      emit(Delta{e.when, e.key.resolver, 0, slot->seq});
+      cache_.erase(e.key);
     }
   }
 
@@ -413,7 +417,7 @@ class ReplayShard final : public netsim::ShardProgram {
   std::vector<ResolverCacheResult>& results_;
 
   std::size_t cursor_ = 0;
-  std::unordered_map<Key, Slot, KeyHash> cache_;
+  dnscore::FlatHashMap<Key, Slot, KeyHash> cache_;
   std::priority_queue<PendingExpiry, std::vector<PendingExpiry>, LaterExpiry>
       expirations_;
   std::vector<std::uint64_t> hits_;

@@ -78,6 +78,7 @@ std::vector<std::vector<std::size_t>> partition_fleet(const Fleet& fleet,
 Fleet build_cdn_dataset_fleet(Testbed& bed, const CdnFleetOptions& options) {
   Rng rng(options.seed);
   Fleet fleet;
+  for (const auto& name : options.probe_names) fleet.names.intern(name);
   const int s = options.scale;
 
   const auto china_city = [&rng]() {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "measurement/name_table.h"
 #include "measurement/testbed.h"
 #include "netsim/rng.h"
 
@@ -38,6 +39,10 @@ struct FleetMember {
 
 struct Fleet {
   std::vector<FleetMember> members;
+  // Interned hostname universe the fleet was built around (probe names and
+  // whatever the experiments add). Builders pre-intern their probe names;
+  // replay and census code key on the dense NameIds instead of Name copies.
+  NameTable names;
 
   std::size_t total_forwarders() const;
   std::vector<const FleetMember*> in_as(const std::string& as_label) const;

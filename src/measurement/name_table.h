@@ -1,0 +1,71 @@
+// Name interning for the measurement hot paths.
+//
+// The workload driver, the CDN fleet, and the trace replay all iterate over
+// a fixed universe of hostnames millions of times. Carrying full Name
+// values through those loops copies label buffers and re-hashes octets;
+// interning each distinct name ONCE and threading a dense 32-bit NameId
+// through the loop reduces every per-query touch to an integer copy.
+//
+// Ids are issued densely in first-intern order, so they double as vector
+// indexes (TraceQuery.name has always been such an index — NameId makes the
+// contract explicit). Interning is case-insensitive like Name equality:
+// "CDN.Example" and "cdn.example" intern to the same id, and the table
+// keeps whichever spelling arrived first.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dnscore/flat_hash.h"
+#include "dnscore/name.h"
+
+namespace ecsdns::measurement {
+
+// Dense index of an interned name. 32 bits cover any plausible hostname
+// universe (the paper's census tops out at ~8.5M names).
+using NameId = std::uint32_t;
+
+class NameTable {
+ public:
+  NameTable() = default;
+  explicit NameTable(std::size_t expected) { reserve(expected); }
+
+  void reserve(std::size_t expected) {
+    ids_.reserve(expected);
+    names_.reserve(expected);
+  }
+
+  // Returns the id for `name`, interning it if new. Ids are dense and
+  // stable: the n-th distinct name interned gets id n-1.
+  NameId intern(const dnscore::Name& name) {
+    if (const NameId* existing = ids_.find(name)) return *existing;
+    const auto id = static_cast<NameId>(names_.size());
+    names_.push_back(name);
+    ids_.insert_or_assign(name, id);
+    return id;
+  }
+
+  // The id of an already interned name, or nullopt.
+  std::optional<NameId> find(const dnscore::Name& name) const {
+    const NameId* existing = ids_.find(name);
+    if (existing == nullptr) return std::nullopt;
+    return *existing;
+  }
+
+  // The name behind an id issued by this table. The reference is stable
+  // until the next intern() (vector growth may relocate).
+  const dnscore::Name& operator[](NameId id) const {
+    ECSDNS_DCHECK(id < names_.size());
+    return names_[static_cast<std::size_t>(id)];
+  }
+
+  std::size_t size() const noexcept { return names_.size(); }
+  bool empty() const noexcept { return names_.empty(); }
+
+ private:
+  dnscore::FlatHashMap<dnscore::Name, NameId, dnscore::NameHash> ids_;
+  std::vector<dnscore::Name> names_;
+};
+
+}  // namespace ecsdns::measurement

@@ -3,13 +3,21 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "dnscore/flat_hash.h"
+#include "dnscore/hashing.h"
 #include "dnscore/name.h"
+#include "measurement/name_table.h"
 
 namespace ecsdns::measurement {
 namespace {
 
 using dnscore::Name;
-using dnscore::NameHash;
+
+struct NameIdHash {
+  std::size_t operator()(NameId id) const noexcept {
+    return static_cast<std::size_t>(dnscore::mix64(id));
+  }
+};
 
 bool is_address_query(const QueryLogEntry& e) {
   return e.qtype == dnscore::RRType::A || e.qtype == dnscore::RRType::AAAA;
@@ -51,6 +59,10 @@ std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& l
 
   std::vector<ProbingVerdict> verdicts;
   verdicts.reserve(per_sender.size());
+  // Probe names repeat across senders, so one interning table serves every
+  // per-sender pass; the inner maps then key on 32-bit ids instead of
+  // hashing full names per log line.
+  NameTable names;
   for (auto& [sender, entries] : per_sender) {
     ProbingVerdict v;
     v.resolver = sender;
@@ -106,34 +118,35 @@ std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& l
 
     // Hostname-specific probing: the name set splits into always-ECS names
     // and never-ECS names.
-    std::unordered_map<Name, std::pair<std::uint64_t, std::uint64_t>, NameHash>
-        per_name;  // name -> (ecs, total)
+    dnscore::FlatHashMap<NameId, std::pair<std::uint64_t, std::uint64_t>,
+                         NameIdHash>
+        per_name;  // interned name -> (ecs, total)
     for (const auto* e : entries) {
-      auto& counts = per_name[e->qname];
+      auto& counts = per_name[names.intern(e->qname)];
       if (e->query_ecs) ++counts.first;
       ++counts.second;
     }
     bool consistent_split = true;
-    for (const auto& [name, counts] : per_name) {
-      if (counts.first != 0 && counts.first != counts.second) {
+    per_name.for_each([&](const auto& slot) {
+      if (slot.value.first != 0 && slot.value.first != slot.value.second) {
         consistent_split = false;
-        break;
       }
-    }
+    });
     if (consistent_split) {
       // Within-TTL repeats of ECS queries distinguish caching-disabled
       // probing (pattern 2) from on-miss probing (pattern 4): an on-miss
       // prober's cache absorbs every repeat until the TTL expires, so its
       // upstream queries for a name are always at least a TTL apart.
-      std::unordered_map<Name, SimTime, NameHash> last_ecs;
+      dnscore::FlatHashMap<NameId, SimTime, NameIdHash> last_ecs;
       bool within_ttl = false;
       for (const auto* e : entries) {
         if (!e->query_ecs) continue;
-        const auto it = last_ecs.find(e->qname);
-        if (it != last_ecs.end() && e->time - it->second < options.ttl) {
+        const NameId name = names.intern(e->qname);
+        if (const SimTime* last = last_ecs.find(name);
+            last != nullptr && e->time - *last < options.ttl) {
           within_ttl = true;
         }
-        last_ecs[e->qname] = e->time;
+        last_ecs.insert_or_assign(name, e->time);
       }
       v.cls = within_ttl ? ProbingClass::kHostnameNoCache
                          : ProbingClass::kHostnameOnMiss;

@@ -23,7 +23,7 @@ std::optional<IpAddress> decode_probe_name(const Name& qname, const Name& zone) 
       qname.label_count() != zone.label_count() + 1) {
     return std::nullopt;
   }
-  const std::string& label = qname.labels().front();
+  const std::string_view label = qname.label(0);
   if (label.rfind("ip-", 0) != 0) return std::nullopt;
   std::array<int, 4> octets{};
   std::size_t pos = 3;

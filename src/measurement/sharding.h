@@ -8,18 +8,14 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "dnscore/hashing.h"
 #include "dnscore/ip.h"
 
 namespace ecsdns::measurement {
 
-// SplitMix64 finalizer: one cheap, well-mixed round so that dense inputs
-// (resolver ids, member indexes) spread evenly over shards.
-inline std::uint64_t mix64(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
+// The shared SplitMix64 finalizer; re-exported under the historical name so
+// existing call sites keep reading naturally.
+using dnscore::mix64;
 
 // Maps a content hash onto a shard index.
 inline std::size_t shard_of_hash(std::uint64_t hash, std::size_t shards) noexcept {

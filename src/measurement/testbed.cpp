@@ -114,7 +114,7 @@ AuthServer& Testbed::add_auth(const std::string& label, const Name& apex,
   geolocate(addr, c.location);
 
   // Register the delegation in the TLD (creating root/TLD as needed).
-  const std::string tld = apex.labels().back();
+  const std::string tld(apex.label(apex.label_count() - 1));
   AuthServer& parent = tld_server(tld);
   const Name ns_name = apex.prepend("ns1");
   parent.find_zone(Name::from_string(tld))
@@ -213,7 +213,7 @@ authoritative::FlatteningAuthServer& Testbed::add_flattening_auth(
   flattener.attach(c.location);
   geolocate(addr, c.location);
 
-  const std::string tld = apex.labels().back();
+  const std::string tld(apex.label(apex.label_count() - 1));
   AuthServer& parent = tld_server(tld);
   const Name ns_name = apex.prepend("ns1");
   parent.find_zone(Name::from_string(tld))

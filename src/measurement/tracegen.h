@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dnscore/ip.h"
+#include "measurement/name_table.h"
 #include "netsim/geo.h"
 #include "netsim/rng.h"
 
@@ -23,7 +24,7 @@ struct TraceQuery {
   SimTime time = 0;
   std::uint32_t resolver = 0;  // egress resolver instance
   IpAddress client;            // the client the ECS prefix derives from
-  std::uint32_t name = 0;      // hostname id
+  NameId name = 0;             // interned hostname id (dense index)
   int scope = 24;              // authoritative scope prefix length
   std::uint32_t ttl_s = 20;    // answer TTL in seconds
 };

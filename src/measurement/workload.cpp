@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "measurement/name_table.h"
+
 namespace ecsdns::measurement {
 
 WorkloadStats drive_fleet(Testbed& bed, Fleet& fleet, const WorkloadOptions& options) {
@@ -11,6 +13,16 @@ WorkloadStats drive_fleet(Testbed& bed, Fleet& fleet, const WorkloadOptions& opt
   auto rng = std::make_shared<netsim::Rng>(options.seed);
   auto names = std::make_shared<netsim::ZipfSampler>(options.hostnames.size(),
                                                      options.zipf_exponent);
+  // Intern the hostname universe once; the per-query path below then moves
+  // a 32-bit id around instead of copying Name buffers into lambdas. The
+  // index->id vector keeps the Zipf distribution intact even if the caller
+  // listed a hostname twice (both indexes intern to one id).
+  auto table = std::make_shared<NameTable>(options.hostnames.size());
+  auto ids = std::make_shared<std::vector<NameId>>();
+  ids->reserve(options.hostnames.size());
+  for (const Name& hostname : options.hostnames) {
+    ids->push_back(table->intern(hostname));
+  }
   auto stats = std::make_shared<WorkloadStats>();
   auto& loop = bed.network().loop();
   const netsim::SimTime end = loop.now() + options.duration;
@@ -62,15 +74,17 @@ WorkloadStats drive_fleet(Testbed& bed, Fleet& fleet, const WorkloadOptions& opt
       std::vector<IpAddress> clients;
       std::shared_ptr<netsim::Rng> rng;
       std::shared_ptr<netsim::ZipfSampler> names;
+      std::shared_ptr<const NameTable> table;
+      std::shared_ptr<const std::vector<NameId>> ids;
       std::shared_ptr<WorkloadStats> stats;
       const WorkloadOptions* options;
       netsim::SimTime end;
       std::uint16_t next_id = 1;
 
-      void fire(const Name& qname, const IpAddress& client) {
+      void fire(NameId name, const IpAddress& client) {
         ++stats->client_queries;
-        const auto query =
-            dnscore::Message::make_query(next_id++, qname, dnscore::RRType::A);
+        const auto query = dnscore::Message::make_query(next_id++, (*table)[name],
+                                                        dnscore::RRType::A);
         const auto response = resolver->handle_client_query(query, client);
         if (response && response->header.rcode == dnscore::RCode::NOERROR) {
           ++stats->answered;
@@ -84,15 +98,15 @@ WorkloadStats drive_fleet(Testbed& bed, Fleet& fleet, const WorkloadOptions& opt
         if (when >= end) return;
         auto self = shared_from_this();
         bed->network().loop().schedule_at(when, [self] {
-          const Name qname = self->options->hostnames[self->names->sample(*self->rng)];
+          const NameId name = (*self->ids)[self->names->sample(*self->rng)];
           const IpAddress client = self->rng->pick(self->clients);
-          self->fire(qname, client);
+          self->fire(name, client);
           if (self->rng->chance(self->options->burst_probability)) {
             const netsim::SimTime burst_at =
                 self->bed->network().loop().now() + self->options->burst_gap;
             if (burst_at < self->end) {
               self->bed->network().loop().schedule_at(
-                  burst_at, [self, qname, client] { self->fire(qname, client); });
+                  burst_at, [self, name, client] { self->fire(name, client); });
             }
           }
           self->schedule_next();
@@ -106,6 +120,8 @@ WorkloadStats drive_fleet(Testbed& bed, Fleet& fleet, const WorkloadOptions& opt
     chain->clients = std::move(clients);
     chain->rng = member_rng;
     chain->names = names;
+    chain->table = table;
+    chain->ids = ids;
     chain->stats = stats;
     chain->options = &options;
     chain->end = end;

@@ -1,0 +1,22 @@
+#include "obs/alloc_counter.h"
+
+#include <atomic>
+
+namespace ecsdns::obs {
+namespace {
+
+// Zero-initialized before any dynamic initialization runs, so hooks firing
+// from early static constructors are counted too.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+std::uint64_t allocation_count() noexcept {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void count_allocation() noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ecsdns::obs

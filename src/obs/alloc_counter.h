@@ -1,0 +1,24 @@
+// Process-wide heap-allocation counter.
+//
+// The perf-regression harness (scripts/bench_report.py) tracks how many
+// heap allocations an experiment performs, because the zero-allocation
+// hot-path work lives or dies by that number. The counter itself is always
+// present (one relaxed atomic), but it only advances when the counting
+// operator new/delete overrides in bench/alloc_hooks.cpp are linked into
+// the binary — bench executables link them, libraries and tests do not, so
+// sanitizer builds and unit tests keep the default allocator behavior.
+#pragma once
+
+#include <cstdint>
+
+namespace ecsdns::obs {
+
+// Number of operator-new calls observed since process start (0 unless the
+// counting hooks are linked). Monotonic; never reset.
+std::uint64_t allocation_count() noexcept;
+
+// Called by the allocation hooks. Relaxed — the count is a run statistic,
+// not a synchronization point.
+void count_allocation() noexcept;
+
+}  // namespace ecsdns::obs

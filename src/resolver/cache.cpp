@@ -16,16 +16,33 @@ EcsCache::EcsCache() {
   metrics_.live_entries = obs::GaugeHandle(registry.gauge("cache.live_entries"));
 }
 
+EcsCache::LengthBucket& EcsCache::QuestionEntries::bucket_for(int length) {
+  // Descending order, so the lookup loop walks longest-prefix-first.
+  auto it = std::lower_bound(
+      by_length.begin(), by_length.end(), length,
+      [](const LengthBucket& b, int l) { return b.length > l; });
+  if (it == by_length.end() || it->length != length) {
+    it = by_length.insert(it, LengthBucket{length, {}});
+  }
+  return *it;
+}
+
 const CacheEntry* EcsCache::lookup(const Name& qname, RRType qtype,
                                    const std::optional<IpAddress>& client,
                                    SimTime now) {
-  const auto it = map_.find(Key{qname, qtype});
-  if (it == map_.end()) {
+  // Heterogeneous probe: hash (qname, qtype) directly instead of copying the
+  // Name into a Key — the copy was measurable on the §7 replay's hit path.
+  const auto key_eq = [&](const Key& k) {
+    return k.qtype == qtype && k.qname == qname;
+  };
+  QuestionEntries* question =
+      map_.find_with(Key::hash_of(qname, qtype), key_eq);
+  if (question == nullptr) {
     ++stats_.misses;
     metrics_.misses.inc();
     return nullptr;
   }
-  auto& buckets = it->second.by_length;
+  auto& buckets = question->by_length;
 
   // Longest-prefix-first probe: one hash lookup per distinct scope length.
   // Cleanup is uniform across every exit path — each probed bucket sheds
@@ -34,26 +51,24 @@ const CacheEntry* EcsCache::lookup(const Name& qname, RRType qtype,
   // and live-entry accounting stays exact.
   const CacheEntry* best = nullptr;
   for (auto bucket_it = buckets.begin(); bucket_it != buckets.end();) {
-    auto& [length, bucket] = *bucket_it;
+    const int length = bucket_it->length;
+    auto& bucket = bucket_it->entries;
     const bool global_bucket = length == 0;
     if (global_bucket || (client && length <= client->bit_length())) {
       // Global entries occupy a single slot keyed by the zero prefix; a
       // scoped candidate inherits the client's family, so cross-family
       // entries can never collide in the bucket.
       const Prefix candidate = global_bucket ? Prefix{} : Prefix{*client, length};
-      const auto entry_it = bucket.find(candidate);
-      if (entry_it != bucket.end()) {
-        if (entry_it->second.expiry <= now) {
+      if (const CacheEntry* entry = bucket.find(candidate)) {
+        if (entry->expiry <= now) {
           // The candidate expired under us. Sweep the whole bucket while it
           // is hot: expiry is bulk-correlated (entries inserted together
           // age together), and sweeping here keeps size() truthful instead
           // of deferring to the next purge_expired().
-          const std::size_t before = bucket.size();
-          std::erase_if(bucket,
-                        [now](const auto& kv) { return kv.second.expiry <= now; });
-          note_expirations(before - bucket.size());
+          note_expirations(bucket.erase_if(
+              [now](const auto& slot) { return slot.value.expiry <= now; }));
         } else if (best == nullptr) {
-          best = &entry_it->second;  // longest first: first live hit wins
+          best = entry;  // longest first: first live hit wins
         }
       }
     }
@@ -62,11 +77,12 @@ const CacheEntry* EcsCache::lookup(const Name& qname, RRType qtype,
     } else {
       ++bucket_it;
     }
-    // The hit's own bucket is non-empty by construction, so `best` survives
-    // the cleanup above.
+    // The hit's own bucket is untouched after the hit (the sweep runs only
+    // on the expired branch and the vector erase only on empty buckets), so
+    // `best` survives the cleanup above.
     if (best != nullptr) break;
   }
-  if (buckets.empty()) map_.erase(it);
+  if (buckets.empty()) map_.erase(Key{qname, qtype});
 
   if (best != nullptr) {
     // The sweep above guarantees a returned entry is live and its global
@@ -92,7 +108,6 @@ void EcsCache::insert(const Name& qname, RRType qtype, const Prefix& network,
   ECSDNS_DCHECK(network.length() <= static_cast<int>(echo_scope) ||
                 network.length() == 0);
   ECSDNS_DCHECK(static_cast<int>(echo_scope) <= network.address().bit_length());
-  auto& buckets = map_[Key{qname, qtype}].by_length;
   CacheEntry entry;
   entry.network = network;
   entry.global = network.length() == 0;
@@ -100,9 +115,9 @@ void EcsCache::insert(const Name& qname, RRType qtype, const Prefix& network,
   entry.scope = echo_scope;
   entry.inserted_at = now;
   entry.expiry = now + ttl;
-  auto& bucket = buckets[network.length()];
+  auto& bucket = map_[Key{qname, qtype}].bucket_for(network.length());
   const auto key = entry.global ? Prefix{} : network;
-  const auto [slot, inserted] = bucket.insert_or_assign(key, std::move(entry));
+  const auto [slot, inserted] = bucket.entries.insert_or_assign(key, std::move(entry));
   (void)slot;
   if (inserted) {
     ++live_entries_;
@@ -114,35 +129,34 @@ void EcsCache::insert(const Name& qname, RRType qtype, const Prefix& network,
 }
 
 void EcsCache::purge_expired(SimTime now) {
-  for (auto it = map_.begin(); it != map_.end();) {
-    auto& buckets = it->second.by_length;
+  // Pass 1 sweeps expired entries in place; pass 2 drops questions whose
+  // buckets all emptied (erase_if collects keys first, so the question
+  // table is never mutated mid-scan).
+  map_.for_each([&](auto& slot) {
+    auto& buckets = slot.value.by_length;
     for (auto bucket_it = buckets.begin(); bucket_it != buckets.end();) {
-      auto& bucket = bucket_it->second;
-      const std::size_t before = bucket.size();
-      std::erase_if(bucket, [now](const auto& kv) { return kv.second.expiry <= now; });
-      note_expirations(before - bucket.size());
-      if (bucket.empty()) {
+      note_expirations(bucket_it->entries.erase_if(
+          [now](const auto& e) { return e.value.expiry <= now; }));
+      if (bucket_it->entries.empty()) {
         bucket_it = buckets.erase(bucket_it);
       } else {
         ++bucket_it;
       }
     }
-    if (buckets.empty()) {
-      it = map_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  });
+  map_.erase_if([](const auto& slot) { return slot.value.by_length.empty(); });
 }
 
 std::size_t EcsCache::entries_for(const Name& qname, RRType qtype, SimTime now) {
-  const auto it = map_.find(Key{qname, qtype});
-  if (it == map_.end()) return 0;
+  const QuestionEntries* question = map_.find_with(
+      Key::hash_of(qname, qtype),
+      [&](const Key& k) { return k.qtype == qtype && k.qname == qname; });
+  if (question == nullptr) return 0;
   std::size_t count = 0;
-  for (const auto& [length, bucket] : it->second.by_length) {
-    count += static_cast<std::size_t>(
-        std::count_if(bucket.begin(), bucket.end(),
-                      [now](const auto& kv) { return kv.second.expiry > now; }));
+  for (const auto& bucket : question->by_length) {
+    bucket.entries.for_each([&](const auto& slot) {
+      if (slot.value.expiry > now) ++count;
+    });
   }
   return count;
 }

@@ -10,10 +10,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
+#include "dnscore/flat_hash.h"
+#include "dnscore/hashing.h"
 #include "dnscore/ip.h"
 #include "dnscore/name.h"
 #include "dnscore/record.h"
@@ -59,7 +59,9 @@ class EcsCache {
 
   // Looks up an answer valid for `client` at virtual time `now`. A nullopt
   // `client` matches only global (scope 0) entries — that is what a cache
-  // lookup without any client identity can safely reuse.
+  // lookup without any client identity can safely reuse. The returned
+  // pointer is valid only until the next insert/purge on this cache
+  // (flat-table storage relocates on mutation); read, don't hold.
   const CacheEntry* lookup(const Name& qname, RRType qtype,
                            const std::optional<IpAddress>& client, SimTime now);
 
@@ -87,21 +89,34 @@ class EcsCache {
     Name qname;
     RRType qtype;
     bool operator==(const Key&) const = default;
+    // Shared with the heterogeneous lookup path so a probe by (qname, qtype)
+    // hashes identically to the stored Key without materializing one.
+    static std::size_t hash_of(const Name& qname, RRType qtype) noexcept {
+      return dnscore::hash_combine(qname.hash(),
+                                   static_cast<std::size_t>(qtype));
+    }
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {
-      return k.qname.hash() * 31 + static_cast<std::size_t>(k.qtype);
+      return Key::hash_of(k.qname, k.qtype);
     }
   };
   // Entries per question are bucketed by scope length and hashed by block,
   // so a lookup probes one bucket per distinct length instead of scanning
   // every cached subnet — the same longest-prefix-first structure real
-  // resolvers (and our IpGeoDb) use.
+  // resolvers (and our IpGeoDb) use. The buckets live in a small vector
+  // kept sorted by descending length (a question rarely sees more than a
+  // handful of distinct scope lengths), and each bucket is a flat
+  // open-addressing table: one allocation per bucket instead of one per
+  // entry, which is where the §7 replay used to spend its time.
+  struct LengthBucket {
+    int length = 0;
+    dnscore::FlatHashMap<dnscore::Prefix, CacheEntry, dnscore::PrefixHash>
+        entries;
+  };
   struct QuestionEntries {
-    std::map<int, std::unordered_map<dnscore::Prefix, CacheEntry,
-                                     dnscore::PrefixHash>,
-             std::greater<>>
-        by_length;
+    std::vector<LengthBucket> by_length;  // sorted by length, descending
+    LengthBucket& bucket_for(int length);
   };
 
   // Mirrors into the process-wide obs registry: per-instance accounting
@@ -115,7 +130,7 @@ class EcsCache {
     obs::GaugeHandle live_entries;
   };
 
-  std::unordered_map<Key, QuestionEntries, KeyHash> map_;
+  dnscore::FlatHashMap<Key, QuestionEntries, KeyHash> map_;
   CacheStats stats_;
   std::size_t live_entries_ = 0;
   Metrics metrics_;

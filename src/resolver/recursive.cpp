@@ -458,9 +458,8 @@ std::optional<Message> RecursiveResolver::query_authoritatives(
     if (config_.qname_minimization && infrastructure_hop &&
         question.qname.label_count() > ns_set.zone.label_count() + 1) {
       // The minimal name is the delegation zone plus one more label.
-      const auto& labels = question.qname.labels();
-      send_qname = ns_set.zone.prepend(
-          labels[labels.size() - ns_set.zone.label_count() - 1]);
+      send_qname = ns_set.zone.prepend(question.qname.label(
+          question.qname.label_count() - ns_set.zone.label_count() - 1));
       send_qtype = RRType::NS;
     }
 

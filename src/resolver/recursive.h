@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dnscore/hashing.h"
 #include "dnscore/message.h"
 #include "netsim/network.h"
 #include "obs/metrics.h"
@@ -131,7 +132,8 @@ class RecursiveResolver {
   };
   struct NegativeKeyHash {
     std::size_t operator()(const NegativeKey& k) const noexcept {
-      return k.qname.hash() * 31 + static_cast<std::size_t>(k.qtype);
+      return dnscore::hash_combine(k.qname.hash(),
+                                   static_cast<std::size_t>(k.qtype));
     }
   };
   struct NegativeEntry {

@@ -250,5 +250,123 @@ TEST_P(NameRoundTrip, RandomNamesSurviveWire) {
 INSTANTIATE_TEST_SUITE_P(Seeds, NameRoundTrip,
                          ::testing::Values(1, 2, 3, 42, 1234, 99999));
 
+// --- packed-representation specifics (small-buffer optimization) ---
+
+// A name whose packed form is exactly n octets (each label contributes its
+// length + 1, labels capped at 63 octets).
+Name name_of_packed_size(std::size_t n) {
+  std::string text;
+  std::size_t remaining = n;
+  while (remaining > 64) {
+    text += std::string(63, 'a');
+    text += '.';
+    remaining -= 64;
+  }
+  text += std::string(remaining - 1, 'b');
+  return Name::from_string(text);
+}
+
+TEST(NameSso, BoundaryStraddlesInlineCapacity) {
+  // kInlineCapacity = 46: a 45-octet label packs to 46 (inline), a
+  // 46-octet label to 47 (heap). Both must round-trip identically.
+  for (const std::size_t packed :
+       {std::size_t{2}, Name::kInlineCapacity - 1, Name::kInlineCapacity,
+        Name::kInlineCapacity + 1, Name::kInlineCapacity + 2,
+        std::size_t{254}}) {
+    const Name n = name_of_packed_size(packed);
+    EXPECT_EQ(n.is_inline(), packed <= Name::kInlineCapacity) << packed;
+    EXPECT_EQ(n.wire_length(), packed + 1) << packed;
+
+    WireWriter w;
+    n.serialize(w);
+    EXPECT_EQ(w.size(), n.wire_length());
+    WireReader r({w.data().data(), w.data().size()});
+    const Name back = Name::parse(r);
+    EXPECT_EQ(back, n) << packed;
+    EXPECT_EQ(back.is_inline(), n.is_inline()) << packed;
+    EXPECT_EQ(Name::from_string(n.to_string()), n) << packed;
+  }
+}
+
+TEST(NameSso, CopyAndMoveAcrossTheBoundary) {
+  const Name small = name_of_packed_size(Name::kInlineCapacity);
+  const Name big = name_of_packed_size(Name::kInlineCapacity + 10);
+  ASSERT_TRUE(small.is_inline());
+  ASSERT_FALSE(big.is_inline());
+
+  // Copy both directions over existing values of the other kind.
+  Name x = small;
+  x = big;
+  EXPECT_EQ(x, big);
+  Name y = big;
+  y = small;
+  EXPECT_EQ(y, small);
+
+  // Moves: the heap block transfers, the source reverts to root.
+  Name moved = std::move(x);
+  EXPECT_EQ(moved, big);
+  Name target = small;
+  target = std::move(moved);
+  EXPECT_EQ(target, big);
+
+  // Self-assignment is a no-op.
+  target = *&target;
+  EXPECT_EQ(target, big);
+}
+
+TEST(NameHashCache, EqualNamesHashEqualAcrossCaseAndOrigin) {
+  // Hashing is case-insensitive and identical whether the name came from
+  // text or wire — interning depends on this.
+  const Name lower = Name::from_string("www.example.com");
+  const Name upper = Name::from_string("WWW.EXAMPLE.COM");
+  EXPECT_EQ(lower, upper);
+  EXPECT_EQ(lower.hash(), upper.hash());
+
+  WireWriter w;
+  lower.serialize(w);
+  WireReader r({w.data().data(), w.data().size()});
+  const Name parsed = Name::parse(r);
+  EXPECT_EQ(parsed.hash(), lower.hash());
+}
+
+TEST(NameHashCache, AssignmentReplacesCachedHash) {
+  // Name is immutable except through assignment, so assignment is the one
+  // path that could leave a stale cached hash behind.
+  const Name a = Name::from_string("aaaa.example");
+  const Name b = Name::from_string("bbbb.example");
+  ASSERT_NE(a.hash(), b.hash());
+
+  Name n = a;
+  EXPECT_EQ(n.hash(), a.hash());  // hash now cached in n
+  n = b;                          // copy-assign over a cached hash
+  EXPECT_EQ(n.hash(), b.hash());
+  n = Name::from_string("cccc.example");  // move-assign (uncached source)
+  EXPECT_EQ(n.hash(), Name::from_string("cccc.example").hash());
+
+  // Derived names never inherit the source's cache.
+  const Name parent = n.parent();
+  EXPECT_EQ(parent.hash(), Name::from_string("example").hash());
+  const Name child = n.prepend("www");
+  EXPECT_EQ(child.hash(), Name::from_string("www.cccc.example").hash());
+}
+
+TEST(NameHashCache, HashStableAcrossCalls) {
+  const Name n = Name::from_string("stable.example.com");
+  const std::size_t first = n.hash();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(n.hash(), first);
+  // A copy carries the same hash value.
+  const Name copy = n;
+  EXPECT_EQ(copy.hash(), first);
+}
+
+TEST(NameLabels, LabelViewsMatchMaterializedLabels) {
+  const Name n = Name::from_string("a.bc.def.example.com");
+  const auto all = n.labels();
+  ASSERT_EQ(all.size(), n.label_count());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(n.label(i), all[i]) << i;
+  }
+}
+
 }  // namespace
 }  // namespace ecsdns::dnscore

@@ -1,0 +1,85 @@
+// NameTable interning semantics: dense ids, case-insensitive equality,
+// stability across growth.
+#include "measurement/name_table.h"
+
+#include <gtest/gtest.h>
+
+#include "dnscore/name.h"
+
+namespace {
+
+using ecsdns::dnscore::Name;
+using ecsdns::measurement::NameId;
+using ecsdns::measurement::NameTable;
+
+TEST(NameTable, IdsAreDenseInFirstInternOrder) {
+  NameTable table;
+  EXPECT_TRUE(table.empty());
+  const NameId a = table.intern(Name::from_string("a.example"));
+  const NameId b = table.intern(Name::from_string("b.example"));
+  const NameId c = table.intern(Name::from_string("c.example"));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(NameTable, ReinterningReturnsSameId) {
+  NameTable table;
+  const NameId first = table.intern(Name::from_string("www.example.com"));
+  const NameId again = table.intern(Name::from_string("www.example.com"));
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(NameTable, InterningIsCaseInsensitive) {
+  NameTable table;
+  const NameId lower = table.intern(Name::from_string("cdn.example.com"));
+  const NameId upper = table.intern(Name::from_string("CDN.Example.COM"));
+  EXPECT_EQ(lower, upper);
+  EXPECT_EQ(table.size(), 1u);
+  // The first spelling wins.
+  EXPECT_EQ(table[lower].to_string(), "cdn.example.com");
+}
+
+TEST(NameTable, LookupRoundTrips) {
+  NameTable table;
+  const Name name = Name::from_string("deep.sub.domain.example.org");
+  const NameId id = table.intern(name);
+  EXPECT_EQ(table[id], name);
+  ASSERT_TRUE(table.find(name).has_value());
+  EXPECT_EQ(*table.find(name), id);
+  EXPECT_FALSE(table.find(Name::from_string("missing.example")).has_value());
+}
+
+TEST(NameTable, RootAndLongNamesIntern) {
+  NameTable table;
+  const NameId root = table.intern(Name{});
+  // A heap-spilling name (packed size > Name::kInlineCapacity).
+  const Name longname = Name::from_string(
+      std::string(60, 'x') + "." + std::string(60, 'y') + ".example.com");
+  const NameId big = table.intern(longname);
+  EXPECT_NE(root, big);
+  EXPECT_TRUE(table[root].is_root());
+  EXPECT_EQ(table[big], longname);
+}
+
+TEST(NameTable, IdsStableAcrossGrowth) {
+  NameTable table;
+  std::vector<Name> names;
+  std::vector<NameId> ids;
+  for (int i = 0; i < 500; ++i) {
+    names.push_back(Name::from_string("host-" + std::to_string(i) + ".example"));
+    ids.push_back(table.intern(names.back()));
+  }
+  EXPECT_EQ(table.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(ids[static_cast<std::size_t>(i)], static_cast<NameId>(i));
+    EXPECT_EQ(table[ids[static_cast<std::size_t>(i)]],
+              names[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(*table.find(names[static_cast<std::size_t>(i)]),
+              ids[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace

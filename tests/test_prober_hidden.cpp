@@ -96,7 +96,9 @@ TEST_F(ProberTest, UnreachableMemberUnstudied) {
   m.resolver = &r;
   m.address = r.address();
   // No forwarders and closed to client ECS.
-  const auto verdicts = prober_.probe_fleet(Fleet{{m}});
+  Fleet fleet;
+  fleet.members.push_back(std::move(m));
+  const auto verdicts = prober_.probe_fleet(fleet);
   ASSERT_EQ(verdicts.size(), 1u);
   EXPECT_EQ(verdicts[0].cls, CachingClass::kUnstudied);
 }
