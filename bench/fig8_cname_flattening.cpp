@@ -3,7 +3,10 @@
 // the client to a far-away edge and costs an HTTP redirect; accessing www
 // (regular CNAME, resolved by the ECS-speaking public resolver) does not.
 #include <cstdio>
+#include <memory>
+#include <vector>
 
+#include "authoritative/ecs_policy.h"
 #include "bench_common.h"
 #include "measurement/flattening_exp.h"
 #include "measurement/stats.h"
@@ -67,6 +70,66 @@ int main(int argc, char** argv) {
     std::printf("  apex now maps to %s; handshake %s (penalty only the redirect)\n",
                 t.apex_edge_city.c_str(),
                 netsim::format_duration(t.apex_handshake).c_str());
+  }
+
+  // --- steady-state packet-path sweep (perf gauge, not a paper figure) ---
+  // The timelines above are single accesses, so this binary's wall time and
+  // run.allocations gauge would be ~all topology construction. This section
+  // drives the same apex+www access pair from one client per catalog city
+  // over several rounds against one shared topology, so the fig8 gauges in
+  // BENCH_PR5.json track the per-access packet path (serialize, per-hop
+  // relay, parse) rather than setup cost.
+  {
+    Testbed bed;
+    FlatteningOptions options;
+    auto& fleet = bed.add_global_fleet();
+    cdn::ProximityMappingConfig cdn_config;
+    cdn_config.label = "major-cdn";
+    cdn_config.min_ecs_bits = 16;
+    cdn_config.effective_bits = 24;
+    cdn_config.fallback = cdn::Fallback::kResolverProxy;
+    auto& mapping = bed.add_mapping(cdn_config, fleet);
+    const auto cdn_zone = dnscore::Name::from_string("cdn.net");
+    const auto cdn_host = dnscore::Name::from_string("customer.cdn.net");
+    auto& cdn_auth = bed.add_auth(
+        "cdn-auth", cdn_zone, "Ashburn",
+        std::make_unique<authoritative::CdnMappingPolicy>(mapping),
+        authoritative::AuthConfig{.label = "cdn",
+                                  .tailored_ttl = options.cdn_ttl});
+    cdn_auth.find_zone(cdn_zone)->add(dnscore::ResourceRecord::make_a(
+        cdn_host, options.cdn_ttl, fleet.servers().front().address));
+    const auto customer_zone = dnscore::Name::from_string("customer.com");
+    const auto www_host = dnscore::Name::from_string("www.customer.com");
+    authoritative::FlatteningConfig fconfig;
+    fconfig.forward_ecs = options.provider_forwards_ecs;
+    auto& provider = bed.add_flattening_auth(fconfig, customer_zone,
+                                             options.provider_city);
+    provider.flatten(customer_zone, cdn_host, bed.auth_address(cdn_auth));
+    provider.base().find_zone(customer_zone)->add(
+        dnscore::ResourceRecord::make_cname(www_host, 300, cdn_host));
+    auto& pub_resolver = bed.add_resolver(
+        resolver::ResolverConfig::google_like(), options.resolver_city);
+    std::vector<resolver::StubClient*> clients;
+    for (const auto& city : bed.world().cities()) {
+      clients.push_back(&bed.add_client(city.name));
+    }
+    std::size_t accesses = 0;
+    std::size_t failures = 0;
+    for (int round = 0; round < 4; ++round) {
+      for (auto* client : clients) {
+        const auto apex = client->query(pub_resolver.address(), customer_zone,
+                                        dnscore::RRType::A);
+        const auto www = client->query(pub_resolver.address(), www_host,
+                                       dnscore::RRType::A);
+        accesses += 2;
+        if (!apex || !apex->first_address()) ++failures;
+        if (!www || !www->first_address()) ++failures;
+      }
+    }
+    std::printf(
+        "\nsteady-state sweep: %zu accesses (%zu clients x 4 rounds), "
+        "%zu failures\n",
+        accesses, clients.size(), failures);
   }
   return 0;
 }

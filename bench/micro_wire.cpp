@@ -5,6 +5,8 @@
 #include "bench_common.h"
 
 #include "dnscore/message.h"
+#include "dnscore/message_view.h"
+#include "netsim/buffer_pool.h"
 
 namespace {
 
@@ -49,6 +51,47 @@ void BM_QueryRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueryRoundTrip);
+
+void BM_MessageViewConstruct(benchmark::State& state) {
+  const auto wire = sample_response().serialize();
+  for (auto _ : state) {
+    // Full validation walk, zero materialization — the lazy counterpart of
+    // BM_MessageParse over the same bytes.
+    benchmark::DoNotOptimize(MessageView({wire.data(), wire.size()}));
+  }
+}
+BENCHMARK(BM_MessageViewConstruct);
+
+void BM_MessageViewDispatch(benchmark::State& state) {
+  // What the authoritative front-end reads per query: header, question,
+  // and the decoded ECS option.
+  Message q = Message::make_query(42, Name::from_string("www.example.com"), RRType::A);
+  q.set_ecs(EcsOption::for_query(Prefix::parse("100.64.7.0/24")));
+  const auto wire = q.serialize();
+  for (auto _ : state) {
+    const MessageView view({wire.data(), wire.size()});
+    benchmark::DoNotOptimize(view.qname());
+    benchmark::DoNotOptimize(view.qtype());
+    benchmark::DoNotOptimize(view.has_ecs());
+    benchmark::DoNotOptimize(view.ecs());
+  }
+}
+BENCHMARK(BM_MessageViewDispatch);
+
+void BM_MessageSerializeIntoPooled(benchmark::State& state) {
+  const Message m = sample_response();
+  ecsdns::netsim::BufferPool pool;
+  for (auto _ : state) {
+    auto buf = pool.acquire();
+    {
+      WireWriter writer(buf);
+      m.serialize_into(writer);
+    }
+    benchmark::DoNotOptimize(buf.data());
+    pool.release(std::move(buf));
+  }
+}
+BENCHMARK(BM_MessageSerializeIntoPooled);
 
 void BM_NameParseCompressed(benchmark::State& state) {
   WireWriter w;

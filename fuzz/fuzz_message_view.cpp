@@ -1,0 +1,12 @@
+// libFuzzer entry point for the MessageView ⇄ Message::parse differential
+// oracle: both parsers must accept/reject identically and agree on every
+// header/question/ECS field they both expose.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/oracles.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  ecsdns::fuzz::check_message_view(data, size);
+  return 0;
+}

@@ -18,6 +18,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -27,6 +29,7 @@
 #include "dnscore/ecs.h"
 #include "dnscore/edns.h"
 #include "dnscore/message.h"
+#include "dnscore/message_view.h"
 #include "dnscore/name.h"
 #include "dnscore/record.h"
 #include "dnscore/wire.h"
@@ -68,6 +71,85 @@ inline void check_message(const std::uint8_t* data, std::size_t size) {
     }
   }
   (void)first.to_string();  // rendering must not crash either
+}
+
+// MessageView ⇄ Message::parse differential oracle. The view's constructor
+// promises to accept a wire buffer if and only if the full parser does, and
+// to read the same header/question/EDNS/ECS fields out of it. Any
+// divergence — one side rejecting what the other accepts, or a field
+// disagreement on an accepted input — is a bug in one of them.
+inline void check_message_view(const std::uint8_t* data, std::size_t size) {
+  using dnscore::Message;
+  using dnscore::MessageView;
+  std::optional<Message> full;
+  try {
+    full = Message::parse({data, size});
+  } catch (const dnscore::WireFormatError&) {
+  }
+  std::optional<MessageView> view;
+  try {
+    view.emplace(std::span<const std::uint8_t>{data, size});
+  } catch (const dnscore::WireFormatError&) {
+  }
+  ECSDNS_CHECK(full.has_value() == view.has_value());
+  if (!full) return;
+
+  ECSDNS_CHECK(view->id() == full->header.id);
+  ECSDNS_CHECK(view->qr() == full->header.qr);
+  ECSDNS_CHECK(view->opcode() == full->header.opcode);
+  ECSDNS_CHECK(view->aa() == full->header.aa);
+  ECSDNS_CHECK(view->tc() == full->header.tc);
+  ECSDNS_CHECK(view->rd() == full->header.rd);
+  ECSDNS_CHECK(view->ra() == full->header.ra);
+  ECSDNS_CHECK(view->ad() == full->header.ad);
+  ECSDNS_CHECK(view->cd() == full->header.cd);
+  ECSDNS_CHECK(view->rcode() == full->header.rcode);
+
+  ECSDNS_CHECK(view->question_count() == full->questions.size());
+  ECSDNS_CHECK(view->answer_count() == full->answers.size());
+  ECSDNS_CHECK(view->authority_count() == full->authorities.size());
+  // The view reports the raw ARCOUNT; Message lifts OPT out of additional.
+  ECSDNS_CHECK(view->additional_count() ==
+               full->additional.size() + (full->opt ? 1u : 0u));
+  if (!full->questions.empty()) {
+    const auto& q = full->questions.front();
+    ECSDNS_CHECK(view->qname() == q.qname);
+    ECSDNS_CHECK(view->qtype() == q.qtype);
+    ECSDNS_CHECK(view->qclass() == q.qclass);
+  }
+
+  ECSDNS_CHECK(view->has_opt() == full->opt.has_value());
+  if (full->opt) {
+    ECSDNS_CHECK(view->udp_payload_size() == full->opt->udp_payload_size);
+    ECSDNS_CHECK(view->edns_version() == full->opt->version);
+    ECSDNS_CHECK(view->dnssec_ok() == full->opt->dnssec_ok);
+    ECSDNS_CHECK(view->extended_rcode() == full->opt->extended_rcode);
+  }
+
+  ECSDNS_CHECK(view->has_ecs() == full->has_ecs());
+  if (view->has_ecs()) {
+    const auto* raw = full->opt->find_option(dnscore::EdnsOptionCode::ECS);
+    ECSDNS_CHECK(raw != nullptr);
+    const auto payload = view->ecs_payload();
+    ECSDNS_CHECK(std::vector<std::uint8_t>(payload.begin(), payload.end()) ==
+                 raw->payload);
+  }
+  // ecs() must decode-or-throw identically to Message::ecs() — a present
+  // but structurally short payload throws on both sides.
+  std::optional<dnscore::EcsOption> full_ecs, view_ecs;
+  bool full_threw = false, view_threw = false;
+  try {
+    full_ecs = full->ecs();
+  } catch (const dnscore::WireFormatError&) {
+    full_threw = true;
+  }
+  try {
+    view_ecs = view->ecs();
+  } catch (const dnscore::WireFormatError&) {
+    view_threw = true;
+  }
+  ECSDNS_CHECK(full_threw == view_threw);
+  ECSDNS_CHECK(full_ecs == view_ecs);
 }
 
 // Name wire-decompression oracle: an accepted name fits RFC 1035 bounds,

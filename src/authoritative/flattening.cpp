@@ -39,8 +39,13 @@ std::optional<Message> FlatteningAuthServer::handle(const Message& query,
     }
   }
   ++backend_queries_;
-  const auto wire = network_.round_trip(own_address_, it->second.auth,
-                                        backend.serialize());
+  auto backend_wire = network_.buffer_pool().acquire();
+  {
+    dnscore::WireWriter writer(backend_wire);
+    backend.serialize_into(writer);
+  }
+  auto wire = network_.round_trip(own_address_, it->second.auth, backend_wire);
+  network_.buffer_pool().release(std::move(backend_wire));
   Message response = Message::make_response(query);
   response.header.aa = true;
   if (wire) {
@@ -55,6 +60,7 @@ std::optional<Message> FlatteningAuthServer::handle(const Message& query,
     } catch (const dnscore::WireFormatError&) {
       response.header.rcode = RCode::SERVFAIL;
     }
+    network_.buffer_pool().release(std::move(*wire));
   } else {
     response.header.rcode = RCode::SERVFAIL;
   }
@@ -77,7 +83,10 @@ void FlatteningAuthServer::attach(const netsim::GeoPoint& location) {
                     }
                     auto response = handle(query, dgram.src, network_.now());
                     if (!response) return std::nullopt;
-                    return response->serialize();
+                    auto wire = network_.buffer_pool().acquire();
+                    dnscore::WireWriter writer(wire);
+                    response->serialize_into(writer);
+                    return wire;
                   });
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dnscore/message_view.h"
+
 namespace ecsdns::authoritative {
 namespace {
 
@@ -202,16 +204,58 @@ void AuthServer::attach(netsim::Network& network, const IpAddress& addr,
   network.attach(addr, location,
                  [this, &network](const netsim::Datagram& dgram)
                      -> std::optional<std::vector<std::uint8_t>> {
+                   // Zero-copy dispatch: MessageView validates and indexes
+                   // the packet in place, and only the slices handle()
+                   // actually reads — header, the question, OPT fields, the
+                   // ECS payload — are materialized. Multi-question
+                   // messages (which no client of ours produces) take the
+                   // full-parse fallback.
                    Message query;
                    try {
-                     query = Message::parse(
-                         {dgram.payload.data(), dgram.payload.size()});
+                     const dnscore::MessageView view(dgram.payload);
+                     if (view.question_count() <= 1) {
+                       query.header.id = view.id();
+                       query.header.qr = view.qr();
+                       query.header.opcode = view.opcode();
+                       query.header.aa = view.aa();
+                       query.header.tc = view.tc();
+                       query.header.rd = view.rd();
+                       query.header.ra = view.ra();
+                       query.header.ad = view.ad();
+                       query.header.cd = view.cd();
+                       query.header.rcode = view.rcode();
+                       if (view.question_count() == 1) {
+                         query.questions.push_back(dnscore::Question{
+                             view.qname(), view.qtype(), view.qclass()});
+                       }
+                       if (view.has_opt()) {
+                         dnscore::OptRecord opt;
+                         opt.udp_payload_size = view.udp_payload_size();
+                         opt.extended_rcode = view.extended_rcode();
+                         opt.version = view.edns_version();
+                         opt.dnssec_ok = view.dnssec_ok();
+                         if (view.has_ecs()) {
+                           const auto ecs_raw = view.ecs_payload();
+                           opt.options.push_back(dnscore::EdnsOption{
+                               static_cast<std::uint16_t>(
+                                   dnscore::EdnsOptionCode::ECS),
+                               {ecs_raw.begin(), ecs_raw.end()}});
+                         }
+                         query.opt = std::move(opt);
+                       }
+                     } else {
+                       query = view.to_message();
+                     }
                    } catch (const dnscore::WireFormatError&) {
                      return std::nullopt;  // unparseable datagram: drop
                    }
                    auto response = handle(query, dgram.src, network.now());
                    if (!response) return std::nullopt;
-                   auto wire = response->serialize();
+                   auto wire = network.buffer_pool().acquire();
+                   {
+                     dnscore::WireWriter writer(wire);
+                     response->serialize_into(writer);
+                   }
                    // UDP truncation (RFC 1035 §4.2.1 / RFC 6891 §6.2.5):
                    // responses beyond the requestor's buffer come back
                    // empty with TC set, inviting a TCP retry.
@@ -222,7 +266,8 @@ void AuthServer::attach(netsim::Network& network, const IpAddress& addr,
                      truncated.header.aa = response->header.aa;
                      truncated.header.rcode = response->header.rcode;
                      truncated.header.tc = true;
-                     wire = truncated.serialize();
+                     dnscore::WireWriter writer(wire);
+                     truncated.serialize_into(writer);
                    }
                    return wire;
                  });

@@ -121,7 +121,11 @@ EcsOption EcsOption::from_edns(const EdnsOption& option) {
   if (option.code != static_cast<std::uint16_t>(EdnsOptionCode::ECS)) {
     throw WireFormatError("not an ECS option (code " + std::to_string(option.code) + ")");
   }
-  WireReader r({option.payload.data(), option.payload.size()});
+  return parse_payload({option.payload.data(), option.payload.size()});
+}
+
+EcsOption EcsOption::parse_payload(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
   EcsOption o;
   o.family_ = r.u16();
   o.source_ = r.u8();

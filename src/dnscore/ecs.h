@@ -83,6 +83,10 @@ class EcsOption {
   // are preserved for validate() instead of throwing, because observing
   // them is the whole point of this library.
   static EcsOption from_edns(const EdnsOption& option);
+  // Same decode from the raw option payload (no TLV header). MessageView
+  // hands its in-place payload span here, so the two decode paths cannot
+  // diverge.
+  static EcsOption parse_payload(std::span<const std::uint8_t> payload);
 
   // e.g. "ECS 1.2.3.0/24 scope 0".
   std::string to_string() const;

@@ -1,5 +1,6 @@
 #include "dnscore/message.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "dnscore/contracts.h"
@@ -90,9 +91,15 @@ std::optional<std::uint32_t> Message::min_answer_ttl() const {
 }
 
 std::vector<std::uint8_t> Message::serialize(bool compress) const {
+  WireWriter w;
+  serialize_into(w, compress);
+  return std::move(w).take();
+}
+
+void Message::serialize_into(WireWriter& w, bool compress) const {
+  ECSDNS_DCHECK(w.size() == 0);
   Name::CompressionTable table;
   Name::CompressionTable* tp = compress ? &table : nullptr;
-  WireWriter w;
   w.u16(header.id);
   std::uint16_t flags = 0;
   if (header.qr) flags |= kQrMask;
@@ -126,7 +133,6 @@ std::vector<std::uint8_t> Message::serialize(bool compress) const {
         static_cast<std::uint8_t>(static_cast<std::uint16_t>(header.rcode) >> 4);
     to_write.serialize(w);
   }
-  return std::move(w).take();
 }
 
 Message Message::parse(std::span<const std::uint8_t> wire) {
@@ -148,6 +154,14 @@ Message Message::parse(std::span<const std::uint8_t> wire) {
   const std::uint16_t ancount = r.u16();
   const std::uint16_t nscount = r.u16();
   const std::uint16_t arcount = r.u16();
+
+  // Reserve using a per-entry wire minimum (question 5 octets, record 11)
+  // so declared-but-truncated counts cannot drive huge allocations while
+  // well-formed messages get exactly one vector growth per section.
+  m.questions.reserve(std::min<std::size_t>(qdcount, r.remaining() / 5));
+  m.answers.reserve(std::min<std::size_t>(ancount, r.remaining() / 11));
+  m.authorities.reserve(std::min<std::size_t>(nscount, r.remaining() / 11));
+  m.additional.reserve(std::min<std::size_t>(arcount, r.remaining() / 11));
 
   for (std::uint16_t i = 0; i < qdcount; ++i) m.questions.push_back(Question::parse(r));
   for (std::uint16_t i = 0; i < ancount; ++i) m.answers.push_back(ResourceRecord::parse(r));

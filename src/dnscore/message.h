@@ -58,7 +58,12 @@ class Message {
   // Removes the ECS option; keeps the OPT record (a resolver that strips
   // ECS still speaks EDNS). Returns true if one was removed.
   bool clear_ecs();
-  bool has_ecs() const { return ecs().has_value(); }
+  // Pure presence probe on the OPT option list — no payload decode, no
+  // allocation. Note: unlike ecs(), this returns true for a present but
+  // structurally unparseable option (ecs() throws on those).
+  bool has_ecs() const noexcept {
+    return opt && opt->find_option(EdnsOptionCode::ECS) != nullptr;
+  }
 
   // First A/AAAA address in the answer section, if any — the "first answer"
   // the paper's Table 2 methodology pings.
@@ -74,6 +79,11 @@ class Message {
   // as production servers do; pass false for byte layouts that are easier
   // to inspect by hand.
   std::vector<std::uint8_t> serialize(bool compress = true) const;
+  // Serializes into a caller-supplied writer — the pooled-buffer hot path
+  // (no fresh vector per packet). The writer must be empty: compression
+  // pointer offsets are writer-relative, so the message has to start at
+  // offset 0.
+  void serialize_into(WireWriter& writer, bool compress = true) const;
   static Message parse(std::span<const std::uint8_t> wire);
 
   // Multi-line dig-style rendering for logs and examples.

@@ -219,6 +219,48 @@ Name Name::parse(WireReader& reader) {
   return Name{packed.octets, packed.size, packed.labels};
 }
 
+std::size_t Name::skip(WireReader& reader) {
+  // Mirror of parse() above with the label copies removed. Every validation
+  // branch — and therefore every WireFormatError — must stay in lockstep
+  // with parse(): the MessageView differential oracle holds the two to
+  // byte-identical accept/reject behavior.
+  std::size_t packed_size = 0;
+  std::size_t labels = 0;
+  std::optional<std::size_t> resume_at;
+  std::size_t jumps = 0;
+
+  for (;;) {
+    const std::size_t label_start = reader.offset();
+    const std::uint8_t len = reader.u8();
+    if ((len & kPointerMask) == kPointerMask) {
+      const std::uint8_t low = reader.u8();
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | low;
+      if (target >= label_start) {
+        throw WireFormatError("compression pointer does not point backwards");
+      }
+      if (++jumps > kMaxPointerJumps) {
+        throw WireFormatError("compression pointer loop");
+      }
+      if (!resume_at) resume_at = reader.offset();
+      reader.seek(target);
+      continue;
+    }
+    if ((len & kPointerMask) != 0) {
+      throw WireFormatError("reserved label type 0x" + std::to_string(len >> 6));
+    }
+    if (len == 0) break;
+    if (packed_size + 1u + len > kMaxPacked) {
+      throw WireFormatError("decompressed name exceeds 255 octets");
+    }
+    reader.skip(len);
+    packed_size += 1u + len;
+    ++labels;
+  }
+  if (resume_at) reader.seek(*resume_at);
+  return labels;
+}
+
 void Name::serialize(WireWriter& writer) const {
   // The packed representation IS the uncompressed wire form minus the root
   // byte, so serialization is a single bulk append.
@@ -226,46 +268,74 @@ void Name::serialize(WireWriter& writer) const {
   writer.u8(0);
 }
 
-namespace {
-
-// Canonical key for a name suffix starting at `from_label`: lowercased
-// labels joined by an unescapable separator.
-std::string suffix_key(const Name& name, std::size_t from_label) {
-  std::string key;
-  for (std::size_t i = from_label; i < name.label_count(); ++i) {
-    for (const char c : name.label(i)) key.push_back(ascii_lower(c));
-    key.push_back('\x1f');
+bool Name::CompressionTable::SuffixRef::operator==(
+    const SuffixRef& other) const noexcept {
+  if (size != other.size) return false;
+  // Interior length octets are < 64 and thus fixed points of lower_octet,
+  // so the whole suffix folds through one pass (same trick as Name::==).
+  for (std::uint16_t i = 0; i < size; ++i) {
+    if (lower_octet(data[i]) != lower_octet(other.data[i])) return false;
   }
-  return key;
+  return true;
 }
 
-}  // namespace
+std::size_t Name::CompressionTable::SuffixHash::operator()(
+    const SuffixRef& s) const noexcept {
+  // Case-insensitive FNV-1a over the packed suffix octets. Length octets
+  // participate, which keeps ("ab","c") and ("a","bc") distinct.
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::uint16_t i = 0; i < s.size; ++i) {
+    h ^= lower_octet(s.data[i]);
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::optional<std::uint16_t> Name::CompressionTable::find_suffix(
+    SuffixRef suffix) const {
+  const std::uint16_t* found = offsets_.find(suffix);
+  if (found == nullptr) return std::nullopt;
+  return *found;
+}
+
+void Name::CompressionTable::remember_suffix(SuffixRef suffix,
+                                             std::size_t offset) {
+  if (offset > 0x3fff) return;  // unreachable by a 14-bit pointer
+  offsets_.insert_or_assign(suffix, static_cast<std::uint16_t>(offset));
+}
 
 std::optional<std::uint16_t> Name::CompressionTable::find(
     const Name& name, std::size_t from_label) const {
-  const auto it = offsets_.find(suffix_key(name, from_label));
-  if (it == offsets_.end()) return std::nullopt;
-  return it->second;
+  if (from_label >= name.label_count()) return std::nullopt;
+  const std::size_t off = name.label_offset(from_label);
+  return find_suffix(SuffixRef{
+      name.packed() + off,
+      static_cast<std::uint16_t>(name.packed_size_ - off)});
 }
 
 void Name::CompressionTable::remember(const Name& name, std::size_t from_label,
                                       std::size_t offset) {
-  if (offset > 0x3fff) return;  // unreachable by a 14-bit pointer
-  offsets_.emplace(suffix_key(name, from_label),
-                   static_cast<std::uint16_t>(offset));
+  if (from_label >= name.label_count()) return;
+  const std::size_t off = name.label_offset(from_label);
+  remember_suffix(SuffixRef{name.packed() + off,
+                            static_cast<std::uint16_t>(name.packed_size_ - off)},
+                  offset);
 }
 
 void Name::serialize_compressed(WireWriter& writer, CompressionTable& table) const {
-  for (std::size_t i = 0; i < label_count_; ++i) {
-    if (const auto target = table.find(*this, i)) {
+  const std::uint8_t* p = packed();
+  for (std::size_t off = 0; off < packed_size_;) {
+    const CompressionTable::SuffixRef suffix{
+        p + off, static_cast<std::uint16_t>(packed_size_ - off)};
+    if (const auto target = table.find_suffix(suffix)) {
       writer.u16(static_cast<std::uint16_t>(0xc000 | *target));
       return;
     }
-    table.remember(*this, i, writer.size());
-    const std::string_view piece = label(i);
-    ECSDNS_DCHECK(!piece.empty() && piece.size() <= kMaxLabel);
-    writer.u8(static_cast<std::uint8_t>(piece.size()));
-    writer.bytes({reinterpret_cast<const std::uint8_t*>(piece.data()), piece.size()});
+    table.remember_suffix(suffix, writer.size());
+    const std::size_t len = p[off];
+    ECSDNS_DCHECK(len > 0 && len <= kMaxLabel);
+    writer.bytes({p + off, 1 + len});
+    off += 1 + len;
   }
   writer.u8(0);
 }

@@ -7,9 +7,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "dnscore/flat_hash.h"
 #include "dnscore/wire.h"
 
 namespace ecsdns::dnscore {
@@ -60,6 +60,14 @@ class Name {
   // pointers raise WireFormatError (RFC 1035 §4.1.4).
   static Name parse(WireReader& reader);
 
+  // Walks past a wire-format name, enforcing exactly the validation rules
+  // of parse() — pointer direction, jump bound, reserved label types, the
+  // 255-octet decompressed limit — without materializing a Name. Returns
+  // the label count of the (decompressed) name; the reader ends up where
+  // parse() would leave it. MessageView's lazy decode is built on this, so
+  // skip() and parse() must accept and reject identical inputs.
+  static std::size_t skip(WireReader& reader);
+
   // Label `i` (0 = leftmost), viewing the packed buffer — no allocation.
   // The view is invalidated by assigning to or destroying this Name.
   std::string_view label(std::size_t i) const noexcept;
@@ -80,8 +88,14 @@ class Name {
   // Writes the wire form using RFC 1035 §4.1.4 compression against names
   // already emitted through the same table: the longest previously written
   // suffix is replaced by a pointer, and newly written label positions are
-  // recorded for later names. The table maps canonical (lowercased) suffix
-  // text to its wire offset.
+  // recorded for later names.
+  //
+  // The table keys on views into the names' packed buffers (hashed and
+  // compared case-insensitively), so finding and remembering a suffix never
+  // allocates or copies label text. Lifetime contract: every Name passed to
+  // remember() must outlive the table — trivially true inside
+  // Message::serialize, where the table is scoped to one message whose
+  // names it indexes.
   class CompressionTable {
    public:
     // Offsets beyond 0x3fff cannot be pointed at (14-bit pointers).
@@ -89,7 +103,20 @@ class Name {
     void remember(const Name& name, std::size_t from_label, std::size_t offset);
 
    private:
-    std::unordered_map<std::string, std::uint16_t> offsets_;
+    friend class Name;
+    // A name suffix in packed wire form: [len][octets]... to the buffer end.
+    struct SuffixRef {
+      const std::uint8_t* data = nullptr;
+      std::uint16_t size = 0;
+      bool operator==(const SuffixRef& other) const noexcept;
+    };
+    struct SuffixHash {
+      std::size_t operator()(const SuffixRef& s) const noexcept;
+    };
+    std::optional<std::uint16_t> find_suffix(SuffixRef suffix) const;
+    void remember_suffix(SuffixRef suffix, std::size_t offset);
+
+    FlatHashMap<SuffixRef, std::uint16_t, SuffixHash> offsets_;
   };
   void serialize_compressed(WireWriter& writer, CompressionTable& table) const;
 

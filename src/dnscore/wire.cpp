@@ -62,35 +62,35 @@ std::uint8_t WireReader::peek_at(std::size_t offset) const {
   return data_[offset];
 }
 
-void WireWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+void WireWriter::u8(std::uint8_t v) { buf_->push_back(v); }
 
 void WireWriter::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
-  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buf_->push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_->push_back(static_cast<std::uint8_t>(v & 0xff));
 }
 
 void WireWriter::u32(std::uint32_t v) {
   for (int shift = 24; shift >= 0; shift -= 8) {
-    buf_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+    buf_->push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
   }
 }
 
 void WireWriter::bytes(std::span<const std::uint8_t> b) {
-  buf_.insert(buf_.end(), b.begin(), b.end());
+  buf_->insert(buf_->end(), b.begin(), b.end());
 }
 
 std::size_t WireWriter::reserve_u16() {
-  const std::size_t at = buf_.size();
-  buf_.push_back(0);
-  buf_.push_back(0);
+  const std::size_t at = buf_->size();
+  buf_->push_back(0);
+  buf_->push_back(0);
   return at;
 }
 
 void WireWriter::patch_u16(std::size_t offset, std::uint16_t v) {
   // Patching a slot that was never reserved is a caller bug, not bad input.
-  ECSDNS_CHECK(offset + 2 <= buf_.size());
-  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
-  buf_[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
+  ECSDNS_CHECK(offset + 2 <= buf_->size());
+  (*buf_)[offset] = static_cast<std::uint8_t>(v >> 8);
+  (*buf_)[offset + 1] = static_cast<std::uint8_t>(v & 0xff);
 }
 
 std::string hex_dump(std::span<const std::uint8_t> data) {

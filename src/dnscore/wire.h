@@ -52,11 +52,29 @@ class WireReader {
 
 // Append-only big-endian writer. Supports patching previously written 16-bit
 // fields, which DNS needs for RDLENGTH and for message section counts.
+//
+// The writer targets either its own internal vector (default constructor)
+// or a caller-supplied one (the pooled-buffer hot path: a recycled buffer's
+// capacity is reused instead of growing a fresh vector per packet). In
+// external mode the target is cleared on adoption and must outlive the
+// writer; the bytes land directly in the caller's vector, so there is
+// nothing to take() back out.
 class WireWriter {
  public:
-  std::size_t size() const noexcept { return buf_.size(); }
-  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
-  std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  WireWriter() noexcept : buf_(&owned_) {}
+  explicit WireWriter(std::vector<std::uint8_t>& external) noexcept
+      : buf_(&external) {
+    buf_->clear();
+  }
+
+  WireWriter(const WireWriter&) = delete;
+  WireWriter& operator=(const WireWriter&) = delete;
+
+  std::size_t size() const noexcept { return buf_->size(); }
+  const std::vector<std::uint8_t>& data() const noexcept { return *buf_; }
+  // Moves the target buffer out. In external mode this steals the caller's
+  // vector — prefer reading the vector directly there.
+  std::vector<std::uint8_t> take() && { return std::move(*buf_); }
 
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
@@ -68,7 +86,8 @@ class WireWriter {
   void patch_u16(std::size_t offset, std::uint16_t v);
 
  private:
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> owned_;
+  std::vector<std::uint8_t>* buf_;
 };
 
 // Renders bytes as lowercase hex pairs separated by spaces; debugging aid.

@@ -79,7 +79,7 @@ CachingVerdict CachingProber::probe(const FleetMember& member) {
   // --- Step 1: does the resolver accept arbitrary client ECS? ---
   {
     const Name probe = fresh_name();
-    client_->query(member.address, probe, dnscore::RRType::A, marker_ecs(4, 24));
+    client_->probe(member.address, probe, dnscore::RRType::A, marker_ecs(4, 24));
     for (const auto& e : auth_->log()) {
       if (e.qname != probe || !e.query_ecs) continue;
       const auto src = e.query_ecs->source_prefix();
@@ -96,8 +96,8 @@ CachingVerdict CachingProber::probe(const FleetMember& member) {
     set_scope(scope);
     const Name qname = fresh_name();
     if (v.accepts_client_ecs) {
-      client_->query(member.address, qname, dnscore::RRType::A, marker_ecs(4, 24));
-      client_->query(member.address, qname, dnscore::RRType::A, marker_ecs(5, 24));
+      client_->probe(member.address, qname, dnscore::RRType::A, marker_ecs(4, 24));
+      client_->probe(member.address, qname, dnscore::RRType::A, marker_ecs(5, 24));
       return upstream_queries_for(qname);
     }
     // Two-forwarder technique: pick two chains of the same shape (both
@@ -117,8 +117,8 @@ CachingVerdict CachingProber::probe(const FleetMember& member) {
       }
     }
     if (f1 == nullptr || f2 == nullptr) return 0;  // unstudiable
-    client_->query(f1->address(), qname, dnscore::RRType::A);
-    client_->query(f2->address(), qname, dnscore::RRType::A);
+    client_->probe(f1->address(), qname, dnscore::RRType::A);
+    client_->probe(f2->address(), qname, dnscore::RRType::A);
     return upstream_queries_for(qname);
   };
 
@@ -137,7 +137,7 @@ CachingVerdict CachingProber::probe(const FleetMember& member) {
   if (v.accepts_client_ecs) {
     set_scope(24);
     const Name qname = fresh_name();
-    client_->query(member.address, qname, dnscore::RRType::A, marker_ecs(4, 28));
+    client_->probe(member.address, qname, dnscore::RRType::A, marker_ecs(4, 28));
   }
   for (const auto& e : auth_->log()) {
     if (!e.query_ecs || e.sender != member.address) continue;

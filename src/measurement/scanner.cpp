@@ -73,8 +73,10 @@ ScanResults Scanner::scan(const std::vector<IpAddress>& targets) {
                                                 IpAddress::v4(192, 0, 2, 1)));
     }
     ++results.probes_sent;
-    const auto response = client_->query(target, qname, dnscore::RRType::A);
-    if (response && response->header.rcode == dnscore::RCode::NOERROR) {
+    // Only the response RCODE matters here (the real data is the auth log),
+    // so the zero-copy probe avoids materializing every response.
+    const auto rcode = client_->probe(target, qname, dnscore::RRType::A);
+    if (rcode && *rcode == dnscore::RCode::NOERROR) {
       ++results.responses_received;
     }
   }

@@ -1,0 +1,63 @@
+// A freelist of recycled wire-payload buffers.
+//
+// The packet path serializes one DNS message per hop. Without pooling every
+// hop grows a fresh std::vector from zero; with pooling a handful of buffers
+// whose capacity has already converged on the experiment's packet sizes are
+// reused for the whole run, so the steady state allocates nothing.
+//
+// Lifetime rules (see docs/perf.md):
+//   * acquire() returns an EMPTY vector (capacity retained from its past
+//     life). The caller owns it outright — it is a plain vector, safe to
+//     move anywhere.
+//   * release() donates a no-longer-needed buffer back. Call it only when
+//     nothing aliases the buffer's storage — in particular, after every
+//     MessageView or span over it is dead.
+//   * The pool keeps at most kMaxPooled buffers; extra releases just let
+//     the vector free itself. Never release the same buffer twice.
+//
+// Not thread-safe: one pool per shard/actor, like everything in netsim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ecsdns::netsim {
+
+class BufferPool {
+ public:
+  // Bounds worst-case retained memory; deep resolution chains in the
+  // simulator keep well under this many packets alive at once.
+  static constexpr std::size_t kMaxPooled = 64;
+
+  // An empty buffer, reusing a pooled one's capacity when available.
+  std::vector<std::uint8_t> acquire() {
+    ++acquires_;
+    if (free_.empty()) return {};
+    ++reuses_;
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();  // keeps capacity
+    return buf;
+  }
+
+  // Donates a buffer back to the pool. Capacity-less vectors (e.g. ones
+  // that were moved from) are not worth keeping.
+  void release(std::vector<std::uint8_t>&& buf) {
+    if (buf.capacity() == 0 || free_.size() >= kMaxPooled) return;
+    free_.push_back(std::move(buf));
+  }
+
+  std::size_t pooled() const noexcept { return free_.size(); }
+  std::uint64_t acquires() const noexcept { return acquires_; }
+  // How many acquires were served from the freelist (allocation avoided).
+  std::uint64_t reuses() const noexcept { return reuses_; }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace ecsdns::netsim

@@ -47,7 +47,7 @@ SimTime Network::rtt_between(const IpAddress& a, const IpAddress& b) const {
 
 std::optional<std::vector<std::uint8_t>> Network::round_trip(
     const IpAddress& src, const IpAddress& dst,
-    const std::vector<std::uint8_t>& payload, bool tcp) {
+    std::span<const std::uint8_t> payload, bool tcp) {
   metrics_.round_trips.inc();
   if (tcp) metrics_.tcp_round_trips.inc();
   metrics_.bytes_sent.inc(payload.size());

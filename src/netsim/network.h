@@ -13,10 +13,12 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "dnscore/ip.h"
+#include "netsim/buffer_pool.h"
 #include "netsim/event_loop.h"
 #include "netsim/geo.h"
 #include "obs/metrics.h"
@@ -29,7 +31,10 @@ using dnscore::IpAddressHash;
 struct Datagram {
   IpAddress src;
   IpAddress dst;
-  std::vector<std::uint8_t> payload;
+  // A view of the sender's wire buffer — delivery copies nothing. Valid
+  // only for the duration of the synchronous service call; a service that
+  // needs the bytes afterwards must copy them.
+  std::span<const std::uint8_t> payload;
   // True when the exchange runs over a (simulated) TCP connection — DNS
   // servers skip UDP truncation for these.
   bool via_tcp = false;
@@ -69,7 +74,14 @@ class Network {
   // handshake, and the receiving service sees via_tcp set.
   std::optional<std::vector<std::uint8_t>> round_trip(
       const IpAddress& src, const IpAddress& dst,
-      const std::vector<std::uint8_t>& payload, bool tcp = false);
+      std::span<const std::uint8_t> payload, bool tcp = false);
+  // Convenience overload: spans cannot be brace-initialized from a list
+  // until C++26, so callers with a vector in hand keep working unchanged.
+  std::optional<std::vector<std::uint8_t>> round_trip(
+      const IpAddress& src, const IpAddress& dst,
+      const std::vector<std::uint8_t>& payload, bool tcp = false) {
+    return round_trip(src, dst, std::span<const std::uint8_t>(payload), tcp);
+  }
 
   // ICMP-echo-style RTT measurement (no payload semantics).
   std::optional<SimTime> ping(const IpAddress& src, const IpAddress& dst) const;
@@ -91,6 +103,11 @@ class Network {
 
   std::uint64_t datagrams_delivered() const noexcept { return delivered_; }
   std::uint64_t datagrams_dropped() const noexcept { return dropped_; }
+
+  // Shared freelist of wire buffers for services and clients attached to
+  // this network (single-threaded with it by construction). Typical hop:
+  // acquire → serialize_into → round_trip → release.
+  BufferPool& buffer_pool() noexcept { return pool_; }
 
  private:
   struct Node {
@@ -116,6 +133,7 @@ class Network {
   std::unordered_map<IpAddress, Node, IpAddressHash> nodes_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  BufferPool pool_;
   Metrics metrics_;
 };
 

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "netsim/buffer_pool.h"
 #include "netsim/event_loop.h"
 #include "netsim/geo.h"
 #include "netsim/rng.h"
@@ -67,6 +68,10 @@ class ShardContext {
   EventLoop& loop() noexcept { return loop_; }
   Rng& rng() noexcept { return rng_; }
   obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  // Shard-local wire-buffer freelist (never shared across threads, like
+  // everything else here); programs that serialize packets inside epochs
+  // recycle buffers through it instead of allocating per event.
+  BufferPool& buffer_pool() noexcept { return pool_; }
   // End of the epoch currently executing (exclusive).
   SimTime epoch_end() const noexcept;
 
@@ -95,6 +100,7 @@ class ShardContext {
   EventLoop loop_;
   Rng rng_;
   obs::MetricsRegistry metrics_;
+  BufferPool pool_;
 };
 
 // One shard's slice of a simulation. The engine drives each program

@@ -1,5 +1,7 @@
 #include "resolver/client.h"
 
+#include "dnscore/message_view.h"
+
 namespace ecsdns::resolver {
 
 void StubClient::attach(const netsim::GeoPoint& location) {
@@ -18,13 +20,44 @@ std::optional<Message> StubClient::query(const IpAddress& server, const Name& qn
   Message q = Message::make_query(next_id_++, qname, qtype);
   q.opt = dnscore::OptRecord{};
   if (ecs) q.set_ecs(*ecs);
-  const auto wire = network_.round_trip(own_address_, server, q.serialize());
-  if (!wire) return std::nullopt;
-  try {
-    return Message::parse({wire->data(), wire->size()});
-  } catch (const dnscore::WireFormatError&) {
-    return std::nullopt;
+  auto query_wire = network_.buffer_pool().acquire();
+  {
+    dnscore::WireWriter writer(query_wire);
+    q.serialize_into(writer);
   }
+  auto wire = network_.round_trip(own_address_, server, query_wire);
+  network_.buffer_pool().release(std::move(query_wire));
+  if (!wire) return std::nullopt;
+  std::optional<Message> parsed;
+  try {
+    parsed = Message::parse({wire->data(), wire->size()});
+  } catch (const dnscore::WireFormatError&) {
+  }
+  network_.buffer_pool().release(std::move(*wire));
+  return parsed;
+}
+
+std::optional<dnscore::RCode> StubClient::probe(
+    const IpAddress& server, const Name& qname, RRType qtype,
+    const std::optional<dnscore::EcsOption>& ecs) {
+  Message q = Message::make_query(next_id_++, qname, qtype);
+  q.opt = dnscore::OptRecord{};
+  if (ecs) q.set_ecs(*ecs);
+  auto query_wire = network_.buffer_pool().acquire();
+  {
+    dnscore::WireWriter writer(query_wire);
+    q.serialize_into(writer);
+  }
+  auto wire = network_.round_trip(own_address_, server, query_wire);
+  network_.buffer_pool().release(std::move(query_wire));
+  if (!wire) return std::nullopt;
+  std::optional<dnscore::RCode> rcode;
+  try {
+    rcode = dnscore::MessageView({wire->data(), wire->size()}).rcode();
+  } catch (const dnscore::WireFormatError&) {
+  }
+  network_.buffer_pool().release(std::move(*wire));
+  return rcode;
 }
 
 }  // namespace ecsdns::resolver

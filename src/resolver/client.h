@@ -32,6 +32,16 @@ class StubClient {
                                const std::optional<dnscore::EcsOption>& ecs =
                                    std::nullopt);
 
+  // Fire-and-check variant for callers that only need the response RCODE
+  // (cache warmers, census probers): the response is validated and its
+  // header read through MessageView, never materialized, and both wire
+  // buffers are recycled through the network pool. nullopt on timeout/drop
+  // or an unparseable response — exactly when query() would return nullopt.
+  std::optional<dnscore::RCode> probe(const IpAddress& server, const Name& qname,
+                                      RRType qtype,
+                                      const std::optional<dnscore::EcsOption>& ecs =
+                                          std::nullopt);
+
  private:
   netsim::Network& network_;
   IpAddress own_address_;

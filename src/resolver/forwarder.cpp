@@ -1,5 +1,7 @@
 #include "resolver/forwarder.h"
 
+#include "dnscore/message_view.h"
+
 namespace ecsdns::resolver {
 
 Forwarder::Forwarder(ForwarderConfig config, netsim::Network& network,
@@ -14,13 +16,29 @@ std::optional<std::vector<std::uint8_t>> Forwarder::relay(
   ++relayed_;
   if (!config_.pass_client_ecs || config_.stamp_sender_subnet) {
     try {
+      if (!config_.stamp_sender_subnet) {
+        // Strip-only fast path: when the query carries no ECS option there
+        // is nothing to rewrite — validate it in place and relay the
+        // original bytes, skipping the parse → serialize round-trip.
+        const dnscore::MessageView view(dgram.payload);
+        if (!view.has_ecs()) {
+          return network_.round_trip(own_address_, upstream_, dgram.payload);
+        }
+      }
       Message m = Message::parse({dgram.payload.data(), dgram.payload.size()});
       if (!config_.pass_client_ecs) m.clear_ecs();
       if (config_.stamp_sender_subnet) {
         m.set_ecs(dnscore::EcsOption::for_query(
             dnscore::Prefix{dgram.src, config_.stamp_bits}));
       }
-      return network_.round_trip(own_address_, upstream_, m.serialize());
+      auto wire = network_.buffer_pool().acquire();
+      {
+        dnscore::WireWriter writer(wire);
+        m.serialize_into(writer);
+      }
+      auto out = network_.round_trip(own_address_, upstream_, wire);
+      network_.buffer_pool().release(std::move(wire));
+      return out;
     } catch (const dnscore::WireFormatError&) {
       return std::nullopt;
     }

@@ -58,7 +58,10 @@ void RecursiveResolver::attach(const netsim::GeoPoint& location) {
                     }
                     auto response = handle_client_query(query, dgram.src);
                     if (!response) return std::nullopt;
-                    return response->serialize();
+                    auto wire = network_.buffer_pool().acquire();
+                    dnscore::WireWriter writer(wire);
+                    response->serialize_into(writer);
+                    return wire;
                   });
 }
 
@@ -470,6 +473,15 @@ std::optional<Message> RecursiveResolver::query_authoritatives(
                                   /*cache_missed=*/true);
     if (ecs) query.set_ecs(*ecs);
 
+    // One serialization per hop, reused across every server candidate and
+    // the TCP retry (the bytes are identical); the buffer itself is
+    // recycled through the network's pool.
+    auto query_wire = network_.buffer_pool().acquire();
+    {
+      dnscore::WireWriter writer(query_wire);
+      query.serialize_into(writer);
+    }
+
     std::optional<Message> response;
     for (const auto& server : servers) {
       ++counters_.upstream_queries;
@@ -486,27 +498,32 @@ std::optional<Message> RecursiveResolver::query_authoritatives(
                            (ecs ? " " + ecs->to_string() : std::string{})});
       }
       const SimTime sent_at = network_.now();
-      const auto wire = network_.round_trip(own_address_, server, query.serialize());
+      auto wire = network_.round_trip(own_address_, server, query_wire);
       note_rtt(server, static_cast<double>(network_.now() - sent_at));
       if (!wire) continue;  // timeout: try the next address
+      bool parsed = true;
       try {
         response = Message::parse({wire->data(), wire->size()});
       } catch (const dnscore::WireFormatError&) {
-        continue;
+        parsed = false;
       }
+      network_.buffer_pool().release(std::move(*wire));
+      if (!parsed) continue;
       if (response->header.tc) {
         // Truncated over UDP: retry the same server over TCP.
         ++counters_.upstream_queries;
         metrics_.upstream_queries.inc();
-        const auto tcp_wire = network_.round_trip(own_address_, server,
-                                                  query.serialize(), /*tcp=*/true);
+        auto tcp_wire = network_.round_trip(own_address_, server, query_wire,
+                                            /*tcp=*/true);
         if (tcp_wire) {
           try {
             response = Message::parse({tcp_wire->data(), tcp_wire->size()});
           } catch (const dnscore::WireFormatError&) {
             response.reset();
-            continue;
+            parsed = false;
           }
+          network_.buffer_pool().release(std::move(*tcp_wire));
+          if (!parsed) continue;
         }
       }
       if (response->header.rcode == RCode::FORMERR && query.opt) {
@@ -518,19 +535,27 @@ std::optional<Message> RecursiveResolver::query_authoritatives(
         plain.opt.reset();
         ++counters_.upstream_queries;
         metrics_.upstream_queries.inc();
-        const auto retry_wire =
-            network_.round_trip(own_address_, server, plain.serialize());
+        auto plain_wire = network_.buffer_pool().acquire();
+        {
+          dnscore::WireWriter writer(plain_wire);
+          plain.serialize_into(writer);
+        }
+        auto retry_wire = network_.round_trip(own_address_, server, plain_wire);
+        network_.buffer_pool().release(std::move(plain_wire));
         if (retry_wire) {
           try {
             response = Message::parse({retry_wire->data(), retry_wire->size()});
           } catch (const dnscore::WireFormatError&) {
             response.reset();
-            continue;
+            parsed = false;
           }
+          network_.buffer_pool().release(std::move(*retry_wire));
+          if (!parsed) continue;
         }
       }
       break;
     }
+    network_.buffer_pool().release(std::move(query_wire));
     if (!response) return std::nullopt;
 
     if (!response->answers.empty() || response->header.rcode != RCode::NOERROR) {

@@ -91,6 +91,21 @@ TEST(Message, EcsHelpers) {
   EXPECT_FALSE(q.clear_ecs());
 }
 
+TEST(Message, HasEcsIsAPresenceProbe) {
+  Message q = Message::make_query(2, Name::from_string("x.org"), RRType::A);
+  q.opt = OptRecord{};
+  // A structurally short ECS payload: present on the wire, undecodable.
+  q.opt->options.push_back(EdnsOption{
+      static_cast<std::uint16_t>(EdnsOptionCode::ECS), {0x00, 0x01}});
+  EXPECT_TRUE(q.has_ecs());              // probe sees the TLV
+  EXPECT_THROW(q.ecs(), WireFormatError);  // decode rejects it
+  // A non-ECS option does not trip the probe.
+  Message other = Message::make_query(3, Name::from_string("x.org"), RRType::A);
+  other.opt = OptRecord{};
+  other.opt->options.push_back(EdnsOption{10 /* COOKIE */, {1, 2, 3, 4}});
+  EXPECT_FALSE(other.has_ecs());
+}
+
 TEST(Message, EcsSurvivesWire) {
   Message q = Message::make_query(3, Name::from_string("x.org"), RRType::A);
   q.set_ecs(EcsOption::for_query(Prefix::parse("100.64.5.0/24")));

@@ -93,27 +93,27 @@ TEST(Name, RejectsPointerLoop) {
 // A root label at offset 0 followed by `hops` pointers, each targeting the
 // previous one. Every hop is a legal backwards pointer, so only the
 // jump-depth bound can stop a long chain. Parsing starts at the last link.
-WireWriter pointer_chain(std::size_t hops) {
+std::vector<std::uint8_t> pointer_chain(std::size_t hops) {
   WireWriter w;
   w.u8(0);  // root name at offset 0
   for (std::size_t i = 0; i < hops; ++i) {
     const std::size_t target = i == 0 ? 0 : 1 + 2 * (i - 1);
     w.u16(static_cast<std::uint16_t>(0xc000 | target));
   }
-  return w;
+  return std::move(w).take();
 }
 
 TEST(Name, PointerChainAtDepthLimitParses) {
-  const WireWriter w = pointer_chain(64);
-  WireReader r({w.data().data(), w.data().size()});
+  const auto wire = pointer_chain(64);
+  WireReader r({wire.data(), wire.size()});
   r.seek(1 + 2 * 63);
   EXPECT_EQ(Name::parse(r), Name{});
   EXPECT_TRUE(r.at_end());
 }
 
 TEST(Name, PointerChainBeyondDepthLimitRejected) {
-  const WireWriter w = pointer_chain(65);
-  WireReader r({w.data().data(), w.data().size()});
+  const auto wire = pointer_chain(65);
+  WireReader r({wire.data(), wire.size()});
   r.seek(1 + 2 * 64);
   EXPECT_THROW(Name::parse(r), WireFormatError);
 }

@@ -220,7 +220,7 @@ TEST(Network, RoundTripDeliversAndTimes) {
   });
   net.attach(b, world.city("Chicago").location,
              [](const Datagram& d) -> std::optional<std::vector<std::uint8_t>> {
-               auto out = d.payload;
+               std::vector<std::uint8_t> out(d.payload.begin(), d.payload.end());
                out.push_back(0x99);
                return out;
              });
@@ -232,6 +232,66 @@ TEST(Network, RoundTripDeliversAndTimes) {
   const SimTime elapsed = net.now() - before;
   EXPECT_EQ(elapsed, net.rtt_between(a, b));
   EXPECT_EQ(net.datagrams_delivered(), 2u);
+}
+
+TEST(Network, RoundTripAcceptsSpanPayload) {
+  Network net;
+  const World world;
+  const auto a = IpAddress::parse("10.0.0.1");
+  const auto b = IpAddress::parse("10.0.0.2");
+  net.attach(a, world.city("Cleveland").location,
+             [](const Datagram&) { return std::nullopt; });
+  net.attach(b, world.city("Chicago").location,
+             [](const Datagram& d) -> std::optional<std::vector<std::uint8_t>> {
+               // The span aliases the sender's buffer for the duration of
+               // this synchronous call — echo it back.
+               return std::vector<std::uint8_t>(d.payload.begin(),
+                                                d.payload.end());
+             });
+  std::vector<std::uint8_t> payload = {7, 8, 9};
+  const auto reply =
+      net.round_trip(a, b, std::span<const std::uint8_t>{payload.data(), 3});
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, payload);
+}
+
+TEST(BufferPool, RecyclesCapacity) {
+  BufferPool pool;
+  auto buf = pool.acquire();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(pool.reuses(), 0u);
+  buf.assign(512, 0xab);
+  const auto* storage = buf.data();
+  const auto cap = buf.capacity();
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.pooled(), 1u);
+  auto again = pool.acquire();
+  EXPECT_TRUE(again.empty());          // cleared on reuse
+  EXPECT_GE(again.capacity(), cap);    // but capacity survives
+  EXPECT_EQ(again.data(), storage);    // same storage, no allocation
+  EXPECT_EQ(pool.acquires(), 2u);
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, IgnoresWorthlessAndOverflowReleases) {
+  BufferPool pool;
+  pool.release({});  // capacity-0 vector: not worth pooling
+  EXPECT_EQ(pool.pooled(), 0u);
+  for (std::size_t i = 0; i < BufferPool::kMaxPooled + 5; ++i) {
+    std::vector<std::uint8_t> buf;
+    buf.reserve(16);
+    pool.release(std::move(buf));
+  }
+  EXPECT_EQ(pool.pooled(), BufferPool::kMaxPooled);
+}
+
+TEST(Network, ExposesSharedBufferPool) {
+  Network net;
+  auto buf = net.buffer_pool().acquire();
+  buf.reserve(64);
+  net.buffer_pool().release(std::move(buf));
+  EXPECT_EQ(net.buffer_pool().pooled(), 1u);
 }
 
 TEST(Network, UnknownDestinationTimesOut) {

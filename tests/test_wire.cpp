@@ -33,6 +33,45 @@ TEST(WireWriter, PatchU16) {
   EXPECT_EQ(w.data()[3], 0x02);
 }
 
+TEST(WireWriter, ExternalModeWritesIntoCallerBuffer) {
+  std::vector<std::uint8_t> buf = {0xde, 0xad};  // stale contents
+  buf.reserve(64);
+  const auto* storage = buf.data();
+  {
+    WireWriter w(buf);
+    EXPECT_EQ(w.size(), 0u);  // adoption clears the target
+    w.u16(0x1234);
+    w.u8(0x56);
+  }
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[1], 0x34);
+  EXPECT_EQ(buf[2], 0x56);
+  // Small writes into a pre-reserved buffer reuse its storage.
+  EXPECT_EQ(buf.data(), storage);
+}
+
+TEST(WireWriter, ExternalModePatchesInPlace) {
+  std::vector<std::uint8_t> buf;
+  WireWriter w(buf);
+  const auto slot = w.reserve_u16();
+  w.u8(0x99);
+  w.patch_u16(slot, 0xcafe);
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf[0], 0xca);
+  EXPECT_EQ(buf[1], 0xfe);
+  EXPECT_EQ(buf[2], 0x99);
+}
+
+TEST(WireWriter, OwnedModeTakeMovesBufferOut) {
+  WireWriter w;
+  w.u32(0x01020304);
+  const auto out = std::move(w).take();
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0x01);
+  EXPECT_EQ(out[3], 0x04);
+}
+
 TEST(WireReader, RoundTripsScalars) {
   WireWriter w;
   w.u8(7);
