@@ -28,6 +28,27 @@ void BM_CacheInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheInsert);
 
+// Steady-state cost of a bounded insert: every insert past the bound also
+// runs pick_victim + erase. One series per policy (see kAllEvictionPolicies
+// for the Arg order).
+void BM_CacheInsertBounded(benchmark::State& state) {
+  resolver::CacheConfig config;
+  config.capacity_entries = 512;
+  config.policy =
+      resolver::kAllEvictionPolicies[static_cast<std::size_t>(state.range(0))];
+  resolver::EcsCache cache(config);
+  const Name qname = Name::from_string("www.example.com");
+  std::uint32_t i = 0;
+  std::vector<dnscore::ResourceRecord> records{
+      dnscore::ResourceRecord::make_a(qname, 20, IpAddress::parse("1.1.1.1"))};
+  for (auto _ : state) {
+    cache.insert(qname, dnscore::RRType::A, Prefix{IpAddress::v4(i++ << 8), 24}, 24,
+                 records, 0, 60 * netsim::kSecond);
+  }
+  state.SetLabel(resolver::to_string(config.policy));
+}
+BENCHMARK(BM_CacheInsertBounded)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
 void BM_CacheLookupHit(benchmark::State& state) {
   resolver::EcsCache cache;
   const Name qname = Name::from_string("www.example.com");

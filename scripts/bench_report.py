@@ -35,7 +35,8 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 MICRO_BENCHES = ["micro_name", "micro_cache", "micro_wire", "micro_resolution"]
 EXPERIMENTS = ["fig1_cache_blowup_cdf", "table1_source_prefix_census",
-               "fig4_hidden_resolvers_mp", "fig8_cname_flattening"]
+               "fig4_hidden_resolvers_mp", "fig8_cname_flattening",
+               "fig_hitrate_vs_capacity"]
 
 # --check thresholds: fresh measurement may not exceed baseline * factor.
 WALL_FACTOR = 3.0       # wall time: very generous, CI boxes differ wildly

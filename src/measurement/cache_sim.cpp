@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <queue>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "dnscore/contracts.h"
 #include "dnscore/flat_hash.h"
@@ -103,10 +105,11 @@ double CacheSimResult::overall_hit_rate() const {
 
 namespace {
 
+// Unbounded serial replay: entries leave only by TTL (the paper's §7
+// assumption). Bounded replays go through BoundedShard below instead.
 CacheSimResult simulate_serial(const Trace& trace, const CacheSimOptions& options) {
   struct Slot {
     SimTime expiry = 0;
-    std::uint64_t lru_stamp = 0;
   };
   dnscore::FlatHashMap<Key, Slot, KeyHash> cache;
   // Expiration queue so current size is exact at every query time.
@@ -116,24 +119,10 @@ CacheSimResult simulate_serial(const Trace& trace, const CacheSimOptions& option
   };
   const auto later = [](const Expiry& a, const Expiry& b) { return a.when > b.when; };
   std::priority_queue<Expiry, std::vector<Expiry>, decltype(later)> expirations(later);
-  // LRU index per resolver, only maintained when a bound is set.
-  std::vector<std::map<std::uint64_t, Key>> lru(
-      options.max_entries_per_resolver ? trace.resolvers : 0);
-  std::uint64_t next_stamp = 1;
 
   std::vector<ResolverCacheResult> results(trace.resolvers);
   for (std::uint32_t r = 0; r < trace.resolvers; ++r) results[r].resolver = r;
   std::vector<std::size_t> live(trace.resolvers, 0);
-
-  const auto erase_entry = [&](const Key& key, const Slot& slot) {
-    // `slot` aliases storage `cache.erase` destroys (and backward-shift
-    // relocates), so every read of it must happen before the erase.
-    --live[key.resolver];
-    if (options.max_entries_per_resolver) {
-      lru[key.resolver].erase(slot.lru_stamp);
-    }
-    cache.erase(key);
-  };
 
   for (const auto& q : trace.queries) {
     // Retire everything that expired before this query.
@@ -144,7 +133,8 @@ CacheSimResult simulate_serial(const Trace& trace, const CacheSimOptions& option
       // Only erase if this expiration is current (the entry may have been
       // refreshed after a miss).
       if (slot != nullptr && slot->expiry <= e.when) {
-        erase_entry(e.key, *slot);
+        --live[e.key.resolver];
+        cache.erase(e.key);
       }
     }
 
@@ -154,44 +144,15 @@ CacheSimResult simulate_serial(const Trace& trace, const CacheSimOptions& option
     Slot* found = cache.find(key);
     if (found != nullptr && found->expiry > q.time) {
       ++result.hits;
-      if (options.max_entries_per_resolver) {
-        // Refresh recency (in-place value mutation; the table itself is
-        // untouched, so `found` stays valid through it).
-        lru[q.resolver].erase(found->lru_stamp);
-        found->lru_stamp = next_stamp++;
-        lru[q.resolver].emplace(found->lru_stamp, key);
-      }
       continue;
     }
-    // Everything needed from the stale entry must be read NOW: the eviction
-    // and the insert below both relocate slots, after which `found` dangles.
-    const bool was_present = found != nullptr;
-    const std::uint64_t stale_stamp = was_present ? found->lru_stamp : 0;
     ++result.misses;
     const std::uint32_t ttl_s = options.ttl_override.value_or(q.ttl_s);
     const SimTime expiry = q.time + static_cast<SimTime>(ttl_s) * netsim::kSecond;
-    if (options.max_entries_per_resolver &&
-        live[q.resolver] >= *options.max_entries_per_resolver) {
-      // Premature eviction: drop the least recently used live entry.
-      auto& order = lru[q.resolver];
-      if (!order.empty()) {
-        const Key victim = order.begin()->second;
-        const Slot* vslot = cache.find(victim);
-        if (vslot != nullptr) erase_entry(victim, *vslot);
-        ++result.premature_evictions;
-      }
-    }
-    Slot slot{expiry, next_stamp++};
-    if (options.max_entries_per_resolver && was_present) {
-      lru[q.resolver].erase(stale_stamp);  // drop the stale stamp
-    }
-    const auto [new_slot, inserted] = cache.insert_or_assign(key, slot);
+    const auto [new_slot, inserted] = cache.insert_or_assign(key, Slot{expiry});
     (void)new_slot;
     if (inserted) ++live[q.resolver];
     result.max_cache_size = std::max(result.max_cache_size, live[q.resolver]);
-    if (options.max_entries_per_resolver) {
-      lru[q.resolver].emplace(slot.lru_stamp, key);
-    }
     expirations.push(Expiry{expiry, key});
   }
 
@@ -428,6 +389,212 @@ class ReplayShard final : public netsim::ShardProgram {
   std::vector<std::vector<Delta>> pending_;
 };
 
+// ---------------------------------------------------------------------------
+// Bounded replay.
+//
+// A capacity bound couples every key of one resolver through the eviction
+// policy's victim order — but never keys of different resolvers: each
+// resolver owns its cache, its live count, and its policy state. So the
+// unit of partitioning is the resolver (shard_of_id), and each shard
+// replays the trace restricted to the resolvers it owns with policy
+// instances whose decisions are pure functions of that resolver's query
+// sequence. Every shard count — including 1, the serial case — runs this
+// exact code, so serial equivalence holds by construction; no cross-shard
+// mail, no sortedness requirement.
+class BoundedShard final : public netsim::ShardProgram {
+ public:
+  BoundedShard(const Trace& trace, const CacheSimOptions& options,
+               std::size_t index, std::size_t shards,
+               std::vector<ResolverCacheResult>& results)
+      : trace_(trace),
+        options_(options),
+        index_(index),
+        shards_(shards),
+        results_(results),
+        exp_(trace.resolvers),
+        live_(trace.resolvers, 0),
+        local_(trace.resolvers) {
+    for (std::uint32_t r = 0; r < trace_.resolvers; ++r) {
+      if (shard_of_id(r, shards_) == index_) {
+        strategy_[r] = resolver::make_eviction_strategy(options_.policy);
+      }
+    }
+  }
+
+  // The whole replay runs in the first epoch: shards never exchange mail,
+  // so there is nothing to synchronize at epoch boundaries.
+  void epoch(netsim::ShardContext& ctx, SimTime) override {
+    if (done_) return;
+    done_ = true;
+    auto& evictions = ctx.metrics().counter("cache_sim.capacity_evictions");
+    auto& ages = ctx.metrics().histogram("cache_sim.eviction_age_s");
+    for (std::uint64_t seq = 0; seq < trace_.queries.size(); ++seq) {
+      const TraceQuery& q = trace_.queries[seq];
+      const std::uint32_t r = q.resolver;
+      if (strategy_.find(r) == strategy_.end()) continue;
+      replay_one(q, seq, evictions, ages);
+    }
+    std::uint64_t hit_total = 0;
+    std::uint64_t miss_total = 0;
+    for (const auto& local : local_) {
+      hit_total += local.hits;
+      miss_total += local.misses;
+    }
+    ctx.metrics().counter("cache_sim.queries").inc(hit_total + miss_total);
+    ctx.metrics().counter("cache_sim.hits").inc(hit_total);
+    ctx.metrics().counter("cache_sim.misses").inc(miss_total);
+  }
+
+  bool done(const netsim::ShardContext&) const override { return done_; }
+
+  void finish(netsim::ShardContext&) override {
+    // Serial, in shard-index order: publish owned resolvers' rows.
+    for (std::uint32_t r = 0; r < trace_.resolvers; ++r) {
+      if (shard_of_id(r, shards_) != index_) continue;
+      results_[r].hits = local_[r].hits;
+      results_[r].misses = local_[r].misses;
+      results_[r].max_cache_size = local_[r].peak;
+      results_[r].premature_evictions = local_[r].premature;
+    }
+  }
+
+ private:
+  struct Slot {
+    SimTime expiry = 0;
+    SimTime inserted_at = 0;
+    resolver::EntryId id = 0;
+  };
+  struct PendingExpiry {
+    SimTime when;
+    std::uint64_t seq;
+    Key key;
+  };
+  struct LaterExpiry {
+    bool operator()(const PendingExpiry& a, const PendingExpiry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  struct LocalTally {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t premature = 0;
+    std::size_t peak = 0;
+  };
+
+  void replay_one(const TraceQuery& q, std::uint64_t seq, obs::Counter& evictions,
+                  obs::Histogram& ages) {
+    const std::uint32_t r = q.resolver;
+    resolver::EvictionStrategy& strategy = *strategy_[r];
+    // Retire this resolver's entries that expired by now. Sweeping per
+    // resolver (not globally) keeps retirement timing a pure function of
+    // the resolver's own query sequence, independent of shard layout.
+    auto& pending = exp_[r];
+    while (!pending.empty() && pending.top().when <= q.time) {
+      const PendingExpiry e = pending.top();
+      pending.pop();
+      const Slot* slot = cache_.find(e.key);
+      // Skip stale records (entry refreshed or already evicted); the reads
+      // happen before the erase relocates the slot.
+      if (slot != nullptr && slot->expiry <= e.when) {
+        strategy.on_erase(slot->id);
+        key_of_id_.erase(slot->id);
+        cache_.erase(e.key);
+        --live_[r];
+      }
+    }
+
+    const Key key = key_of(q, options_.with_ecs);
+    auto& local = local_[r];
+    const Slot* slot = cache_.find(key);
+    if (slot != nullptr && slot->expiry > q.time) {
+      ++local.hits;
+      strategy.on_hit(slot->id);
+      return;
+    }
+    // The sweep retires anything with expiry <= q.time before the probe,
+    // so a miss never finds a stale slot to refresh.
+    ECSDNS_DCHECK(slot == nullptr);
+    ++local.misses;
+    const std::uint32_t ttl_s = options_.ttl_override.value_or(q.ttl_s);
+    // TTL-0 answers are used once and never cached (RFC 1035), mirroring
+    // EcsCache::insert.
+    if (ttl_s == 0) return;
+    // Make room BEFORE inserting, so the bound is never exceeded — not
+    // even transiently — and the incoming entry is not a victim candidate.
+    while (live_[r] >= *options_.max_entries_per_resolver &&
+           strategy.tracked() > 0) {
+      const resolver::EntryId victim = strategy.pick_victim();
+      const auto vkey_it = key_of_id_.find(victim);
+      ECSDNS_DCHECK(vkey_it != key_of_id_.end());
+      const Key vkey = vkey_it->second;
+      const Slot* vslot = cache_.find(vkey);
+      ECSDNS_DCHECK(vslot != nullptr && vslot->id == victim);
+      const SimTime age = q.time > vslot->inserted_at ? q.time - vslot->inserted_at : 0;
+      ages.observe(static_cast<std::uint64_t>(age / netsim::kSecond));
+      strategy.on_erase(victim);
+      key_of_id_.erase(vkey_it);
+      cache_.erase(vkey);
+      --live_[r];
+      ++local.premature;
+      evictions.inc();
+    }
+    const SimTime expiry = q.time + static_cast<SimTime>(ttl_s) * netsim::kSecond;
+    const resolver::EntryId id = next_id_++;
+    cache_.insert_or_assign(key, Slot{expiry, q.time, id});
+    strategy.on_insert(id, resolver::EntryTraits{key.block.length()});
+    key_of_id_[id] = key;
+    ++live_[r];
+    local.peak = std::max(local.peak, live_[r]);
+    pending.push(PendingExpiry{expiry, seq, key});
+  }
+
+  const Trace& trace_;
+  const CacheSimOptions& options_;
+  std::size_t index_;
+  std::size_t shards_;
+  std::vector<ResolverCacheResult>& results_;
+
+  bool done_ = false;
+  dnscore::FlatHashMap<Key, Slot, KeyHash> cache_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<resolver::EvictionStrategy>>
+      strategy_;
+  std::unordered_map<resolver::EntryId, Key> key_of_id_;
+  resolver::EntryId next_id_ = 1;
+  std::vector<std::priority_queue<PendingExpiry, std::vector<PendingExpiry>,
+                                  LaterExpiry>>
+      exp_;
+  std::vector<std::size_t> live_;
+  std::vector<LocalTally> local_;
+};
+
+CacheSimResult simulate_bounded(const Trace& trace, const CacheSimOptions& options) {
+  const std::size_t shards = std::max<std::size_t>(1, options.shards);
+  std::vector<ResolverCacheResult> results(trace.resolvers);
+  for (std::uint32_t r = 0; r < trace.resolvers; ++r) results[r].resolver = r;
+
+  std::vector<std::unique_ptr<netsim::ShardProgram>> programs;
+  programs.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    programs.push_back(
+        std::make_unique<BoundedShard>(trace, options, s, shards, results));
+  }
+
+  netsim::ParallelConfig config;
+  config.shards = shards;
+  config.threads = options.threads;
+  // Epoch length is irrelevant — the shards exchange no messages and each
+  // replays fully inside its first epoch.
+  config.epoch = netsim::kSecond;
+  netsim::ParallelEngine engine(config, std::move(programs));
+  engine.run();
+  engine.merge_metrics(obs::MetricsRegistry::global());
+
+  CacheSimResult out;
+  out.per_resolver = std::move(results);
+  return out;
+}
+
 CacheSimResult simulate_sharded(const Trace& trace, const CacheSimOptions& options) {
   const std::size_t shards = options.shards;
   std::vector<ResolverCacheResult> results(trace.resolvers);
@@ -460,13 +627,13 @@ CacheSimResult simulate_sharded(const Trace& trace, const CacheSimOptions& optio
   return out;
 }
 
-// The sharded path's preconditions; anything else replays serially. Bounded
-// caches couple keys through the LRU order; a zero effective TTL makes an
-// entry expire at its own insert time, which the expire-before-insert merge
-// order cannot represent; replay windows assume a time-sorted trace.
+// The key-partitioned path's preconditions; anything else replays serially.
+// (Bounded caches never reach here — they partition by resolver instead.)
+// A zero effective TTL makes an entry expire at its own insert time, which
+// the expire-before-insert merge order cannot represent; replay windows
+// assume a time-sorted trace.
 bool shardable(const Trace& trace, const CacheSimOptions& options) {
   if (options.shards <= 1) return false;
-  if (options.max_entries_per_resolver) return false;
   SimTime prev = 0;
   for (const auto& q : trace.queries) {
     if (q.time < prev) return false;
@@ -480,7 +647,9 @@ bool shardable(const Trace& trace, const CacheSimOptions& options) {
 
 CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options) {
   CacheSimResult out;
-  if (shardable(trace, options)) {
+  if (options.max_entries_per_resolver) {
+    out = simulate_bounded(trace, options);
+  } else if (shardable(trace, options)) {
     out = simulate_sharded(trace, options);
   } else {
     out = simulate_serial(trace, options);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "measurement/tracegen.h"
+#include "resolver/eviction.h"
 
 namespace ecsdns::measurement {
 
@@ -19,17 +20,22 @@ struct CacheSimOptions {
   // Overrides every response TTL (Figure 1 re-runs the CDN trace at 20, 40,
   // and 60 seconds).
   std::optional<std::uint32_t> ttl_override;
-  // Bounds each resolver's cache; overflow evicts the least-recently-used
-  // entry before its TTL ("premature eviction", the operational cost §7
+  // Bounds each resolver's cache; overflow evicts an entry chosen by
+  // `policy` before its TTL ("premature eviction", the operational cost §7
   // says operators must size against). Unset = unbounded, the paper's
   // baseline assumption.
   std::optional<std::size_t> max_entries_per_resolver;
-  // Shards the replay over N event-loop shards (netsim::ParallelEngine):
-  // cache keys partition by stable hash, per-resolver occupancy merges via
-  // cross-shard delta streams. Results are bit-identical to the serial
-  // replay for every shard and thread count (the serial-equivalence oracle
-  // in tests/test_parallel_determinism.cpp enforces this). Bounded caches
-  // couple keys through the LRU order and always replay serially.
+  // Victim selection for bounded replays (resolver::EvictionPolicy); LRU
+  // preserves the historical behavior.
+  resolver::EvictionPolicy policy = resolver::EvictionPolicy::kLru;
+  // Shards the replay over N event-loop shards (netsim::ParallelEngine).
+  // Unbounded: cache keys partition by stable hash, per-resolver occupancy
+  // merges via cross-shard delta streams. Bounded: eviction couples every
+  // key of a resolver, but never keys of different resolvers, so whole
+  // resolvers partition across shards and replay independently. Either
+  // way, results are bit-identical to the serial replay for every shard
+  // and thread count (the serial-equivalence oracle in
+  // tests/test_parallel_determinism.cpp enforces this).
   std::size_t shards = 1;
   // Worker threads for the sharded replay; 0 = one per shard, capped at
   // the hardware. Never affects results.

@@ -139,6 +139,15 @@ void preregister_core_metrics(MetricsRegistry& registry) {
   registry.counter("cache.misses");
   registry.counter("cache.insertions");
   registry.counter("cache.expired_evictions");
+  registry.counter("cache.capacity_evictions");
+  registry.counter("cache.capacity_evictions.lru");
+  registry.counter("cache.capacity_evictions.lfu");
+  registry.counter("cache.capacity_evictions.sieve");
+  registry.counter("cache.capacity_evictions.scope");
+  registry.counter("cache.cleared_entries");
+  registry.counter("cache.replacements");
+  registry.counter("cache.ttl_zero_skips");
+  registry.histogram("cache.eviction_age_s");
   registry.gauge("cache.live_entries");
   registry.counter("resolver.client_queries");
   registry.counter("resolver.upstream_queries");

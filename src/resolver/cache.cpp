@@ -6,13 +6,46 @@
 
 namespace ecsdns::resolver {
 
-EcsCache::EcsCache() {
+namespace {
+
+// Deterministic size estimate: struct footprint plus owned-heap footprint of
+// the record set and name. Good enough for sizing curves; never reads the
+// allocator.
+std::size_t approx_entry_bytes(const Name& qname, const CacheEntry& entry) {
+  std::size_t bytes = sizeof(CacheEntry) + qname.wire_length();
+  bytes += entry.records.capacity() * sizeof(ResourceRecord);
+  return bytes;
+}
+
+}  // namespace
+
+EcsCache::EcsCache() { register_metrics(); }
+
+EcsCache::EcsCache(CacheConfig config) : config_(config) {
+  if (config_.bounded()) {
+    strategy_ = make_eviction_strategy(config_.policy);
+  }
+  register_metrics();
+}
+
+void EcsCache::register_metrics() {
   auto& registry = obs::MetricsRegistry::global();
   metrics_.hits = obs::CounterHandle(registry.counter("cache.hits"));
   metrics_.misses = obs::CounterHandle(registry.counter("cache.misses"));
   metrics_.insertions = obs::CounterHandle(registry.counter("cache.insertions"));
   metrics_.expired_evictions =
       obs::CounterHandle(registry.counter("cache.expired_evictions"));
+  metrics_.capacity_evictions =
+      obs::CounterHandle(registry.counter("cache.capacity_evictions"));
+  metrics_.capacity_evictions_policy = obs::CounterHandle(
+      registry.counter("cache.capacity_evictions." + to_string(config_.policy)));
+  metrics_.cleared_entries =
+      obs::CounterHandle(registry.counter("cache.cleared_entries"));
+  metrics_.replacements = obs::CounterHandle(registry.counter("cache.replacements"));
+  metrics_.ttl_zero_skips =
+      obs::CounterHandle(registry.counter("cache.ttl_zero_skips"));
+  metrics_.eviction_age_s =
+      obs::HistogramHandle(registry.histogram("cache.eviction_age_s"));
   metrics_.live_entries = obs::GaugeHandle(registry.gauge("cache.live_entries"));
 }
 
@@ -65,8 +98,11 @@ const CacheEntry* EcsCache::lookup(const Name& qname, RRType qtype,
           // is hot: expiry is bulk-correlated (entries inserted together
           // age together), and sweeping here keeps size() truthful instead
           // of deferring to the next purge_expired().
-          note_expirations(bucket.erase_if(
-              [now](const auto& slot) { return slot.value.expiry <= now; }));
+          note_expirations(bucket.erase_if([&](const auto& slot) {
+            if (slot.value.expiry > now) return false;
+            if (strategy_ != nullptr) forget_entry(slot.value);
+            return true;
+          }));
         } else if (best == nullptr) {
           best = entry;  // longest first: first live hit wins
         }
@@ -89,6 +125,7 @@ const CacheEntry* EcsCache::lookup(const Name& qname, RRType qtype,
     // flag agrees with its prefix length.
     ECSDNS_DCHECK(best->expiry > now);
     ECSDNS_DCHECK(best->global == (best->network.length() == 0));
+    if (strategy_ != nullptr) strategy_->on_hit(best->id);
     ++stats_.hits;
     metrics_.hits.inc();
   } else {
@@ -108,6 +145,15 @@ void EcsCache::insert(const Name& qname, RRType qtype, const Prefix& network,
   ECSDNS_DCHECK(network.length() <= static_cast<int>(echo_scope) ||
                 network.length() == 0);
   ECSDNS_DCHECK(static_cast<int>(echo_scope) <= network.address().bit_length());
+  // RFC 1035 §3.2.1 / RFC 7871: a TTL of zero means "use once, do not
+  // cache". Storing it created an entry with expiry == now that the very
+  // next lookup swept, inflating insertions/expired_evictions with pure
+  // churn — skip it entirely.
+  if (ttl <= 0) {
+    ++stats_.ttl_zero_skips;
+    metrics_.ttl_zero_skips.inc();
+    return;
+  }
   CacheEntry entry;
   entry.network = network;
   entry.global = network.length() == 0;
@@ -115,11 +161,33 @@ void EcsCache::insert(const Name& qname, RRType qtype, const Prefix& network,
   entry.scope = echo_scope;
   entry.inserted_at = now;
   entry.expiry = now + ttl;
-  auto& bucket = map_[Key{qname, qtype}].bucket_for(network.length());
   const auto key = entry.global ? Prefix{} : network;
+  entry.approx_bytes = approx_entry_bytes(qname, entry);
+  if (strategy_ != nullptr) {
+    // A same-network insert replaces the old entry; retire its eviction
+    // state before insert_or_assign overwrites (and forgets) its id. The
+    // bucket reference is scoped: make_room below relocates the table.
+    bool replacing = false;
+    {
+      auto& bucket = map_[Key{qname, qtype}].bucket_for(network.length());
+      if (const CacheEntry* old = bucket.entries.find(key)) {
+        forget_entry(*old);
+        replacing = true;
+      }
+    }
+    entry.id = next_id_++;
+    make_room(replacing ? 0 : 1, entry.approx_bytes, now);
+    live_bytes_ += entry.approx_bytes;
+    strategy_->on_insert(entry.id, EntryTraits{network.length()});
+    index_[entry.id] = EntryLoc{qname, qtype, key, network.length()};
+  }
+  auto& bucket = map_[Key{qname, qtype}].bucket_for(network.length());
   const auto [slot, inserted] = bucket.entries.insert_or_assign(key, std::move(entry));
   (void)slot;
-  if (inserted) {
+  if (!inserted) {
+    ++stats_.replacements;
+    metrics_.replacements.inc();
+  } else {
     ++live_entries_;
     metrics_.live_entries.add(1);
   }
@@ -135,8 +203,11 @@ void EcsCache::purge_expired(SimTime now) {
   map_.for_each([&](auto& slot) {
     auto& buckets = slot.value.by_length;
     for (auto bucket_it = buckets.begin(); bucket_it != buckets.end();) {
-      note_expirations(bucket_it->entries.erase_if(
-          [now](const auto& e) { return e.value.expiry <= now; }));
+      note_expirations(bucket_it->entries.erase_if([&](const auto& e) {
+        if (e.value.expiry > now) return false;
+        if (strategy_ != nullptr) forget_entry(e.value);
+        return true;
+      }));
       if (bucket_it->entries.empty()) {
         bucket_it = buckets.erase(bucket_it);
       } else {
@@ -163,8 +234,18 @@ std::size_t EcsCache::entries_for(const Name& qname, RRType qtype, SimTime now) 
 
 void EcsCache::clear() {
   map_.clear();
+  // The dropped entries must land in a counter or the accounting identity
+  // (insertions == live + expired + capacity + cleared + replacements)
+  // silently breaks across a clear.
+  stats_.cleared_entries += live_entries_;
+  metrics_.cleared_entries.inc(live_entries_);
   metrics_.live_entries.add(-static_cast<std::int64_t>(live_entries_));
   live_entries_ = 0;
+  live_bytes_ = 0;
+  if (strategy_ != nullptr) {
+    strategy_->clear();
+    index_.clear();
+  }
 }
 
 void EcsCache::note_size() {
@@ -177,6 +258,65 @@ void EcsCache::note_expirations(std::size_t n) {
   live_entries_ -= n;
   metrics_.expired_evictions.inc(n);
   metrics_.live_entries.add(-static_cast<std::int64_t>(n));
+}
+
+void EcsCache::forget_entry(const CacheEntry& entry) {
+  ECSDNS_DCHECK(strategy_ != nullptr);
+  strategy_->on_erase(entry.id);
+  index_.erase(entry.id);
+  ECSDNS_DCHECK(live_bytes_ >= entry.approx_bytes);
+  live_bytes_ -= entry.approx_bytes;
+}
+
+void EcsCache::make_room(std::size_t incoming_entries, std::size_t incoming_bytes,
+                         SimTime now) {
+  const auto exceeds = [&] {
+    if (config_.capacity_entries &&
+        live_entries_ + incoming_entries > *config_.capacity_entries) {
+      return true;
+    }
+    if (config_.capacity_bytes &&
+        live_bytes_ + incoming_bytes > *config_.capacity_bytes) {
+      return true;
+    }
+    return false;
+  };
+  // tracked() can hit zero while the bound is still exceeded (a single
+  // entry larger than the byte budget); the entry is stored anyway — the
+  // bound is a target, not a hard allocator limit.
+  while (strategy_->tracked() > 0 && exceeds()) evict_victim(now);
+}
+
+void EcsCache::evict_victim(SimTime now) {
+  const EntryId victim = strategy_->pick_victim();
+  const auto loc_it = index_.find(victim);
+  ECSDNS_DCHECK(loc_it != index_.end());
+  const EntryLoc loc = loc_it->second;
+  QuestionEntries* question =
+      map_.find_with(Key::hash_of(loc.qname, loc.qtype), [&](const Key& k) {
+        return k.qtype == loc.qtype && k.qname == loc.qname;
+      });
+  ECSDNS_DCHECK(question != nullptr);
+  auto& buckets = question->by_length;
+  for (auto bucket_it = buckets.begin(); bucket_it != buckets.end();
+       ++bucket_it) {
+    if (bucket_it->length != loc.length) continue;
+    const CacheEntry* doomed = bucket_it->entries.find(loc.key);
+    ECSDNS_DCHECK(doomed != nullptr && doomed->id == victim);
+    const SimTime age = now > doomed->inserted_at ? now - doomed->inserted_at : 0;
+    metrics_.eviction_age_s.observe(
+        static_cast<std::uint64_t>(age / netsim::kSecond));
+    forget_entry(*doomed);
+    bucket_it->entries.erase(loc.key);
+    if (bucket_it->entries.empty()) buckets.erase(bucket_it);
+    break;
+  }
+  if (buckets.empty()) map_.erase(Key{loc.qname, loc.qtype});
+  --live_entries_;
+  ++stats_.capacity_evictions;
+  metrics_.capacity_evictions.inc();
+  metrics_.capacity_evictions_policy.inc();
+  metrics_.live_entries.add(-1);
 }
 
 }  // namespace ecsdns::resolver

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dnscore/flat_hash.h"
@@ -20,6 +22,7 @@
 #include "dnscore/types.h"
 #include "netsim/geo.h"
 #include "obs/metrics.h"
+#include "resolver/eviction.h"
 
 namespace ecsdns::resolver {
 
@@ -38,6 +41,8 @@ struct CacheEntry {
   std::uint8_t scope = 0;  // scope to echo to clients (RFC 7871 §7.2.1)
   SimTime inserted_at = 0;
   SimTime expiry = 0;
+  EntryId id = 0;  // eviction handle; 0 in unbounded caches
+  std::size_t approx_bytes = 0;  // deterministic sizeof-based estimate
 };
 
 struct CacheStats {
@@ -45,17 +50,31 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t expired_evictions = 0;
+  std::uint64_t capacity_evictions = 0;  // evicted live by the bound
+  std::uint64_t cleared_entries = 0;     // dropped live by clear()
+  std::uint64_t replacements = 0;        // overwritten by a same-network insert
+  std::uint64_t ttl_zero_skips = 0;      // TTL-0 answers never cached (RFC 1035)
   std::size_t max_entries = 0;  // high-water mark of live entries
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+  // Every insertion is either still live or left through exactly one exit;
+  // tests assert this identity after arbitrary operation sequences.
+  std::uint64_t accounted_insertions(std::size_t live) const {
+    return static_cast<std::uint64_t>(live) + expired_evictions +
+           capacity_evictions + cleared_entries + replacements;
+  }
 };
 
 class EcsCache {
  public:
+  // Unbounded (the paper's §7 baseline): entries leave only by TTL.
   EcsCache();
+  // Bounded: once `config.capacity_entries` / `capacity_bytes` is exceeded,
+  // `config.policy` names victims until the cache fits again.
+  explicit EcsCache(CacheConfig config);
 
   // Looks up an answer valid for `client` at virtual time `now`. A nullopt
   // `client` matches only global (scope 0) entries — that is what a cache
@@ -80,6 +99,9 @@ class EcsCache {
   std::size_t entries_for(const Name& qname, RRType qtype, SimTime now);
 
   std::size_t size() const noexcept { return live_entries_; }
+  // Approximate bytes held by live entries; tracked only when bounded.
+  std::size_t approx_bytes() const noexcept { return live_bytes_; }
+  const CacheConfig& config() const noexcept { return config_; }
   const CacheStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
   void clear();
@@ -127,16 +149,48 @@ class EcsCache {
     obs::CounterHandle misses;
     obs::CounterHandle insertions;
     obs::CounterHandle expired_evictions;
+    obs::CounterHandle capacity_evictions;
+    obs::CounterHandle capacity_evictions_policy;  // per-policy breakdown
+    obs::CounterHandle cleared_entries;
+    obs::CounterHandle replacements;
+    obs::CounterHandle ttl_zero_skips;
+    obs::HistogramHandle eviction_age_s;  // log2 age at capacity eviction
     obs::GaugeHandle live_entries;
   };
 
+  // Where a live entry sits, so a victim named by id can be erased without
+  // scanning. Maintained only when bounded — the unbounded hot path (the
+  // perf-gated §7 replay) never touches it.
+  struct EntryLoc {
+    Name qname;
+    RRType qtype = RRType::A;
+    Prefix key;  // bucket key: zero prefix for global entries
+    int length = 0;
+  };
+
   dnscore::FlatHashMap<Key, QuestionEntries, KeyHash> map_;
+  CacheConfig config_;
+  std::unique_ptr<EvictionStrategy> strategy_;  // null when unbounded
+  std::unordered_map<EntryId, EntryLoc> index_;
+  EntryId next_id_ = 1;
   CacheStats stats_;
   std::size_t live_entries_ = 0;
+  std::size_t live_bytes_ = 0;
   Metrics metrics_;
 
+  void register_metrics();
   void note_size();
   void note_expirations(std::size_t n);
+  // Drops a live entry from the eviction bookkeeping (strategy + id index +
+  // byte accounting). No-op stats-wise; callers count the exit themselves.
+  void forget_entry(const CacheEntry& entry);
+  // Evicts strategy-named victims until an insert adding `incoming_entries`
+  // entries and `incoming_bytes` bytes fits the configured bound — room is
+  // made BEFORE the insert, so the bound is never observably exceeded.
+  void make_room(std::size_t incoming_entries, std::size_t incoming_bytes,
+                 SimTime now);
+  // Evicts exactly one strategy-named victim.
+  void evict_victim(SimTime now);
 };
 
 }  // namespace ecsdns::resolver

@@ -14,6 +14,7 @@
 #include "dnscore/ip.h"
 #include "dnscore/name.h"
 #include "netsim/geo.h"
+#include "resolver/eviction.h"
 
 namespace ecsdns::resolver {
 
@@ -137,6 +138,12 @@ struct ResolverConfig {
   bool qname_minimization = false;
   // Sends ECS on NS queries (answered with zero scope per the RFC).
   bool ecs_on_ns_queries = false;
+
+  // --- cache memory bound ---
+  // Default-constructed (unbounded) reproduces the paper's infinite-cache
+  // assumption; set capacity_entries/capacity_bytes + policy to study
+  // eviction under ECS blow-up.
+  CacheConfig cache;
 
   // --- presets matching the paper's behavior classes ---
   static ResolverConfig correct();              // §6.3.2 category 1 (76 resolvers)

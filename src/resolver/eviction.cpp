@@ -1,0 +1,247 @@
+#include "resolver/eviction.h"
+
+#include <list>
+
+#include "dnscore/contracts.h"
+
+namespace ecsdns::resolver {
+
+std::string to_string(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kLfu: return "lfu";
+    case EvictionPolicy::kSieve: return "sieve";
+    case EvictionPolicy::kScopeAware: return "scope";
+  }
+  return "unknown";
+}
+
+std::optional<EvictionPolicy> eviction_policy_from_string(const std::string& text) {
+  if (text == "lru") return EvictionPolicy::kLru;
+  if (text == "lfu") return EvictionPolicy::kLfu;
+  if (text == "sieve") return EvictionPolicy::kSieve;
+  if (text == "scope" || text == "scope-aware") return EvictionPolicy::kScopeAware;
+  return std::nullopt;
+}
+
+namespace {
+
+// LRU: victim is the entry with the oldest access stamp. The stamp is an
+// internal logical clock (one tick per insert/hit), so victim order depends
+// only on the event sequence, never on EntryId values.
+class LruStrategy final : public EvictionStrategy {
+ public:
+  void on_insert(EntryId id, const EntryTraits&) override { touch(id); }
+
+  void on_hit(EntryId id) override {
+    ECSDNS_DCHECK(stamp_of_.count(id) != 0);
+    order_.erase(stamp_of_[id]);
+    touch(id);
+  }
+
+  void on_erase(EntryId id) override {
+    auto it = stamp_of_.find(id);
+    ECSDNS_DCHECK(it != stamp_of_.end());
+    order_.erase(it->second);
+    stamp_of_.erase(it);
+  }
+
+  EntryId pick_victim() override {
+    ECSDNS_DCHECK(!order_.empty());
+    return order_.begin()->second;
+  }
+
+  void clear() override {
+    order_.clear();
+    stamp_of_.clear();
+  }
+
+  std::size_t tracked() const override { return stamp_of_.size(); }
+
+ private:
+  void touch(EntryId id) {
+    const std::uint64_t stamp = clock_++;
+    order_[stamp] = id;
+    stamp_of_[id] = stamp;
+  }
+
+  std::uint64_t clock_ = 0;
+  std::map<std::uint64_t, EntryId> order_;  // stamp -> id, oldest first
+  std::unordered_map<EntryId, std::uint64_t> stamp_of_;
+};
+
+// LFU: victim is the least-frequently-hit entry; ties break toward the
+// least recently used (oldest stamp) so the order is total and stable.
+class LfuStrategy final : public EvictionStrategy {
+ public:
+  void on_insert(EntryId id, const EntryTraits&) override { place(id, 1); }
+
+  void on_hit(EntryId id) override {
+    auto it = rank_of_.find(id);
+    ECSDNS_DCHECK(it != rank_of_.end());
+    const std::uint64_t freq = it->second.first;
+    order_.erase(it->second);
+    place(id, freq + 1);
+  }
+
+  void on_erase(EntryId id) override {
+    auto it = rank_of_.find(id);
+    ECSDNS_DCHECK(it != rank_of_.end());
+    order_.erase(it->second);
+    rank_of_.erase(it);
+  }
+
+  EntryId pick_victim() override {
+    ECSDNS_DCHECK(!order_.empty());
+    return order_.begin()->second;
+  }
+
+  void clear() override {
+    order_.clear();
+    rank_of_.clear();
+  }
+
+  std::size_t tracked() const override { return rank_of_.size(); }
+
+ private:
+  using Rank = std::pair<std::uint64_t, std::uint64_t>;  // (freq, stamp)
+
+  void place(EntryId id, std::uint64_t freq) {
+    const Rank rank{freq, clock_++};
+    order_[rank] = id;
+    rank_of_[id] = rank;
+  }
+
+  std::uint64_t clock_ = 0;
+  std::map<Rank, EntryId> order_;  // lowest (freq, stamp) first
+  std::unordered_map<EntryId, Rank> rank_of_;
+};
+
+// SIEVE (Zhang et al., NSDI'24), the core of S3-FIFO's small queue: a FIFO
+// with one visited bit per entry and a hand that sweeps from the oldest
+// entry toward the newest. Visited entries get a second chance (bit
+// cleared, hand moves on); the first unvisited entry is the victim. Hits
+// only set a bit — no list surgery — which is what makes SIEVE cheap; the
+// hand's position persists across evictions.
+class SieveStrategy final : public EvictionStrategy {
+ public:
+  void on_insert(EntryId id, const EntryTraits&) override {
+    queue_.push_back(Node{id, false});
+    where_[id] = std::prev(queue_.end());
+  }
+
+  void on_hit(EntryId id) override {
+    auto it = where_.find(id);
+    ECSDNS_DCHECK(it != where_.end());
+    it->second->visited = true;
+  }
+
+  void on_erase(EntryId id) override {
+    auto it = where_.find(id);
+    ECSDNS_DCHECK(it != where_.end());
+    // If the hand rests on the erased node, advance it to the next survivor
+    // toward the newest end; the sweep continues from there regardless of
+    // why the node left, so the outcome is independent of erase order.
+    if (hand_ == it->second) ++hand_;
+    queue_.erase(it->second);
+    where_.erase(it);
+  }
+
+  EntryId pick_victim() override {
+    ECSDNS_DCHECK(!queue_.empty());
+    if (hand_ == queue_.end()) hand_ = queue_.begin();
+    while (hand_->visited) {
+      hand_->visited = false;
+      if (++hand_ == queue_.end()) hand_ = queue_.begin();
+    }
+    return hand_->id;
+  }
+
+  void clear() override {
+    queue_.clear();
+    where_.clear();
+    hand_ = queue_.end();
+  }
+
+  std::size_t tracked() const override { return where_.size(); }
+
+ private:
+  struct Node {
+    EntryId id;
+    bool visited;
+  };
+
+  std::list<Node> queue_;  // front = oldest, back = newest
+  std::list<Node>::iterator hand_ = queue_.end();
+  std::unordered_map<EntryId, std::list<Node>::iterator> where_;
+};
+
+// Scope-aware: under ECS blow-up a question accumulates many overlapping
+// scoped entries plus (often) one broad or global answer that covers most
+// clients. Evicting the most-specific prefixes first collapses the overlap
+// while the shortest covering entry — the one that can still answer the
+// widest client population — survives longest; /0 (global) entries go
+// last. Within one prefix length the tie breaks LRU.
+class ScopeAwareStrategy final : public EvictionStrategy {
+ public:
+  void on_insert(EntryId id, const EntryTraits& traits) override {
+    place(id, traits.scope_bits);
+  }
+
+  void on_hit(EntryId id) override {
+    auto it = rank_of_.find(id);
+    ECSDNS_DCHECK(it != rank_of_.end());
+    const int neg_scope = it->second.first;
+    order_.erase(it->second);
+    place(id, -neg_scope);
+  }
+
+  void on_erase(EntryId id) override {
+    auto it = rank_of_.find(id);
+    ECSDNS_DCHECK(it != rank_of_.end());
+    order_.erase(it->second);
+    rank_of_.erase(it);
+  }
+
+  EntryId pick_victim() override {
+    ECSDNS_DCHECK(!order_.empty());
+    return order_.begin()->second;
+  }
+
+  void clear() override {
+    order_.clear();
+    rank_of_.clear();
+  }
+
+  std::size_t tracked() const override { return rank_of_.size(); }
+
+ private:
+  // (-scope_bits, stamp): longest prefixes sort first, global (/0) last,
+  // oldest stamp first within a length.
+  using Rank = std::pair<int, std::uint64_t>;
+
+  void place(EntryId id, int scope_bits) {
+    const Rank rank{-scope_bits, clock_++};
+    order_[rank] = id;
+    rank_of_[id] = rank;
+  }
+
+  std::uint64_t clock_ = 0;
+  std::map<Rank, EntryId> order_;
+  std::unordered_map<EntryId, Rank> rank_of_;
+};
+
+}  // namespace
+
+std::unique_ptr<EvictionStrategy> make_eviction_strategy(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru: return std::make_unique<LruStrategy>();
+    case EvictionPolicy::kLfu: return std::make_unique<LfuStrategy>();
+    case EvictionPolicy::kSieve: return std::make_unique<SieveStrategy>();
+    case EvictionPolicy::kScopeAware: return std::make_unique<ScopeAwareStrategy>();
+  }
+  ECSDNS_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace ecsdns::resolver

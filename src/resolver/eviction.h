@@ -1,0 +1,93 @@
+// Pluggable eviction policies for memory-bounded ECS caches.
+//
+// The paper's §7 cache experiments assume an infinite cache: every entry
+// lives for exactly its TTL. Production resolvers evict, and under ECS
+// blow-up the *choice* of victim decides how much of the blow-up cost
+// lands on the hit rate. This header is the seam both cache
+// implementations (resolver::EcsCache and measurement::cache_sim) share:
+// a capacity bound plus a strategy that observes inserts/hits/erases and
+// names a victim under pressure.
+//
+// Every strategy is strictly deterministic — victim choice is a pure
+// function of the observed event sequence (internal logical clocks, no
+// wall time, no randomness) — so bounded replays stay bit-identical
+// across shard and thread counts, extending the serial-equivalence
+// oracle to bounded caches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace ecsdns::resolver {
+
+// Which victim-selection strategy a bounded cache runs.
+enum class EvictionPolicy : std::uint8_t {
+  kLru,        // least recently used
+  kLfu,        // least frequently used, LRU tie-break
+  kSieve,      // SIEVE / S3-FIFO-style second-chance FIFO (lazy promotion)
+  kScopeAware, // collapse overlapping ECS scopes: most-specific prefix first
+};
+
+std::string to_string(EvictionPolicy policy);
+// Parses "lru" / "lfu" / "sieve" / "scope"; nullopt on anything else.
+std::optional<EvictionPolicy> eviction_policy_from_string(const std::string& text);
+// All four policies, in a stable order benches and tests sweep over.
+inline constexpr EvictionPolicy kAllEvictionPolicies[] = {
+    EvictionPolicy::kLru, EvictionPolicy::kLfu, EvictionPolicy::kSieve,
+    EvictionPolicy::kScopeAware};
+
+// Capacity configuration threaded from ResolverConfig / CacheSimOptions
+// down to the cache. Unset bounds mean "infinite", the paper's baseline
+// assumption; byte accounting is approximate (sizeof-based, deterministic)
+// and meant for sizing studies, not allocator-exact budgets.
+struct CacheConfig {
+  std::optional<std::size_t> capacity_entries;
+  std::optional<std::size_t> capacity_bytes;
+  EvictionPolicy policy = EvictionPolicy::kLru;
+
+  bool bounded() const noexcept {
+    return capacity_entries.has_value() || capacity_bytes.has_value();
+  }
+};
+
+// Opaque handle a cache assigns per live entry; strategies never interpret
+// it beyond identity.
+using EntryId = std::uint64_t;
+
+// What a strategy may know about an entry beyond its id. scope_bits is the
+// ECS prefix length of the entry's block (0 = global answer); only the
+// scope-aware policy reads it.
+struct EntryTraits {
+  int scope_bits = 0;
+};
+
+// Victim-selection engine. The owning cache reports every lifecycle event:
+//   on_insert  — a new entry became live (id is fresh, never reused while
+//                live);
+//   on_hit     — a lookup served the entry;
+//   on_erase   — the entry left the cache for any reason (TTL expiry,
+//                replacement, capacity eviction after pick_victim, clear).
+// pick_victim() names the entry to evict next; the cache then erases it
+// and reports that erase back through on_erase(). It must only be called
+// while at least one entry is tracked.
+class EvictionStrategy {
+ public:
+  virtual ~EvictionStrategy() = default;
+
+  virtual void on_insert(EntryId id, const EntryTraits& traits) = 0;
+  virtual void on_hit(EntryId id) = 0;
+  virtual void on_erase(EntryId id) = 0;
+  virtual EntryId pick_victim() = 0;
+  virtual void clear() = 0;
+  virtual std::size_t tracked() const = 0;
+};
+
+std::unique_ptr<EvictionStrategy> make_eviction_strategy(EvictionPolicy policy);
+
+}  // namespace ecsdns::resolver

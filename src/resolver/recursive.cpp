@@ -25,7 +25,8 @@ RecursiveResolver::RecursiveResolver(ResolverConfig config, netsim::Network& net
     : config_(std::move(config)),
       network_(network),
       own_address_(std::move(own_address)),
-      root_hints_(std::move(root_hints)) {
+      root_hints_(std::move(root_hints)),
+      cache_(config_.cache) {
   auto& registry = obs::MetricsRegistry::global();
   metrics_.client_queries =
       obs::CounterHandle(registry.counter("resolver.client_queries"));
@@ -320,6 +321,14 @@ RecursiveResolver::Resolution RecursiveResolver::resolve(
         // do — hit stays null only if neither matched.
       }
       if (hit != nullptr) {
+        // Copy the fields we need out of the entry immediately: the pointer
+        // lives in flat-table storage that relocates on the next cache
+        // mutation (cache.h), and the CNAME-restart path below re-enters
+        // the cache while this answer is still being assembled.
+        std::vector<ResourceRecord> records = hit->records;
+        const SimTime expiry = hit->expiry;
+        const std::uint8_t echo_scope = hit->scope;
+        hit = nullptr;
         ++counters_.cache_hits;
         metrics_.cache_hits.inc();
         auto& tracer = obs::TraceRing::global();
@@ -328,20 +337,14 @@ RecursiveResolver::Resolution RecursiveResolver::resolve(
                          own_address_, 0, current.qname.to_string()});
         }
         out.rcode = RCode::NOERROR;
-        for (auto rr : hit->records) {
-          // Serve the remaining TTL, per standard resolver behavior.
-          rr.ttl = static_cast<std::uint32_t>(
-              std::max<SimTime>(hit->expiry - now, 0) / netsim::kSecond);
-          out.answers.push_back(std::move(rr));
-        }
-        out.echo_scope = hit->scope;
+        out.echo_scope = echo_scope;
         // CNAME chain may continue from the cached records.
         bool restarted = false;
         if (current.qtype != RRType::CNAME) {
-          for (const auto& rr : hit->records) {
+          for (const auto& rr : records) {
             if (rr.type == RRType::CNAME && rr.name == current.qname) {
               bool have_final = false;
-              for (const auto& other : hit->records) {
+              for (const auto& other : records) {
                 if (other.type == current.qtype) have_final = true;
               }
               if (!have_final) {
@@ -351,6 +354,12 @@ RecursiveResolver::Resolution RecursiveResolver::resolve(
               break;
             }
           }
+        }
+        for (auto& rr : records) {
+          // Serve the remaining TTL, per standard resolver behavior.
+          rr.ttl = static_cast<std::uint32_t>(
+              std::max<SimTime>(expiry - now, 0) / netsim::kSecond);
+          out.answers.push_back(std::move(rr));
         }
         if (!restarted) return out;
         ++counters_.cname_restarts;

@@ -170,6 +170,77 @@ TEST(EcsCache, ClearResetsEntriesButKeepsStats) {
   EXPECT_EQ(cache.stats().insertions, 0u);
 }
 
+// Regression: a TTL-0 answer must not be cached at all (RFC 1035 §3.2.1,
+// RFC 7871 §7.3.1) — it used to be inserted already-expired, inflating
+// insertions/size until the next sweep.
+TEST(EcsCache, TtlZeroAnswersAreNotCached) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.3.0/24"), 24, answer("1.1.1.1"),
+               5 * kSecond, 0);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().ttl_zero_skips, 1u);
+  EXPECT_EQ(cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.3.4"), 5 * kSecond),
+            nullptr);
+}
+
+// Regression: clear() used to zero live_entries_ without recording where
+// the entries went, breaking the accounting identity
+// insertions == live + expired + capacity + cleared + replacements.
+TEST(EcsCache, ClearCountsDroppedEntries) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.3.0/24"), 24, answer("1.1.1.1"),
+               0, 20 * kSecond);
+  cache.insert(kQname, RRType::A, Prefix::parse("5.6.7.0/24"), 24, answer("2.2.2.2"),
+               0, 60 * kSecond);
+  // One entry expires (counted), one same-network insert replaces (counted).
+  cache.purge_expired(30 * kSecond);
+  cache.insert(kQname, RRType::A, Prefix::parse("5.6.7.0/24"), 24, answer("3.3.3.3"),
+               30 * kSecond, 60 * kSecond);
+  cache.clear();
+  EXPECT_EQ(cache.stats().cleared_entries, 1u);
+  EXPECT_EQ(cache.stats().expired_evictions, 1u);
+  EXPECT_EQ(cache.stats().replacements, 1u);
+  EXPECT_EQ(cache.stats().insertions, cache.stats().accounted_insertions(cache.size()));
+  // The identity keeps holding once the cache is reused after clear().
+  cache.insert(kQname, RRType::A, Prefix{}, 0, answer("4.4.4.4"), 40 * kSecond,
+               60 * kSecond);
+  EXPECT_EQ(cache.stats().insertions, cache.stats().accounted_insertions(cache.size()));
+}
+
+// Regression for the hazard documented on lookup(): the returned pointer
+// aims into flat open-addressing storage and dies on the next insert (the
+// table may rehash/relocate). Callers must copy what they need before
+// mutating the cache — this test reads only copied fields after inserts
+// that force a rehash, so a stale-pointer read in the pattern under test
+// would be flagged by ASan.
+TEST(EcsCache, HitSurvivesSubsequentInsertsViaCopy) {
+  EcsCache cache;
+  cache.insert(kQname, RRType::A, Prefix::parse("1.2.3.0/24"), 24, answer("9.9.9.1"),
+               0, 600 * kSecond);
+  const CacheEntry* hit =
+      cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.3.4"), kSecond);
+  ASSERT_NE(hit, nullptr);
+  // Copy out, then drop the pointer — the fix applied in recursive.cpp.
+  const std::vector<ResourceRecord> records = hit->records;
+  const netsim::SimTime expiry = hit->expiry;
+  const std::uint8_t echo_scope = hit->scope;
+  hit = nullptr;
+  // Grow the same bucket far past its initial capacity to force relocation.
+  for (int i = 0; i < 64; ++i) {
+    cache.insert(kQname, RRType::A,
+                 Prefix{IpAddress::v4(9, 9, static_cast<std::uint8_t>(i), 0), 24}, 24,
+                 answer("9.9.9.2"), kSecond, 600 * kSecond);
+  }
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], ResourceRecord::make_a(kQname, 20, IpAddress::parse("9.9.9.1")));
+  EXPECT_EQ(expiry, 600 * kSecond);
+  EXPECT_EQ(echo_scope, 24);
+  // The original entry is still servable after the churn.
+  EXPECT_NE(cache.lookup(kQname, RRType::A, IpAddress::parse("1.2.3.4"), 2 * kSecond),
+            nullptr);
+}
+
 TEST(EcsCacheStats, HitRate) {
   CacheStats s;
   EXPECT_DOUBLE_EQ(s.hit_rate(), 0.0);

@@ -1,0 +1,422 @@
+// Eviction-policy conformance: per-policy victim order, capacity
+// enforcement in the bounded EcsCache (entry and byte bounds, scope-aware
+// collapse), the cache accounting identity, and a randomized differential
+// test of every strategy against a naive reference model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/rng.h"
+#include "resolver/cache.h"
+#include "resolver/eviction.h"
+
+namespace ecsdns::resolver {
+namespace {
+
+using dnscore::IpAddress;
+using dnscore::Name;
+using dnscore::Prefix;
+using netsim::kSecond;
+
+TEST(EvictionPolicyNames, RoundTripThroughStrings) {
+  for (const auto policy : kAllEvictionPolicies) {
+    const auto parsed = eviction_policy_from_string(to_string(policy));
+    ASSERT_TRUE(parsed.has_value()) << to_string(policy);
+    EXPECT_EQ(*parsed, policy);
+  }
+  EXPECT_EQ(eviction_policy_from_string("scope-aware"), EvictionPolicy::kScopeAware);
+  EXPECT_FALSE(eviction_policy_from_string("").has_value());
+  EXPECT_FALSE(eviction_policy_from_string("mru").has_value());
+}
+
+TEST(LruStrategy, EvictsLeastRecentlyUsed) {
+  auto s = make_eviction_strategy(EvictionPolicy::kLru);
+  s->on_insert(1, {});
+  s->on_insert(2, {});
+  s->on_insert(3, {});
+  s->on_hit(1);  // 1 becomes most recent; 2 is now the coldest
+  EXPECT_EQ(s->pick_victim(), 2u);
+  s->on_erase(2);
+  EXPECT_EQ(s->pick_victim(), 3u);
+  s->on_erase(3);
+  EXPECT_EQ(s->pick_victim(), 1u);
+  EXPECT_EQ(s->tracked(), 1u);
+}
+
+TEST(LfuStrategy, EvictsLeastFrequentWithLruTieBreak) {
+  auto s = make_eviction_strategy(EvictionPolicy::kLfu);
+  s->on_insert(1, {});
+  s->on_insert(2, {});
+  s->on_insert(3, {});
+  s->on_hit(1);
+  s->on_hit(1);
+  s->on_hit(2);
+  EXPECT_EQ(s->pick_victim(), 3u);  // frequency 1 loses to 2 and 3
+  s->on_erase(3);
+  EXPECT_EQ(s->pick_victim(), 2u);  // frequency 2 loses to frequency 3
+  // Equal frequencies: the least recently touched goes first.
+  s->on_insert(4, {});
+  s->on_insert(5, {});
+  s->on_erase(2);
+  s->on_erase(1);
+  EXPECT_EQ(s->pick_victim(), 4u);
+  s->on_hit(4);
+  EXPECT_EQ(s->pick_victim(), 5u);
+}
+
+TEST(SieveStrategy, GivesVisitedEntriesASecondChance) {
+  auto s = make_eviction_strategy(EvictionPolicy::kSieve);
+  s->on_insert(1, {});
+  s->on_insert(2, {});
+  s->on_insert(3, {});
+  s->on_hit(1);
+  // Hand sweeps from the oldest: 1 is visited (bit cleared, spared), 2 is
+  // the first unvisited entry.
+  EXPECT_EQ(s->pick_victim(), 2u);
+  s->on_erase(2);
+  EXPECT_EQ(s->pick_victim(), 3u);
+  s->on_erase(3);
+  // Wraps around; 1's second chance was already spent.
+  EXPECT_EQ(s->pick_victim(), 1u);
+}
+
+TEST(SieveStrategy, HandSurvivesArbitraryErase) {
+  auto s = make_eviction_strategy(EvictionPolicy::kSieve);
+  s->on_insert(1, {});
+  s->on_insert(2, {});
+  s->on_insert(3, {});
+  EXPECT_EQ(s->pick_victim(), 1u);  // hand now rests on 1
+  // 1 leaves for another reason (TTL expiry); the hand must move on to the
+  // next survivor instead of dangling.
+  s->on_erase(1);
+  EXPECT_EQ(s->pick_victim(), 2u);
+  s->on_erase(2);
+  EXPECT_EQ(s->pick_victim(), 3u);
+}
+
+TEST(ScopeAwareStrategy, EvictsMostSpecificFirstGlobalLast) {
+  auto s = make_eviction_strategy(EvictionPolicy::kScopeAware);
+  s->on_insert(1, EntryTraits{0});   // global
+  s->on_insert(2, EntryTraits{16});
+  s->on_insert(3, EntryTraits{24});
+  EXPECT_EQ(s->pick_victim(), 3u);  // most specific collapses first
+  s->on_erase(3);
+  EXPECT_EQ(s->pick_victim(), 2u);
+  s->on_erase(2);
+  EXPECT_EQ(s->pick_victim(), 1u);  // the global entry survives longest
+  // Within one prefix length the tie breaks LRU.
+  s->on_insert(4, EntryTraits{24});
+  s->on_insert(5, EntryTraits{24});
+  s->on_hit(4);
+  EXPECT_EQ(s->pick_victim(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential test: every strategy against a naive reference
+// that stores entries in a flat vector and scans for the victim.
+
+struct RefEntry {
+  EntryId id;
+  int scope;
+  std::uint64_t stamp;
+  std::uint64_t freq;
+  bool visited;
+};
+
+class ReferenceStrategy {
+ public:
+  explicit ReferenceStrategy(EvictionPolicy policy) : policy_(policy) {}
+
+  void insert(EntryId id, int scope) {
+    order_.push_back(RefEntry{id, scope, clock_++, 1, false});
+  }
+
+  void hit(EntryId id) {
+    auto& e = *find(id);
+    e.stamp = clock_++;
+    ++e.freq;
+    e.visited = true;
+  }
+
+  void erase(EntryId id) {
+    const auto idx = static_cast<std::size_t>(find(id) - order_.begin());
+    // Erasing at or before the SIEVE hand shifts the "next" element into
+    // the erased position, which is exactly where the hand should resume.
+    if (idx < hand_) --hand_;
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+
+  EntryId victim() {
+    EXPECT_FALSE(order_.empty());
+    if (policy_ == EvictionPolicy::kSieve) {
+      for (;;) {
+        if (hand_ >= order_.size()) hand_ = 0;
+        if (!order_[hand_].visited) return order_[hand_].id;
+        order_[hand_].visited = false;
+        ++hand_;
+      }
+    }
+    const RefEntry* best = &order_.front();
+    for (const auto& e : order_) {
+      if (rank(e) < rank(*best)) best = &e;
+    }
+    return best->id;
+  }
+
+  std::size_t size() const { return order_.size(); }
+  EntryId id_at(std::size_t i) const { return order_[i].id; }
+
+ private:
+  std::pair<std::int64_t, std::uint64_t> rank(const RefEntry& e) const {
+    switch (policy_) {
+      case EvictionPolicy::kLru:
+        return {0, e.stamp};
+      case EvictionPolicy::kLfu:
+        return {static_cast<std::int64_t>(e.freq), e.stamp};
+      case EvictionPolicy::kScopeAware:
+        return {-e.scope, e.stamp};
+      case EvictionPolicy::kSieve:
+        break;
+    }
+    ADD_FAILURE() << "rank() on SIEVE";
+    return {0, 0};
+  }
+
+  std::vector<RefEntry>::iterator find(EntryId id) {
+    const auto it = std::find_if(order_.begin(), order_.end(),
+                                 [id](const RefEntry& e) { return e.id == id; });
+    EXPECT_NE(it, order_.end());
+    return it;
+  }
+
+  EvictionPolicy policy_;
+  std::vector<RefEntry> order_;
+  std::size_t hand_ = 0;
+  std::uint64_t clock_ = 0;
+};
+
+class StrategyDifferential
+    : public ::testing::TestWithParam<std::tuple<EvictionPolicy, std::uint64_t>> {};
+
+TEST_P(StrategyDifferential, AgreesWithReferenceModel) {
+  const auto [policy, seed] = GetParam();
+  netsim::Rng rng(seed);
+  auto strategy = make_eviction_strategy(policy);
+  ReferenceStrategy reference(policy);
+  EntryId next_id = 1;
+
+  for (int op = 0; op < 3000; ++op) {
+    const double roll = rng.uniform_double();
+    if (reference.size() == 0 || roll < 0.45) {
+      const int scope = static_cast<int>(rng.uniform(33));
+      const EntryId id = next_id++;
+      strategy->on_insert(id, EntryTraits{scope});
+      reference.insert(id, scope);
+    } else if (roll < 0.75) {
+      const EntryId id = reference.id_at(rng.uniform(reference.size()));
+      strategy->on_hit(id);
+      reference.hit(id);
+    } else if (roll < 0.90) {
+      // An entry leaves for a non-capacity reason (expiry/replacement).
+      const EntryId id = reference.id_at(rng.uniform(reference.size()));
+      strategy->on_erase(id);
+      reference.erase(id);
+    } else {
+      // Capacity eviction: both sides must name the same victim. (SIEVE's
+      // pick mutates visited bits; issuing the pick to both models keeps
+      // them in lockstep.)
+      const EntryId got = strategy->pick_victim();
+      const EntryId want = reference.victim();
+      ASSERT_EQ(got, want) << to_string(policy) << " op " << op;
+      strategy->on_erase(got);
+      reference.erase(want);
+    }
+    ASSERT_EQ(strategy->tracked(), reference.size()) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, StrategyDifferential,
+    ::testing::Combine(::testing::ValuesIn(kAllEvictionPolicies),
+                       ::testing::Values(1u, 7u, 42u)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Bounded EcsCache conformance
+
+const Name kQname = Name::from_string("www.example.com");
+
+std::vector<dnscore::ResourceRecord> answer(const char* ip) {
+  return {dnscore::ResourceRecord::make_a(kQname, 20, IpAddress::parse(ip))};
+}
+
+Prefix block24(std::uint8_t b, std::uint8_t c) {
+  return Prefix{IpAddress::v4(10, b, c, 0), 24};
+}
+
+class BoundedCacheSweep : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(BoundedCacheSweep, CapacityIsNeverExceeded) {
+  CacheConfig config;
+  config.capacity_entries = 4;
+  config.policy = GetParam();
+  EcsCache cache(config);
+  for (int i = 0; i < 32; ++i) {
+    cache.insert(kQname, RRType::A,
+                 block24(static_cast<std::uint8_t>(i / 8),
+                         static_cast<std::uint8_t>(i % 8)),
+                 24, answer("9.9.9.1"), i * kSecond, 600 * kSecond);
+    ASSERT_LE(cache.size(), 4u) << "insert " << i;
+    ASSERT_LE(cache.stats().max_entries, 4u) << "insert " << i;
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().insertions, 32u);
+  EXPECT_EQ(cache.stats().capacity_evictions, 28u);
+  // The accounting identity holds: every insertion is live or counted out.
+  EXPECT_EQ(cache.stats().insertions,
+            cache.stats().accounted_insertions(cache.size()));
+}
+
+TEST_P(BoundedCacheSweep, AccountingIdentityHoldsUnderRandomizedOps) {
+  CacheConfig config;
+  config.capacity_entries = 6;
+  config.policy = GetParam();
+  EcsCache cache(config);
+  netsim::Rng rng(static_cast<std::uint64_t>(config.policy) + 100);
+  const std::vector<Name> names = {Name::from_string("a.example.com"),
+                                   Name::from_string("b.example.com")};
+  netsim::SimTime now = 0;
+  for (int op = 0; op < 2000; ++op) {
+    now += static_cast<netsim::SimTime>(rng.uniform(2 * kSecond));
+    const Name& qname = rng.pick(names);
+    const auto addr = IpAddress::v4(10, 0, static_cast<std::uint8_t>(rng.uniform(4)),
+                                    static_cast<std::uint8_t>(rng.uniform(8) * 32));
+    const double roll = rng.uniform_double();
+    if (roll < 0.5) {
+      const int scope = rng.chance(0.2) ? 0 : 24;
+      // TTL 0 now and then: those must be skipped, not churned.
+      const auto ttl = static_cast<netsim::SimTime>(
+          rng.uniform(20) * static_cast<std::uint64_t>(kSecond));
+      cache.insert(qname, RRType::A, Prefix{addr, scope},
+                   static_cast<std::uint8_t>(scope), {}, now, ttl);
+    } else if (roll < 0.9) {
+      (void)cache.lookup(qname, RRType::A, addr, now);
+    } else if (roll < 0.97) {
+      cache.purge_expired(now);
+    } else {
+      cache.clear();
+    }
+    ASSERT_LE(cache.size(), 6u) << "op " << op;
+    ASSERT_EQ(cache.stats().insertions,
+              cache.stats().accounted_insertions(cache.size()))
+        << "op " << op;
+  }
+  EXPECT_GT(cache.stats().capacity_evictions, 0u);
+  EXPECT_GT(cache.stats().ttl_zero_skips, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, BoundedCacheSweep,
+                         ::testing::ValuesIn(kAllEvictionPolicies),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(BoundedEcsCache, LruEvictsTheColdestEntry) {
+  CacheConfig config;
+  config.capacity_entries = 2;
+  config.policy = EvictionPolicy::kLru;
+  EcsCache cache(config);
+  cache.insert(kQname, RRType::A, Prefix::parse("10.1.1.0/24"), 24,
+               answer("1.1.1.1"), 0, 600 * kSecond);
+  cache.insert(kQname, RRType::A, Prefix::parse("10.1.2.0/24"), 24,
+               answer("2.2.2.2"), 0, 600 * kSecond);
+  // Touch the first entry; the second becomes the LRU victim.
+  EXPECT_NE(cache.lookup(kQname, RRType::A, IpAddress::parse("10.1.1.5"), kSecond),
+            nullptr);
+  cache.insert(kQname, RRType::A, Prefix::parse("10.1.3.0/24"), 24,
+               answer("3.3.3.3"), 2 * kSecond, 600 * kSecond);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().capacity_evictions, 1u);
+  EXPECT_NE(cache.lookup(kQname, RRType::A, IpAddress::parse("10.1.1.5"),
+                         3 * kSecond),
+            nullptr);
+  EXPECT_EQ(cache.lookup(kQname, RRType::A, IpAddress::parse("10.1.2.5"),
+                         3 * kSecond),
+            nullptr);  // evicted
+  EXPECT_NE(cache.lookup(kQname, RRType::A, IpAddress::parse("10.1.3.5"),
+                         3 * kSecond),
+            nullptr);
+}
+
+TEST(BoundedEcsCache, ScopeAwareCollapseKeepsShortestCoveringPrefix) {
+  CacheConfig config;
+  config.capacity_entries = 2;
+  config.policy = EvictionPolicy::kScopeAware;
+  EcsCache cache(config);
+  cache.insert(kQname, RRType::A, Prefix::parse("10.1.1.0/24"), 24,
+               answer("1.1.1.1"), 0, 600 * kSecond);
+  cache.insert(kQname, RRType::A, Prefix::parse("10.1.0.0/16"), 16,
+               answer("2.2.2.2"), 0, 600 * kSecond);
+  // The global answer arrives under pressure: the /24 — the most specific
+  // overlapping entry — collapses, and the shortest covering entries stay.
+  cache.insert(kQname, RRType::A, Prefix{}, 0, answer("3.3.3.3"), kSecond,
+               600 * kSecond);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().capacity_evictions, 1u);
+  const CacheEntry* hit =
+      cache.lookup(kQname, RRType::A, IpAddress::parse("10.1.1.5"), 2 * kSecond);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->network.length(), 16);  // served by the covering /16, not /24
+  const CacheEntry* elsewhere =
+      cache.lookup(kQname, RRType::A, IpAddress::parse("99.0.0.1"), 2 * kSecond);
+  ASSERT_NE(elsewhere, nullptr);
+  EXPECT_TRUE(elsewhere->global);
+}
+
+TEST(BoundedEcsCache, ByteBoundEvictsWhenEntriesAreLarge) {
+  // Measure one entry's approximate footprint, then allow room for three.
+  CacheConfig probe_config;
+  probe_config.capacity_entries = 100;
+  EcsCache probe(probe_config);
+  probe.insert(kQname, RRType::A, block24(0, 0), 24, answer("9.9.9.1"), 0,
+               600 * kSecond);
+  const std::size_t per_entry = probe.approx_bytes();
+  ASSERT_GT(per_entry, 0u);
+
+  CacheConfig config;
+  config.capacity_bytes = 3 * per_entry;
+  config.policy = EvictionPolicy::kLru;
+  EcsCache cache(config);
+  for (int i = 0; i < 10; ++i) {
+    cache.insert(kQname, RRType::A, block24(1, static_cast<std::uint8_t>(i)), 24,
+                 answer("9.9.9.1"), i * kSecond, 600 * kSecond);
+    ASSERT_LE(cache.approx_bytes(), *config.capacity_bytes) << "insert " << i;
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().capacity_evictions, 7u);
+}
+
+TEST(BoundedEcsCache, PerPolicyEvictionCounterAndAgeHistogramAdvance) {
+  auto& registry = obs::MetricsRegistry::global();
+  const auto evictions_before = registry.counter("cache.capacity_evictions.sieve").value();
+  const auto ages_before = registry.histogram("cache.eviction_age_s").count();
+  CacheConfig config;
+  config.capacity_entries = 1;
+  config.policy = EvictionPolicy::kSieve;
+  EcsCache cache(config);
+  cache.insert(kQname, RRType::A, block24(0, 1), 24, answer("1.1.1.1"), 0,
+               600 * kSecond);
+  // Evicted 8 seconds after insertion: one new age observation.
+  cache.insert(kQname, RRType::A, block24(0, 2), 24, answer("2.2.2.2"),
+               8 * kSecond, 600 * kSecond);
+  EXPECT_EQ(registry.counter("cache.capacity_evictions.sieve").value(),
+            evictions_before + 1);
+  EXPECT_EQ(registry.histogram("cache.eviction_age_s").count(), ages_before + 1);
+}
+
+}  // namespace
+}  // namespace ecsdns::resolver

@@ -148,5 +148,64 @@ TEST(CacheCrossValidation, EcsCacheMatchesTraceSimulator) {
   EXPECT_EQ(cache.stats().max_entries, sim.per_resolver[0].max_cache_size);
 }
 
+// Bounded cross-validation: under a capacity bound, both implementations
+// feed the same strategy the same event sequence, so they must agree on
+// every victim — and therefore on hits, misses, peak size, and the
+// capacity-eviction count — for every policy.
+class BoundedCrossValidation : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(BoundedCrossValidation, EcsCacheMatchesTraceSimulator) {
+  measurement::PublicResolverCdnConfig trace_config;
+  trace_config.resolvers = 1;
+  trace_config.min_clients_per_resolver = 50;
+  trace_config.max_clients_per_resolver = 51;
+  trace_config.min_qps = 30;
+  trace_config.max_qps = 31;
+  trace_config.hostnames = 40;
+  trace_config.duration = 3 * netsim::kMinute;
+  const auto trace = measurement::generate_public_resolver_cdn_trace(trace_config);
+  ASSERT_FALSE(trace.queries.empty());
+
+  measurement::CacheSimOptions options;
+  options.with_ecs = true;
+  options.max_entries_per_resolver = 12;
+  options.policy = GetParam();
+  const auto sim = measurement::simulate_cache(trace, options);
+
+  CacheConfig cache_config;
+  cache_config.capacity_entries = 12;
+  cache_config.policy = GetParam();
+  EcsCache cache(cache_config);
+  const Name qname_base = Name::from_string("cdn.example");
+  std::uint64_t hits = 0, misses = 0;
+  for (const auto& q : trace.queries) {
+    const Name qname = qname_base.prepend("h" + std::to_string(q.name));
+    // Eager purge, as above: the simulator retires expired entries before
+    // every query, and victim choice must see the same live set.
+    cache.purge_expired(q.time);
+    const auto* hit = cache.lookup(qname, dnscore::RRType::A, q.client, q.time);
+    if (hit != nullptr) {
+      ++hits;
+      continue;
+    }
+    ++misses;
+    cache.insert(qname, dnscore::RRType::A, Prefix{q.client, q.scope},
+                 static_cast<std::uint8_t>(q.scope), {}, q.time,
+                 static_cast<netsim::SimTime>(q.ttl_s) * kSecond);
+  }
+  EXPECT_EQ(hits, sim.per_resolver[0].hits);
+  EXPECT_EQ(misses, sim.per_resolver[0].misses);
+  EXPECT_EQ(cache.stats().max_entries, sim.per_resolver[0].max_cache_size);
+  EXPECT_EQ(cache.stats().capacity_evictions,
+            sim.per_resolver[0].premature_evictions);
+  EXPECT_LE(cache.stats().max_entries, 12u);
+  EXPECT_EQ(cache.stats().insertions,
+            cache.stats().accounted_insertions(cache.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, BoundedCrossValidation,
+                         ::testing::ValuesIn(kAllEvictionPolicies),
+                         [](const auto& info) { return to_string(info.param); });
+
 }  // namespace
 }  // namespace ecsdns::resolver

@@ -395,14 +395,57 @@ TEST(ParallelDeterminism, FormattedCsvCellsMatchSerial) {
   }
 }
 
-TEST(ParallelDeterminism, BoundedCacheFallsBackToSerialWithEqualResults) {
+// Bounded replays partition whole resolvers per shard (an eviction decision
+// couples all keys within a resolver), so every policy must reproduce the
+// serial result bit for bit at any shard and thread count.
+TEST(ParallelDeterminism, BoundedCacheMatchesSerialForEveryPolicyAndShardCount) {
   const Trace trace = small_cdn_trace();
-  CacheSimOptions bounded;
-  bounded.with_ecs = true;
-  bounded.max_entries_per_resolver = 8;
-  const CacheSimResult serial = simulate_cache(trace, bounded);
-  bounded.shards = 8;
-  expect_identical(serial, simulate_cache(trace, bounded), "bounded");
+  for (const auto policy : resolver::kAllEvictionPolicies) {
+    CacheSimOptions bounded;
+    bounded.with_ecs = true;
+    bounded.max_entries_per_resolver = 8;
+    bounded.policy = policy;
+    const CacheSimResult serial = simulate_cache(trace, bounded);
+    for (const auto& row : serial.per_resolver) {
+      EXPECT_LE(row.max_cache_size, 8u)
+          << resolver::to_string(policy) << " resolver " << row.resolver;
+    }
+    for (const std::size_t shards : {2u, 4u, 8u}) {
+      bounded.shards = shards;
+      bounded.threads = 0;
+      expect_identical(serial, simulate_cache(trace, bounded),
+                       resolver::to_string(policy) +
+                           " shards=" + std::to_string(shards));
+    }
+    bounded.shards = 4;
+    for (const std::size_t threads : {1u, 3u, 8u}) {
+      bounded.threads = threads;
+      expect_identical(serial, simulate_cache(trace, bounded),
+                       resolver::to_string(policy) +
+                           " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelDeterminism, BoundedMetricsExportIsByteIdenticalAcrossShardCounts) {
+  const Trace trace = small_cdn_trace();
+  const auto export_for = [&trace](std::size_t shards) {
+    auto& registry = obs::MetricsRegistry::global();
+    registry.reset();
+    for (const auto policy : resolver::kAllEvictionPolicies) {
+      CacheSimOptions bounded;
+      bounded.with_ecs = true;
+      bounded.max_entries_per_resolver = 6;
+      bounded.policy = policy;
+      bounded.shards = shards;
+      (void)simulate_cache(trace, bounded);
+    }
+    return obs::metrics_json(registry, "oracle", 0.0);
+  };
+  const std::string serial = export_for(1);
+  EXPECT_EQ(serial, export_for(2));
+  EXPECT_EQ(serial, export_for(4));
+  EXPECT_EQ(serial, export_for(8));
 }
 
 TEST(ParallelDeterminism, ZeroTtlFallsBackToSerialWithEqualResults) {
@@ -432,6 +475,17 @@ TEST(ParallelDeterminism, UnsortedTraceFallsBackToSerialWithEqualResults) {
                    query(55, 1, 2, 7)};
   const CacheSimResult serial = run_sim(trace, true, std::nullopt, 1);
   expect_identical(serial, run_sim(trace, true, std::nullopt, 4), "unsorted");
+
+  // The bounded replay never needs the sortedness fallback: each shard owns
+  // whole resolvers and replays their queries in trace order, so shards=1 and
+  // shards=4 run the identical per-resolver code on any trace.
+  CacheSimOptions bounded;
+  bounded.with_ecs = true;
+  bounded.max_entries_per_resolver = 2;
+  const CacheSimResult bounded_serial = simulate_cache(trace, bounded);
+  bounded.shards = 4;
+  expect_identical(bounded_serial, simulate_cache(trace, bounded),
+                   "unsorted bounded");
 }
 
 }  // namespace
