@@ -1,0 +1,11 @@
+"""`python3 scripts/ecstidy` / `python3 -m ecstidy` entry point."""
+import sys
+
+if __package__ in (None, ""):  # executed as `python3 scripts/ecstidy`
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from ecstidy.driver import main
+else:
+    from .driver import main
+
+sys.exit(main())

@@ -1,0 +1,43 @@
+"""Check registry.
+
+AST checks consume the backend-neutral ProgramIR; regex checks consume raw
+file lines. `run_checks` dispatches both and returns raw findings (before
+suppression processing).
+"""
+from __future__ import annotations
+
+from ..findings import Finding
+from ..ir import ProgramIR
+from . import determinism, lifetime, noalloc, regex_rules
+
+AST_CHECKS = {
+    "det-iter": determinism.check_unordered_iteration,
+    "det-clock": determinism.check_wall_clock,
+    "cache-lifetime": lifetime.check_cache_lifetime,
+    "noalloc": noalloc.check_noalloc,
+}
+
+REGEX_CHECKS = {
+    "wire-codec": regex_rules.check_wire_codec,
+    "deterministic-rng": regex_rules.check_deterministic_rng,
+    "bench-metrics": regex_rules.check_bench_metrics,
+}
+
+ALL_CHECKS = sorted(AST_CHECKS) + sorted(REGEX_CHECKS)
+GROUPS = {
+    "ast": sorted(AST_CHECKS),
+    "regex": sorted(REGEX_CHECKS),
+    "all": ALL_CHECKS,
+}
+
+
+def run_checks(program: ProgramIR, checks: list[str]) -> list[Finding]:
+    out: list[Finding] = []
+    for name in checks:
+        if name in AST_CHECKS:
+            out.extend(AST_CHECKS[name](program))
+        elif name in REGEX_CHECKS:
+            out.extend(REGEX_CHECKS[name](program))
+        else:
+            raise ValueError(f"unknown check: {name}")
+    return out

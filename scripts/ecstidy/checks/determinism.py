@@ -1,0 +1,163 @@
+"""Determinism checks.
+
+det-iter: a range-for or iterator loop over an unordered container whose
+body reaches an order-sensitive output sink. Committed CSVs and metrics
+JSON must regenerate bit-identically (the serial-equivalence oracle relies
+on it); hash-order iteration feeding a writer silently breaks that the
+first time a hash seed, libstdc++ version, or shard count changes.
+Commutative updates (Counter::inc and friends) are not sinks.
+
+det-clock: wall-clock reads (system_clock, time(), gettimeofday, ...)
+anywhere outside an ECSDNS_NONDETERMINISTIC_OK function. Simulation time
+is virtual (netsim::SimTime); bench timing uses steady_clock, which is
+allowed.
+"""
+from __future__ import annotations
+
+from .. import config
+from ..findings import Finding
+from ..ir import FunctionInfo, ProgramIR
+
+
+def _loop_container_type(program: ProgramIR, fn: FunctionInfo, loop) -> str:
+    if loop.container_type:
+        return loop.container_type
+    return program.type_of_expr(loop.container_text, fn)
+
+
+def _direct_sink(program: ProgramIR, fn: FunctionInfo,
+                 span: tuple[int, int] | None):
+    """First order-sensitive sink in fn (optionally restricted to a pos
+    span). Returns (line, col, description) or None."""
+    lo, hi = span if span is not None else (-1, 1 << 60)
+    for call in fn.calls:
+        if not (lo <= call.pos < hi):
+            continue
+        if call.name in config.SINK_CALL_NAMES:
+            return (call.line, call.col, f"call to {call.name}()")
+        if call.name in config.SINK_METHOD_TYPES and call.recv is not None:
+            type_keys, hints = config.SINK_METHOD_TYPES[call.name]
+            recv_type = program.type_of_expr(call.recv, fn)
+            recv = call.recv.lower()
+            if (recv_type and any(k in recv_type for k in type_keys)) or \
+                    (not recv_type and any(h in recv for h in hints)):
+                return (call.line, call.col,
+                        f"call to {call.recv}.{call.name}()")
+    for sw in fn.stream_writes:
+        if not (lo <= sw.pos < hi):
+            continue
+        if sw.recv in config.SINK_STREAM_GLOBALS:
+            return (sw.line, sw.col, f"std::{sw.recv} << ...")
+        ty = program.type_of_var(sw.recv, fn)
+        if ty and config.SINK_STREAM_TYPE_RE.search(ty):
+            return (sw.line, sw.col, f"{sw.recv} << ... ({ty})")
+    return None
+
+
+def _reaches_sink(program: ProgramIR, fn: FunctionInfo,
+                  span: tuple[int, int] | None, depth: int,
+                  seen: set[str]):
+    """Sink reachable from the span (or whole fn) through project calls.
+    Returns (line, col, description, via) or None."""
+    hit = _direct_sink(program, fn, span)
+    if hit is not None:
+        return (*hit, [])
+    if depth <= 0:
+        return None
+    lo, hi = span if span is not None else (-1, 1 << 60)
+    for call in fn.calls:
+        if not (lo <= call.pos < hi):
+            continue
+        for callee in program.resolve_calls_from(fn, call):
+            if callee.qname in seen:
+                continue
+            seen.add(callee.qname)
+            if callee.annotations and config.ANNOT_NONDET_OK in callee.annotations:
+                continue
+            sub = _reaches_sink(program, callee, None, depth - 1, seen)
+            if sub is not None:
+                line, col, desc, via = sub
+                return (call.line, call.col, desc, [callee.name] + via)
+    return None
+
+
+def check_unordered_iteration(program: ProgramIR) -> list[Finding]:
+    out: list[Finding] = []
+    for fn in program.definitions():
+        if config.ANNOT_NONDET_OK in fn.annotations:
+            continue
+        for loop in fn.loops:
+            ty = _loop_container_type(program, fn, loop)
+            if not ty or not config.UNORDERED_TYPE_RE.search(ty):
+                continue
+            hit = _reaches_sink(program, fn, loop.body_span,
+                                config.SINK_CALL_DEPTH, {fn.qname})
+            if hit is None:
+                continue
+            line, col, desc, via = hit
+            route = " -> ".join(via + [desc]) if via else desc
+            out.append(Finding(
+                check="det-iter", path=fn.file, line=loop.line, col=loop.col,
+                symbol=fn.qname,
+                message=(
+                    f"iteration over unordered container "
+                    f"`{loop.container_text}` ({ty.strip()}) reaches output "
+                    f"sink: {route} at line {line} — emit into a sorted "
+                    f"buffer, or iterate a deterministic index"),
+            ))
+    return out
+
+
+def check_wall_clock(program: ProgramIR) -> list[Finding]:
+    out: list[Finding] = []
+    for fir in program.files:
+        exempt_spans: list[tuple[int, int]] = []
+        for fn in fir.functions:
+            if fn.has_body and config.ANNOT_NONDET_OK in fn.annotations:
+                toks = fir.tokens
+                a, b = fn.body_span
+                if toks and a < len(toks):
+                    last = min(b, len(toks) - 1)
+                    exempt_spans.append((toks[a].line, toks[last].line))
+        toks = fir.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "id":
+                continue
+            hit = None
+            if t.text == "system_clock":
+                hit = "std::chrono::system_clock"
+            elif t.text in ("gettimeofday", "localtime", "localtime_r",
+                            "gmtime", "gmtime_r", "ctime", "ctime_r",
+                            "strftime"):
+                if _next_is(toks, i, "("):
+                    hit = f"{t.text}()"
+            elif t.text == "time" and _next_is(toks, i, "("):
+                # `time(nullptr)` / `time(0)` / `time(&t)` — not SimTime
+                # arithmetic or a member named time.
+                prev = toks[i - 1] if i > 0 else None
+                if prev is None or not (prev.kind == "punct"
+                                        and prev.text in (".", "->", "::")):
+                    nxt2 = toks[i + 2] if i + 2 < len(toks) else None
+                    if nxt2 is not None and nxt2.text in ("nullptr", "NULL",
+                                                          "0", "&"):
+                        hit = "time()"
+            elif t.text == "clock_gettime" and _next_is(toks, i, "("):
+                hit = "clock_gettime()"
+            if hit is None:
+                continue
+            if any(lo <= t.line <= hi for lo, hi in exempt_spans):
+                continue
+            out.append(Finding(
+                check="det-clock", path=fir.path, line=t.line, col=t.col,
+                message=(
+                    f"wall-clock read ({hit}) — simulation time is virtual "
+                    f"(netsim::SimTime) and bench timing uses steady_clock; "
+                    f"annotate the enclosing function "
+                    f"ECSDNS_NONDETERMINISTIC_OK if wall time is the point"),
+            ))
+    return out
+
+
+def _next_is(toks, i: int, text: str) -> bool:
+    return i + 1 < len(toks) and toks[i + 1].kind == "punct" \
+        and toks[i + 1].text == text

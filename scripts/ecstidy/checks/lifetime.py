@@ -1,0 +1,140 @@
+"""cache-lifetime: pointers that outlive their cache entry's stability.
+
+`EcsCache::lookup` (and `FlatHashMap::find*`) return pointers into flat
+open-addressing storage that relocates on the next mutation of the same
+container. PR 6 fixed exactly this bug on the CNAME-restart path: a
+`lookup` result was still being read after the restarted resolution
+re-entered the cache and inserted. This check generalizes it:
+
+  * a pointer/reference local initialized from a guarded accessor,
+  * that is still used after a call that can mutate the same container —
+    directly (`cache_.insert(...)`) or transitively (a project call whose
+    body reaches a mutator of the same container type within
+    MUTATION_CALL_DEPTH).
+
+The fix is to copy out what the caller needs before the mutating call —
+entries are small; the copy is the contract (see cache.h's lookup docs).
+"""
+from __future__ import annotations
+
+from .. import config
+from ..findings import Finding
+from ..ir import FunctionInfo, ProgramIR
+
+
+def _norm(text: str) -> str:
+    return "".join(text.split())
+
+
+def _guarded_accessor(init_text: str):
+    """Returns (type_key, accessor, receiver_text) when the initializer
+    calls a guarded accessor, else None."""
+    for type_key, (accessors, _) in config.GUARDED_CONTAINERS.items():
+        for acc in accessors:
+            for sep in (".", "->"):
+                probe = f"{sep}{acc}("
+                if probe in init_text:
+                    recv = init_text.rsplit(probe, 1)[0]
+                    # strip leading casts/parens conservatively
+                    recv = recv.split("=")[-1].strip().lstrip("(*&")
+                    return type_key, acc, recv
+    return None
+
+
+def _mutates(program: ProgramIR, fn: FunctionInfo, type_key: str,
+             depth: int, seen: set[str]):
+    """Does fn's body (anywhere) mutate a container of type_key?
+    Returns (line, description) or None."""
+    _, mutators = config.GUARDED_CONTAINERS[type_key]
+    for call in fn.calls:
+        if call.name in mutators and call.recv is not None:
+            recv_type = program.type_of_expr(call.recv, fn)
+            if type_key in recv_type:
+                return (call.line, f"{call.recv}.{call.name}()")
+        if call.name in mutators and call.recv is None and fn.cls \
+                and type_key in fn.cls.split("::")[-1]:
+            return (call.line, f"this->{call.name}()")
+    if depth <= 0:
+        return None
+    for call in fn.calls:
+        for callee in program.resolve_calls_from(fn, call):
+            if callee.qname in seen:
+                continue
+            seen.add(callee.qname)
+            sub = _mutates(program, callee, type_key, depth - 1, seen)
+            if sub is not None:
+                return (call.line, f"{call.name}() -> {sub[1]}")
+    return None
+
+
+def check_cache_lifetime(program: ProgramIR) -> list[Finding]:
+    out: list[Finding] = []
+    for fn in program.definitions():
+        for var in fn.locals:
+            if not var.is_ptr_or_ref or not var.init_text:
+                continue
+            acc = _guarded_accessor(var.init_text)
+            if acc is None:
+                continue
+            type_key, accessor, recv = acc
+            recv_type = program.type_of_expr(recv, fn)
+            if type_key not in recv_type:
+                continue
+            # A same-named local declared later shadows/replaces this one;
+            # its uses must not extend this pointer's live window.
+            horizon = min((v.pos for v in fn.locals
+                           if v.name == var.name and v.pos > var.pos),
+                          default=1 << 60)
+            uses = [iv for iv in fn.idents
+                    if iv.text == var.name and var.pos < iv.pos < horizon]
+            if not uses:
+                continue
+            last_use = max(uses, key=lambda iv: iv.pos)
+            # Window where a mutation invalidates a later use. Pointers
+            # declared inside a loop re-initialize every iteration, so the
+            # straight decl..last-use window is right for them too.
+            window = (var.pos, last_use.pos)
+            # The initializing accessor call itself is not a hazard (it
+            # completes before the pointer exists).
+            init_call_pos = min(
+                (c.pos for c in fn.calls
+                 if c.name == accessor and var.pos < c.pos <= var.pos + 48),
+                default=None)
+            hazard = _window_mutation(program, fn, type_key, recv, window,
+                                      skip_pos=init_call_pos)
+            if hazard is None:
+                continue
+            line, desc = hazard
+            out.append(Finding(
+                check="cache-lifetime", path=fn.file, line=var.line,
+                col=var.col, symbol=fn.qname,
+                message=(
+                    f"`{var.name}` points into {recv} ({type_key} storage, "
+                    f"from {accessor}()) but {desc} at line {line} can "
+                    f"relocate it before the use at line {last_use.line} — "
+                    f"copy the needed fields out before mutating"),
+            ))
+    return out
+
+
+def _window_mutation(program: ProgramIR, fn: FunctionInfo, type_key: str,
+                     recv: str, window: tuple[int, int],
+                     skip_pos: int | None = None):
+    """A mutating call inside the window, on the same receiver (direct) or
+    reaching a mutator of the same container type (transitive)."""
+    _, mutators = config.GUARDED_CONTAINERS[type_key]
+    lo, hi = window
+    nrecv = _norm(recv)
+    for call in fn.calls:
+        if not (lo <= call.pos <= hi) or call.pos == skip_pos:
+            continue
+        if call.name in mutators and call.recv is not None \
+                and _norm(call.recv) == nrecv:
+            return (call.line, f"{call.recv}.{call.name}()")
+        for callee in program.resolve_calls_from(fn, call):
+            sub = _mutates(program, callee, type_key,
+                           config.MUTATION_CALL_DEPTH - 1, {fn.qname,
+                                                            callee.qname})
+            if sub is not None:
+                return (call.line, f"{call.name}() -> {sub[1]}")
+    return None

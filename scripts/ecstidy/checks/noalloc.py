@@ -1,0 +1,104 @@
+"""noalloc: ECSDNS_NOALLOC transitive allocation contract.
+
+The zero-copy packet path (MessageView over pooled BufferPool buffers,
+serialize_into) and the bounded cache's eviction path are designed to run
+allocation-free in steady state — the perf gate (`run.allocations` in
+scripts/bench_report.py) measures it, this check *explains* it: from every
+ECSDNS_NOALLOC root, walk the project call graph and flag
+
+  * new-expressions and always-allocating calls (make_unique, malloc,
+    to_string, ...),
+  * container growers (push_back, resize, reserve, insert, ...) on
+    receivers that do not resolve to a project function,
+  * std::string / ostringstream construction,
+  * calls into ECSDNS_MAY_BLOCK functions (the explicit slow-path
+    boundary; the walk does not descend into them).
+
+Throw-expressions are exempt: the noalloc contract governs the hot path,
+and a throw IS leaving the hot path — building a WireFormatError
+diagnostic on malformed input may allocate freely. (The perf gate agrees:
+well-formed traffic never throws, so the allocation counter stays flat.)
+
+Findings land at the violating site, with the annotated root and call
+chain in the message, so a justified `// ecstidy:allow(noalloc): ...`
+lives next to the allocation it excuses (e.g. amortized growth into a
+pooled buffer whose capacity converges).
+"""
+from __future__ import annotations
+
+from .. import config
+from ..findings import Finding
+from ..ir import FunctionInfo, ProgramIR
+
+
+def check_noalloc(program: ProgramIR) -> list[Finding]:
+    roots = [f for f in program.definitions()
+             if config.ANNOT_NOALLOC in f.annotations]
+    out: list[Finding] = []
+    reported: set[tuple[str, int, int, str]] = set()
+    for root in sorted(roots, key=lambda f: (f.file, f.line)):
+        _walk(program, root, [root.name], {root.qname},
+              config.NOALLOC_CALL_DEPTH, out, reported)
+    return out
+
+
+def _emit(out, reported, fn: FunctionInfo, line: int, col: int, what: str,
+          chain: list[str]) -> None:
+    key = (fn.file, line, col, what)
+    if key in reported:
+        return
+    reported.add(key)
+    route = " -> ".join(chain)
+    out.append(Finding(
+        check="noalloc", path=fn.file, line=line, col=col, symbol=fn.qname,
+        message=(f"{what} on ECSDNS_NOALLOC path ({route}) — hoist the "
+                 f"allocation out of the hot path, preallocate, or justify "
+                 f"with ecstidy:allow(noalloc)"),
+    ))
+
+
+def _walk(program: ProgramIR, fn: FunctionInfo, chain: list[str],
+          seen: set[str], depth: int, out, reported) -> None:
+    for line, col, _pos in fn.new_exprs:
+        _emit(out, reported, fn, line, col, "new-expression", chain)
+    for var in fn.locals:
+        # References/pointers to strings don't construct one.
+        if config.STRING_TYPE_RE.search(var.type_text) \
+                and "&" not in var.type_text and "*" not in var.type_text:
+            _emit(out, reported, fn, var.line, var.col,
+                  f"std::string construction (`{var.name}`)", chain)
+    for call in fn.calls:
+        if call.in_throw:
+            continue
+        if call.name in config.ALLOC_CALLS:
+            _emit(out, reported, fn, call.line, call.col,
+                  f"allocating call {call.name}()", chain)
+            continue
+        if call.name == "string" and call.qualifier.endswith("::"):
+            _emit(out, reported, fn, call.line, call.col,
+                  "std::string construction", chain)
+            continue
+        targets = program.resolve_calls_from(fn, call)
+        if targets:
+            blocked = [t for t in targets
+                       if config.ANNOT_MAY_BLOCK in t.annotations]
+            if blocked:
+                _emit(out, reported, fn, call.line, call.col,
+                      f"call into ECSDNS_MAY_BLOCK {blocked[0].name}()",
+                      chain)
+                continue
+            if depth > 0:
+                for t in targets:
+                    if t.qname in seen:
+                        continue
+                    seen.add(t.qname)
+                    _walk(program, t, chain + [t.name], seen, depth - 1,
+                          out, reported)
+            continue
+        # Unresolved call: flag known growers on member receivers; stay
+        # silent on the known-safe vocabulary and everything else (the
+        # clang backend resolves more; the text backend documents this
+        # in docs/static_analysis.md).
+        if call.name in config.GROWER_METHODS and call.recv is not None:
+            _emit(out, reported, fn, call.line, call.col,
+                  f"container grower {call.recv}.{call.name}()", chain)

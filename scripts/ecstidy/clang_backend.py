@@ -1,0 +1,220 @@
+"""libclang frontend: lower real ASTs into the shared IR.
+
+Used when python `clang.cindex` can load a libclang shared object (the CI
+ecstidy job apt-installs python3-clang). Type information here is exact —
+`auto` resolves, receiver types come from the semantic AST, and the
+compile_commands.json exported by CMake supplies include paths and flags.
+The text backend remains the floor: both backends lower to ir.py and the
+fixture parity test (tests/ecstidy/run_fixture_tests.py --parity) diffs
+their findings when libclang is present.
+"""
+from __future__ import annotations
+
+from pathlib import Path
+
+from .ir import (CallSite, FileIR, FunctionInfo, Ident, LoopInfo, ProgramIR,
+                 StreamWrite, VarDecl)
+
+_ANNOTATION_SPELLINGS = {
+    "ecsdns::noalloc": "ECSDNS_NOALLOC",
+    "ecsdns::may_block": "ECSDNS_MAY_BLOCK",
+    "ecsdns::nondeterministic_ok": "ECSDNS_NONDETERMINISTIC_OK",
+}
+
+
+def available() -> bool:
+    try:
+        import clang.cindex as ci
+        ci.Config()  # noqa: B018 - touch the module
+        ci.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def _pos(loc) -> int:
+    # Monotonic within a file; checks only compare positions.
+    return loc.line * 10000 + min(loc.column, 9999)
+
+
+def build_program(root: Path, sources: list[tuple[str, str]],
+                  compile_commands: Path | None) -> ProgramIR:
+    import clang.cindex as ci
+
+    index = ci.Index.create()
+    db = None
+    if compile_commands is not None and compile_commands.exists():
+        db = ci.CompilationDatabase.fromDirectory(str(compile_commands.parent))
+
+    wanted = {rel for rel, _ in sources}
+    firs: dict[str, FileIR] = {rel: FileIR(path=rel) for rel, _ in sources}
+    seen_defs: set[tuple[str, str, int]] = set()
+
+    default_args = ["-std=c++20", f"-I{root}/src", f"-I{root}"]
+    tus = [rel for rel, _ in sources if rel.endswith(".cpp")]
+    # Headers outside any TU (rare) still get parsed standalone so their
+    # declarations (and annotations) are seen.
+    for rel in tus:
+        path = root / rel
+        args = list(default_args)
+        if db is not None:
+            cmds = db.getCompileCommands(str(path))
+            if cmds:
+                raw = list(cmds[0].arguments)[1:-1]
+                args = [a for a in raw if a not in ("-c", "-o")
+                        and not a.endswith(".o") and not a.endswith(".cpp")]
+        try:
+            tu = index.parse(str(path), args=args)
+        except ci.TranslationUnitLoadError:
+            continue
+        _lower_tu(ci, root, tu, wanted, firs, seen_defs)
+    return ProgramIR([firs[rel] for rel, _ in sources])
+
+
+def _lower_tu(ci, root: Path, tu, wanted, firs, seen_defs) -> None:
+    K = ci.CursorKind
+    fn_kinds = {K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR, K.DESTRUCTOR,
+                K.FUNCTION_TEMPLATE}
+
+    def rel_of(cursor) -> str | None:
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        try:
+            rel = Path(loc.file.name).resolve().relative_to(root).as_posix()
+        except ValueError:
+            return None
+        return rel if rel in wanted else None
+
+    def qname_of(cursor) -> str:
+        parts = []
+        c = cursor
+        while c is not None and c.kind != K.TRANSLATION_UNIT:
+            if c.spelling:
+                parts.append(c.spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            rel = rel_of(child)
+            if child.kind in fn_kinds and rel is not None:
+                _lower_function(ci, child, rel, firs[rel], qname_of, seen_defs)
+            elif child.kind in (K.FIELD_DECL, K.VAR_DECL) and rel is not None:
+                fir = firs[rel]
+                fir.var_types[child.spelling] = child.type.spelling
+                parent = child.semantic_parent
+                if parent is not None and parent.spelling:
+                    fir.var_types[f"{parent.spelling}::{child.spelling}"] = \
+                        child.type.spelling
+                visit(child)
+            else:
+                visit(child)
+
+    visit(tu.cursor)
+
+
+def _lower_function(ci, cursor, rel: str, fir: FileIR, qname_of,
+                    seen_defs) -> None:
+    K = ci.CursorKind
+    qname = qname_of(cursor)
+    key = (rel, qname, cursor.location.line)
+    is_def = cursor.is_definition()
+    if key in seen_defs:
+        return
+    seen_defs.add(key)
+
+    annotations: set[str] = set()
+    for child in cursor.get_children():
+        if child.kind == K.ANNOTATE_ATTR:
+            mapped = _ANNOTATION_SPELLINGS.get(child.spelling)
+            if mapped:
+                annotations.add(mapped)
+
+    parent = cursor.semantic_parent
+    cls = ""
+    if parent is not None and parent.kind in (K.CLASS_DECL, K.STRUCT_DECL,
+                                              K.CLASS_TEMPLATE):
+        cls = qname_of(parent)
+    fn = FunctionInfo(
+        qname=qname, name=cursor.spelling, cls=cls, file=rel,
+        line=cursor.location.line,
+        return_type=cursor.result_type.spelling if cursor.result_type else "",
+        annotations=annotations, has_body=is_def,
+    )
+    if is_def:
+        ext = cursor.extent
+        fn.body_span = (_pos(ext.start), _pos(ext.end))
+        _lower_body(ci, cursor, fn)
+    fir.functions.append(fn)
+
+
+def _lower_body(ci, cursor, fn: FunctionInfo) -> None:
+    K = ci.CursorKind
+
+    def first_child(c):
+        for ch in c.get_children():
+            return ch
+        return None
+
+    def expr_text(c) -> str:
+        return "".join(t.spelling for t in c.get_tokens())
+
+    def walk(c):
+        for child in c.get_children():
+            kind = child.kind
+            loc = child.location
+            if kind == K.CALL_EXPR and child.spelling:
+                recv = None
+                member = first_child(child)
+                if member is not None and member.kind == K.MEMBER_REF_EXPR:
+                    base = first_child(member)
+                    if base is not None:
+                        recv = expr_text(base)
+                name = child.spelling
+                if name == "operator<<":
+                    args = list(child.get_children())
+                    if args:
+                        fn.stream_writes.append(StreamWrite(
+                            expr_text(args[0]).split(".")[-1],
+                            _pos(loc), loc.line, loc.column))
+                    walk(child)
+                    continue
+                fn.calls.append(CallSite(
+                    name=name, qualifier="", recv=recv,
+                    line=loc.line, col=loc.column, pos=_pos(loc)))
+            elif kind == K.CXX_NEW_EXPR:
+                fn.new_exprs.append((loc.line, loc.column, _pos(loc)))
+            elif kind == K.VAR_DECL:
+                ty = child.type.spelling
+                init = ""
+                for ch in child.get_children():
+                    if ch.kind.is_expression():
+                        init = expr_text(ch)
+                fn.locals.append(VarDecl(
+                    name=child.spelling, type_text=ty, init_text=init,
+                    line=loc.line, col=loc.column, pos=_pos(loc),
+                    is_ptr_or_ref="*" in ty or "&" in ty,
+                ))
+            elif kind == K.CXX_FOR_RANGE_STMT:
+                children = list(child.get_children())
+                container = children[-2] if len(children) >= 2 else None
+                body = children[-1] if children else None
+                ctype = container.type.spelling if container is not None else ""
+                fn.loops.append(LoopInfo(
+                    kind="range",
+                    container_text=expr_text(container) if container is not None else "",
+                    container_type=ctype,
+                    body_span=(_pos(body.extent.start), _pos(body.extent.end))
+                    if body is not None else (0, 0),
+                    line=loc.line, col=loc.column,
+                ))
+            elif kind == K.DECL_REF_EXPR and child.spelling:
+                fn.idents.append(Ident(child.spelling, _pos(loc),
+                                       loc.line, loc.column))
+            elif kind == K.MEMBER_REF_EXPR and child.spelling:
+                fn.idents.append(Ident(child.spelling, _pos(loc),
+                                       loc.line, loc.column))
+            walk(child)
+
+    walk(cursor)

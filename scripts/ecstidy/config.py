@@ -1,0 +1,128 @@
+"""Project-specific knowledge the checks run on.
+
+Everything here is ecsdns vocabulary: which containers iterate in an
+unspecified order, which functions are order-sensitive output sinks, which
+cache accessors hand out invalidatable pointers, and what counts as an
+allocation on an ECSDNS_NOALLOC path. Checks read ONLY these tables, so
+extending a contract (a new cache type, a new sink) is a config edit.
+"""
+from __future__ import annotations
+
+import re
+
+# ---- determinism ---------------------------------------------------------
+
+# Container types whose iteration order is unspecified / seed-dependent.
+UNORDERED_TYPE_RE = re.compile(
+    r"\b(std\s*::\s*)?(unordered_map|unordered_set|unordered_multimap|"
+    r"unordered_multiset|FlatHashMap|FlatHashSet)\b"
+)
+
+# Order-sensitive output sinks: emitting rows/lines/events from inside an
+# unordered iteration makes committed CSVs and metrics JSON flap from run
+# to run (and across shard counts). Commutative updates (Counter::inc,
+# Gauge::add, Histogram::observe) are deliberately NOT sinks.
+SINK_CALL_NAMES = {
+    "write_csv", "csv_row", "write_row", "write_metrics_json",
+    "write_trace_json", "printf", "fprintf", "puts", "fputs", "fwrite",
+    "write", "print",
+}
+# Member sinks, gated on the receiver: ordered emission APIs where the
+# method name alone ("row", "record") would be too generic. Matches when
+# the resolved receiver type contains the type key, or — when the type
+# cannot be resolved — when the receiver text contains one of the hints.
+SINK_METHOD_TYPES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "row": (("CsvWriter",), ("csv",)),
+    "add_row": (("TextTable",), ("table",)),
+    "record": (("TraceRing",), ("tracer", "trace", "ring")),
+}
+
+# Stream objects: `x << ...` inside the loop body is a sink when x is one
+# of these globals or has an ostream-ish type.
+SINK_STREAM_GLOBALS = {"cout", "cerr", "clog"}
+SINK_STREAM_TYPE_RE = re.compile(
+    r"\b(o?f?stream|ostringstream|ostream|FILE)\b"
+)
+
+# How deep `det-iter` follows project calls out of the loop body looking
+# for a sink before giving up.
+SINK_CALL_DEPTH = 3
+
+# Wall-clock entry points: anything here makes output depend on when the
+# run happened, which breaks bit-identical replay. steady_clock is fine
+# (bench timing) — it never leaks into committed results.
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(nullptr|NULL|0|&)"), "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\(\s*CLOCK_REALTIME"), "clock_gettime(CLOCK_REALTIME)"),
+    (re.compile(r"\b(localtime|localtime_r|gmtime|gmtime_r|ctime|ctime_r)\s*\("),
+     "calendar-time conversion"),
+]
+
+# ---- lifetime ------------------------------------------------------------
+
+# type-substring -> (accessor names returning invalidatable pointers,
+#                    mutator names that invalidate them)
+GUARDED_CONTAINERS: dict[str, tuple[set[str], set[str]]] = {
+    "EcsCache": (
+        {"lookup"},
+        {"insert", "purge_expired", "clear", "make_room", "evict_victim",
+         "entries_for"},
+    ),
+    "FlatHashMap": (
+        {"find", "find_with", "find_or_null"},
+        {"insert", "erase", "emplace", "try_emplace", "clear", "reserve",
+         "rehash"},
+    ),
+}
+
+# How deep the lifetime check follows project calls looking for a
+# transitive mutation of the same container type (the CNAME-restart
+# re-entrancy class: resolve() -> cache_answer() -> cache_.insert()).
+MUTATION_CALL_DEPTH = 3
+
+# ---- noalloc -------------------------------------------------------------
+
+ANNOT_NOALLOC = "ECSDNS_NOALLOC"
+ANNOT_MAY_BLOCK = "ECSDNS_MAY_BLOCK"
+ANNOT_NONDET_OK = "ECSDNS_NONDETERMINISTIC_OK"
+
+# Member calls that grow containers (allocate when capacity is exceeded).
+GROWER_METHODS = {
+    "push_back", "emplace_back", "emplace", "emplace_front", "push_front",
+    "resize", "reserve", "append", "assign", "insert", "try_emplace",
+    "shrink_to_fit", "rehash",
+}
+
+# Free/static calls that always allocate.
+ALLOC_CALLS = {
+    "make_unique", "make_shared", "malloc", "calloc", "realloc", "strdup",
+    "to_string", "to_owned",
+}
+
+# std::string construction is an allocation risk on a noalloc path
+# (SSO notwithstanding — the bound is not checkable statically).
+STRING_TYPE_RE = re.compile(r"\bstd\s*::\s*string\b|\bstd\s*::\s*ostringstream\b")
+
+# Calls we know do not allocate; resolution stops here silently. Everything
+# else that does not resolve to a project function is ignored too, but
+# keeping the common vocabulary explicit documents the contract.
+NOALLOC_SAFE_CALLS = {
+    "size", "empty", "data", "begin", "end", "cbegin", "cend", "front",
+    "back", "pop_back", "pop_front", "clear", "capacity", "at", "find",
+    "count", "contains", "min", "max", "move", "swap", "get", "value",
+    "value_or", "has_value", "load", "store", "fetch_add", "fetch_sub",
+    "memcmp", "span", "subspan", "first", "last", "abs",
+}
+
+# How far the noalloc check walks the project call graph from each
+# annotated root (effectively unbounded for this codebase).
+NOALLOC_CALL_DEPTH = 12
+
+# ---- scanned tree --------------------------------------------------------
+
+SOURCE_ROOTS = ("src", "bench", "examples", "fuzz", "tests")
+SOURCE_SUFFIXES = (".cpp", ".h")
+# Checker fixtures deliberately violate every rule.
+EXCLUDE_DIRS = ("tests/ecstidy",)

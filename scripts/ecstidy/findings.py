@@ -1,0 +1,161 @@
+"""Finding model, machine-readable report format, and suppressions.
+
+Report schema (`--format json`):
+
+    {
+      "schema": "ecsdns.ecstidy.v1",
+      "backend": "text" | "clang",
+      "checks": ["det-iter", ...],
+      "findings": [
+        {"check": "noalloc", "path": "src/...", "line": 12, "col": 3,
+         "symbol": "ecsdns::...", "message": "...",
+         "suppressed": false, "justification": null}
+      ],
+      "counts": {"total": N, "suppressed": M, "unsuppressed": N-M}
+    }
+
+Suppression syntax, checked per finding line:
+
+    some_code();  // ecstidy:allow(noalloc): why this is safe
+
+The comment may sit on the finding's line or the line directly above it.
+The justification after the colon is REQUIRED and must be substantive
+(>= 10 characters); a bare `ecstidy:allow(check)` is itself reported as a
+`suppression` finding. Allows naming a check that ran but matched nothing
+are reported as unused (stale suppressions rot fast).
+"""
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+SCHEMA = "ecsdns.ecstidy.v1"
+MIN_JUSTIFICATION = 10
+
+_ALLOW_RE = re.compile(
+    r"ecstidy:allow\(\s*(?P<checks>[a-z0-9_,\- ]+)\s*\)(?P<colon>:\s*(?P<why>.*))?"
+)
+
+
+@dataclass
+class Finding:
+    check: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+    suppressed: bool = False
+    justification: str | None = None
+
+    def key(self) -> tuple:
+        return (self.path, self.line, self.col, self.check, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+    def render(self) -> str:
+        sup = " [suppressed]" if self.suppressed else ""
+        sym = f" ({self.symbol})" if self.symbol else ""
+        return f"{self.path}:{self.line}:{self.col}: [{self.check}]{sup} {self.message}{sym}"
+
+
+@dataclass
+class Allow:
+    checks: list[str]
+    line: int  # line the comment ends on
+    justification: str
+    path: str
+    used: bool = False
+
+
+def parse_allows(path: str, comments: dict[int, str],
+                 code_lines: set[int] | None = None) -> list[Allow]:
+    """`code_lines` is the set of lines carrying actual tokens; a wrapped
+    justification (comment-only continuation lines with no further allow)
+    extends the allow down to its last comment line, so it still sits
+    "directly above" the code it excuses."""
+    allows: list[Allow] = []
+    for line, text in sorted(comments.items()):
+        for m in _ALLOW_RE.finditer(text):
+            checks = [c.strip() for c in m.group("checks").split(",") if c.strip()]
+            why = (m.group("why") or "").strip()
+            end = line
+            while (code_lines is not None and end + 1 in comments
+                   and end + 1 not in code_lines
+                   and "ecstidy:allow" not in comments[end + 1]):
+                why = (why + " " + comments[end + 1].strip()).strip()
+                end += 1
+            allows.append(Allow(checks=checks, line=end, justification=why,
+                                path=path))
+    return allows
+
+
+def apply_suppressions(findings: list[Finding],
+                       allows_by_path: dict[str, list[Allow]],
+                       enabled_checks: set[str]) -> list[Finding]:
+    """Marks findings covered by a same-line or previous-line allow, then
+    appends `suppression` findings for malformed or unused allows."""
+    for f in findings:
+        for allow in allows_by_path.get(f.path, []):
+            if allow.line not in (f.line, f.line - 1):
+                continue
+            if f.check not in allow.checks:
+                continue
+            allow.used = True
+            if len(allow.justification) >= MIN_JUSTIFICATION:
+                f.suppressed = True
+                f.justification = allow.justification
+            # An unjustified allow never suppresses; the malformed-allow
+            # finding below keeps the original finding company.
+    out = list(findings)
+    for path, allows in sorted(allows_by_path.items()):
+        for allow in allows:
+            if len(allow.justification) < MIN_JUSTIFICATION:
+                out.append(Finding(
+                    check="suppression", path=path, line=allow.line, col=1,
+                    message=(
+                        "ecstidy:allow(%s) without a justification — write "
+                        "`// ecstidy:allow(<check>): <why this is safe>` "
+                        "(>= %d chars)" % (",".join(allow.checks),
+                                           MIN_JUSTIFICATION)),
+                ))
+            elif not allow.used and any(c in enabled_checks for c in allow.checks):
+                active = [c for c in allow.checks if c in enabled_checks]
+                out.append(Finding(
+                    check="suppression", path=path, line=allow.line, col=1,
+                    message=("unused ecstidy:allow(%s) — the check matched "
+                             "nothing here; delete the stale suppression"
+                             % ",".join(active)),
+                ))
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.check))
+    return out
+
+
+def report(findings: list[Finding], backend: str, checks: list[str]) -> dict:
+    sup = sum(1 for f in findings if f.suppressed)
+    return {
+        "schema": SCHEMA,
+        "backend": backend,
+        "checks": sorted(checks),
+        "findings": [f.to_dict() for f in findings],
+        "counts": {
+            "total": len(findings),
+            "suppressed": sup,
+            "unsuppressed": len(findings) - sup,
+        },
+    }
+
+
+def dumps(findings: list[Finding], backend: str, checks: list[str]) -> str:
+    return json.dumps(report(findings, backend, checks), indent=2) + "\n"

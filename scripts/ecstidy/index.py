@@ -1,0 +1,701 @@
+"""Text backend: lower C++ files into the shared IR without a compiler.
+
+This is a structural indexer, not a parser: it matches brace/paren pairs,
+tracks namespace/class scopes, and recognizes the declaration shapes this
+codebase actually uses (Google-style C++20). Its contract is pinned by the
+golden fixtures under tests/ecstidy/ — the clang backend lowers to the
+same IR when libclang is available, and the parity test diffs the two.
+"""
+from __future__ import annotations
+
+from .ir import (CallSite, FileIR, FunctionInfo, Ident, LoopInfo,
+                 ProgramIR, StreamWrite, VarDecl)
+from .lexer import Token, lex
+
+ANNOTATIONS = {
+    "ECSDNS_NOALLOC",
+    "ECSDNS_MAY_BLOCK",
+    "ECSDNS_NONDETERMINISTIC_OK",
+}
+
+# Keywords that can open a statement but never start a declaration we care
+# about inside class/namespace scope.
+_SKIP_TO_SEMI = {"using", "typedef", "friend", "static_assert", "extern"}
+
+_NOT_CALLEES = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof", "catch",
+    "decltype", "static_cast", "dynamic_cast", "const_cast",
+    "reinterpret_cast", "noexcept", "throw", "assert", "defined", "typeid",
+    "alignas", "requires", "co_await", "co_return", "co_yield",
+}
+
+_TYPE_TOKENS = {"const", "constexpr", "static", "inline", "unsigned", "signed",
+                "long", "short", "volatile", "auto", "bool", "char", "int",
+                "float", "double", "void", "typename", "mutable", "wchar_t",
+                "thread_local", "struct", "class", "enum"}
+
+
+class _Matcher:
+    """Bracket pair matching over the token stream ('<' excluded)."""
+
+    def __init__(self, toks: list[Token]):
+        self.close: dict[int, int] = {}
+        stack: list[tuple[str, int]] = []
+        pairs = {"(": ")", "[": "]", "{": "}"}
+        closers = {v: k for k, v in pairs.items()}
+        for i, t in enumerate(toks):
+            if t.kind != "punct":
+                continue
+            if t.text in pairs:
+                stack.append((t.text, i))
+            elif t.text in closers:
+                while stack:
+                    opener, j = stack.pop()
+                    if opener == closers[t.text]:
+                        self.close[j] = i
+                        break
+
+
+def _match_angle(toks: list[Token], i: int) -> int:
+    """Given toks[i] == '<', return index just past the matching '>', or i
+    if it does not look like a template argument list."""
+    depth = 0
+    j = i
+    limit = min(len(toks), i + 400)
+    while j < limit:
+        t = toks[j]
+        if t.kind == "punct":
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            elif t.text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return j + 1
+            elif t.text in (";", "{", "}") or t.text in ("&&", "||"):
+                return i  # not a template list
+        j += 1
+    return i
+
+
+def _text(toks: list[Token], a: int, b: int) -> str:
+    parts: list[str] = []
+    for t in toks[a:b]:
+        if parts and (t.kind in ("id", "kw", "num")) and parts[-1][-1:].isalnum():
+            parts.append(" " + t.text)
+        else:
+            parts.append(t.text)
+    return "".join(parts)
+
+
+class _FileIndexer:
+    def __init__(self, path: str, source: str):
+        lr = lex(source)
+        self.toks = lr.tokens
+        self.path = path
+        self.out = FileIR(path=path, comments=lr.comments,
+                          lines=source.splitlines(), tokens=self.toks)
+        self.match = _Matcher(self.toks)
+        self._throw_end = -1  # token index bounding the current throw-expr
+
+    def run(self) -> FileIR:
+        self._scan_decl_region(0, len(self.toks), [], [])
+        return self.out
+
+    # ---- declaration scope (namespace / class / global) -----------------
+
+    def _scan_decl_region(self, start: int, end: int,
+                          ns: list[str], cls: list[str]) -> None:
+        toks = self.toks
+        i = start
+        while i < end:
+            t = toks[i]
+            if t.kind == "punct":
+                if t.text == "{":  # stray block (e.g. extern "C")
+                    close = self.match.close.get(i, end)
+                    self._scan_decl_region(i + 1, close, ns, cls)
+                    i = close + 1
+                    continue
+                i += 1
+                continue
+            if t.kind == "kw" and t.text == "namespace":
+                j = i + 1
+                names: list[str] = []
+                while j < end and not (toks[j].kind == "punct" and toks[j].text in ("{", ";", "=")):
+                    if toks[j].kind == "id":
+                        names.append(toks[j].text)
+                    j += 1
+                if j < end and toks[j].text == "{":
+                    close = self.match.close.get(j, end)
+                    self._scan_decl_region(j + 1, close, ns + names, cls)
+                    i = close + 1
+                else:  # namespace alias or `;`
+                    i = j + 1
+                continue
+            if t.kind == "kw" and t.text == "enum":
+                i = self._skip_enum(i, end)
+                continue
+            if t.kind == "kw" and t.text == "template":
+                j = i + 1
+                if j < end and toks[j].text == "<":
+                    i = _match_angle(toks, j)
+                    if i == j:
+                        i = j + 1
+                else:
+                    i = j
+                continue
+            if t.kind == "kw" and t.text in _SKIP_TO_SEMI:
+                i = self._skip_past(i, end, ";")
+                continue
+            if t.kind == "kw" and t.text in ("public", "private", "protected"):
+                i = self._skip_past(i, end, ":")
+                continue
+            if t.kind == "kw" and t.text in ("class", "struct", "union"):
+                nxt = self._class_def(i, end, ns, cls)
+                if nxt is not None:
+                    i = nxt
+                    continue
+                # not a definition (elaborated type in a declaration):
+                # fall through to statement parsing below.
+            i = self._decl_statement(i, end, ns, cls)
+
+    def _skip_past(self, i: int, end: int, stop: str) -> int:
+        toks = self.toks
+        while i < end:
+            if toks[i].kind == "punct":
+                if toks[i].text == stop:
+                    return i + 1
+                if toks[i].text in ("(", "[", "{"):
+                    i = self.match.close.get(i, i) + 1
+                    continue
+            i += 1
+        return end
+
+    def _skip_enum(self, i: int, end: int) -> int:
+        toks = self.toks
+        j = i
+        while j < end and not (toks[j].kind == "punct" and toks[j].text in ("{", ";")):
+            j += 1
+        if j < end and toks[j].text == "{":
+            j = self.match.close.get(j, end)
+            return self._skip_past(j, end, ";")
+        return j + 1
+
+    def _class_def(self, i: int, end: int, ns: list[str], cls: list[str]) -> int | None:
+        """At a class/struct/union keyword. Returns next index if this is a
+        definition (scanned recursively), else None."""
+        toks = self.toks
+        j = i + 1
+        name = ""
+        while j < end:
+            t = toks[j]
+            if t.kind == "id":
+                name = t.text
+                j += 1
+                continue
+            if t.kind == "punct":
+                if t.text == "<":
+                    nj = _match_angle(toks, j)
+                    if nj != j:
+                        j = nj
+                        continue
+                if t.text == ":":  # base clause
+                    j = self._skip_to_open_brace(j, end)
+                    if j is None:
+                        return None
+                    break
+                if t.text == "{":
+                    break
+                if t.text in (";", ")", ",", "*", "&", ">", "="):
+                    return None  # forward decl / elaborated type use
+            if t.kind == "kw" and t.text in ("final", "alignas"):
+                j += 1
+                continue
+            if t.kind == "kw":
+                return None
+            j += 1
+        if j is None or j >= end or toks[j].text != "{":
+            return None
+        close = self.match.close.get(j, end)
+        self._scan_decl_region(j + 1, close, ns, cls + [name or "<anon>"])
+        return self._skip_past(close, end, ";")
+
+    def _skip_to_open_brace(self, j: int, end: int) -> int | None:
+        toks = self.toks
+        while j < end:
+            t = toks[j]
+            if t.kind == "punct":
+                if t.text == "{":
+                    return j
+                if t.text == ";":
+                    return None
+                if t.text in ("(", "["):
+                    j = self.match.close.get(j, j) + 1
+                    continue
+                if t.text == "<":
+                    nj = _match_angle(toks, j)
+                    if nj != j:
+                        j = nj
+                        continue
+            j += 1
+        return None
+
+    # ---- one declaration at class/namespace scope -----------------------
+
+    def _decl_statement(self, i: int, end: int, ns: list[str], cls: list[str]) -> int:
+        """Parse one declaration starting at i: a function decl/def or a
+        variable/member decl. Returns the index after it."""
+        toks = self.toks
+        j = i
+        annotations: set[str] = set()
+        paren: int | None = None  # declarator '(' index
+        name_idx: int | None = None
+        while j < end:
+            t = toks[j]
+            if t.kind == "id" and t.text in ANNOTATIONS:
+                annotations.add(t.text)
+                j += 1
+                continue
+            if t.kind == "punct":
+                if t.text == ";":
+                    if paren is not None:
+                        self._record_function(i, name_idx, paren, None, ns, cls,
+                                              annotations)
+                    else:
+                        self._record_var(i, j, cls)
+                    return j + 1
+                if t.text == "=":
+                    # `operator=` is part of the declarator name, not an
+                    # initializer — keep scanning for the parameter list.
+                    prev = toks[j - 1] if j > i else None
+                    if prev is not None and prev.kind == "kw" \
+                            and prev.text == "operator":
+                        j += 1
+                        continue
+                    # default/delete for functions, initializer for vars.
+                    k = self._skip_past(j, end, ";")
+                    if paren is not None:
+                        self._record_function(i, name_idx, paren, None, ns, cls,
+                                              annotations)
+                    else:
+                        self._record_var(i, j, cls)
+                    return k
+                if t.text == "(":
+                    close = self.match.close.get(j, end)
+                    prev = toks[j - 1] if j > i else None
+                    if paren is None and prev is not None and (
+                        prev.kind == "id"
+                        or (prev.kind == "kw" and prev.text == "operator")
+                        or (prev.kind == "punct" and toks[j - 2].kind == "kw"
+                            and j >= 2 and toks[j - 2].text == "operator")
+                    ):
+                        paren = j
+                        name_idx = j - 1
+                    j = close + 1
+                    continue
+                if t.text == "{":
+                    close = self.match.close.get(j, end)
+                    if paren is not None:
+                        self._record_function(i, name_idx, paren, (j + 1, close),
+                                              ns, cls, annotations)
+                        return self._maybe_semi(close + 1, end)
+                    # brace-initialized variable `int x{3};`
+                    k = self._skip_past(close, end, ";")
+                    self._record_var(i, j, cls)
+                    return k
+                if t.text == ":":
+                    # ctor-init list: calls in it belong to the body.
+                    if paren is not None:
+                        brace = self._skip_to_open_brace(j, end)
+                        if brace is not None:
+                            close = self.match.close.get(brace, end)
+                            self._record_function(i, name_idx, paren,
+                                                  (j + 1, close), ns, cls,
+                                                  annotations)
+                            return self._maybe_semi(close + 1, end)
+                    j += 1
+                    continue
+                if t.text == "<":
+                    nj = _match_angle(toks, j)
+                    if nj != j:
+                        j = nj
+                        continue
+                if t.text in ("[",):
+                    j = self.match.close.get(j, j) + 1
+                    continue
+            j += 1
+        return end
+
+    def _maybe_semi(self, i: int, end: int) -> int:
+        if i < end and self.toks[i].kind == "punct" and self.toks[i].text == ";":
+            return i + 1
+        return i
+
+    def _declarator_name(self, name_idx: int) -> str:
+        toks = self.toks
+        t = toks[name_idx]
+        if t.kind == "kw" and t.text == "operator":
+            return "operator()"
+        name = t.text
+        # operator== / operator[] etc: identifier preceded by 'operator'?
+        k = name_idx
+        # walk back over Class:: qualifiers
+        parts = [name]
+        while k >= 2 and toks[k - 1].kind == "punct" and toks[k - 1].text == "::" \
+                and toks[k - 2].kind == "id":
+            parts.insert(0, toks[k - 2].text)
+            k -= 2
+        # destructor
+        if k >= 1 and toks[k - 1].kind == "punct" and toks[k - 1].text == "~":
+            parts[-1] = "~" + parts[-1]
+        return "::".join(parts)
+
+    def _record_function(self, start: int, name_idx: int | None, paren: int,
+                         body: tuple[int, int] | None, ns: list[str],
+                         cls: list[str], annotations: set[str]) -> None:
+        toks = self.toks
+        if name_idx is None:
+            return
+        # operatorX: name token may be punct after 'operator' keyword
+        if toks[name_idx].kind == "punct":
+            k = name_idx
+            while k > start and toks[k - 1].kind == "punct":
+                k -= 1
+            if k > start and toks[k - 1].kind == "kw" and toks[k - 1].text == "operator":
+                opname = "operator" + _text(toks, k, paren)
+                name_idx = k - 1
+                declared = opname
+            else:
+                return
+        else:
+            declared = self._declarator_name(name_idx)
+        simple = declared.split("::")[-1]
+        qualifier_parts = declared.split("::")[:-1]
+        scope = list(ns)
+        cls_parts = list(cls) + qualifier_parts
+        qname = "::".join(scope + cls_parts + [simple])
+        cls_q = "::".join(scope + cls_parts) if cls_parts else ""
+        # return type: tokens between statement start and declarator name,
+        # minus specifiers and annotation macros.
+        rt_start = start
+        rt_end = name_idx
+        while rt_end > start and toks[rt_end - 1].kind == "punct" \
+                and toks[rt_end - 1].text in ("::", "~"):
+            rt_end -= 1
+            if rt_end > start and toks[rt_end - 1].kind == "id":
+                rt_end -= 1
+        ret_toks = [t for t in toks[rt_start:rt_end]
+                    if not (t.kind == "id" and t.text in ANNOTATIONS)
+                    and not (t.kind == "kw" and t.text in
+                             ("inline", "static", "virtual", "explicit",
+                              "constexpr", "friend", "extern"))]
+        ret_type = "".join(
+            (" " + t.text) if t.kind in ("id", "kw") else t.text for t in ret_toks
+        ).strip()
+        fn = FunctionInfo(
+            qname=qname, name=simple, cls=cls_q, file=self.path,
+            line=toks[name_idx].line, return_type=ret_type,
+            annotations=set(annotations), has_body=body is not None,
+        )
+        if body is not None:
+            fn.body_span = body
+            self._scan_body(fn, body[0], body[1])
+            # params contribute named locals too (coarse: id before , or ))
+            self._param_locals(fn, paren)
+        self.out.functions.append(fn)
+
+    def _param_locals(self, fn: FunctionInfo, paren: int) -> None:
+        toks = self.toks
+        close = self.match.close.get(paren)
+        if close is None:
+            return
+        depth = 0
+        angle = 0
+        seg_start = paren + 1
+        for k in range(paren + 1, close + 1):
+            t = toks[k]
+            if t.kind == "punct" and t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.kind == "punct" and t.text in (")", "]", "}"):
+                depth -= 1
+            elif t.kind == "punct" and t.text == "<":
+                angle += 1
+            elif t.kind == "punct" and t.text == ">" and angle > 0:
+                angle -= 1
+            elif t.kind == "punct" and t.text == ">>" and angle > 0:
+                angle = max(0, angle - 2)
+            if (t.kind == "punct" and t.text == "," and depth == 0
+                    and angle == 0) or k == close:
+                seg_end = k
+                # find trailing identifier (before default arg '=')
+                m = seg_end
+                for q in range(seg_start, seg_end):
+                    if toks[q].kind == "punct" and toks[q].text == "=":
+                        m = q
+                        break
+                idx = None
+                for q in range(m - 1, seg_start - 1, -1):
+                    if toks[q].kind == "id":
+                        idx = q
+                        break
+                    if toks[q].kind == "punct" and toks[q].text in ("&", "*", ">"):
+                        continue
+                    break
+                if idx is not None and idx > seg_start:
+                    ty = _text(toks, seg_start, idx)
+                    fn.locals.append(VarDecl(
+                        name=toks[idx].text, type_text=ty, init_text="",
+                        line=toks[idx].line, col=toks[idx].col, pos=idx,
+                        is_ptr_or_ref="*" in ty or "&" in ty,
+                    ))
+                seg_start = k + 1
+
+    def _record_var(self, start: int, end_idx: int, cls: list[str]) -> None:
+        toks = self.toks
+        # last identifier before end_idx is the variable name.
+        idx = None
+        for q in range(end_idx - 1, start - 1, -1):
+            if toks[q].kind == "id":
+                idx = q
+                break
+            if toks[q].kind == "punct" and toks[q].text in ("]", "["):
+                continue
+            if toks[q].kind in ("num",):
+                continue
+            break
+        if idx is None or idx == start:
+            return
+        name = toks[idx].text
+        ty = _text(toks, start, idx)
+        if not ty or ty in ("return",):
+            return
+        self.out.var_types[name] = ty
+        if cls:
+            self.out.var_types[f"{cls[-1]}::{name}"] = ty
+
+    # ---- function bodies -------------------------------------------------
+
+    def _scan_body(self, fn: FunctionInfo, start: int, end: int) -> None:
+        toks = self.toks
+        i = start
+        stmt_start = start
+        while i < end:
+            t = toks[i]
+            if t.kind == "id":
+                fn.idents.append(Ident(t.text, i, t.line, t.col))
+                if i + 1 < end and toks[i + 1].kind == "punct" \
+                        and toks[i + 1].text == "<<":
+                    fn.stream_writes.append(
+                        StreamWrite(t.text, i, t.line, t.col))
+            if t.kind == "punct":
+                if t.text in (";", "{", "}"):
+                    stmt_start = i + 1
+                    i += 1
+                    continue
+                if t.text == "(":
+                    prev = toks[i - 1] if i > start else None
+                    if prev is not None and prev.kind == "id" \
+                            and prev.text not in _NOT_CALLEES:
+                        self._record_call(fn, i - 1)
+                    elif prev is not None and prev.kind == "kw" \
+                            and prev.text == "for":
+                        ni = self._record_loop(fn, i)
+                        if ni is not None:
+                            i = ni
+                            stmt_start = i
+                            continue
+                    i += 1
+                    continue
+            if t.kind == "kw" and t.text == "throw":
+                # Everything up to the statement's `;` is the abort path;
+                # noalloc deliberately ignores allocations there.
+                j = i + 1
+                while j < end and not (toks[j].kind == "punct"
+                                       and toks[j].text == ";"):
+                    j += 1
+                self._throw_end = j
+                i += 1
+                continue
+            if t.kind == "kw" and t.text == "new":
+                if i >= self._throw_end:
+                    fn.new_exprs.append((t.line, t.col, i))
+                i += 1
+                continue
+            if t.kind in ("id", "kw") and i == stmt_start:
+                ni = self._maybe_local_decl(fn, stmt_start, end)
+                if ni is not None:
+                    i = ni
+                    continue
+            i += 1
+
+    def _record_call(self, fn: FunctionInfo, name_idx: int) -> None:
+        toks = self.toks
+        name = toks[name_idx].text
+        # qualifier chain: walk back over  id  ::  .  ->  )  ] this
+        k = name_idx
+        recv_end = None
+        while k > 0:
+            p = toks[k - 1]
+            if p.kind == "punct" and p.text in ("::", ".", "->"):
+                if p.text in (".", "->") and recv_end is None:
+                    recv_end = k - 1
+                k -= 1
+                continue
+            if p.kind == "id" or (p.kind == "kw" and p.text == "this"):
+                k -= 1
+                continue
+            if p.kind == "punct" and p.text in (")", "]"):
+                # receiver is a call/index result; give up on its text but
+                # keep the member-call shape.
+                k -= 1
+                break
+            break
+        qualifier = _text(toks, k, name_idx)
+        recv = _text(toks, k, recv_end) if recv_end is not None else None
+        fn.calls.append(CallSite(
+            name=name, qualifier=qualifier, recv=recv,
+            line=toks[name_idx].line, col=toks[name_idx].col,
+            pos=name_idx, in_throw=name_idx < self._throw_end,
+        ))
+
+    def _maybe_local_decl(self, fn: FunctionInfo, start: int, end: int) -> int | None:
+        """Try to parse `Type [*&] name [= init | (init) | {init}] ;` at a
+        statement start inside a body. Returns index past the name on
+        success (caller keeps scanning the initializer for calls)."""
+        toks = self.toks
+        j = start
+        saw_type_token = False
+        ptr_ref = False
+        while j < end:
+            t = toks[j]
+            if t.kind == "kw":
+                if t.text in _TYPE_TOKENS:
+                    saw_type_token = True
+                    j += 1
+                    continue
+                return None
+            if t.kind == "id":
+                # lookahead: is this the variable name?
+                nxt = toks[j + 1] if j + 1 < end else None
+                if saw_type_token and nxt is not None and nxt.kind == "punct" \
+                        and nxt.text in ("=", ";", "{", ",", ")"):
+                    ty = _text(toks, start, j)
+                    init_end = self._stmt_end(j + 1, end)
+                    fn.locals.append(VarDecl(
+                        name=t.text, type_text=ty,
+                        init_text=_text(toks, j + 2, init_end)
+                        if nxt.text == "=" else "",
+                        line=t.line, col=t.col, pos=j,
+                        is_ptr_or_ref=ptr_ref or "&" in ty or "*" in ty,
+                    ))
+                    return j + 1
+                saw_type_token = True
+                j += 1
+                continue
+            if t.kind == "punct":
+                if t.text == "::":
+                    j += 1
+                    continue
+                if t.text == "<":
+                    nj = _match_angle(toks, j)
+                    if nj != j:
+                        j = nj
+                        continue
+                    return None
+                if t.text in ("*", "&", "&&"):
+                    ptr_ref = True
+                    j += 1
+                    continue
+                return None
+            return None
+        return None
+
+    def _stmt_end(self, i: int, end: int) -> int:
+        toks = self.toks
+        while i < end:
+            t = toks[i]
+            if t.kind == "punct":
+                if t.text == ";":
+                    return i
+                if t.text in ("(", "[", "{"):
+                    i = self.match.close.get(i, i) + 1
+                    continue
+            i += 1
+        return end
+
+    def _record_loop(self, fn: FunctionInfo, paren: int) -> int | None:
+        """At the '(' of a for statement. Classifies range-for vs iterator
+        loops, records container text, and returns index past the loop
+        header (body scanning continues in the main loop)."""
+        toks = self.toks
+        close = self.match.close.get(paren)
+        if close is None:
+            return None
+        # find a top-level ':' (range-for) or ';' (classic)
+        depth = 0
+        colon = None
+        semis: list[int] = []
+        for k in range(paren + 1, close):
+            t = toks[k]
+            if t.kind == "punct":
+                if t.text in ("(", "[", "{"):
+                    depth += 1
+                elif t.text in (")", "]", "}"):
+                    depth -= 1
+                elif depth == 0 and t.text == ":" and colon is None:
+                    colon = k
+                elif depth == 0 and t.text == ";":
+                    semis.append(k)
+        body_start, body_end = self._loop_body(close + 1)
+        if colon is not None and not semis:
+            container = _text(toks, colon + 1, close)
+            # Loop variable: last id before the ':' (empty for structured
+            # bindings — no single element type to give them).
+            var_name = ""
+            if not any(toks[k].kind == "punct" and toks[k].text == "["
+                       for k in range(paren + 1, colon)):
+                for k in range(colon - 1, paren, -1):
+                    if toks[k].kind == "id":
+                        var_name = toks[k].text
+                        break
+            fn.loops.append(LoopInfo(
+                kind="range", container_text=container, container_type="",
+                body_span=(body_start, body_end),
+                line=toks[paren].line, col=toks[paren].col,
+                var_name=var_name,
+            ))
+            return close + 1
+        if semis:
+            init_text = _text(toks, paren + 1, semis[0])
+            for probe in (".begin()", "->begin()", ".cbegin()", "->cbegin()"):
+                if probe in init_text:
+                    container = init_text.split(probe)[0]
+                    container = container.split("=")[-1].strip()
+                    fn.loops.append(LoopInfo(
+                        kind="iter", container_text=container,
+                        container_type="", body_span=(body_start, body_end),
+                        line=toks[paren].line, col=toks[paren].col,
+                    ))
+                    break
+            return close + 1
+        return close + 1
+
+    def _loop_body(self, i: int) -> tuple[int, int]:
+        toks = self.toks
+        n = len(toks)
+        if i < n and toks[i].kind == "punct" and toks[i].text == "{":
+            return (i + 1, self.match.close.get(i, n))
+        # single statement body
+        return (i, self._stmt_end(i, n))
+
+
+def index_file(path: str, source: str) -> FileIR:
+    return _FileIndexer(path, source).run()
+
+
+def build_program(files: list[tuple[str, str]]) -> ProgramIR:
+    """files: list of (repo-relative path, source text)."""
+    return ProgramIR([index_file(p, s) for p, s in files])

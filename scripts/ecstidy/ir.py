@@ -1,0 +1,218 @@
+"""Backend-neutral IR: what every check consumes.
+
+Both the text indexer (`index.py`) and the libclang frontend
+(`clang_backend.py`) lower translation units into these structures, so
+check logic is written exactly once and fixture goldens pin the behavior
+of both backends.
+
+Positions (`pos`) are an opaque monotonically increasing measure within a
+file — token index for the text backend, a line/column encoding for the
+clang backend. Checks only ever compare positions, never interpret them.
+"""
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CallSite:
+    name: str            # simple callee name ("lookup", "push_back")
+    qualifier: str       # textual qualifier/receiver chain ("cache_.", "std::")
+    recv: str | None     # receiver expression text for member calls, else None
+    line: int
+    col: int
+    pos: int
+    in_throw: bool = False  # inside a throw-expression (the abort path)
+
+
+@dataclass
+class VarDecl:
+    name: str
+    type_text: str       # raw declared type ("const CacheEntry *", "auto &")
+    init_text: str       # raw initializer text ("" when none)
+    line: int
+    col: int
+    pos: int
+    is_ptr_or_ref: bool = False
+
+
+@dataclass
+class LoopInfo:
+    kind: str            # "range" | "iter"
+    container_text: str  # raw container expression ("map_", "cache.entries()")
+    container_type: str  # resolved type text ("" when the backend knows it)
+    body_span: tuple[int, int]  # pos range of the loop body
+    line: int
+    col: int
+    var_name: str = ""   # range-for loop variable ("" for structured bindings)
+
+
+@dataclass
+class Ident:
+    text: str
+    pos: int
+    line: int
+    col: int
+
+
+@dataclass
+class StreamWrite:
+    recv: str            # "cout", "out", "csv_"
+    pos: int
+    line: int
+    col: int
+
+
+@dataclass
+class FunctionInfo:
+    qname: str           # "ecsdns::resolver::EcsCache::lookup"
+    name: str            # "lookup"
+    cls: str             # enclosing class qname, "" for free functions
+    file: str            # repo-relative path
+    line: int
+    return_type: str
+    annotations: set[str] = field(default_factory=set)
+    has_body: bool = False
+    # The following are only populated for definitions.
+    calls: list[CallSite] = field(default_factory=list)
+    locals: list[VarDecl] = field(default_factory=list)
+    loops: list[LoopInfo] = field(default_factory=list)
+    new_exprs: list[tuple[int, int, int]] = field(default_factory=list)  # (line, col, pos)
+    idents: list[Ident] = field(default_factory=list)
+    stream_writes: list[StreamWrite] = field(default_factory=list)
+    body_span: tuple[int, int] = (0, 0)
+
+
+@dataclass
+class FileIR:
+    path: str                              # repo-relative
+    functions: list[FunctionInfo] = field(default_factory=list)
+    # member/global variable name -> declared type text; keys are both the
+    # bare field name and "Class::field" for disambiguation.
+    var_types: dict[str, str] = field(default_factory=dict)
+    comments: dict[int, str] = field(default_factory=dict)
+    lines: list[str] = field(default_factory=list)
+    tokens: list = field(default_factory=list)  # lexer Tokens (always text-lexed)
+
+
+class ProgramIR:
+    """The whole indexed program plus name-resolution helpers."""
+
+    def __init__(self, files: list[FileIR]):
+        self.files = files
+        self.functions: list[FunctionInfo] = [
+            f for fir in files for f in fir.functions
+        ]
+        # simple name -> all functions with that name
+        self.by_name: dict[str, list[FunctionInfo]] = {}
+        # qname -> declarations/definitions (several TUs may see one header)
+        self.by_qname: dict[str, list[FunctionInfo]] = {}
+        for fn in self.functions:
+            self.by_name.setdefault(fn.name, []).append(fn)
+            self.by_qname.setdefault(fn.qname, []).append(fn)
+        # Annotations declared on a header prototype apply to the
+        # out-of-line definition with the same qualified name.
+        for fns in self.by_qname.values():
+            merged: set[str] = set()
+            for fn in fns:
+                merged |= fn.annotations
+            if merged:
+                for fn in fns:
+                    fn.annotations |= merged
+        # var name -> type text, program-wide (member decls usually live in
+        # headers while method bodies live in .cpp files).
+        self.var_types: dict[str, str] = {}
+        for fir in files:
+            self.var_types.update(fir.var_types)
+
+    def definitions(self) -> list[FunctionInfo]:
+        return [f for f in self.functions if f.has_body]
+
+    def resolve_calls(self, call: CallSite, recv_type: str = "") -> list[FunctionInfo]:
+        """Best-effort project-local call resolution: every *definition*
+        the call may reach. Method calls resolve through the receiver type
+        when it names a project class; otherwise a globally unique
+        qualified name resolves (covering overload sets of one function)."""
+        candidates = self.by_name.get(call.name, [])
+        defs = [c for c in candidates if c.has_body]
+        if not defs:
+            return []
+        if recv_type:
+            typed = [d for d in defs if d.cls and d.cls.split("::")[-1] in recv_type]
+            if typed:
+                return typed
+        if len({d.qname for d in defs}) == 1:
+            return defs
+        # Unqualified same-class call (implicit this) from a method.
+        return []
+
+    def resolve_calls_from(self, fn: FunctionInfo, call: CallSite) -> list[FunctionInfo]:
+        """resolve_calls plus implicit-this resolution within fn's class."""
+        recv_type = ""
+        if call.recv is not None:
+            recv_type = self.type_of_expr(call.recv, fn)
+        out = self.resolve_calls(call, recv_type)
+        if out:
+            return out
+        if call.recv is None and fn.cls:
+            sibling = f"{fn.cls}::{call.name}"
+            return [d for d in self.by_qname.get(sibling, []) if d.has_body]
+        return []
+
+    def type_of_var(self, name: str, fn: FunctionInfo | None = None) -> str:
+        if fn is not None:
+            for v in fn.locals:
+                if v.name == name:
+                    return v.type_text
+            # Range-for variables take the container's element type.
+            for loop in fn.loops:
+                if loop.kind == "range" and loop.var_name == name:
+                    cty = loop.container_type or \
+                        self.type_of_expr(loop.container_text, fn)
+                    elem = _element_type(cty)
+                    if elem:
+                        return elem
+            if fn.cls:
+                qualified = f"{fn.cls.split('::')[-1]}::{name}"
+                if qualified in self.var_types:
+                    return self.var_types[qualified]
+        return self.var_types.get(name, "")
+
+    def type_of_expr(self, expr_text: str, fn: FunctionInfo | None) -> str:
+        """Resolve the type of a simple expression: a variable chain or a
+        call like `registry.counters()` (resolved through return types)."""
+        expr = expr_text.strip()
+        if not expr:
+            return ""
+        if expr.endswith("()"):
+            callee = expr[:-2].split(".")[-1].split("->")[-1].split("::")[-1]
+            recv = ""
+            base = expr[: -(len(callee) + 2)].rstrip(".->:")
+            if base:
+                recv = self.type_of_expr(base, fn)
+            fns = self.by_name.get(callee, [])
+            if recv:
+                typed = [f for f in fns if f.cls and f.cls.split("::")[-1] in recv]
+                fns = typed or fns
+            rets = {f.return_type for f in fns if f.return_type}
+            if len(rets) == 1:
+                return next(iter(rets))
+            return ""
+        last = expr.split(".")[-1].split("->")[-1].split("::")[-1]
+        last = last.strip("()*&[] ")
+        return self.type_of_var(last, fn)
+
+
+_SEQ_ELEM_RE = re.compile(
+    r"\b(?:vector|array|span|deque|list|set|multiset|FlatHashSet|"
+    r"unordered_set|unordered_multiset)\s*<\s*(.+?)\s*(?:,[^<>]*)?>\s*&?$"
+)
+
+
+def _element_type(container_type: str) -> str:
+    """Element type of a sequence container's type text; "" when the
+    container is unknown or keyed (map elements are pairs — a range-for
+    over one uses structured bindings, which we don't type)."""
+    m = _SEQ_ELEM_RE.search(container_type.strip())
+    return m.group(1) if m else ""

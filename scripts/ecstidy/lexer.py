@@ -1,0 +1,177 @@
+"""A small C++ lexer: tokens + per-line comment capture.
+
+Not a conforming preprocessor — it tokenizes one translation-unit *file*
+(headers are indexed as their own files), skips preprocessor directives,
+and strips comments while recording them per line so the driver can find
+`ecstidy:allow(...)` suppressions.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "alignas", "alignof", "auto", "bool", "break", "case", "catch", "char",
+    "class", "const", "consteval", "constexpr", "constinit", "const_cast",
+    "continue", "co_await", "co_return", "co_yield", "decltype", "default",
+    "delete", "do", "double", "dynamic_cast", "else", "enum", "explicit",
+    "export", "extern", "false", "final", "float", "for", "friend", "goto",
+    "if", "inline", "int", "long", "mutable", "namespace", "new", "noexcept",
+    "nullptr", "operator", "override", "private", "protected", "public",
+    "register", "reinterpret_cast", "requires", "return", "short", "signed",
+    "sizeof", "static", "static_assert", "static_cast", "struct", "switch",
+    "template", "this", "thread_local", "throw", "true", "try", "typedef",
+    "typeid", "typename", "union", "unsigned", "using", "virtual", "void",
+    "volatile", "wchar_t", "while",
+}
+
+# Longest-first so "::" wins over ":" etc. Three-char ops first.
+MULTI_PUNCT = [
+    "<<=", ">>=", "...", "->*", "<=>",
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "id" | "kw" | "num" | "str" | "chr" | "punct"
+    text: str
+    line: int
+    col: int
+
+
+class LexResult:
+    def __init__(self, tokens: list[Token], comments: dict[int, str]):
+        self.tokens = tokens
+        # line -> concatenated comment text ending on that line (line
+        # comments and single-line block comments; multi-line block
+        # comments attach to their final line).
+        self.comments = comments
+
+
+def lex(text: str) -> LexResult:
+    tokens: list[Token] = []
+    comments: dict[int, str] = {}
+    i, n = 0, len(text)
+    line, col = 1, 1
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    def note_comment(body: str, end_line: int) -> None:
+        prev = comments.get(end_line)
+        comments[end_line] = body if prev is None else prev + " " + body
+
+    while i < n:
+        c = text[i]
+        if c in " \t\r\n\f\v":
+            advance(1)
+            continue
+        # Preprocessor directive: swallow to end of line, honoring
+        # backslash continuations. Comments on directive lines still count.
+        if c == "#" and (not tokens or tokens[-1].line != line):
+            while i < n:
+                if text[i] == "\n":
+                    advance(1)
+                    break
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    advance(2)
+                    continue
+                if text[i] == "/" and i + 1 < n and text[i + 1] in "/*":
+                    break  # let the comment path handle it
+                advance(1)
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            start = i
+            while i < n and text[i] != "\n":
+                advance(1)
+            note_comment(text[start:i], line)
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            start = i
+            advance(2)
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                advance(1)
+            advance(2)
+            note_comment(text[start:i], line)
+            continue
+        tok_line, tok_col = line, col
+        # Raw string literal R"delim( ... )delim"
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            j = i + 2
+            while j < n and text[j] not in "(\n":
+                j += 1
+            if j < n and text[j] == "(":
+                delim = text[i + 2 : j]
+                close = ")" + delim + '"'
+                end = text.find(close, j + 1)
+                end = n if end < 0 else end + len(close)
+                tokens.append(Token("str", text[i:end], tok_line, tok_col))
+                advance(end - i)
+                continue
+        if c == '"' or (c == "'" and not _is_digit_sep(text, i, tokens)):
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    j += 1
+                    break
+                j += 1
+            kind = "str" if quote == '"' else "chr"
+            tokens.append(Token(kind, text[i:j], tok_line, tok_col))
+            advance(j - i)
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "kw" if word in KEYWORDS else "id"
+            tokens.append(Token(kind, word, tok_line, tok_col))
+            advance(j - i)
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            while j < n and (
+                text[j].isalnum()
+                or text[j] in "._'"
+                or (text[j] in "+-" and text[j - 1] in "eEpP")
+            ):
+                j += 1
+            tokens.append(Token("num", text[i:j], tok_line, tok_col))
+            advance(j - i)
+            continue
+        matched = False
+        for op in MULTI_PUNCT:
+            if text.startswith(op, i):
+                tokens.append(Token("punct", op, tok_line, tok_col))
+                advance(len(op))
+                matched = True
+                break
+        if not matched:
+            tokens.append(Token("punct", c, tok_line, tok_col))
+            advance(1)
+    return LexResult(tokens, comments)
+
+
+def _is_digit_sep(text: str, i: int, tokens: list[Token]) -> bool:
+    # 1'000'000: a single quote directly between digits is a separator, and
+    # the preceding digits have already been consumed into a num token.
+    return (
+        bool(tokens)
+        and tokens[-1].kind == "num"
+        and i > 0
+        and text[i - 1].isalnum()
+        and i + 1 < len(text)
+        and text[i + 1].isalnum()
+    )

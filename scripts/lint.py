@@ -1,104 +1,26 @@
 #!/usr/bin/env python3
-"""Project lint rules that clang-tidy cannot express. Required in CI.
+"""Compatibility shim — the project lint rules now live in scripts/ecstidy.
 
-Rules:
-  wire-codec    All DNS wire access goes through WireReader/WireWriter:
-                no memcpy/memmove and no byte-order intrinsics on packet
-                buffers outside src/dnscore/wire.cpp.
-  deterministic-rng
-                Simulation code must stay reproducible: no std::random_device,
-                rand()/srand(), or direct <random> engines outside the seeded
-                netsim RNG wrapper. (Tests may use gtest's --gtest_shuffle
-                seed machinery, not ad-hoc entropy.)
-  bench-metrics Every bench binary constructs an ObsSession so --metrics-out
-                and --trace-out work fleet-wide.
+The regex rules this script used to implement (wire-codec,
+deterministic-rng, bench-metrics) were ported verbatim into
+scripts/ecstidy/checks/regex_rules.py, alongside the AST-level checks
+(det-iter, det-clock, cache-lifetime, noalloc). Running this script is
+equivalent to:
 
-Exit status is the number of violation classes hit (0 = clean).
+    python3 scripts/ecstidy --checks regex
+
+Use scripts/ecstidy directly for the full suite; see
+docs/static_analysis.md. This shim stays so older CI configs and muscle
+memory keep working.
 """
 from __future__ import annotations
 
-import re
+import os
 import sys
 from pathlib import Path
 
-REPO = Path(__file__).resolve().parent.parent
-
-# (rule, pattern, human message)
-FORBIDDEN_WIRE = [
-    (re.compile(r"\bmemcpy\s*\("), "raw memcpy on buffers (use WireReader/WireWriter)"),
-    (re.compile(r"\bmemmove\s*\("), "raw memmove on buffers (use WireReader/WireWriter)"),
-    (re.compile(r"\b(htons|ntohs|htonl|ntohl)\s*\("),
-     "byte-order intrinsics (WireReader/WireWriter are already big-endian)"),
-]
-WIRE_EXEMPT = {Path("src/dnscore/wire.cpp")}
-
-FORBIDDEN_RNG = [
-    (re.compile(r"\bstd::random_device\b"), "nondeterministic std::random_device"),
-    (re.compile(r"(?<![\w:])s?rand\s*\("), "C rand()/srand()"),
-    (re.compile(r"\bstd::(mt19937(_64)?|minstd_rand0?|default_random_engine)\b"),
-     "direct <random> engine (use netsim::Rng with an explicit seed)"),
-]
-RNG_EXEMPT = {Path("src/netsim/rng.h"), Path("src/netsim/rng.cpp")}
-
-COMMENT = re.compile(r"//.*$")
-
-
-def strip_comment(line: str) -> str:
-    return COMMENT.sub("", line)
-
-
-def scan(path: Path, rules, exempt) -> list[str]:
-    rel = path.relative_to(REPO)
-    if rel in exempt:
-        return []
-    problems = []
-    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
-        code = strip_comment(line)
-        for pattern, message in rules:
-            if pattern.search(code):
-                problems.append(f"{rel}:{lineno}: {message}")
-    return problems
-
-
-def main() -> int:
-    sources = []
-    for top in ("src", "bench", "examples", "fuzz", "tests"):
-        sources.extend(sorted((REPO / top).rglob("*.cpp")))
-        sources.extend(sorted((REPO / top).rglob("*.h")))
-
-    failures = 0
-
-    wire_hits = []
-    for path in sources:
-        wire_hits.extend(scan(path, FORBIDDEN_WIRE, WIRE_EXEMPT))
-    if wire_hits:
-        failures += 1
-        print("[wire-codec] wire access outside the bounds-checked codec:")
-        print("\n".join(f"  {p}" for p in wire_hits))
-
-    rng_hits = []
-    for path in sources:
-        rng_hits.extend(scan(path, FORBIDDEN_RNG, RNG_EXEMPT))
-    if rng_hits:
-        failures += 1
-        print("[deterministic-rng] nondeterministic randomness:")
-        print("\n".join(f"  {p}" for p in rng_hits))
-
-    bench_hits = []
-    for path in sorted((REPO / "bench").glob("*.cpp")):
-        text = path.read_text(encoding="utf-8")
-        if "ObsSession" not in text:
-            bench_hits.append(f"{path.relative_to(REPO)}: no ObsSession "
-                              "(every bench must support --metrics-out)")
-    if bench_hits:
-        failures += 1
-        print("[bench-metrics] bench binaries without observability wiring:")
-        print("\n".join(f"  {p}" for p in bench_hits))
-
-    if failures == 0:
-        print(f"lint: {len(sources)} files clean")
-    return failures
-
-
 if __name__ == "__main__":
-    sys.exit(main())
+    ecstidy = Path(__file__).resolve().parent / "ecstidy"
+    os.execv(sys.executable,
+             [sys.executable, str(ecstidy), "--checks", "regex",
+              *sys.argv[1:]])

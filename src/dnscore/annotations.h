@@ -1,0 +1,41 @@
+// Static-analysis annotation macros, consumed by scripts/ecstidy/.
+//
+// These expand to clang `annotate` attributes (visible to the libclang
+// backend) and to nothing elsewhere — they never change codegen. The text
+// backend recognizes the macro names directly, so the contracts are
+// enforced under any toolchain. See docs/static_analysis.md.
+//
+//   ECSDNS_NOALLOC
+//       This function and everything it (transitively) calls must not
+//       allocate: no new-expressions, no container growth, no std::string
+//       construction. Applied to the zero-copy packet path (MessageView,
+//       BufferPool, serialize_into) and the bounded cache's eviction path,
+//       where the perf gate's run.allocations counter enforces the same
+//       contract dynamically. Amortized growth into pooled storage is the
+//       only sanctioned exception, and each such site carries a justified
+//       allow-comment (see docs/static_analysis.md for the syntax).
+//
+//   ECSDNS_MAY_BLOCK
+//       The explicit slow-path boundary: this function may allocate,
+//       take locks, or otherwise stall. Calling one from an
+//       ECSDNS_NOALLOC context is itself a finding; the checker does not
+//       descend further, so the boundary stays visible at the call site.
+//
+//   ECSDNS_NONDETERMINISTIC_OK
+//       Output of this function may legitimately depend on wall-clock
+//       time or unordered iteration (e.g. operator tooling that prints a
+//       local timestamp). Exempts the function's body from det-clock and
+//       det-iter. Never valid on anything that feeds committed results/
+//       CSVs, metrics JSON, or the serial-equivalence oracle.
+#pragma once
+
+#if defined(__clang__)
+#define ECSDNS_NOALLOC __attribute__((annotate("ecsdns::noalloc")))
+#define ECSDNS_MAY_BLOCK __attribute__((annotate("ecsdns::may_block")))
+#define ECSDNS_NONDETERMINISTIC_OK \
+  __attribute__((annotate("ecsdns::nondeterministic_ok")))
+#else
+#define ECSDNS_NOALLOC
+#define ECSDNS_MAY_BLOCK
+#define ECSDNS_NONDETERMINISTIC_OK
+#endif

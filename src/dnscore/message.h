@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "dnscore/annotations.h"
 #include "dnscore/ecs.h"
 #include "dnscore/edns.h"
 #include "dnscore/record.h"
@@ -78,13 +79,14 @@ class Message {
   // `compress` applies RFC 1035 §4.1.4 name compression to owner names,
   // as production servers do; pass false for byte layouts that are easier
   // to inspect by hand.
-  std::vector<std::uint8_t> serialize(bool compress = true) const;
+  ECSDNS_MAY_BLOCK std::vector<std::uint8_t> serialize(bool compress = true) const;
   // Serializes into a caller-supplied writer — the pooled-buffer hot path
   // (no fresh vector per packet). The writer must be empty: compression
   // pointer offsets are writer-relative, so the message has to start at
-  // offset 0.
-  void serialize_into(WireWriter& writer, bool compress = true) const;
-  static Message parse(std::span<const std::uint8_t> wire);
+  // offset 0. Steady-state noalloc: appends reuse pooled capacity and the
+  // compression table is bounded by the message's owner names.
+  ECSDNS_NOALLOC void serialize_into(WireWriter& writer, bool compress = true) const;
+  ECSDNS_MAY_BLOCK static Message parse(std::span<const std::uint8_t> wire);
 
   // Multi-line dig-style rendering for logs and examples.
   std::string to_string() const;

@@ -26,6 +26,7 @@
 #include <optional>
 #include <span>
 
+#include "dnscore/annotations.h"
 #include "dnscore/ecs.h"
 #include "dnscore/message.h"
 
@@ -34,8 +35,10 @@ namespace ecsdns::dnscore {
 class MessageView {
  public:
   // Validates the whole message; throws WireFormatError on any input that
-  // Message::parse would reject.
-  explicit MessageView(std::span<const std::uint8_t> wire);
+  // Message::parse would reject. The walk is the zero-copy contract: it
+  // records offsets and never materializes, so it must not allocate
+  // (except to build the diagnostic when throwing on malformed input).
+  ECSDNS_NOALLOC explicit MessageView(std::span<const std::uint8_t> wire);
 
   std::span<const std::uint8_t> wire() const noexcept { return wire_; }
 
@@ -77,15 +80,15 @@ class MessageView {
   // payload decode (agrees with Message::has_ecs()).
   bool has_ecs() const noexcept { return has_ecs_; }
   // The first ECS option's raw payload (empty span when absent).
-  std::span<const std::uint8_t> ecs_payload() const noexcept;
+  ECSDNS_NOALLOC std::span<const std::uint8_t> ecs_payload() const noexcept;
   // Decodes the ECS option. Throws WireFormatError on a present but
   // structurally short payload — exactly when Message::ecs() would.
   std::optional<EcsOption> ecs() const;
 
   // Full materialization for callers that outgrow the view. Never throws
   // for a successfully constructed view (the constructor already ran the
-  // same validation).
-  Message to_message() const { return Message::parse(wire_); }
+  // same validation). Leaves the zero-copy regime — allocates freely.
+  ECSDNS_MAY_BLOCK Message to_message() const { return Message::parse(wire_); }
 
  private:
   std::span<const std::uint8_t> wire_;

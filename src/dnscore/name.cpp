@@ -331,6 +331,8 @@ void Name::serialize_compressed(WireWriter& writer, CompressionTable& table) con
       writer.u16(static_cast<std::uint16_t>(0xc000 | *target));
       return;
     }
+    // ecstidy:allow(noalloc): suffix-index growth is bounded by this
+    // message's distinct name suffixes; the table is per-message and tiny.
     table.remember_suffix(suffix, writer.size());
     const std::size_t len = p[off];
     ECSDNS_DCHECK(len > 0 && len <= kMaxLabel);

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dnscore/annotations.h"
 #include "dnscore/flat_hash.h"
 #include "dnscore/wire.h"
 
@@ -114,7 +115,11 @@ class Name {
       std::size_t operator()(const SuffixRef& s) const noexcept;
     };
     std::optional<std::uint16_t> find_suffix(SuffixRef suffix) const;
-    void remember_suffix(SuffixRef suffix, std::size_t offset);
+    // Grows the suffix index — the one allocating step of compressed
+    // serialization. MAY_BLOCK marks the boundary so noalloc callers
+    // justify it at the call site instead of blanket-suppressing the
+    // generic FlatHashMap growth underneath.
+    ECSDNS_MAY_BLOCK void remember_suffix(SuffixRef suffix, std::size_t offset);
 
     FlatHashMap<SuffixRef, std::uint16_t, SuffixHash> offsets_;
   };

@@ -62,26 +62,40 @@ std::uint8_t WireReader::peek_at(std::size_t offset) const {
   return data_[offset];
 }
 
+// The appends below are the one sanctioned growth site on the noalloc
+// packet path: in external (pooled) mode the buffer arrived from a
+// BufferPool with capacity converged on the run's packet sizes, so the
+// steady state never reallocates — run.allocations in the perf gate
+// enforces that dynamically.
+
+// ecstidy:allow(noalloc): amortized append into a pooled buffer whose
+// capacity has converged; steady state never grows (perf gate enforces).
 void WireWriter::u8(std::uint8_t v) { buf_->push_back(v); }
 
 void WireWriter::u16(std::uint16_t v) {
+  // ecstidy:allow(noalloc): amortized append into pooled capacity (see u8).
   buf_->push_back(static_cast<std::uint8_t>(v >> 8));
+  // ecstidy:allow(noalloc): amortized append into pooled capacity (see u8).
   buf_->push_back(static_cast<std::uint8_t>(v & 0xff));
 }
 
 void WireWriter::u32(std::uint32_t v) {
   for (int shift = 24; shift >= 0; shift -= 8) {
+    // ecstidy:allow(noalloc): amortized append into pooled capacity (see u8).
     buf_->push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
   }
 }
 
 void WireWriter::bytes(std::span<const std::uint8_t> b) {
+  // ecstidy:allow(noalloc): amortized append into pooled capacity (see u8).
   buf_->insert(buf_->end(), b.begin(), b.end());
 }
 
 std::size_t WireWriter::reserve_u16() {
   const std::size_t at = buf_->size();
+  // ecstidy:allow(noalloc): amortized append into pooled capacity (see u8).
   buf_->push_back(0);
+  // ecstidy:allow(noalloc): amortized append into pooled capacity (see u8).
   buf_->push_back(0);
   return at;
 }

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "dnscore/annotations.h"
+
 namespace ecsdns::dnscore {
 
 // Thrown on any malformed wire input: truncated fields, label overruns,
@@ -32,19 +34,22 @@ class WireReader {
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool at_end() const noexcept { return pos_ == data_.size(); }
 
-  std::uint8_t u8();
-  std::uint16_t u16();
-  std::uint32_t u32();
+  // Readers are on the zero-copy hot path (every MessageView construction
+  // goes through them); they only allocate when building the diagnostic for
+  // a WireFormatError throw.
+  ECSDNS_NOALLOC std::uint8_t u8();
+  ECSDNS_NOALLOC std::uint16_t u16();
+  ECSDNS_NOALLOC std::uint32_t u32();
   // Reads exactly n bytes, throwing if fewer remain.
-  std::span<const std::uint8_t> bytes(std::size_t n);
-  void skip(std::size_t n);
+  ECSDNS_NOALLOC std::span<const std::uint8_t> bytes(std::size_t n);
+  ECSDNS_NOALLOC void skip(std::size_t n);
   // Repositions the cursor (used to follow DNS name-compression pointers).
-  void seek(std::size_t offset);
+  ECSDNS_NOALLOC void seek(std::size_t offset);
   // Peek a byte at an absolute offset without moving the cursor.
-  std::uint8_t peek_at(std::size_t offset) const;
+  ECSDNS_NOALLOC std::uint8_t peek_at(std::size_t offset) const;
 
  private:
-  void require(std::size_t n) const;
+  ECSDNS_NOALLOC void require(std::size_t n) const;
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
@@ -76,14 +81,18 @@ class WireWriter {
   // vector — prefer reading the vector directly there.
   std::vector<std::uint8_t> take() && { return std::move(*buf_); }
 
-  void u8(std::uint8_t v);
-  void u16(std::uint16_t v);
-  void u32(std::uint32_t v);
-  void bytes(std::span<const std::uint8_t> b);
+  // Appends are amortized-noalloc: in external (pooled-buffer) mode the
+  // target's capacity has converged on the run's packet sizes, so the
+  // steady state never grows. The perf gate's allocation counter enforces
+  // this dynamically; the annotation keeps new calls on the path honest.
+  ECSDNS_NOALLOC void u8(std::uint8_t v);
+  ECSDNS_NOALLOC void u16(std::uint16_t v);
+  ECSDNS_NOALLOC void u32(std::uint32_t v);
+  ECSDNS_NOALLOC void bytes(std::span<const std::uint8_t> b);
 
   // Reserves a 16-bit slot and returns its offset for later patching.
-  std::size_t reserve_u16();
-  void patch_u16(std::size_t offset, std::uint16_t v);
+  ECSDNS_NOALLOC std::size_t reserve_u16();
+  ECSDNS_NOALLOC void patch_u16(std::size_t offset, std::uint16_t v);
 
  private:
   std::vector<std::uint8_t> owned_;

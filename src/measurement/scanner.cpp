@@ -112,7 +112,7 @@ std::vector<IpAddress> ScanResults::ecs_egress_addresses() const {
   return {set.begin(), set.end()};
 }
 
-std::unordered_map<std::string, std::vector<IpAddress>>
+std::map<std::string, std::vector<IpAddress>>
 ScanResults::source_length_census() const {
   // Group observed (length, jammed?) combinations per egress.
   std::unordered_map<IpAddress, std::set<std::string>, dnscore::IpAddressHash>
@@ -128,7 +128,9 @@ ScanResults::source_length_census() const {
     per_egress[o.egress].insert(std::to_string(len) +
                                 (jammed ? "/jammed last byte" : ""));
   }
-  std::unordered_map<std::string, std::vector<IpAddress>> census;
+  // Key-sorted map + address-sorted members: callers render the census
+  // straight into tables, so the iteration order is part of the contract.
+  std::map<std::string, std::vector<IpAddress>> census;
   for (const auto& [egress, combos] : per_egress) {
     std::string key;
     for (const auto& c : combos) {
@@ -137,6 +139,7 @@ ScanResults::source_length_census() const {
     }
     census[key].push_back(egress);
   }
+  for (auto& [key, members] : census) std::sort(members.begin(), members.end());
   return census;
 }
 

@@ -8,6 +8,7 @@
 // ECS queries with scope = source - 4.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -44,8 +45,10 @@ struct ScanResults {
   std::vector<IpAddress> ecs_egress_addresses() const;
   // Source prefix lengths seen per egress (Table 1 raw material). The key
   // is formatted as e.g. "24", "32/jammed last byte", or a comma-joined
-  // combination.
-  std::unordered_map<std::string, std::vector<IpAddress>> source_length_census() const;
+  // combination. Deterministically ordered — key-sorted map, members
+  // sorted by address — because callers render it straight into tables
+  // (ecstidy det-iter found the example binary printing it in hash order).
+  std::map<std::string, std::vector<IpAddress>> source_length_census() const;
   // ECS prefixes covering neither the ingress nor the egress /24 — the
   // hidden-resolver discovery of §8.2.
   std::vector<dnscore::Prefix> hidden_prefixes() const;

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "dnscore/annotations.h"
+
 namespace ecsdns::netsim {
 
 class BufferPool {
@@ -31,8 +33,13 @@ class BufferPool {
   // simulator keep well under this many packets alive at once.
   static constexpr std::size_t kMaxPooled = 64;
 
+  // The freelist itself must never allocate on the packet path: reserve
+  // its full bound once, up front. (Without this, release() grew the
+  // freelist vector on the hot path — ecstidy's noalloc check caught it.)
+  BufferPool() { free_.reserve(kMaxPooled); }
+
   // An empty buffer, reusing a pooled one's capacity when available.
-  std::vector<std::uint8_t> acquire() {
+  ECSDNS_NOALLOC std::vector<std::uint8_t> acquire() {
     ++acquires_;
     if (free_.empty()) return {};
     ++reuses_;
@@ -44,8 +51,10 @@ class BufferPool {
 
   // Donates a buffer back to the pool. Capacity-less vectors (e.g. ones
   // that were moved from) are not worth keeping.
-  void release(std::vector<std::uint8_t>&& buf) {
+  ECSDNS_NOALLOC void release(std::vector<std::uint8_t>&& buf) {
     if (buf.capacity() == 0 || free_.size() >= kMaxPooled) return;
+    // ecstidy:allow(noalloc): freelist capacity is reserved to kMaxPooled in
+    // the constructor and size is bounds-checked above, so this never grows.
     free_.push_back(std::move(buf));
   }
 

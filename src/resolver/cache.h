@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dnscore/annotations.h"
 #include "dnscore/flat_hash.h"
 #include "dnscore/hashing.h"
 #include "dnscore/ip.h"
@@ -183,14 +184,16 @@ class EcsCache {
   void note_expirations(std::size_t n);
   // Drops a live entry from the eviction bookkeeping (strategy + id index +
   // byte accounting). No-op stats-wise; callers count the exit themselves.
-  void forget_entry(const CacheEntry& entry);
+  // The eviction path runs inside insert(), i.e. on the resolution hot
+  // path, and only ever shrinks structures — it must not allocate.
+  ECSDNS_NOALLOC void forget_entry(const CacheEntry& entry);
   // Evicts strategy-named victims until an insert adding `incoming_entries`
   // entries and `incoming_bytes` bytes fits the configured bound — room is
   // made BEFORE the insert, so the bound is never observably exceeded.
-  void make_room(std::size_t incoming_entries, std::size_t incoming_bytes,
-                 SimTime now);
+  ECSDNS_NOALLOC void make_room(std::size_t incoming_entries,
+                                std::size_t incoming_bytes, SimTime now);
   // Evicts exactly one strategy-named victim.
-  void evict_victim(SimTime now);
+  ECSDNS_NOALLOC void evict_victim(SimTime now);
 };
 
 }  // namespace ecsdns::resolver

@@ -1,0 +1,3 @@
+// bench-metrics fixture: a bench TU missing the metrics wiring fires.
+// Never compiled — consumed by scripts/ecstidy's fixture tests only.
+int main() { return 0; }

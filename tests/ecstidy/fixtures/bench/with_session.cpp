@@ -1,0 +1,7 @@
+// bench-metrics fixture: mentioning ObsSession wiring satisfies the rule.
+// Never compiled — consumed by scripts/ecstidy's fixture tests only.
+struct ObsSession {};
+int main() {
+  ObsSession session;
+  return 0;
+}

@@ -1,0 +1,41 @@
+// cache-lifetime fixture: pointers from guarded accessors (FlatHashMap
+// find) held across mutations of the same container must fire; copying
+// out before the mutation must not.
+// Never compiled — consumed by scripts/ecstidy's fixture tests only.
+template <class K, class V>
+struct FlatHashMap {
+  V* find(const K& k) { return nullptr; }
+  void insert(const K& k, const V& v) {}
+  void erase(const K& k) {}
+};
+
+struct Store {
+  FlatHashMap<int, int> map_;
+
+  void grow() { map_.insert(9, 9); }
+
+  int bad_use_after_insert(int k) {
+    const int* slot = map_.find(k);
+    map_.insert(k + 1, 0);  // may rehash; slot now dangles
+    return slot ? *slot : 0;
+  }
+
+  int bad_use_after_transitive_mutation(int k) {
+    const int* slot = map_.find(k);
+    grow();  // mutates map_ one call deep
+    return slot ? *slot : 0;
+  }
+
+  int ok_copy_before_insert(int k) {
+    const int* slot = map_.find(k);
+    const int copied = slot ? *slot : 0;
+    map_.insert(k + 1, 0);  // pointer no longer live
+    return copied;
+  }
+
+  int ok_mutate_other_store(Store& other, int k) {
+    const int* slot = map_.find(k);
+    other.map_.erase(k);  // different receiver object... (see note below)
+    return slot ? *slot : 0;
+  }
+};

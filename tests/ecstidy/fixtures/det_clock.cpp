@@ -1,0 +1,28 @@
+// det-clock fixture: wall-clock reads fire unless the enclosing function
+// is annotated ECSDNS_NONDETERMINISTIC_OK; steady_clock never fires.
+// Never compiled — consumed by scripts/ecstidy's fixture tests only.
+#include <chrono>
+#include <ctime>
+
+#define ECSDNS_NONDETERMINISTIC_OK
+
+long bad_system_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long bad_time_call() { return time(nullptr); }
+
+ECSDNS_NONDETERMINISTIC_OK long ok_annotated_wall_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long ok_steady_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+struct SimEvent {
+  long time(int offset) const { return base + offset; }
+  long base = 0;
+};
+
+long ok_member_named_time(const SimEvent& e) { return e.time(0); }

@@ -1,0 +1,33 @@
+// det-iter fixture: unordered iteration reaching output sinks must fire;
+// ordered containers and commutative accumulation must not.
+// Never compiled — consumed by scripts/ecstidy's fixture tests only.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+void bad_direct_print(const std::unordered_map<std::string, int>& m) {
+  for (const auto& kv : m) {
+    std::printf("%d\n", kv.second);  // hash-order rows into stdout
+  }
+}
+
+void emit(int v) { std::printf("%d\n", v); }
+
+void bad_sink_one_call_deep(const std::unordered_map<std::string, int>& m) {
+  for (const auto& kv : m) {
+    emit(kv.second);  // the sink is inside emit()
+  }
+}
+
+void ok_ordered_map(const std::map<std::string, int>& m) {
+  for (const auto& kv : m) {
+    std::printf("%d\n", kv.second);  // std::map iterates sorted
+  }
+}
+
+int ok_commutative_fold(const std::unordered_map<std::string, int>& m) {
+  int total = 0;
+  for (const auto& kv : m) total += kv.second;  // order-independent
+  return total;
+}

@@ -1,0 +1,51 @@
+// noalloc fixture: every allocation class the check knows about, plus the
+// sanctioned escapes (throw path, non-growing calls).
+// Never compiled — consumed by scripts/ecstidy's fixture tests only.
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#define ECSDNS_NOALLOC
+#define ECSDNS_MAY_BLOCK
+
+struct Pool {
+  std::vector<int> free_;
+
+  ECSDNS_MAY_BLOCK void slow_refill() { free_.resize(64); }
+
+  void helper_grows() { free_.push_back(2); }
+
+  ECSDNS_NOALLOC int bad_grower() {
+    free_.push_back(1);
+    return 0;
+  }
+
+  ECSDNS_NOALLOC int bad_new_expression() {
+    int* p = new int(3);
+    const int v = *p;
+    delete p;
+    return v;
+  }
+
+  ECSDNS_NOALLOC int bad_string_local() {
+    std::string s = "hello world";
+    return static_cast<int>(s.size());
+  }
+
+  ECSDNS_NOALLOC int bad_call_into_may_block() {
+    slow_refill();
+    return 0;
+  }
+
+  ECSDNS_NOALLOC void bad_transitive_grower() { helper_grows(); }
+
+  ECSDNS_NOALLOC int ok_shrink_only() {
+    if (!free_.empty()) free_.pop_back();
+    return 0;
+  }
+
+  ECSDNS_NOALLOC int ok_throw_path_allocates(int x) {
+    if (x < 0) throw std::runtime_error(std::string("negative input"));
+    return x;
+  }
+};

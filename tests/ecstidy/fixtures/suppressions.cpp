@@ -1,0 +1,21 @@
+// suppression fixture: a justified allow suppresses its finding; a bare
+// allow suppresses nothing and is itself a finding; an allow whose check
+// matches nothing is stale and reported.
+// Never compiled — consumed by scripts/ecstidy's fixture tests only.
+#include <cstdio>
+#include <unordered_map>
+
+void suppressed_with_justification(const std::unordered_map<int, int>& m) {
+  // ecstidy:allow(det-iter): fixture demonstrating a justified suppression
+  for (const auto& kv : m) std::printf("%d\n", kv.second);
+}
+
+void unjustified_allow_does_not_suppress(const std::unordered_map<int, int>& m) {
+  // ecstidy:allow(det-iter)
+  for (const auto& kv : m) std::printf("%d\n", kv.second);
+}
+
+int stale_allow(int x) {
+  // ecstidy:allow(noalloc): nothing here allocates, so this allow is stale
+  return x + 1;
+}

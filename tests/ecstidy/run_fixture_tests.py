@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Self-tests for scripts/ecstidy, registered in ctest as `ecstidy_fixtures`.
+
+Four layers, cheapest first:
+
+  1. suppression-syntax unit tests (parse_allows imported directly),
+  2. golden fixture scan: every check family must fire on the seeded
+     violations in tests/ecstidy/fixtures/ and stay silent on the ok_*
+     cases — compared line-for-line against expected/fixtures.txt,
+  3. exit-code contract: findings -> 1, unknown check -> 2,
+  4. repo self-scan: the repository itself must be clean (exit 0), so a
+     newly introduced violation fails ctest, not just CI.
+
+Regenerate the golden after intentionally changing fixtures or checks:
+
+    python3 tests/ecstidy/run_fixture_tests.py --update
+"""
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parents[1]
+ECSTIDY = REPO / "scripts" / "ecstidy"
+FIXTURES = HERE / "fixtures"
+GOLDEN = HERE / "expected" / "fixtures.txt"
+
+_failures: list[str] = []
+
+
+def _fail(msg: str) -> None:
+    _failures.append(msg)
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def _ok(msg: str) -> None:
+    print(f"ok: {msg}")
+
+
+def _run(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(ECSTIDY), *args],
+        cwd=REPO, capture_output=True, text=True,
+    )
+
+
+def _projection() -> tuple[list[str], int]:
+    """Scan the fixture tree and project findings to stable golden lines."""
+    proc = _run("--backend", "text", "--root", str(FIXTURES), "--paths", ".",
+                "--include-suppressed", "--format", "json")
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        _fail(f"fixture scan produced invalid JSON:\n{proc.stdout[:800]}")
+        return [], proc.returncode
+    if doc.get("schema") != "ecsdns.ecstidy.v1":
+        _fail(f"unexpected schema: {doc.get('schema')!r}")
+    lines = []
+    for f in doc["findings"]:
+        tag = " suppressed" if f["suppressed"] else ""
+        lines.append(f"{f['check']} {f['path']}:{f['line']}:{f['col']}{tag}")
+    return sorted(lines), proc.returncode
+
+
+def test_suppression_syntax() -> None:
+    sys.path.insert(0, str(REPO / "scripts"))
+    from ecstidy.findings import MIN_JUSTIFICATION, parse_allows
+
+    comments = {
+        3: "// ecstidy:allow(det-iter): stable output proven by sort below",
+        7: "// ecstidy:allow(noalloc)",
+    }
+    by_line = {a.line: a for a in parse_allows("x.cpp", comments)}
+    a = by_line[3]
+    if a.checks != ["det-iter"] or len(a.justification) < MIN_JUSTIFICATION:
+        _fail("justified allow not parsed as justified")
+    else:
+        _ok("justified allow parses")
+    if len(by_line[7].justification) >= MIN_JUSTIFICATION:
+        _fail("bare allow parsed as justified")
+    else:
+        _ok("bare allow is unjustified")
+
+    # A justification shorter than MIN_JUSTIFICATION chars does not count.
+    short = parse_allows("x.cpp", {1: "// ecstidy:allow(noalloc): short"})
+    if len(short[0].justification) >= MIN_JUSTIFICATION:
+        _fail("short justification accepted (threshold is >= 10)")
+    else:
+        _ok("short justification rejected")
+
+    # Comma-separated checks all attach to one allow.
+    multi = parse_allows(
+        "x.cpp", {1: "// ecstidy:allow(noalloc, det-iter): both are fine here"})
+    if multi[0].checks != ["noalloc", "det-iter"]:
+        _fail(f"comma-separated checks mis-parsed: {multi[0].checks}")
+    else:
+        _ok("comma-separated check list parses")
+
+    # Comment-only continuation lines extend the allow to the next code line.
+    cont = parse_allows(
+        "x.cpp",
+        {4: "// ecstidy:allow(noalloc): the pool reuses buffers, so this",
+         5: "// append only grows until the freelist reaches kMaxPooled."},
+        code_lines={6, 7, 8},
+    )
+    if cont[0].line != 5:
+        _fail("multi-line allow comment does not reach its last comment line")
+    else:
+        _ok("multi-line allow extends through comment continuation")
+
+
+def test_golden(update: bool) -> None:
+    lines, rc = _projection()
+    if update:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text("\n".join(lines) + "\n")
+        print(f"updated {GOLDEN.relative_to(REPO)} ({len(lines)} findings)")
+        return
+    if not GOLDEN.exists():
+        _fail(f"missing golden {GOLDEN.relative_to(REPO)} — run with --update")
+        return
+    want = GOLDEN.read_text().splitlines()
+    if lines != want:
+        import difflib
+        diff = "\n".join(difflib.unified_diff(
+            want, lines, "expected/fixtures.txt", "actual", lineterm=""))
+        _fail(f"fixture findings diverge from golden:\n{diff}")
+    else:
+        _ok(f"fixture scan matches golden ({len(lines)} findings)")
+    if rc != 1:
+        _fail(f"fixture scan exit code {rc}, want 1 (findings present)")
+    else:
+        _ok("fixture scan exits 1")
+    # Every check family must be represented by at least one finding.
+    fired = {ln.split(" ", 1)[0] for ln in lines}
+    expected_checks = {"det-iter", "det-clock", "cache-lifetime", "noalloc",
+                       "wire-codec", "deterministic-rng", "bench-metrics",
+                       "suppression"}
+    missing = expected_checks - fired
+    if missing:
+        _fail(f"no fixture exercises: {', '.join(sorted(missing))}")
+    else:
+        _ok("all check families fire on fixtures")
+
+
+def test_exit_codes() -> None:
+    rc = _run("--checks", "no-such-check").returncode
+    if rc != 2:
+        _fail(f"unknown check exit code {rc}, want 2")
+    else:
+        _ok("unknown check exits 2")
+
+
+def test_repo_clean() -> None:
+    proc = _run("--backend", "text")
+    if proc.returncode != 0:
+        tail = "\n".join(proc.stdout.splitlines()[-15:])
+        _fail(f"repository self-scan not clean (exit {proc.returncode}):\n{tail}")
+    else:
+        _ok("repository self-scan is clean")
+
+
+def main() -> int:
+    update = "--update" in sys.argv[1:]
+    test_suppression_syntax()
+    test_golden(update)
+    if not update:
+        test_exit_codes()
+        test_repo_clean()
+    if _failures:
+        print(f"\n{len(_failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("\nall ecstidy self-tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+// Runtime half of the ECSDNS_NOALLOC contracts that scripts/ecstidy checks
+// statically. This binary links bench/alloc_hooks.cpp (counting operator
+// new/delete), so obs::allocation_count() advances on every heap
+// allocation — the tests below pin the hot paths that must stay flat.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dnscore/message.h"
+#include "dnscore/message_view.h"
+#include "dnscore/wire.h"
+#include "netsim/buffer_pool.h"
+#include "obs/alloc_counter.h"
+
+namespace ecsdns {
+namespace {
+
+using dnscore::Message;
+using dnscore::MessageView;
+using dnscore::Name;
+using dnscore::RRType;
+using dnscore::WireWriter;
+using netsim::BufferPool;
+
+std::uint64_t allocs() { return obs::allocation_count(); }
+
+TEST(AllocHooks, AreLinkedIntoThisBinary) {
+  const auto before = allocs();
+  auto* p = new std::uint64_t(42);
+  EXPECT_GT(allocs(), before) << "alloc_hooks.cpp is not linked; every "
+                                 "other test in this file is vacuous";
+  delete p;
+}
+
+// Regression: BufferPool::release() used to grow the freelist vector on the
+// packet path (the first kMaxPooled releases each risked a reallocation).
+// The constructor now reserves the full bound, so a release/acquire cycle
+// of an already-allocated buffer performs zero heap allocations.
+TEST(BufferPoolNoalloc, ReleaseAcquireCycleIsAllocationFree) {
+  BufferPool pool;
+  std::vector<std::vector<std::uint8_t>> bufs;
+  for (int i = 0; i < 8; ++i) {
+    auto b = pool.acquire();
+    b.resize(512);  // converge capacity before the measured window
+    bufs.push_back(std::move(b));
+  }
+  const auto before = allocs();
+  for (int round = 0; round < 100; ++round) {
+    for (auto& b : bufs) pool.release(std::move(b));
+    for (auto& b : bufs) b = pool.acquire();
+  }
+  EXPECT_EQ(allocs(), before)
+      << "BufferPool release/acquire allocated on the hot path";
+}
+
+TEST(BufferPoolNoalloc, FreelistNeverReallocatesEvenAtCapacity) {
+  BufferPool pool;
+  // Donate more buffers than kMaxPooled; the pool must cap, not grow.
+  std::vector<std::vector<std::uint8_t>> bufs(BufferPool::kMaxPooled + 8);
+  for (auto& b : bufs) b.resize(64);
+  const auto before = allocs();
+  for (auto& b : bufs) pool.release(std::move(b));
+  // The overflow releases free their buffers (deallocation is fine); the
+  // freelist itself must not have allocated.
+  EXPECT_EQ(allocs(), before);
+  EXPECT_EQ(pool.pooled(), BufferPool::kMaxPooled);
+}
+
+// The steady-state serialize path: once a pooled buffer's capacity has
+// converged on the message size, re-serializing into it allocates nothing.
+TEST(SerializeNoalloc, PooledSerializeSteadyStateIsAllocationFree) {
+  Message q = Message::make_query(
+      0x1234, Name::from_string("www.example.com"), RRType::A);
+  BufferPool pool;
+  auto buf = pool.acquire();
+  {
+    WireWriter w(buf);
+    q.serialize_into(w);  // warm-up: grows buf to the message size
+  }
+  const auto before = allocs();
+  for (int i = 0; i < 50; ++i) {
+    pool.release(std::move(buf));
+    buf = pool.acquire();
+    WireWriter w(buf);
+    q.serialize_into(w, /*compress=*/false);
+  }
+  EXPECT_EQ(allocs(), before)
+      << "steady-state pooled serialization allocated";
+}
+
+// MessageView's validating walk records offsets only — constructing a view
+// over existing wire bytes must not allocate.
+TEST(MessageViewNoalloc, ConstructionIsAllocationFree) {
+  Message q = Message::make_query(
+      7, Name::from_string("cachetest.example.org"), RRType::AAAA);
+  const std::vector<std::uint8_t> wire = q.serialize();
+  const auto before = allocs();
+  for (int i = 0; i < 50; ++i) {
+    MessageView view(wire);
+    ASSERT_EQ(view.id(), 7);
+    ASSERT_FALSE(view.has_ecs());
+    ASSERT_EQ(view.ecs_payload().size(), 0u);
+  }
+  EXPECT_EQ(allocs(), before) << "MessageView construction allocated";
+}
+
+}  // namespace
+}  // namespace ecsdns

@@ -2,6 +2,8 @@
 // §6.1 probing classifier on controlled fleets.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "measurement/fleet.h"
 #include "measurement/prefix_census.h"
 #include "measurement/probing_classifier.h"
@@ -109,6 +111,29 @@ TEST_F(ScanTest, CensusSeparatesJammedFrom24) {
   std::size_t total = 0;
   for (const auto& [key, members] : census) total += members.size();
   EXPECT_EQ(total, results.ecs_egress_addresses().size());
+}
+
+TEST_F(ScanTest, CensusIterationOrderIsDeterministic) {
+  // The census is rendered straight into tables (examples/open_resolver_scan),
+  // so its iteration order is part of the contract: keys sorted, members
+  // sorted by address. Regression test for the det-iter finding where the
+  // census was a hash map and the printed Table 1 flapped across runs.
+  const ScanResults results = scanner_.scan(all_forwarders());
+  const auto census = results.source_length_census();
+  ASSERT_FALSE(census.empty());
+  std::string prev_key;
+  for (const auto& [key, members] : census) {
+    EXPECT_LT(prev_key, key);
+    prev_key = key;
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end()))
+        << "members of \"" << key << "\" not address-sorted";
+  }
+  // Two scans of the same fleet render identically.
+  const auto census2 = scanner_.scan(all_forwarders()).source_length_census();
+  std::vector<std::string> keys1, keys2;
+  for (const auto& [k, v] : census) keys1.push_back(k);
+  for (const auto& [k, v] : census2) keys2.push_back(k);
+  EXPECT_EQ(keys1, keys2);
 }
 
 TEST_F(ScanTest, HiddenPrefixesComeFromHiddenPool) {
