@@ -6,18 +6,18 @@ Measures two layers and writes them to one JSON document:
   * google-benchmark micro benches (micro_name, micro_cache, micro_wire,
     micro_resolution): per-benchmark real ns/op from --benchmark_out JSON;
   * end-to-end experiments (fig1_cache_blowup_cdf, table1_source_prefix_census,
-    fig4_hidden_resolvers_mp, fig8_cname_flattening):
+    fig4_hidden_resolvers_mp, fig8_cname_flattening, micro_live, ...):
     wall-clock ms (from the run's --metrics-out export), heap allocation
     count (the run.allocations gauge fed by bench/alloc_hooks.cpp), and
     peak RSS in KiB (ru_maxrss via os.wait4).
 
 Modes:
-  bench_report.py --build-dir build --out BENCH_PR5.json      # measure
+  bench_report.py --build-dir build --out BENCH_PR8.json      # measure
   bench_report.py --build-dir build --check [--baseline F]    # CI gate
   bench_report.py --compare OLD NEW                           # offline diff
 
 --check re-measures and compares against the checked-in baseline
-(BENCH_PR5.json by default) with deliberately generous thresholds — CI
+(BENCH_PR8.json by default) with deliberately generous thresholds — CI
 machines are noisy, so the gate only catches step-function regressions
 (2-3x), not percent-level drift. Allocation counts are near-deterministic,
 so their threshold is tighter. See docs/perf.md for how to refresh the
@@ -36,7 +36,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 MICRO_BENCHES = ["micro_name", "micro_cache", "micro_wire", "micro_resolution"]
 EXPERIMENTS = ["fig1_cache_blowup_cdf", "table1_source_prefix_census",
                "fig4_hidden_resolvers_mp", "fig8_cname_flattening",
-               "fig_hitrate_vs_capacity"]
+               "fig_hitrate_vs_capacity", "micro_live"]
 
 # --check thresholds: fresh measurement may not exceed baseline * factor.
 WALL_FACTOR = 3.0       # wall time: very generous, CI boxes differ wildly
@@ -236,7 +236,7 @@ def main():
     parser.add_argument("--check", action="store_true",
                         help="measure and gate against the baseline")
     parser.add_argument("--baseline",
-                        default=os.path.join(REPO, "BENCH_PR5.json"))
+                        default=os.path.join(REPO, "BENCH_PR8.json"))
     parser.add_argument("--repeat", type=int, default=1,
                         help="measure N times and keep the best of each metric")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),

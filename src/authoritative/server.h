@@ -5,8 +5,11 @@
 // (CDN dataset, scan dataset) are computed from.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +53,21 @@ struct AuthConfig {
   bool log_queries = true;
 };
 
+// Per-caller dispatch state reused across packets: the query/response
+// messages, the decoded-ECS slot, and the name-compression table all retain
+// their capacity, so a steady stream of same-shaped queries is served with
+// zero heap allocations (pinned by tests/test_noalloc_contracts.cpp). One
+// scratch per attached service or live socket shard; never shared across
+// threads.
+struct DispatchScratch {
+  Message query;
+  Message response;
+  // Engaged while ECS queries flow; the option's address buffer is reused
+  // in place, so uniform ECS traffic decodes without allocating.
+  std::optional<EcsOption> ecs;
+  Name::CompressionTable table;
+};
+
 class AuthServer {
  public:
   AuthServer(AuthConfig config, std::unique_ptr<EcsPolicy> policy);
@@ -64,20 +82,50 @@ class AuthServer {
   std::optional<Message> handle(const Message& query, const IpAddress& sender,
                                 SimTime now);
 
+  // Allocation-aware core handle() wraps: answers into `response`, reusing
+  // its buffers, with `ecs_scratch` holding the decoded query ECS. Returns
+  // false when the query is dropped. A structurally unparseable ECS payload
+  // answers FORMERR (RFC 7871 §7.1.2) instead of throwing.
+  bool handle_into(const Message& query, const IpAddress& sender, SimTime now,
+                   Message& response, std::optional<EcsOption>& ecs_scratch);
+
+  // Wire-to-wire dispatch shared by the simulated attach() service and the
+  // live UDP shards: validates `wire` through MessageView (decoding straight
+  // out of the receive buffer), answers via handle_into, serializes into
+  // `out` (contents replaced, capacity reused), and applies RFC 1035 §4.2.1
+  // UDP truncation against the requestor's EDNS buffer size. Returns false
+  // when the datagram is dropped (unparseable, or a configured silent-drop
+  // behavior); `out` is unspecified in that case.
+  bool serve_wire(std::span<const std::uint8_t> wire, const IpAddress& sender,
+                  SimTime now, bool via_tcp, DispatchScratch& scratch,
+                  std::vector<std::uint8_t>& out);
+
   // Registers this server on the network at `addr`; the service parses and
-  // serializes real DNS packets.
+  // serializes real DNS packets through serve_wire, so the simulated and
+  // live paths emit byte-identical responses by construction.
   void attach(netsim::Network& network, const IpAddress& addr,
               const netsim::GeoPoint& location);
 
+  // The query log is single-writer: serving from multiple live shards
+  // requires log_queries=false (see docs/live_wire.md).
   const std::vector<QueryLogEntry>& log() const noexcept { return log_; }
   void clear_log() { log_.clear(); }
-  std::uint64_t queries_served() const noexcept { return queries_served_; }
+  std::uint64_t queries_served() const noexcept {
+    return queries_served_.load(std::memory_order_relaxed);
+  }
 
   const AuthConfig& config() const noexcept { return config_; }
   void set_policy(std::unique_ptr<EcsPolicy> policy) { policy_ = std::move(policy); }
 
  private:
-  Message answer(const Message& query, const IpAddress& sender);
+  // Answers into `response` (buffers reused). `ecs` is the decoded query
+  // option in the caller's scratch (disengaged when absent);
+  // `ecs_unparseable` marks a present-but-undecodable option. Every exit
+  // path either installs a fresh ECS option or clears the retained slot, so
+  // stale state never leaks between packets.
+  void answer_into(const Message& query, const IpAddress& sender,
+                   std::optional<EcsOption>& ecs, bool ecs_unparseable,
+                   Message& response);
 
   // Registry mirrors (see src/obs): `queries_served_` and the query log
   // remain the per-server API; the registry aggregates across the fleet.
@@ -92,7 +140,9 @@ class AuthServer {
   std::unique_ptr<EcsPolicy> policy_;
   std::vector<std::unique_ptr<Zone>> zones_;
   std::vector<QueryLogEntry> log_;
-  std::uint64_t queries_served_ = 0;
+  // Relaxed atomic: live shards on separate threads bump this concurrently;
+  // exact cross-thread ordering is irrelevant, only the total.
+  std::atomic<std::uint64_t> queries_served_{0};
   Metrics metrics_;
 };
 

@@ -27,7 +27,32 @@ void Zone::delegate(const Name& child, const std::vector<ResourceRecord>& ns_rec
 }
 
 ZoneLookup Zone::lookup(const Name& qname, RRType qtype) const {
+  const ZoneLookupRef ref = lookup_ref(qname, qtype);
   ZoneLookup out;
+  out.kind = ref.kind;
+  switch (ref.kind) {
+    case ZoneLookup::Kind::kAnswer:
+      for (const auto& rr : *ref.records) {
+        if (rr.type == qtype || qtype == RRType::ANY) out.records.push_back(rr);
+      }
+      break;
+    case ZoneLookup::Kind::kCname:
+      out.records.push_back(*ref.cname);
+      break;
+    case ZoneLookup::Kind::kDelegation:
+      out.records = *ref.records;
+      out.glue = *ref.glue;
+      break;
+    case ZoneLookup::Kind::kNoData:
+    case ZoneLookup::Kind::kNxDomain:
+    case ZoneLookup::Kind::kNotInZone:
+      break;
+  }
+  return out;
+}
+
+ZoneLookupRef Zone::lookup_ref(const Name& qname, RRType qtype) const {
+  ZoneLookupRef out;
   if (!qname.is_subdomain_of(apex_)) {
     out.kind = ZoneLookup::Kind::kNotInZone;
     return out;
@@ -43,8 +68,8 @@ ZoneLookup Zone::lookup(const Name& qname, RRType qtype) const {
     const auto dit = delegations_.find(walk);
     if (dit != delegations_.end()) {
       out.kind = ZoneLookup::Kind::kDelegation;
-      out.records = dit->second.ns;
-      out.glue = dit->second.glue;
+      out.records = &dit->second.ns;
+      out.glue = &dit->second.glue;
       return out;
     }
     if (walk.is_root()) break;
@@ -61,18 +86,20 @@ ZoneLookup Zone::lookup(const Name& qname, RRType qtype) const {
     for (const auto& rr : it->second) {
       if (rr.type == RRType::CNAME) {
         out.kind = ZoneLookup::Kind::kCname;
-        out.records.push_back(rr);
+        out.cname = &rr;
         return out;
       }
     }
   }
+  bool any_of_type = false;
   for (const auto& rr : it->second) {
     // add() rejects out-of-zone records, so the bucket only ever holds
     // records owned by the exact name it is keyed under.
     ECSDNS_DCHECK(rr.name == qname);
-    if (rr.type == qtype || qtype == RRType::ANY) out.records.push_back(rr);
+    if (rr.type == qtype || qtype == RRType::ANY) any_of_type = true;
   }
-  out.kind = out.records.empty() ? ZoneLookup::Kind::kNoData : ZoneLookup::Kind::kAnswer;
+  out.records = &it->second;
+  out.kind = any_of_type ? ZoneLookup::Kind::kAnswer : ZoneLookup::Kind::kNoData;
   return out;
 }
 

@@ -32,6 +32,18 @@ struct ZoneLookup {
   std::vector<ResourceRecord> glue;     // A/AAAA for delegation NS names
 };
 
+// Allocation-free view of a lookup: pointers into the zone's own storage,
+// valid until the zone is mutated. For kAnswer, `records` is the full
+// bucket at the name — the caller filters by qtype while copying out,
+// which preserves ZoneLookup's record order. The dispatch hot path uses
+// this so answering a query never clones record sets.
+struct ZoneLookupRef {
+  ZoneLookup::Kind kind = ZoneLookup::Kind::kNxDomain;
+  const std::vector<ResourceRecord>* records = nullptr;  // bucket / NS set
+  const std::vector<ResourceRecord>* glue = nullptr;     // delegation glue
+  const ResourceRecord* cname = nullptr;                 // kCname only
+};
+
 class Zone {
  public:
   explicit Zone(Name apex);
@@ -44,6 +56,8 @@ class Zone {
                 const std::vector<ResourceRecord>& glue);
 
   ZoneLookup lookup(const Name& qname, RRType qtype) const;
+  // The non-copying core lookup() is built on; see ZoneLookupRef.
+  ZoneLookupRef lookup_ref(const Name& qname, RRType qtype) const;
 
   // True if the zone contains any record at the exact name.
   bool contains(const Name& name) const;

@@ -108,13 +108,16 @@ std::vector<EcsIssue> EcsOption::validate(bool in_query) const {
 EdnsOption EcsOption::to_edns() const {
   EdnsOption opt;
   opt.code = static_cast<std::uint16_t>(EdnsOptionCode::ECS);
-  WireWriter w;
+  payload_into(opt.payload);
+  return opt;
+}
+
+void EcsOption::payload_into(std::vector<std::uint8_t>& out) const {
+  WireWriter w(out);
   w.u16(family_);
   w.u8(source_);
   w.u8(scope_);
   w.bytes({address_.data(), address_.size()});
-  opt.payload = std::move(w).take();
-  return opt;
 }
 
 EcsOption EcsOption::from_edns(const EdnsOption& option) {
@@ -125,15 +128,19 @@ EcsOption EcsOption::from_edns(const EdnsOption& option) {
 }
 
 EcsOption EcsOption::parse_payload(std::span<const std::uint8_t> payload) {
-  WireReader r(payload);
   EcsOption o;
-  o.family_ = r.u16();
-  o.source_ = r.u8();
-  o.scope_ = r.u8();
-  const auto rest = r.bytes(r.remaining());
-  o.address_.assign(rest.begin(), rest.end());
-  ECSDNS_DCHECK(r.at_end());
+  o.assign_from_payload(payload);
   return o;
+}
+
+void EcsOption::assign_from_payload(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  family_ = r.u16();
+  source_ = r.u8();
+  scope_ = r.u8();
+  const auto rest = r.bytes(r.remaining());
+  address_.assign(rest.begin(), rest.end());
+  ECSDNS_DCHECK(r.at_end());
 }
 
 std::string EcsOption::to_string() const {

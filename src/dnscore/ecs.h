@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "dnscore/annotations.h"
 #include "dnscore/edns.h"
 #include "dnscore/ip.h"
 #include "dnscore/types.h"
@@ -87,6 +88,16 @@ class EcsOption {
   // hands its in-place payload span here, so the two decode paths cannot
   // diverge.
   static EcsOption parse_payload(std::span<const std::uint8_t> payload);
+  // In-place variant of parse_payload: decodes into this object, reusing
+  // the address buffer's capacity. The packet path decodes every query's
+  // ECS into a per-shard scratch option through this, so steady-state
+  // dispatch never allocates for it. Throws like parse_payload; fields may
+  // be partially overwritten on throw.
+  void assign_from_payload(std::span<const std::uint8_t> payload);
+  // Appends the option payload wire bytes (no TLV header) into `out`,
+  // replacing its contents but reusing its capacity — the in-place dual of
+  // to_edns() for Message::set_ecs's retained option slot.
+  ECSDNS_NOALLOC void payload_into(std::vector<std::uint8_t>& out) const;
 
   // e.g. "ECS 1.2.3.0/24 scope 0".
   std::string to_string() const;

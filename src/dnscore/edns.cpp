@@ -1,6 +1,7 @@
 #include "dnscore/edns.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "dnscore/contracts.h"
 
@@ -14,6 +15,32 @@ const EdnsOption* OptRecord::find_option(EdnsOptionCode code) const noexcept {
   return nullptr;
 }
 
+EdnsOption* OptRecord::find_option(EdnsOptionCode code) noexcept {
+  return const_cast<EdnsOption*>(std::as_const(*this).find_option(code));
+}
+
+EdnsOption& OptRecord::ensure_option(EdnsOptionCode code) {
+  const auto wanted = static_cast<std::uint16_t>(code);
+  std::size_t keep = options.size();
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    if (options[i].code == wanted) {
+      keep = i;
+      break;
+    }
+  }
+  if (keep == options.size()) {
+    options.push_back(EdnsOption{wanted, {}});
+    return options.back();
+  }
+  // Collapse duplicates onto the first slot so set-style callers converge
+  // on exactly one option of this code.
+  options.erase(std::remove_if(options.begin() + static_cast<std::ptrdiff_t>(keep) + 1,
+                               options.end(),
+                               [wanted](const EdnsOption& o) { return o.code == wanted; }),
+                options.end());
+  return options[keep];
+}
+
 std::size_t OptRecord::remove_option(EdnsOptionCode code) {
   const auto wanted = static_cast<std::uint16_t>(code);
   const auto removed = std::erase_if(
@@ -22,10 +49,14 @@ std::size_t OptRecord::remove_option(EdnsOptionCode code) {
 }
 
 void OptRecord::serialize(WireWriter& writer) const {
+  serialize(writer, extended_rcode);
+}
+
+void OptRecord::serialize(WireWriter& writer, std::uint8_t extended_rcode_bits) const {
   writer.u8(0);  // root owner name
   writer.u16(static_cast<std::uint16_t>(RRType::OPT));
   writer.u16(udp_payload_size);
-  std::uint32_t ttl = static_cast<std::uint32_t>(extended_rcode) << 24;
+  std::uint32_t ttl = static_cast<std::uint32_t>(extended_rcode_bits) << 24;
   ttl |= static_cast<std::uint32_t>(version) << 16;
   if (dnssec_ok) ttl |= 0x8000u;
   writer.u32(ttl);

@@ -33,11 +33,20 @@ struct OptRecord {
 
   // Returns the first option with `code`, if present.
   const EdnsOption* find_option(EdnsOptionCode code) const noexcept;
+  EdnsOption* find_option(EdnsOptionCode code) noexcept;
   // Removes every option with `code`; returns how many were removed.
   std::size_t remove_option(EdnsOptionCode code);
+  // Returns the option with `code`, creating an empty one if absent and
+  // dropping any duplicates. The surviving slot keeps its payload capacity,
+  // so refilling it on the packet path is allocation-free in steady state.
+  EdnsOption& ensure_option(EdnsOptionCode code);
 
   // Serializes the full OPT RR (root name, TYPE=41, fields, options).
   void serialize(WireWriter& writer) const;
+  // Same, but with the extended-rcode TTL bits overridden — lets
+  // Message::serialize_into patch the response rcode without copying the
+  // whole OptRecord per packet.
+  void serialize(WireWriter& writer, std::uint8_t extended_rcode_bits) const;
   // Parses the body of an OPT RR; the caller has already consumed the root
   // name and TYPE and passes the remaining header fields via the reader.
   static OptRecord parse_body(WireReader& reader);

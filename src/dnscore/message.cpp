@@ -56,8 +56,10 @@ std::optional<EcsOption> Message::ecs() const {
 
 void Message::set_ecs(const EcsOption& ecs) {
   if (!opt) opt = OptRecord{};
-  opt->remove_option(EdnsOptionCode::ECS);
-  opt->options.push_back(ecs.to_edns());
+  // Encode into the retained option slot: once a message object has carried
+  // ECS, re-setting it is allocation-free (the dispatch scratch relies on
+  // this).
+  ecs.payload_into(opt->ensure_option(EdnsOptionCode::ECS).payload);
 }
 
 bool Message::clear_ecs() {
@@ -97,9 +99,17 @@ std::vector<std::uint8_t> Message::serialize(bool compress) const {
 }
 
 void Message::serialize_into(WireWriter& w, bool compress) const {
-  ECSDNS_DCHECK(w.size() == 0);
   Name::CompressionTable table;
-  Name::CompressionTable* tp = compress ? &table : nullptr;
+  serialize_body(w, compress ? &table : nullptr);
+}
+
+void Message::serialize_into(WireWriter& w, Name::CompressionTable& table) const {
+  table.clear();
+  serialize_body(w, &table);
+}
+
+void Message::serialize_body(WireWriter& w, Name::CompressionTable* tp) const {
+  ECSDNS_DCHECK(w.size() == 0);
   w.u16(header.id);
   std::uint16_t flags = 0;
   if (header.qr) flags |= kQrMask;
@@ -127,11 +137,10 @@ void Message::serialize_into(WireWriter& w, bool compress) const {
   for (const auto& rr : authorities) rr.serialize(w, tp);
   for (const auto& rr : additional) rr.serialize(w, tp);
   if (opt) {
-    OptRecord to_write = *opt;
-    // Extended rcode bits live in the OPT TTL field (RFC 6891 §6.1.3).
-    to_write.extended_rcode =
-        static_cast<std::uint8_t>(static_cast<std::uint16_t>(header.rcode) >> 4);
-    to_write.serialize(w);
+    // Extended rcode bits live in the OPT TTL field (RFC 6891 §6.1.3);
+    // passing them as an override avoids copying the OptRecord per packet.
+    opt->serialize(w, static_cast<std::uint8_t>(
+                          static_cast<std::uint16_t>(header.rcode) >> 4));
   }
 }
 

@@ -86,10 +86,19 @@ class Message {
   // offset 0. Steady-state noalloc: appends reuse pooled capacity and the
   // compression table is bounded by the message's owner names.
   ECSDNS_NOALLOC void serialize_into(WireWriter& writer, bool compress = true) const;
+  // Compressed serialization against a caller-owned table (cleared on
+  // entry, capacity retained): the per-shard dispatch path reuses one table
+  // for every packet so compression itself stops allocating once the
+  // table's capacity has converged.
+  ECSDNS_NOALLOC void serialize_into(WireWriter& writer,
+                                     Name::CompressionTable& table) const;
   ECSDNS_MAY_BLOCK static Message parse(std::span<const std::uint8_t> wire);
 
   // Multi-line dig-style rendering for logs and examples.
   std::string to_string() const;
+
+ private:
+  void serialize_body(WireWriter& writer, Name::CompressionTable* table) const;
 };
 
 }  // namespace ecsdns::dnscore

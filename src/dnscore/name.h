@@ -102,6 +102,10 @@ class Name {
     // Offsets beyond 0x3fff cannot be pointed at (14-bit pointers).
     std::optional<std::uint16_t> find(const Name& name, std::size_t from_label) const;
     void remember(const Name& name, std::size_t from_label, std::size_t offset);
+    // Resets the index for a new message while keeping its capacity, so one
+    // table can serve every serialize_into call on a dispatch path without
+    // re-allocating per packet.
+    void clear() noexcept { offsets_.clear(); }
 
    private:
     friend class Name;

@@ -1,0 +1,155 @@
+// LiveClient: a pipelined UDP DNS client with per-query timeout/retry and a
+// bounded in-flight budget, plus the LiveTransport adapter that lets
+// resolver::StubClient (and thus the measurement scanner) run over it.
+//
+// Matching model: queries are correlated to responses by the DNS message ID
+// (the first two wire bytes). The client does NOT rewrite IDs — responses
+// must stay byte-identical to the simulated path — so the caller guarantees
+// distinct IDs among concurrently in-flight queries (StubClient's
+// incrementing ID does; exchange() is one-at-a-time and trivially safe).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "live/clock.h"
+#include "live/sys_socket.h"
+#include "netsim/buffer_pool.h"
+#include "netsim/socket.h"
+#include "obs/metrics.h"
+#include "resolver/transport.h"
+
+namespace ecsdns::live {
+
+struct LiveClientConfig {
+  // Where every query goes (a single live endpoint: the loopback server).
+  netsim::SocketAddress server{};
+  // In-flight budget: submit() refuses past this many outstanding queries.
+  int max_in_flight = 64;
+  // Transmits per query (1 initial + retries) before a timeout completion.
+  int max_attempts = 3;
+  // Per-attempt retransmit deadline.
+  std::uint64_t timeout_us = 250'000;
+  // recvmmsg batch and per-datagram receive buffer.
+  int batch = 16;
+  std::size_t recv_buffer_bytes = 4096;
+};
+
+// One finished query, surfaced by poll(). On ok, `response` holds the wire
+// bytes in a buffer from pool() — release it back when done.
+struct Completion {
+  std::uint64_t tag = 0;
+  bool ok = false;
+  std::uint64_t latency_us = 0;  // first transmit -> response (or failure)
+  std::vector<std::uint8_t> response;
+};
+
+class LiveClient {
+ public:
+  // Production: opens an ephemeral loopback SysUdpSocket and uses the real
+  // steady clock.
+  ECSDNS_NONDETERMINISTIC_OK explicit LiveClient(LiveClientConfig config);
+  // Tests: injected socket and clock (MockUdpSocket + FakeClock makes every
+  // timeout/retry schedule exactly reproducible). Note exchange() blocks on
+  // wall progress, so FakeClock-driven tests use submit()/poll() directly.
+  LiveClient(LiveClientConfig config, netsim::UdpSocket& socket,
+             MonotonicClock& clock);
+
+  // Queues one query (bytes are copied; the wire ID must be unique among
+  // in-flight queries) and transmits it. Returns false when the in-flight
+  // budget is exhausted — the caller polls and resubmits.
+  bool submit(std::span<const std::uint8_t> query, std::uint64_t tag);
+
+  // One deterministic pass: optionally waits up to `max_wait_ms` for
+  // readability (clamped to the earliest retransmit deadline), drains the
+  // socket, matches responses to slots, then expires overdue slots
+  // (retransmitting or failing them). Appends completions to `out`; returns
+  // how many were appended. Never loops on virtual time, so a FakeClock
+  // test advances the clock between calls and observes each step.
+  std::size_t poll(std::vector<Completion>& out, int max_wait_ms = 0);
+
+  // Convenience one-at-a-time exchange: submit, poll until this query
+  // completes, return the response buffer (from pool(); caller releases) or
+  // nullopt on timeout.
+  std::optional<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> query);
+
+  // Re-points the client at a (possibly just-started) server. Callers set
+  // this before the first submit when the endpoint is not known at
+  // construction time (e.g. an ephemeral-port server built afterwards).
+  void set_server(const netsim::SocketAddress& server) { config_.server = server; }
+
+  int in_flight() const noexcept { return in_flight_; }
+  netsim::BufferPool& pool() noexcept { return pool_; }
+  netsim::SocketAddress local_address() const { return socket_->local_address(); }
+
+ private:
+  struct Slot {
+    bool in_use = false;
+    std::uint16_t id = 0;       // wire ID (first two query bytes)
+    int attempts = 0;           // transmits so far
+    std::uint64_t first_sent_us = 0;
+    std::uint64_t deadline_us = 0;
+    std::uint64_t tag = 0;
+    std::vector<std::uint8_t> query;  // capacity reused across queries
+  };
+
+  void init(const LiveClientConfig& config);
+  // Transmits slot.query; EINTR retried, EAGAIN left to the retransmit
+  // timer.
+  void transmit(Slot& slot);
+  Slot* match_id(std::uint16_t id);
+  void expire(std::uint64_t now, std::vector<Completion>& out,
+              std::size_t& completed);
+
+  LiveClientConfig config_;
+  std::unique_ptr<SysUdpSocket> owned_socket_;
+  SteadyClock owned_clock_;
+  netsim::UdpSocket* socket_ = nullptr;
+  MonotonicClock* clock_ = nullptr;
+
+  std::vector<Slot> slots_;
+  int in_flight_ = 0;
+  std::uint64_t next_tag_ = 1;  // exchange()'s internal tags
+
+  std::vector<std::vector<std::uint8_t>> rx_storage_;
+  std::vector<netsim::RecvSlot> recv_slots_;
+  std::vector<Completion> exchange_scratch_;
+  netsim::BufferPool pool_;
+
+  struct Metrics {
+    obs::CounterHandle queries;
+    obs::CounterHandle responses;
+    obs::CounterHandle retries;
+    obs::CounterHandle timeouts;
+    obs::CounterHandle unmatched;
+    obs::CounterHandle send_eagain;
+    obs::CounterHandle eintr;
+    obs::HistogramHandle latency_us;
+  } metrics_;
+};
+
+// QueryTransport over a LiveClient: StubClient (and Scanner) run unchanged
+// over real sockets. The server address argument is ignored — a LiveClient
+// points at exactly one live endpoint (config.server), which is what the
+// loopback harness needs.
+class LiveTransport final : public resolver::QueryTransport {
+ public:
+  explicit LiveTransport(LiveClient& client) : client_(client) {}
+
+  std::optional<std::vector<std::uint8_t>> exchange(
+      const dnscore::IpAddress& /*server*/,
+      std::span<const std::uint8_t> query) override {
+    return client_.exchange(query);
+  }
+
+  netsim::BufferPool& pool() override { return client_.pool(); }
+
+ private:
+  LiveClient& client_;
+};
+
+}  // namespace ecsdns::live

@@ -1,0 +1,48 @@
+// The monotonic-clock seam for live-wire components.
+//
+// Everything inside the determinism boundary runs on netsim's virtual
+// SimTime. The live client/server need real elapsed time for timeouts and
+// latency, but hard-wiring std::chrono would make the retry/timeout logic
+// untestable — so they take this interface, with SteadyClock in production
+// and FakeClock in the deterministic fault-injection tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "dnscore/annotations.h"
+
+namespace ecsdns::live {
+
+class MonotonicClock {
+ public:
+  virtual ~MonotonicClock() = default;
+  // Microseconds since an arbitrary fixed origin; never goes backwards.
+  virtual std::uint64_t now_us() = 0;
+};
+
+// Real time. steady_clock, not system_clock: immune to NTP steps, and
+// outside ecstidy's det-clock ban (nothing here feeds committed results —
+// latency histograms are measurement outputs of the live harness itself).
+class SteadyClock final : public MonotonicClock {
+ public:
+  ECSDNS_NONDETERMINISTIC_OK std::uint64_t now_us() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+// Test clock: advances only when told to, so timeout/retry schedules are
+// exactly reproducible.
+class FakeClock final : public MonotonicClock {
+ public:
+  std::uint64_t now_us() override { return now_; }
+  void advance_us(std::uint64_t delta) { now_ += delta; }
+
+ private:
+  std::uint64_t now_ = 1;  // nonzero so "never sent" is distinguishable
+};
+
+}  // namespace ecsdns::live

@@ -1,0 +1,168 @@
+#include "live/sys_socket.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <system_error>
+
+namespace ecsdns::live {
+namespace {
+
+using netsim::IoStatus;
+using netsim::SocketAddress;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+IoStatus map_errno(int err) {
+  if (err == EAGAIN || err == EWOULDBLOCK) return IoStatus::kWouldBlock;
+  if (err == EINTR) return IoStatus::kInterrupted;
+  return IoStatus::kError;
+}
+
+// sockaddr_in conversion without htons/htonl: network byte order IS a byte
+// sequence, so compose the fields from bytes via bit_cast and stay endian
+// agnostic (the wire-codec tidy rule keeps byte-order intrinsics inside
+// dnscore/wire.cpp).
+sockaddr_in to_sockaddr(const SocketAddress& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = std::bit_cast<std::uint16_t>(std::array<std::uint8_t, 2>{
+      static_cast<std::uint8_t>(addr.port >> 8),
+      static_cast<std::uint8_t>(addr.port & 0xff)});
+  const auto& bytes = addr.ip.bytes();  // v4: first four octets
+  sa.sin_addr = std::bit_cast<in_addr>(
+      std::array<std::uint8_t, 4>{bytes[0], bytes[1], bytes[2], bytes[3]});
+  return sa;
+}
+
+SocketAddress from_sockaddr(const sockaddr_in& sa) {
+  const auto ip = std::bit_cast<std::array<std::uint8_t, 4>>(sa.sin_addr);
+  const auto port = std::bit_cast<std::array<std::uint8_t, 2>>(sa.sin_port);
+  return SocketAddress{
+      dnscore::IpAddress::v4(ip[0], ip[1], ip[2], ip[3]),
+      static_cast<std::uint16_t>((static_cast<std::uint16_t>(port[0]) << 8) |
+                                 port[1])};
+}
+
+}  // namespace
+
+SysUdpSocket::SysUdpSocket(int fd) : fd_(fd) {}
+
+std::unique_ptr<SysUdpSocket> SysUdpSocket::open(const Options& options) {
+  if (!options.bind.ip.is_v4()) {
+    throw std::invalid_argument("SysUdpSocket: IPv4 bind addresses only");
+  }
+  const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  std::unique_ptr<SysUdpSocket> sock(new SysUdpSocket(fd));
+
+  const int one = 1;
+  if (options.reuse_port &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    throw_errno("setsockopt(SO_REUSEPORT)");
+  }
+  if (options.recv_buffer_bytes > 0 &&
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options.recv_buffer_bytes,
+                   sizeof(options.recv_buffer_bytes)) != 0) {
+    throw_errno("setsockopt(SO_RCVBUF)");
+  }
+  if (options.send_buffer_bytes > 0 &&
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options.send_buffer_bytes,
+                   sizeof(options.send_buffer_bytes)) != 0) {
+    throw_errno("setsockopt(SO_SNDBUF)");
+  }
+
+  sockaddr_in sa = to_sockaddr(options.bind);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    throw_errno("bind");
+  }
+  // Resolve the kernel-assigned ephemeral port (bind port 0).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  sock->local_ = from_sockaddr(bound);
+  return sock;
+}
+
+SysUdpSocket::~SysUdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SysUdpSocket::ensure_batch_capacity(std::size_t n) {
+  if (hdrs_.size() >= n) return;
+  hdrs_.resize(n);
+  iovs_.resize(n);
+  addrs_.resize(n);
+}
+
+netsim::IoStatus SysUdpSocket::recv_batch(std::span<netsim::RecvSlot> slots,
+                                          std::size_t& received) {
+  received = 0;
+  if (slots.empty()) return IoStatus::kOk;
+  ensure_batch_capacity(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    iovs_[i].iov_base = slots[i].buffer.data();
+    iovs_[i].iov_len = slots[i].buffer.size();
+    hdrs_[i].msg_hdr = msghdr{};
+    hdrs_[i].msg_hdr.msg_name = &addrs_[i];
+    hdrs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    hdrs_[i].msg_hdr.msg_iov = &iovs_[i];
+    hdrs_[i].msg_hdr.msg_iovlen = 1;
+    hdrs_[i].msg_len = 0;
+  }
+  const int n = ::recvmmsg(fd_, hdrs_.data(), static_cast<unsigned>(slots.size()),
+                           MSG_DONTWAIT, nullptr);
+  if (n < 0) return map_errno(errno);
+  for (int i = 0; i < n; ++i) {
+    slots[static_cast<std::size_t>(i)].length = hdrs_[static_cast<std::size_t>(i)].msg_len;
+    slots[static_cast<std::size_t>(i)].truncated =
+        (hdrs_[static_cast<std::size_t>(i)].msg_hdr.msg_flags & MSG_TRUNC) != 0;
+    slots[static_cast<std::size_t>(i)].peer =
+        from_sockaddr(addrs_[static_cast<std::size_t>(i)]);
+  }
+  received = static_cast<std::size_t>(n);
+  return IoStatus::kOk;
+}
+
+netsim::IoStatus SysUdpSocket::send_batch(std::span<const netsim::SendSlot> slots,
+                                          std::size_t& sent) {
+  sent = 0;
+  if (slots.empty()) return IoStatus::kOk;
+  ensure_batch_capacity(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    // iovec is not const-aware; sendmmsg never writes through it.
+    iovs_[i].iov_base = const_cast<std::uint8_t*>(slots[i].payload.data());
+    iovs_[i].iov_len = slots[i].payload.size();
+    addrs_[i] = to_sockaddr(slots[i].peer);
+    hdrs_[i].msg_hdr = msghdr{};
+    hdrs_[i].msg_hdr.msg_name = &addrs_[i];
+    hdrs_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    hdrs_[i].msg_hdr.msg_iov = &iovs_[i];
+    hdrs_[i].msg_hdr.msg_iovlen = 1;
+    hdrs_[i].msg_len = 0;
+  }
+  const int n = ::sendmmsg(fd_, hdrs_.data(), static_cast<unsigned>(slots.size()),
+                           MSG_DONTWAIT);
+  if (n < 0) return map_errno(errno);
+  sent = static_cast<std::size_t>(n);
+  return IoStatus::kOk;
+}
+
+netsim::IoStatus SysUdpSocket::wait_readable(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n < 0) return map_errno(errno);
+  return n > 0 ? IoStatus::kOk : IoStatus::kWouldBlock;
+}
+
+}  // namespace ecsdns::live

@@ -1,0 +1,66 @@
+// A real nonblocking UDP socket behind the netsim::UdpSocket seam.
+//
+// This file (with udp_server/client) is the live side of the determinism
+// boundary: everything here talks to the kernel and is explicitly
+// ECSDNS_NONDETERMINISTIC_OK. The simulator core never includes it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dnscore/annotations.h"
+#include "netsim/socket.h"
+
+// recvmmsg/sendmmsg scatter-gather bookkeeping (filled per batch, capacity
+// retained across calls).
+struct mmsghdr;
+struct iovec;
+struct sockaddr_in;
+
+namespace ecsdns::live {
+
+class SysUdpSocket final : public netsim::UdpSocket {
+ public:
+  struct Options {
+    // IPv4 only for now (the paper's live measurements are v4). Port 0
+    // binds an ephemeral port, resolved into local_address().
+    netsim::SocketAddress bind{};
+    // SO_REUSEPORT: the kernel load-balances datagrams across every socket
+    // bound to the same (addr, port) — one socket per server shard.
+    bool reuse_port = false;
+    // SO_RCVBUF / SO_SNDBUF overrides; 0 keeps the system default.
+    int recv_buffer_bytes = 0;
+    int send_buffer_bytes = 0;
+  };
+
+  // Opens, configures, and binds; throws std::system_error on any failure.
+  ECSDNS_NONDETERMINISTIC_OK static std::unique_ptr<SysUdpSocket> open(
+      const Options& options);
+
+  ~SysUdpSocket() override;
+  SysUdpSocket(const SysUdpSocket&) = delete;
+  SysUdpSocket& operator=(const SysUdpSocket&) = delete;
+
+  ECSDNS_NONDETERMINISTIC_OK netsim::IoStatus recv_batch(
+      std::span<netsim::RecvSlot> slots, std::size_t& received) override;
+  ECSDNS_NONDETERMINISTIC_OK netsim::IoStatus send_batch(
+      std::span<const netsim::SendSlot> slots, std::size_t& sent) override;
+  // poll(2) on the fd; kWouldBlock on timeout.
+  ECSDNS_NONDETERMINISTIC_OK netsim::IoStatus wait_readable(int timeout_ms) override;
+
+  netsim::SocketAddress local_address() const override { return local_; }
+  int native_handle() const override { return fd_; }
+
+ private:
+  explicit SysUdpSocket(int fd);
+  void ensure_batch_capacity(std::size_t n);
+
+  int fd_ = -1;
+  netsim::SocketAddress local_;
+  std::vector<::mmsghdr> hdrs_;
+  std::vector<::iovec> iovs_;
+  std::vector<::sockaddr_in> addrs_;
+};
+
+}  // namespace ecsdns::live

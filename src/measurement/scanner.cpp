@@ -59,12 +59,24 @@ Scanner::Scanner(Testbed& bed, ScannerOptions options)
   // Every probe name must resolve; a wildcard-ish static answer suffices.
   // The zone synthesizes per-name records lazily instead: we add an A
   // record per probed name in scan().
-  client_ = &bed_.add_client(options_.scanner_city);
+  if (options_.transport != nullptr) {
+    live_client_.emplace(*options_.transport);
+    client_ = &*live_client_;
+  } else {
+    client_ = &bed_.add_client(options_.scanner_city);
+  }
 }
 
 ScanResults Scanner::scan(const std::vector<IpAddress>& targets) {
   ScanResults results;
   auth_->clear_log();
+  send_probes(targets, results);
+  harvest(results);
+  return results;
+}
+
+void Scanner::send_probes(const std::vector<IpAddress>& targets,
+                          ScanResults& results) {
   auto* zone = auth_->find_zone(options_.zone);
   for (const auto& target : targets) {
     const Name qname = encode_probe_name(target, options_.zone);
@@ -80,14 +92,16 @@ ScanResults Scanner::scan(const std::vector<IpAddress>& targets) {
       ++results.responses_received;
     }
   }
-  // Harvest the authoritative log into observations.
+}
+
+void Scanner::harvest(ScanResults& results) const {
+  // The authoritative log is the scan's ground truth.
   for (const auto& entry : auth_->log()) {
     const auto ingress = decode_probe_name(entry.qname, options_.zone);
     if (!ingress) continue;
     results.observations.push_back(ScanObservation{*ingress, entry.sender,
                                                    entry.query_ecs});
   }
-  return results;
 }
 
 std::size_t ScanResults::open_ingress_count() const {

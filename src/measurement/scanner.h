@@ -17,6 +17,7 @@
 
 #include "authoritative/server.h"
 #include "measurement/testbed.h"
+#include "resolver/transport.h"
 
 namespace ecsdns::measurement {
 
@@ -57,6 +58,13 @@ struct ScanResults {
 struct ScannerOptions {
   Name zone = Name::from_string("scan-experiment.net");
   std::string scanner_city = "Cleveland";
+  // When set, probes run over this transport (e.g. live::LiveTransport on a
+  // loopback socket serving auth()) instead of the testbed's simulated
+  // network. The caller keeps the transport alive for the scanner's
+  // lifetime and pre-populates the zone with the probe names (scan() must
+  // not mutate the zone while live shards serve it concurrently); see
+  // docs/live_wire.md.
+  resolver::QueryTransport* transport = nullptr;
 };
 
 class Scanner {
@@ -65,8 +73,15 @@ class Scanner {
   // the paper) inside `bed` and a scanning client.
   Scanner(Testbed& bed, ScannerOptions options = {});
 
-  // Probes every address in `targets` once.
+  // Probes every address in `targets` once (clears the log, sends the
+  // probes, harvests).
   ScanResults scan(const std::vector<IpAddress>& targets);
+
+  // The two phases of scan(), separately callable for live runs: probe the
+  // targets, then — after stopping the live server, since the query log is
+  // single-writer — harvest the log into observations.
+  void send_probes(const std::vector<IpAddress>& targets, ScanResults& results);
+  void harvest(ScanResults& results) const;
 
   const Name& zone() const noexcept { return options_.zone; }
   authoritative::AuthServer& auth() noexcept { return *auth_; }
@@ -75,6 +90,7 @@ class Scanner {
   Testbed& bed_;
   ScannerOptions options_;
   authoritative::AuthServer* auth_;
+  std::optional<StubClient> live_client_;  // engaged when options_.transport
   StubClient* client_;
 };
 

@@ -1,0 +1,85 @@
+#include "netsim/socket.h"
+
+#include <algorithm>
+
+namespace ecsdns::netsim {
+
+void MockUdpSocket::push_rx(std::span<const std::uint8_t> bytes,
+                            const SocketAddress& peer) {
+  if (rx_size_ == ring_.size()) {
+    // Grow outside the steady state; reserved slots are reused afterwards.
+    const std::size_t grown = std::max<std::size_t>(ring_.size() * 2, 16);
+    std::vector<RxItem> next(grown);
+    for (std::size_t i = 0; i < rx_size_; ++i) {
+      next[i] = std::move(ring_[(rx_head_ + i) % ring_.size()]);
+    }
+    ring_ = std::move(next);
+    rx_head_ = 0;
+  }
+  RxItem& item = ring_[(rx_head_ + rx_size_) % ring_.size()];
+  item.bytes.assign(bytes.begin(), bytes.end());
+  item.peer = peer;
+  ++rx_size_;
+}
+
+IoStatus MockUdpSocket::recv_batch(std::span<RecvSlot> slots, std::size_t& received) {
+  received = 0;
+  if (recv_interrupts_ > 0) {
+    --recv_interrupts_;
+    return IoStatus::kInterrupted;
+  }
+  if (recv_eagain_ > 0) {
+    --recv_eagain_;
+    return IoStatus::kWouldBlock;
+  }
+  if (rx_size_ == 0) return IoStatus::kWouldBlock;
+  while (received < slots.size() && rx_size_ > 0) {
+    RxItem& item = ring_[rx_head_];
+    RecvSlot& slot = slots[received];
+    const std::size_t n = std::min(item.bytes.size(), slot.buffer.size());
+    std::copy_n(item.bytes.begin(), n, slot.buffer.begin());
+    slot.length = n;
+    slot.peer = item.peer;
+    slot.truncated = item.bytes.size() > slot.buffer.size();
+    rx_head_ = (rx_head_ + 1) % ring_.size();
+    --rx_size_;
+    ++received;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus MockUdpSocket::send_batch(std::span<const SendSlot> slots, std::size_t& sent) {
+  sent = 0;
+  if (send_interrupts_ > 0) {
+    --send_interrupts_;
+    return IoStatus::kInterrupted;
+  }
+  for (const SendSlot& slot : slots) {
+    if (send_budget_ >= 0 && sent >= static_cast<std::size_t>(send_budget_)) {
+      // Partial progress then a full socket buffer: kOk if anything went
+      // out this call (the caller retries the tail), else kWouldBlock.
+      return sent > 0 ? IoStatus::kOk : IoStatus::kWouldBlock;
+    }
+    ++sent_count_;
+    if (!drop_sends_) {
+      if (record_sends_) {
+        sent_.emplace_back(slot.payload.begin(), slot.payload.end());
+      }
+      if (on_send) on_send(slot);
+    }
+    ++sent;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus MockUdpSocket::wait_readable(int /*timeout_ms*/) {
+  if (recv_interrupts_ > 0) {
+    --recv_interrupts_;
+    return IoStatus::kInterrupted;
+  }
+  // A scripted socket never actually blocks: report readiness state
+  // immediately so tests stay instantaneous and deterministic.
+  return rx_size_ > 0 ? IoStatus::kOk : IoStatus::kWouldBlock;
+}
+
+}  // namespace ecsdns::netsim

@@ -168,6 +168,26 @@ void preregister_core_metrics(MetricsRegistry& registry) {
   registry.counter("net.bytes_sent");
   registry.counter("net.bytes_received");
   registry.histogram("net.rtt_us");
+  // Live-wire mode (src/live): per-shard server loop and the live client.
+  registry.counter("live.rx_batches");
+  registry.counter("live.rx_packets");
+  registry.counter("live.tx_batches");
+  registry.counter("live.tx_packets");
+  registry.counter("live.drops");
+  registry.counter("live.truncated");
+  registry.counter("live.eagain");
+  registry.counter("live.eintr");
+  registry.counter("live.tx_eagain");
+  registry.counter("live.send_drops");
+  registry.counter("live.socket_errors");
+  registry.counter("live.client.queries");
+  registry.counter("live.client.responses");
+  registry.counter("live.client.retries");
+  registry.counter("live.client.timeouts");
+  registry.counter("live.client.unmatched");
+  registry.counter("live.client.send_eagain");
+  registry.counter("live.client.eintr");
+  registry.histogram("live.client.latency_us");
 }
 
 }  // namespace ecsdns::obs

@@ -4,59 +4,47 @@
 
 namespace ecsdns::resolver {
 
-void StubClient::attach(const netsim::GeoPoint& location) {
-  // Clients never answer queries; they only need to exist for latency
-  // computation.
-  network_.attach(own_address_, location,
-                  [](const netsim::Datagram&)
-                      -> std::optional<std::vector<std::uint8_t>> {
-                    return std::nullopt;
-                  });
+std::optional<std::vector<std::uint8_t>> StubClient::exchange(
+    const IpAddress& server, const Name& qname, RRType qtype,
+    const std::optional<dnscore::EcsOption>& ecs) {
+  Message q = Message::make_query(next_id_++, qname, qtype);
+  q.opt = dnscore::OptRecord{};
+  if (ecs) q.set_ecs(*ecs);
+  auto query_wire = transport_->pool().acquire();
+  {
+    dnscore::WireWriter writer(query_wire);
+    q.serialize_into(writer);
+  }
+  auto wire = transport_->exchange(server, query_wire);
+  transport_->pool().release(std::move(query_wire));
+  return wire;
 }
 
 std::optional<Message> StubClient::query(const IpAddress& server, const Name& qname,
                                          RRType qtype,
                                          const std::optional<dnscore::EcsOption>& ecs) {
-  Message q = Message::make_query(next_id_++, qname, qtype);
-  q.opt = dnscore::OptRecord{};
-  if (ecs) q.set_ecs(*ecs);
-  auto query_wire = network_.buffer_pool().acquire();
-  {
-    dnscore::WireWriter writer(query_wire);
-    q.serialize_into(writer);
-  }
-  auto wire = network_.round_trip(own_address_, server, query_wire);
-  network_.buffer_pool().release(std::move(query_wire));
+  auto wire = exchange(server, qname, qtype, ecs);
   if (!wire) return std::nullopt;
   std::optional<Message> parsed;
   try {
     parsed = Message::parse({wire->data(), wire->size()});
   } catch (const dnscore::WireFormatError&) {
   }
-  network_.buffer_pool().release(std::move(*wire));
+  transport_->pool().release(std::move(*wire));
   return parsed;
 }
 
 std::optional<dnscore::RCode> StubClient::probe(
     const IpAddress& server, const Name& qname, RRType qtype,
     const std::optional<dnscore::EcsOption>& ecs) {
-  Message q = Message::make_query(next_id_++, qname, qtype);
-  q.opt = dnscore::OptRecord{};
-  if (ecs) q.set_ecs(*ecs);
-  auto query_wire = network_.buffer_pool().acquire();
-  {
-    dnscore::WireWriter writer(query_wire);
-    q.serialize_into(writer);
-  }
-  auto wire = network_.round_trip(own_address_, server, query_wire);
-  network_.buffer_pool().release(std::move(query_wire));
+  auto wire = exchange(server, qname, qtype, ecs);
   if (!wire) return std::nullopt;
   std::optional<dnscore::RCode> rcode;
   try {
     rcode = dnscore::MessageView({wire->data(), wire->size()}).rcode();
   } catch (const dnscore::WireFormatError&) {
   }
-  network_.buffer_pool().release(std::move(*wire));
+  transport_->pool().release(std::move(*wire));
   return rcode;
 }
 

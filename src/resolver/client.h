@@ -1,11 +1,13 @@
 // A stub client: the measurement machine's "dig". Builds real queries,
-// sends them through the simulated network, and parses the responses.
+// sends them through an injected transport (simulated network by default,
+// a live UDP socket via live::LiveTransport), and parses the responses.
 #pragma once
 
 #include <optional>
 
 #include "dnscore/message.h"
 #include "netsim/network.h"
+#include "resolver/transport.h"
 
 namespace ecsdns::resolver {
 
@@ -16,13 +18,28 @@ using dnscore::RRType;
 
 class StubClient {
  public:
+  // Simulated-network client (the historical constructor): owns a
+  // SimTransport at `own_address`.
   StubClient(netsim::Network& network, IpAddress own_address)
-      : network_(network), own_address_(std::move(own_address)) {}
+      : sim_(std::in_place, network, std::move(own_address)),
+        transport_(&*sim_) {}
 
-  const IpAddress& address() const noexcept { return own_address_; }
+  // Seam-injection constructor: queries flow through `transport`, whose
+  // lifetime the caller manages (it must outlive the client).
+  explicit StubClient(QueryTransport& transport) : transport_(&transport) {}
 
-  // Places the client on the map (it must be attached to send).
-  void attach(const netsim::GeoPoint& location);
+  // The client's source address; meaningful for the simulated transport
+  // only (a live socket's address belongs to the kernel).
+  const IpAddress& address() const noexcept {
+    static const IpAddress kNone{};
+    return sim_ ? sim_->address() : kNone;
+  }
+
+  // Places the client on the map (it must be attached to send). No-op for
+  // injected transports, which manage their own endpoint.
+  void attach(const netsim::GeoPoint& location) {
+    if (sim_) sim_->attach(location);
+  }
 
   // Queries `server` for (qname, qtype). `ecs` attaches a client-chosen ECS
   // option — how the paper submits arbitrary prefixes to open resolvers.
@@ -35,16 +52,22 @@ class StubClient {
   // Fire-and-check variant for callers that only need the response RCODE
   // (cache warmers, census probers): the response is validated and its
   // header read through MessageView, never materialized, and both wire
-  // buffers are recycled through the network pool. nullopt on timeout/drop
-  // or an unparseable response — exactly when query() would return nullopt.
+  // buffers are recycled through the transport pool. nullopt on
+  // timeout/drop or an unparseable response — exactly when query() would
+  // return nullopt.
   std::optional<dnscore::RCode> probe(const IpAddress& server, const Name& qname,
                                       RRType qtype,
                                       const std::optional<dnscore::EcsOption>& ecs =
                                           std::nullopt);
 
  private:
-  netsim::Network& network_;
-  IpAddress own_address_;
+  // Serializes the next query into a pooled buffer and runs one exchange.
+  std::optional<std::vector<std::uint8_t>> exchange(
+      const IpAddress& server, const Name& qname, RRType qtype,
+      const std::optional<dnscore::EcsOption>& ecs);
+
+  std::optional<SimTransport> sim_;  // engaged by the network constructor
+  QueryTransport* transport_;
   std::uint16_t next_id_ = 1;
 };
 

@@ -1,0 +1,66 @@
+// The transport seam under StubClient: one wire-in/wire-out exchange.
+//
+// StubClient used to be hard-wired to netsim::Network; injecting this
+// interface instead lets the same client logic run over the simulated
+// network (SimTransport, every existing test) or a real loopback socket
+// (live::LiveTransport) without the measurement stack knowing which.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dnscore/ip.h"
+#include "netsim/network.h"
+
+namespace ecsdns::resolver {
+
+class QueryTransport {
+ public:
+  virtual ~QueryTransport() = default;
+
+  // Sends `query` to `server` and waits for the matching response. The
+  // returned buffer comes from pool() and the caller releases it back;
+  // nullopt on timeout/drop.
+  virtual std::optional<std::vector<std::uint8_t>> exchange(
+      const dnscore::IpAddress& server, std::span<const std::uint8_t> query) = 0;
+
+  // The buffer pool exchange() results (and callers' scratch buffers) are
+  // recycled through.
+  virtual netsim::BufferPool& pool() = 0;
+};
+
+// The simulated transport: a synchronous round trip on the virtual network
+// from a fixed client address.
+class SimTransport final : public QueryTransport {
+ public:
+  SimTransport(netsim::Network& network, dnscore::IpAddress own_address)
+      : network_(network), own_address_(std::move(own_address)) {}
+
+  const dnscore::IpAddress& address() const noexcept { return own_address_; }
+
+  // Places the client on the map (it must be attached to send).
+  void attach(const netsim::GeoPoint& location) {
+    // Clients never answer queries; they only need to exist for latency
+    // computation.
+    network_.attach(own_address_, location,
+                    [](const netsim::Datagram&)
+                        -> std::optional<std::vector<std::uint8_t>> {
+                      return std::nullopt;
+                    });
+  }
+
+  std::optional<std::vector<std::uint8_t>> exchange(
+      const dnscore::IpAddress& server,
+      std::span<const std::uint8_t> query) override {
+    return network_.round_trip(own_address_, server, query);
+  }
+
+  netsim::BufferPool& pool() override { return network_.buffer_pool(); }
+
+ private:
+  netsim::Network& network_;
+  dnscore::IpAddress own_address_;
+};
+
+}  // namespace ecsdns::resolver

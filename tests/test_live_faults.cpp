@@ -1,0 +1,335 @@
+// Deterministic fault-injection tests for the live-wire components, driven
+// entirely through netsim::MockUdpSocket and FakeClock — no real sockets,
+// no threads, no wall time. Every EINTR storm, EAGAIN stretch, truncated
+// datagram, silent drop, and send-buffer stall is scripted, so each
+// retry/timeout schedule is exactly reproducible.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "authoritative/ecs_policy.h"
+#include "authoritative/server.h"
+#include "dnscore/message.h"
+#include "live/client.h"
+#include "live/udp_server.h"
+#include "netsim/socket.h"
+#include "obs/metrics.h"
+
+namespace ecsdns {
+namespace {
+
+using authoritative::AuthConfig;
+using authoritative::AuthServer;
+using dnscore::IpAddress;
+using dnscore::Message;
+using dnscore::Name;
+using dnscore::RRType;
+using netsim::MockUdpSocket;
+using netsim::SocketAddress;
+
+const Name kZone = Name::from_string("faults.example");
+const SocketAddress kPeer{IpAddress::v4(127, 0, 0, 1), 40000};
+
+std::unique_ptr<AuthServer> make_auth() {
+  AuthConfig config;
+  config.label = "faults";
+  config.log_queries = false;
+  auto auth = std::make_unique<AuthServer>(
+      config, std::make_unique<authoritative::ScopeDeltaPolicy>(4));
+  auth->add_zone(kZone).add(dnscore::ResourceRecord::make_a(
+      kZone.prepend("www"), 300, IpAddress::v4(203, 0, 113, 10)));
+  return auth;
+}
+
+std::vector<std::uint8_t> query_wire(std::uint16_t id) {
+  return Message::make_query(id, kZone.prepend("www"), RRType::A).serialize();
+}
+
+std::uint64_t counter(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+class ShardFaults : public ::testing::Test {
+ protected:
+  ShardFaults()
+      : auth_(make_auth()),
+        shard_(socket_, *auth_, clock_, config_) {}
+
+  static live::LiveServerConfig small_config() {
+    live::LiveServerConfig config;
+    config.batch = 4;
+    config.recv_buffer_bytes = 512;
+    config.max_send_spins = 8;
+    return config;
+  }
+
+  live::LiveServerConfig config_ = small_config();
+  MockUdpSocket socket_;
+  std::unique_ptr<AuthServer> auth_;
+  live::FakeClock clock_;
+  live::ServerShard shard_;
+};
+
+TEST_F(ShardFaults, ServesQueuedQueries) {
+  socket_.push_rx(query_wire(1), kPeer);
+  socket_.push_rx(query_wire(2), kPeer);
+  EXPECT_EQ(shard_.process_once(), 2u);
+  ASSERT_EQ(socket_.sent().size(), 2u);
+  const Message r = Message::parse({socket_.sent().front().data(),
+                                    socket_.sent().front().size()});
+  EXPECT_EQ(r.header.id, 1);
+  EXPECT_TRUE(r.header.qr);
+}
+
+TEST_F(ShardFaults, RecoversFromRecvInterruptStorm) {
+  socket_.push_rx(query_wire(7), kPeer);
+  socket_.inject_recv_interrupts(3);
+  const auto eintr_before = counter("live.eintr");
+  // Three EINTRs surface as empty iterations (the epoll loop just calls
+  // again); the datagram is served on the fourth.
+  EXPECT_EQ(shard_.process_once(), 0u);
+  EXPECT_EQ(shard_.process_once(), 0u);
+  EXPECT_EQ(shard_.process_once(), 0u);
+  EXPECT_EQ(shard_.process_once(), 1u);
+  EXPECT_EQ(counter("live.eintr") - eintr_before, 3u);
+  EXPECT_EQ(socket_.sent_count(), 1u);
+}
+
+TEST_F(ShardFaults, EagainStormYieldsNoWork) {
+  socket_.push_rx(query_wire(8), kPeer);
+  socket_.inject_recv_eagain(2);
+  const auto eagain_before = counter("live.eagain");
+  EXPECT_EQ(shard_.process_once(), 0u);
+  EXPECT_EQ(shard_.process_once(), 0u);
+  EXPECT_EQ(counter("live.eagain") - eagain_before, 2u);
+  EXPECT_EQ(shard_.process_once(), 1u);
+}
+
+TEST_F(ShardFaults, OversizedDatagramIsDroppedNotServed) {
+  // 600 bytes against a 512-byte receive buffer: MSG_TRUNC semantics.
+  std::vector<std::uint8_t> oversized(600, 0xab);
+  socket_.push_rx(oversized, kPeer);
+  socket_.push_rx(query_wire(9), kPeer);
+  const auto truncated_before = counter("live.truncated");
+  EXPECT_EQ(shard_.process_once(), 2u);
+  EXPECT_EQ(counter("live.truncated") - truncated_before, 1u);
+  // Only the well-sized query got an answer.
+  EXPECT_EQ(socket_.sent_count(), 1u);
+}
+
+TEST_F(ShardFaults, GarbageDatagramIsDropped) {
+  const std::vector<std::uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef};
+  socket_.push_rx(garbage, kPeer);
+  const auto drops_before = counter("live.drops");
+  EXPECT_EQ(shard_.process_once(), 1u);
+  EXPECT_EQ(counter("live.drops") - drops_before, 1u);
+  EXPECT_EQ(socket_.sent_count(), 0u);
+}
+
+TEST_F(ShardFaults, PartialSendsAreRetriedToCompletion) {
+  for (std::uint16_t id = 1; id <= 4; ++id) socket_.push_rx(query_wire(id), kPeer);
+  socket_.set_send_budget(1);  // each send_batch accepts one datagram
+  EXPECT_EQ(shard_.process_once(), 4u);
+  EXPECT_EQ(socket_.sent_count(), 4u) << "partial sends were not completed";
+}
+
+TEST_F(ShardFaults, SendInterruptsAreRetried) {
+  socket_.push_rx(query_wire(5), kPeer);
+  socket_.inject_send_interrupts(2);
+  EXPECT_EQ(shard_.process_once(), 1u);
+  EXPECT_EQ(socket_.sent_count(), 1u);
+}
+
+TEST_F(ShardFaults, SendBackpressureShedsBoundedly) {
+  for (std::uint16_t id = 1; id <= 3; ++id) socket_.push_rx(query_wire(id), kPeer);
+  socket_.set_send_budget(0);  // socket buffer permanently full
+  const auto shed_before = counter("live.send_drops");
+  EXPECT_EQ(shard_.process_once(), 3u);
+  // After max_send_spins attempts the whole batch is shed — the receive
+  // loop must not wedge on a stuck sender.
+  EXPECT_EQ(socket_.sent_count(), 0u);
+  EXPECT_EQ(counter("live.send_drops") - shed_before, 3u);
+}
+
+class ClientFaults : public ::testing::Test {
+ protected:
+  ClientFaults() : client_(config(), socket_, clock_) {}
+
+  static live::LiveClientConfig config() {
+    live::LiveClientConfig c;
+    c.server = kPeer;
+    c.max_in_flight = 2;
+    c.max_attempts = 3;
+    c.timeout_us = 1000;
+    c.batch = 4;
+    return c;
+  }
+
+  // The response only needs a matching ID in its first two bytes.
+  static std::vector<std::uint8_t> response_for(std::uint16_t id) {
+    auto r = query_wire(id);
+    r[2] |= 0x80;  // QR bit, for realism
+    return r;
+  }
+
+  MockUdpSocket socket_;
+  live::FakeClock clock_;
+  live::LiveClient client_;
+  std::vector<live::Completion> done_;
+};
+
+TEST_F(ClientFaults, DroppedResponseDrivesRetryThenSuccess) {
+  ASSERT_TRUE(client_.submit(query_wire(0x1111), /*tag=*/1));
+  EXPECT_EQ(socket_.sent_count(), 1u);
+
+  // No response before the deadline: poll retransmits.
+  clock_.advance_us(1500);
+  const auto retries_before = counter("live.client.retries");
+  EXPECT_EQ(client_.poll(done_), 0u);
+  EXPECT_EQ(socket_.sent_count(), 2u);
+  EXPECT_EQ(counter("live.client.retries") - retries_before, 1u);
+
+  // The retransmit gets answered.
+  socket_.push_rx(response_for(0x1111), kPeer);
+  clock_.advance_us(100);
+  ASSERT_EQ(client_.poll(done_), 1u);
+  EXPECT_TRUE(done_[0].ok);
+  EXPECT_EQ(done_[0].tag, 1u);
+  EXPECT_EQ(done_[0].latency_us, 1600u);  // first transmit -> response
+  EXPECT_EQ(client_.in_flight(), 0);
+}
+
+TEST_F(ClientFaults, TimesOutAfterMaxAttempts) {
+  ASSERT_TRUE(client_.submit(query_wire(0x2222), /*tag=*/2));
+  const auto timeouts_before = counter("live.client.timeouts");
+  // attempts: 1 (submit) + 2 retransmits, then the next expiry fails it.
+  for (int i = 0; i < 2; ++i) {
+    clock_.advance_us(1500);
+    EXPECT_EQ(client_.poll(done_), 0u);
+  }
+  EXPECT_EQ(socket_.sent_count(), 3u);
+  clock_.advance_us(1500);
+  ASSERT_EQ(client_.poll(done_), 1u);
+  EXPECT_FALSE(done_[0].ok);
+  EXPECT_EQ(done_[0].tag, 2u);
+  EXPECT_EQ(counter("live.client.timeouts") - timeouts_before, 1u);
+  EXPECT_EQ(socket_.sent_count(), 3u) << "no transmit past max_attempts";
+  EXPECT_EQ(client_.in_flight(), 0);
+}
+
+TEST_F(ClientFaults, StrayAndDuplicateResponsesAreUnmatched) {
+  ASSERT_TRUE(client_.submit(query_wire(0x3333), /*tag=*/3));
+  const auto unmatched_before = counter("live.client.unmatched");
+  socket_.push_rx(response_for(0x9999), kPeer);  // stray ID
+  ASSERT_EQ(client_.poll(done_), 0u);
+  socket_.push_rx(response_for(0x3333), kPeer);
+  ASSERT_EQ(client_.poll(done_), 1u);
+  EXPECT_TRUE(done_[0].ok);
+  // A late duplicate (e.g. an answered retransmit) after completion.
+  socket_.push_rx(response_for(0x3333), kPeer);
+  EXPECT_EQ(client_.poll(done_), 0u) << "duplicate produced a completion";
+  EXPECT_EQ(counter("live.client.unmatched") - unmatched_before, 2u);
+}
+
+TEST_F(ClientFaults, InFlightBudgetIsEnforced) {
+  EXPECT_TRUE(client_.submit(query_wire(1), 1));
+  EXPECT_TRUE(client_.submit(query_wire(2), 2));
+  EXPECT_FALSE(client_.submit(query_wire(3), 3)) << "budget is 2";
+  EXPECT_EQ(client_.in_flight(), 2);
+  // Completing one frees a slot.
+  socket_.push_rx(response_for(1), kPeer);
+  client_.poll(done_);
+  EXPECT_TRUE(client_.submit(query_wire(3), 3));
+}
+
+TEST_F(ClientFaults, RecvInterruptStormIsAbsorbedInOnePoll) {
+  ASSERT_TRUE(client_.submit(query_wire(0x4444), /*tag=*/4));
+  socket_.push_rx(response_for(0x4444), kPeer);
+  socket_.inject_recv_interrupts(3);
+  // One poll call retries through the EINTR storm and still completes.
+  ASSERT_EQ(client_.poll(done_), 1u);
+  EXPECT_TRUE(done_[0].ok);
+}
+
+TEST_F(ClientFaults, SendEagainFallsBackToRetransmitTimer) {
+  socket_.set_send_budget(0);
+  const auto eagain_before = counter("live.client.send_eagain");
+  ASSERT_TRUE(client_.submit(query_wire(0x5555), /*tag=*/5));
+  EXPECT_EQ(socket_.sent_count(), 0u) << "transmit was swallowed by EAGAIN";
+  EXPECT_EQ(counter("live.client.send_eagain") - eagain_before, 1u);
+  // The retransmit timer recovers once the socket drains.
+  socket_.set_send_budget(-1);
+  clock_.advance_us(1500);
+  EXPECT_EQ(client_.poll(done_), 0u);
+  EXPECT_EQ(socket_.sent_count(), 1u);
+  socket_.push_rx(response_for(0x5555), kPeer);
+  ASSERT_EQ(client_.poll(done_), 1u);
+  EXPECT_TRUE(done_[0].ok);
+}
+
+TEST_F(ClientFaults, TruncatedResponseIsIgnored) {
+  live::LiveClientConfig tiny = config();
+  tiny.recv_buffer_bytes = 16;
+  live::LiveClient client(tiny, socket_, clock_);
+  ASSERT_TRUE(client.submit(query_wire(0x6666), /*tag=*/6));
+  // A response larger than the client's receive buffer arrives mangled
+  // (MSG_TRUNC); it must not complete the query.
+  std::vector<std::uint8_t> big(64, 0x00);
+  big[0] = 0x66;
+  big[1] = 0x66;
+  socket_.push_rx(big, kPeer);
+  EXPECT_EQ(client.poll(done_), 0u);
+  EXPECT_EQ(client.in_flight(), 1);
+}
+
+// A full scripted loopback: client and server shard paired through two mock
+// sockets, single thread, fully deterministic — drops on the "network"
+// drive the client's retry path and the second attempt succeeds.
+TEST(LiveLoopbackScripted, DropThenRetrySucceedsEndToEnd) {
+  auto auth = make_auth();
+  MockUdpSocket server_socket(SocketAddress{IpAddress::v4(127, 0, 0, 1), 53});
+  MockUdpSocket client_socket(SocketAddress{IpAddress::v4(127, 0, 0, 1), 40001});
+  live::FakeClock clock;
+  live::LiveServerConfig scfg;
+  scfg.batch = 4;
+  live::ServerShard shard(server_socket, *auth, clock, scfg);
+
+  live::LiveClientConfig ccfg;
+  ccfg.server = server_socket.local_address();
+  ccfg.timeout_us = 1000;
+  live::LiveClient client(ccfg, client_socket, clock);
+
+  // Wire the two mocks together; the server's pump runs synchronously.
+  client_socket.on_send = [&](const netsim::SendSlot& slot) {
+    server_socket.push_rx(slot.payload, client_socket.local_address());
+    shard.process_once();
+  };
+  server_socket.on_send = [&](const netsim::SendSlot& slot) {
+    client_socket.push_rx(slot.payload, server_socket.local_address());
+  };
+  client_socket.set_record_sends(false);
+  server_socket.set_record_sends(false);
+
+  // First transmit is lost before reaching the server.
+  client_socket.set_drop_sends(true);
+  ASSERT_TRUE(client.submit(query_wire(0x7777), /*tag=*/7));
+  std::vector<live::Completion> done;
+  EXPECT_EQ(client.poll(done), 0u);
+
+  // The retransmit goes through; the expiry pass runs after this poll's
+  // receive drain, so the response is collected by the next poll.
+  client_socket.set_drop_sends(false);
+  clock.advance_us(1500);
+  EXPECT_EQ(client.poll(done), 0u);  // retransmits; response now queued
+  ASSERT_EQ(client.poll(done), 1u);
+  EXPECT_TRUE(done[0].ok);
+  const Message r = Message::parse({done[0].response.data(),
+                                    done[0].response.size()});
+  EXPECT_EQ(r.header.id, 0x7777);
+  EXPECT_TRUE(r.header.qr);
+  EXPECT_EQ(auth->queries_served(), 1u);
+}
+
+}  // namespace
+}  // namespace ecsdns

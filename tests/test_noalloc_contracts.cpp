@@ -5,12 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "authoritative/ecs_policy.h"
+#include "authoritative/server.h"
+#include "dnscore/ecs.h"
 #include "dnscore/message.h"
 #include "dnscore/message_view.h"
 #include "dnscore/wire.h"
+#include "live/client.h"
+#include "live/udp_server.h"
 #include "netsim/buffer_pool.h"
+#include "netsim/socket.h"
 #include "obs/alloc_counter.h"
 
 namespace ecsdns {
@@ -103,6 +110,86 @@ TEST(MessageViewNoalloc, ConstructionIsAllocationFree) {
     ASSERT_EQ(view.ecs_payload().size(), 0u);
   }
   EXPECT_EQ(allocs(), before) << "MessageView construction allocated";
+}
+
+// The live-wire steady state: a ServerShard driving recv -> serve_wire ->
+// send over a MockUdpSocket. After a warm-up that converges every retained
+// buffer (the mock's rx ring, the shard's tx vectors, DispatchScratch), a
+// uniform query stream is served with zero heap allocations.
+TEST(LiveWireNoalloc, ShardRecvDispatchSendSteadyStateIsAllocationFree) {
+  authoritative::AuthConfig config;
+  config.log_queries = false;  // log appends allocate by design
+  authoritative::AuthServer auth(
+      config, std::make_unique<authoritative::ScopeDeltaPolicy>(4));
+  const auto zone = Name::from_string("noalloc.example");
+  auth.add_zone(zone).add(dnscore::ResourceRecord::make_a(
+      zone.prepend("www"), 300, dnscore::IpAddress::v4(203, 0, 113, 10)));
+
+  netsim::MockUdpSocket socket;
+  socket.set_record_sends(false);  // recording copies each response
+  live::FakeClock clock;
+  live::LiveServerConfig server_config;
+  server_config.batch = 4;
+  server_config.recv_buffer_bytes = 512;
+  live::ServerShard shard(socket, auth, clock, server_config);
+
+  Message q = Message::make_query(0x4242, zone.prepend("www"), RRType::A);
+  q.set_ecs(dnscore::EcsOption::for_query(
+      dnscore::Prefix::parse("198.51.100.0/24")));
+  const std::vector<std::uint8_t> wire = q.serialize();
+  const netsim::SocketAddress peer{dnscore::IpAddress::v4(127, 0, 0, 1), 40000};
+
+  // Warm-up: grow the mock's rx ring and converge every scratch capacity.
+  for (int i = 0; i < 32; ++i) {
+    socket.push_rx(wire, peer);
+    shard.process_once();
+    clock.advance_us(10);
+  }
+
+  const auto before = allocs();
+  for (int i = 0; i < 200; ++i) {
+    socket.push_rx(wire, peer);
+    ASSERT_EQ(shard.process_once(), 1u);
+    clock.advance_us(10);
+  }
+  EXPECT_EQ(allocs(), before)
+      << "steady-state recv->dispatch->send allocated";
+}
+
+// Same contract on the client side: submit -> respond -> poll with pooled
+// response buffers stays flat once capacities converge.
+TEST(LiveWireNoalloc, ClientSubmitPollSteadyStateIsAllocationFree) {
+  netsim::MockUdpSocket socket;
+  socket.set_record_sends(false);
+  live::FakeClock clock;
+  live::LiveClientConfig config;
+  config.server = {dnscore::IpAddress::v4(127, 0, 0, 1), 53};
+  config.batch = 4;
+  live::LiveClient client(config, socket, clock);
+
+  const std::vector<std::uint8_t> wire =
+      Message::make_query(0x0101, Name::from_string("www.noalloc.example"),
+                          RRType::A)
+          .serialize();
+  std::vector<std::uint8_t> response = wire;
+  response[2] |= 0x80;  // QR
+
+  std::vector<live::Completion> done;
+  done.reserve(4);
+  const netsim::SocketAddress peer = config.server;
+  const auto round = [&] {
+    ASSERT_TRUE(client.submit(wire, 1));
+    socket.push_rx(response, peer);
+    done.clear();
+    ASSERT_EQ(client.poll(done), 1u);
+    ASSERT_TRUE(done[0].ok);
+    client.pool().release(std::move(done[0].response));
+    clock.advance_us(10);
+  };
+  for (int i = 0; i < 32; ++i) round();  // warm-up
+  const auto before = allocs();
+  for (int i = 0; i < 200; ++i) round();
+  EXPECT_EQ(allocs(), before) << "steady-state client loop allocated";
 }
 
 }  // namespace
