@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "dnscore/annotations.h"
 #include "obs/alloc_counter.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -52,6 +53,25 @@ inline std::string str_flag(int argc, char** argv, const char* name) {
     }
   }
   return {};
+}
+
+// High-water-mark resident set size of this process in bytes (VmHWM from
+// /proc/self/status), or 0 where procfs is unavailable. A property of the
+// run environment like wall_ms — never simulation state — so it is exempt
+// from the cross-shard byte-identity contract.
+ECSDNS_NONDETERMINISTIC_OK inline std::uint64_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::uint64_t kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB",
+                    reinterpret_cast<unsigned long long*>(&kib)) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
 }
 
 // Per-run observability scope. Construct at the top of main(); on
@@ -101,6 +121,10 @@ class ObsSession {
       // the cross-shard byte-identity contract.
       obs::MetricsRegistry::global().gauge("run.allocations").set(
           static_cast<std::int64_t>(obs::allocation_count() - start_allocations_));
+      // Peak RSS at export time: every bench reports memory, not just the
+      // perf harness's getrusage wrapper. Run metadata like wall_ms.
+      obs::MetricsRegistry::global().gauge("run.peak_rss_bytes").set(
+          static_cast<std::int64_t>(peak_rss_bytes()));
       const std::string doc = obs::metrics_json(obs::MetricsRegistry::global(),
                                                 run_name_, wall_ms);
       if (obs::write_text_file(metrics_path_, doc)) {

@@ -61,9 +61,8 @@ int main(int argc, char** argv) {
   wl.hostnames = hostnames;
   wl.duration = 90 * netsim::kMinute;
   wl.mean_query_gap = 3 * netsim::kMinute;
-  // --shards=N switches the driver to per-member RNG streams whose traffic
-  // is independent of the shard grouping (see WorkloadOptions::shards).
-  wl.shards = static_cast<std::size_t>(obs_session.shards());
+  // The driver always uses per-member RNG streams, so the traffic below is
+  // independent of --shards (see WorkloadOptions::seed).
   drive_fleet(cdn_bed, cdn_fleet, wl);
   std::printf("cdn: %zu resolvers drove %llu logged queries (scale 1/%d)\n\n",
               cdn_fleet.members.size(),

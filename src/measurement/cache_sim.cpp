@@ -4,8 +4,10 @@
 #include <map>
 #include <memory>
 #include <queue>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "dnscore/contracts.h"
 #include "dnscore/flat_hash.h"
@@ -20,35 +22,12 @@ namespace {
 
 using dnscore::IpAddress;
 using dnscore::Prefix;
-
-// Cache key: resolver x question x (scope-truncated client block). Without
-// ECS the block is the zero prefix.
-struct Key {
-  std::uint32_t resolver;
-  std::uint32_t name;
-  Prefix block;
-
-  bool operator==(const Key&) const = default;
-};
-
-struct KeyHash {
-  std::size_t operator()(const Key& k) const noexcept {
-    return dnscore::hash_combine(
-        dnscore::hash_combine(k.block.hash(), k.resolver), k.name);
-  }
-};
-
-Key key_of(const TraceQuery& q, bool with_ecs) {
-  Key key{q.resolver, q.name, Prefix{}};
-  if (with_ecs && q.scope > 0) {
-    const int bits = std::min(q.scope, q.client.bit_length());
-    key.block = Prefix{q.client, bits};
-  }
-  return key;
-}
+using detail::CacheKey;
+using detail::CacheKeyHash;
+using detail::cache_key_of;
 
 // Content hash of a query's cache key, cheap enough for every shard to run
-// over the full trace as its partition filter (no Prefix construction for
+// over the full stream as its partition filter (no Prefix construction for
 // foreign queries). Equal keys always hash equal; collisions only co-locate
 // two keys on one shard, which is harmless.
 std::uint64_t key_shard_hash(const TraceQuery& q, bool with_ecs) {
@@ -103,79 +82,79 @@ double CacheSimResult::overall_hit_rate() const {
                     : static_cast<double>(total_hits()) / static_cast<double>(total);
 }
 
-namespace {
+// ---------------------------------------------------------------------------
+// Unbounded streaming replay: entries leave only by TTL (the paper's §7
+// assumption). This is the serial path; bounded replays go through
+// BoundedShard below instead.
 
-// Unbounded serial replay: entries leave only by TTL (the paper's §7
-// assumption). Bounded replays go through BoundedShard below instead.
-CacheSimResult simulate_serial(const Trace& trace, const CacheSimOptions& options) {
-  struct Slot {
-    SimTime expiry = 0;
-  };
-  dnscore::FlatHashMap<Key, Slot, KeyHash> cache;
-  // Expiration queue so current size is exact at every query time.
-  struct Expiry {
-    SimTime when;
-    Key key;
-  };
-  const auto later = [](const Expiry& a, const Expiry& b) { return a.when > b.when; };
-  std::priority_queue<Expiry, std::vector<Expiry>, decltype(later)> expirations(later);
+StreamingCacheSim::StreamingCacheSim(std::uint32_t resolvers,
+                                     const CacheSimOptions& options)
+    : with_ecs_(options.with_ecs),
+      ttl_override_(options.ttl_override),
+      results_(resolvers),
+      live_(resolvers, 0) {
+  for (std::uint32_t r = 0; r < resolvers; ++r) results_[r].resolver = r;
+}
 
-  std::vector<ResolverCacheResult> results(trace.resolvers);
-  for (std::uint32_t r = 0; r < trace.resolvers; ++r) results[r].resolver = r;
-  std::vector<std::size_t> live(trace.resolvers, 0);
-
-  for (const auto& q : trace.queries) {
-    // Retire everything that expired before this query.
-    while (!expirations.empty() && expirations.top().when <= q.time) {
-      const Expiry e = expirations.top();
-      expirations.pop();
-      const Slot* slot = cache.find(e.key);
-      // Only erase if this expiration is current (the entry may have been
-      // refreshed after a miss).
-      if (slot != nullptr && slot->expiry <= e.when) {
-        --live[e.key.resolver];
-        cache.erase(e.key);
-      }
+void StreamingCacheSim::observe(const TraceQuery& q) {
+  ++queries_;
+  // Retire everything that expired before this query.
+  while (!expirations_.empty() && expirations_.top().when <= q.time) {
+    const Expiry e = expirations_.top();
+    expirations_.pop();
+    const Slot* slot = cache_.find(e.key);
+    // Only erase if this expiration is current (the entry may have been
+    // refreshed after a miss).
+    if (slot != nullptr && slot->expiry <= e.when) {
+      --live_[e.key.resolver];
+      cache_.erase(e.key);
     }
-
-    const Key key = key_of(q, options.with_ecs);
-
-    auto& result = results.at(q.resolver);
-    Slot* found = cache.find(key);
-    if (found != nullptr && found->expiry > q.time) {
-      ++result.hits;
-      continue;
-    }
-    ++result.misses;
-    const std::uint32_t ttl_s = options.ttl_override.value_or(q.ttl_s);
-    const SimTime expiry = q.time + static_cast<SimTime>(ttl_s) * netsim::kSecond;
-    const auto [new_slot, inserted] = cache.insert_or_assign(key, Slot{expiry});
-    (void)new_slot;
-    if (inserted) ++live[q.resolver];
-    result.max_cache_size = std::max(result.max_cache_size, live[q.resolver]);
-    expirations.push(Expiry{expiry, key});
   }
 
+  const CacheKey key = cache_key_of(q, with_ecs_);
+
+  auto& result = results_.at(q.resolver);
+  Slot* found = cache_.find(key);
+  if (found != nullptr && found->expiry > q.time) {
+    ++result.hits;
+    return;
+  }
+  ++result.misses;
+  const std::uint32_t ttl_s = ttl_override_.value_or(q.ttl_s);
+  const SimTime expiry = q.time + static_cast<SimTime>(ttl_s) * netsim::kSecond;
+  const auto [new_slot, inserted] = cache_.insert_or_assign(key, Slot{expiry});
+  (void)new_slot;
+  if (inserted) ++live_[q.resolver];
+  result.max_cache_size = std::max(result.max_cache_size, live_[q.resolver]);
+  expirations_.push(Expiry{expiry, key});
+}
+
+CacheSimResult StreamingCacheSim::finish() {
   CacheSimResult out;
-  out.per_resolver = std::move(results);
+  out.per_resolver = std::move(results_);
   return out;
 }
+
+namespace {
 
 // ---------------------------------------------------------------------------
 // Sharded replay (see docs/parallel_engine.md).
 //
 // With an unbounded cache, each key's hit/miss sequence depends only on the
 // queries that map to it, so keys partition across shards by stable hash
-// and replay independently. The one cross-key quantity — a resolver's peak
-// live-entry count, sampled by the serial replay after every insert — is
-// reconstructed exactly from per-shard occupancy deltas: every insert emits
-// (+1, time, trace index) and every real expiration (-1, expiry time).
-// Deltas stream each epoch to the shard that owns the resolver's
-// accounting, which applies them in (time, expire-before-insert, trace
-// index) order — precisely the order the serial replay's lazy expiration
-// sweep induces, because an expiration with `when <= q.time` always fires
-// before query q. Batches are confined to one epoch window, so the owner
-// merges N already-sorted runs per window.
+// and replay independently — each shard pulling its *own* instance of the
+// stream and keeping only the keys it owns (the streaming analog of every
+// shard scanning the shared trace vector). The one cross-key quantity — a
+// resolver's peak live-entry count, sampled by the serial replay after
+// every insert — is reconstructed exactly from per-shard occupancy deltas:
+// every insert emits (+1, time, query index) and every real expiration
+// (-1, expiry time). Deltas batch into the shard's epoch arena and stream
+// each epoch to the shard that owns the resolver's accounting, which
+// applies them in (time, expire-before-insert, query index) order —
+// precisely the order the serial replay's lazy expiration sweep induces,
+// because an expiration with `when <= q.time` always fires before query q.
+// Batches are confined to one epoch window, so the owner merges N
+// already-sorted runs per window.
 
 // One occupancy change of a resolver's cache.
 struct Delta {
@@ -184,9 +163,10 @@ struct Delta {
   // 0 = entry expired (-1), 1 = entry inserted (+1). Expires sort first at
   // equal times, matching the serial sweep-then-query order; this is exact
   // whenever effective TTLs are positive (an entry then never expires at
-  // its own insertion time), which `shardable` guarantees.
+  // its own insertion time), which the dispatch in simulate_cache_stream
+  // guarantees.
   std::uint8_t kind;
-  // Trace index of the (creating) insert: the deterministic tie-break.
+  // Stream index of the (creating) insert: the deterministic tie-break.
   std::uint64_t seq;
 };
 
@@ -198,21 +178,24 @@ bool delta_less(const Delta& a, const Delta& b) {
 
 class ReplayShard final : public netsim::ShardProgram {
  public:
-  ReplayShard(const Trace& trace, const CacheSimOptions& options,
+  ReplayShard(std::unique_ptr<TraceStream> stream, const CacheSimOptions& options,
               std::size_t index, std::size_t shards,
               std::vector<ReplayShard*>& directory,
               std::vector<ResolverCacheResult>& results)
-      : trace_(trace),
+      : stream_(std::move(stream)),
         options_(options),
         index_(index),
         shards_(shards),
         directory_(directory),
         results_(results),
-        hits_(trace.resolvers, 0),
-        misses_(trace.resolvers, 0),
-        live_(trace.resolvers, 0),
-        peak_(trace.resolvers, 0),
-        out_(shards) {}
+        resolvers_(stream_->info().resolvers),
+        hits_(resolvers_, 0),
+        misses_(resolvers_, 0),
+        live_(resolvers_, 0),
+        peak_(resolvers_, 0),
+        out_(shards) {
+    has_next_ = stream_->next(next_q_);
+  }
 
   void epoch(netsim::ShardContext& ctx, SimTime epoch_end) override {
     apply_pending();
@@ -222,8 +205,7 @@ class ReplayShard final : public netsim::ShardProgram {
   }
 
   bool done(const netsim::ShardContext&) const override {
-    return cursor_ == trace_.queries.size() && expirations_.empty() &&
-           pending_.empty();
+    return !has_next_ && expirations_.empty() && pending_.empty();
   }
 
   void finish(netsim::ShardContext& ctx) override {
@@ -231,7 +213,7 @@ class ReplayShard final : public netsim::ShardProgram {
     // resolvers' exact peaks into the shared result.
     std::uint64_t hit_total = 0;
     std::uint64_t miss_total = 0;
-    for (std::uint32_t r = 0; r < trace_.resolvers; ++r) {
+    for (std::uint32_t r = 0; r < resolvers_; ++r) {
       results_[r].hits += hits_[r];
       results_[r].misses += misses_[r];
       hit_total += hits_[r];
@@ -247,7 +229,10 @@ class ReplayShard final : public netsim::ShardProgram {
     metrics.counter("cache_sim.misses").inc(miss_total);
   }
 
-  void absorb(std::vector<Delta> batch) { pending_.push_back(std::move(batch)); }
+  // Delta batches live in the sender's epoch arena; the span stays valid
+  // until that arena's parity comes around again (round k+2), strictly
+  // after this shard merges it in round k+1.
+  void absorb(std::span<const Delta> batch) { pending_.push_back(batch); }
 
  private:
   struct Slot {
@@ -257,7 +242,7 @@ class ReplayShard final : public netsim::ShardProgram {
   struct PendingExpiry {
     SimTime when;
     std::uint64_t seq;
-    Key key;
+    CacheKey key;
   };
   struct LaterExpiry {
     bool operator()(const PendingExpiry& a, const PendingExpiry& b) const {
@@ -268,7 +253,7 @@ class ReplayShard final : public netsim::ShardProgram {
 
   // Owner role: merge the batches for the window that just closed. Every
   // source batch is sorted and covers the same window, so this is an N-way
-  // merge on a strict total order (trace indexes never repeat).
+  // merge on a strict total order (stream indexes never repeat).
   void apply_pending() {
     if (pending_.empty()) return;
     std::vector<std::size_t> cursor(pending_.size(), 0);
@@ -296,20 +281,19 @@ class ReplayShard final : public netsim::ShardProgram {
     pending_.clear();
   }
 
-  // Replayer role: consume this window's slice of the trace, keeping only
+  // Replayer role: consume this window's slice of the stream, keeping only
   // the keys this shard owns.
   void replay_until(SimTime epoch_end) {
-    const auto& queries = trace_.queries;
-    while (cursor_ < queries.size() && queries[cursor_].time < epoch_end) {
-      const TraceQuery& q = queries[cursor_];
-      const auto seq = static_cast<std::uint64_t>(cursor_);
-      ++cursor_;
+    while (has_next_ && next_q_.time < epoch_end) {
+      const TraceQuery q = next_q_;
+      const std::uint64_t seq = seq_++;
+      has_next_ = stream_->next(next_q_);
       if (shard_of_hash(key_shard_hash(q, options_.with_ecs), shards_) !=
           index_) {
         continue;
       }
       sweep(q.time);
-      const Key key = key_of(q, options_.with_ecs);
+      const CacheKey key = cache_key_of(q, options_.with_ecs);
       const Slot* slot = cache_.find(key);
       if (slot != nullptr && slot->expiry > q.time) {
         ++hits_[q.resolver];
@@ -362,23 +346,32 @@ class ReplayShard final : public netsim::ShardProgram {
       auto& bucket = out_[owner];
       if (bucket.empty()) continue;
       ECSDNS_DCHECK(std::is_sorted(bucket.begin(), bucket.end(), delta_less));
-      ctx.post(owner, [target = directory_[owner], batch = std::move(bucket)](
-                          netsim::ShardContext&) mutable {
-        target->absorb(std::move(batch));
+      // Copy the batch into the epoch arena and ship a span: the reusable
+      // bucket keeps its capacity, so the steady-state epoch allocates
+      // nothing on this path.
+      Delta* batch = ctx.epoch_arena().alloc_array<Delta>(bucket.size());
+      std::copy(bucket.begin(), bucket.end(), batch);
+      const std::size_t count = bucket.size();
+      ctx.post(owner, [target = directory_[owner], batch, count](
+                          netsim::ShardContext&) {
+        target->absorb(std::span<const Delta>(batch, count));
       });
-      bucket = {};
+      bucket.clear();
     }
   }
 
-  const Trace& trace_;
+  std::unique_ptr<TraceStream> stream_;
   const CacheSimOptions& options_;
   std::size_t index_;
   std::size_t shards_;
   std::vector<ReplayShard*>& directory_;
   std::vector<ResolverCacheResult>& results_;
+  std::uint32_t resolvers_;
 
-  std::size_t cursor_ = 0;
-  dnscore::FlatHashMap<Key, Slot, KeyHash> cache_;
+  bool has_next_ = false;
+  TraceQuery next_q_;
+  std::uint64_t seq_ = 0;
+  dnscore::FlatHashMap<CacheKey, Slot, CacheKeyHash> cache_;
   std::priority_queue<PendingExpiry, std::vector<PendingExpiry>, LaterExpiry>
       expirations_;
   std::vector<std::uint64_t> hits_;
@@ -386,7 +379,7 @@ class ReplayShard final : public netsim::ShardProgram {
   std::vector<std::int64_t> live_;
   std::vector<std::uint64_t> peak_;
   std::vector<std::vector<Delta>> out_;
-  std::vector<std::vector<Delta>> pending_;
+  std::vector<std::span<const Delta>> pending_;
 };
 
 // ---------------------------------------------------------------------------
@@ -396,25 +389,26 @@ class ReplayShard final : public netsim::ShardProgram {
 // policy's victim order — but never keys of different resolvers: each
 // resolver owns its cache, its live count, and its policy state. So the
 // unit of partitioning is the resolver (shard_of_id), and each shard
-// replays the trace restricted to the resolvers it owns with policy
-// instances whose decisions are pure functions of that resolver's query
-// sequence. Every shard count — including 1, the serial case — runs this
-// exact code, so serial equivalence holds by construction; no cross-shard
-// mail, no sortedness requirement.
+// replays its own stream instance restricted to the resolvers it owns with
+// policy instances whose decisions are pure functions of that resolver's
+// query sequence. Every shard count — including 1, the serial case — runs
+// this exact code, so serial equivalence holds by construction; no
+// cross-shard mail, no sortedness requirement.
 class BoundedShard final : public netsim::ShardProgram {
  public:
-  BoundedShard(const Trace& trace, const CacheSimOptions& options,
+  BoundedShard(std::unique_ptr<TraceStream> stream, const CacheSimOptions& options,
                std::size_t index, std::size_t shards,
                std::vector<ResolverCacheResult>& results)
-      : trace_(trace),
+      : stream_(std::move(stream)),
         options_(options),
         index_(index),
         shards_(shards),
         results_(results),
-        exp_(trace.resolvers),
-        live_(trace.resolvers, 0),
-        local_(trace.resolvers) {
-    for (std::uint32_t r = 0; r < trace_.resolvers; ++r) {
+        resolvers_(stream_->info().resolvers),
+        exp_(resolvers_),
+        live_(resolvers_, 0),
+        local_(resolvers_) {
+    for (std::uint32_t r = 0; r < resolvers_; ++r) {
       if (shard_of_id(r, shards_) == index_) {
         strategy_[r] = resolver::make_eviction_strategy(options_.policy);
       }
@@ -428,10 +422,9 @@ class BoundedShard final : public netsim::ShardProgram {
     done_ = true;
     auto& evictions = ctx.metrics().counter("cache_sim.capacity_evictions");
     auto& ages = ctx.metrics().histogram("cache_sim.eviction_age_s");
-    for (std::uint64_t seq = 0; seq < trace_.queries.size(); ++seq) {
-      const TraceQuery& q = trace_.queries[seq];
-      const std::uint32_t r = q.resolver;
-      if (strategy_.find(r) == strategy_.end()) continue;
+    TraceQuery q;
+    for (std::uint64_t seq = 0; stream_->next(q); ++seq) {
+      if (strategy_.find(q.resolver) == strategy_.end()) continue;
       replay_one(q, seq, evictions, ages);
     }
     std::uint64_t hit_total = 0;
@@ -449,7 +442,7 @@ class BoundedShard final : public netsim::ShardProgram {
 
   void finish(netsim::ShardContext&) override {
     // Serial, in shard-index order: publish owned resolvers' rows.
-    for (std::uint32_t r = 0; r < trace_.resolvers; ++r) {
+    for (std::uint32_t r = 0; r < resolvers_; ++r) {
       if (shard_of_id(r, shards_) != index_) continue;
       results_[r].hits = local_[r].hits;
       results_[r].misses = local_[r].misses;
@@ -467,7 +460,7 @@ class BoundedShard final : public netsim::ShardProgram {
   struct PendingExpiry {
     SimTime when;
     std::uint64_t seq;
-    Key key;
+    CacheKey key;
   };
   struct LaterExpiry {
     bool operator()(const PendingExpiry& a, const PendingExpiry& b) const {
@@ -504,7 +497,7 @@ class BoundedShard final : public netsim::ShardProgram {
       }
     }
 
-    const Key key = key_of(q, options_.with_ecs);
+    const CacheKey key = cache_key_of(q, options_.with_ecs);
     auto& local = local_[r];
     const Slot* slot = cache_.find(key);
     if (slot != nullptr && slot->expiry > q.time) {
@@ -527,7 +520,7 @@ class BoundedShard final : public netsim::ShardProgram {
       const resolver::EntryId victim = strategy.pick_victim();
       const auto vkey_it = key_of_id_.find(victim);
       ECSDNS_DCHECK(vkey_it != key_of_id_.end());
-      const Key vkey = vkey_it->second;
+      const CacheKey vkey = vkey_it->second;
       const Slot* vslot = cache_.find(vkey);
       ECSDNS_DCHECK(vslot != nullptr && vslot->id == victim);
       const SimTime age = q.time > vslot->inserted_at ? q.time - vslot->inserted_at : 0;
@@ -549,17 +542,18 @@ class BoundedShard final : public netsim::ShardProgram {
     pending.push(PendingExpiry{expiry, seq, key});
   }
 
-  const Trace& trace_;
+  std::unique_ptr<TraceStream> stream_;
   const CacheSimOptions& options_;
   std::size_t index_;
   std::size_t shards_;
   std::vector<ResolverCacheResult>& results_;
+  std::uint32_t resolvers_;
 
   bool done_ = false;
-  dnscore::FlatHashMap<Key, Slot, KeyHash> cache_;
+  dnscore::FlatHashMap<CacheKey, Slot, CacheKeyHash> cache_;
   std::unordered_map<std::uint32_t, std::unique_ptr<resolver::EvictionStrategy>>
       strategy_;
-  std::unordered_map<resolver::EntryId, Key> key_of_id_;
+  std::unordered_map<resolver::EntryId, CacheKey> key_of_id_;
   resolver::EntryId next_id_ = 1;
   std::vector<std::priority_queue<PendingExpiry, std::vector<PendingExpiry>,
                                   LaterExpiry>>
@@ -568,16 +562,33 @@ class BoundedShard final : public netsim::ShardProgram {
   std::vector<LocalTally> local_;
 };
 
-CacheSimResult simulate_bounded(const Trace& trace, const CacheSimOptions& options) {
-  const std::size_t shards = std::max<std::size_t>(1, options.shards);
-  std::vector<ResolverCacheResult> results(trace.resolvers);
-  for (std::uint32_t r = 0; r < trace.resolvers; ++r) results[r].resolver = r;
+// Builds the per-shard stream instances: the dispatch probe (an untouched
+// stream) becomes shard 0; the rest replay fresh from the factory.
+std::vector<std::unique_ptr<TraceStream>> shard_streams(
+    const TraceStreamFactory& factory, std::unique_ptr<TraceStream> probe,
+    std::size_t shards) {
+  std::vector<std::unique_ptr<TraceStream>> streams;
+  streams.reserve(shards);
+  streams.push_back(std::move(probe));
+  for (std::size_t s = 1; s < shards; ++s) streams.push_back(factory());
+  return streams;
+}
 
+CacheSimResult simulate_bounded(const TraceStreamFactory& factory,
+                                std::unique_ptr<TraceStream> probe,
+                                const CacheSimOptions& options) {
+  const std::size_t shards = std::max<std::size_t>(1, options.shards);
+  const std::uint32_t resolvers = probe->info().resolvers;
+  std::vector<ResolverCacheResult> results(resolvers);
+  for (std::uint32_t r = 0; r < resolvers; ++r) results[r].resolver = r;
+
+  auto streams = shard_streams(factory, std::move(probe), shards);
   std::vector<std::unique_ptr<netsim::ShardProgram>> programs;
   programs.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    programs.push_back(
-        std::make_unique<BoundedShard>(trace, options, s, shards, results));
+    programs.push_back(std::make_unique<BoundedShard>(std::move(streams[s]),
+                                                      options, s, shards,
+                                                      results));
   }
 
   netsim::ParallelConfig config;
@@ -595,17 +606,21 @@ CacheSimResult simulate_bounded(const Trace& trace, const CacheSimOptions& optio
   return out;
 }
 
-CacheSimResult simulate_sharded(const Trace& trace, const CacheSimOptions& options) {
+CacheSimResult simulate_sharded(const TraceStreamFactory& factory,
+                                std::unique_ptr<TraceStream> probe,
+                                const CacheSimOptions& options) {
   const std::size_t shards = options.shards;
-  std::vector<ResolverCacheResult> results(trace.resolvers);
-  for (std::uint32_t r = 0; r < trace.resolvers; ++r) results[r].resolver = r;
+  const TraceStreamInfo info = probe->info();
+  std::vector<ResolverCacheResult> results(info.resolvers);
+  for (std::uint32_t r = 0; r < info.resolvers; ++r) results[r].resolver = r;
 
+  auto streams = shard_streams(factory, std::move(probe), shards);
   std::vector<ReplayShard*> directory(shards, nullptr);
   std::vector<std::unique_ptr<netsim::ShardProgram>> programs;
   programs.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    auto program = std::make_unique<ReplayShard>(trace, options, s, shards,
-                                                 directory, results);
+    auto program = std::make_unique<ReplayShard>(std::move(streams[s]), options,
+                                                 s, shards, directory, results);
     directory[s] = program.get();
     programs.push_back(std::move(program));
   }
@@ -614,10 +629,9 @@ CacheSimResult simulate_sharded(const Trace& trace, const CacheSimOptions& optio
   config.shards = shards;
   config.threads = options.threads;
   // Delta mail is accounting, not simulation traffic, so the window length
-  // is free — it only has to be a pure function of the trace so every
-  // shard count sees the same windows.
-  const SimTime last = trace.queries.empty() ? 0 : trace.queries.back().time;
-  config.epoch = std::max<SimTime>(netsim::kSecond, (last + 1) / 128);
+  // is free — it only has to be a pure function of the stream's config so
+  // every shard count sees the same windows.
+  config.epoch = std::max<SimTime>(netsim::kSecond, info.time_bound / 128);
   netsim::ParallelEngine engine(config, std::move(programs));
   engine.run();
   engine.merge_metrics(obs::MetricsRegistry::global());
@@ -627,32 +641,29 @@ CacheSimResult simulate_sharded(const Trace& trace, const CacheSimOptions& optio
   return out;
 }
 
-// The key-partitioned path's preconditions; anything else replays serially.
-// (Bounded caches never reach here — they partition by resolver instead.)
-// A zero effective TTL makes an entry expire at its own insert time, which
-// the expire-before-insert merge order cannot represent; replay windows
-// assume a time-sorted trace.
-bool shardable(const Trace& trace, const CacheSimOptions& options) {
-  if (options.shards <= 1) return false;
-  SimTime prev = 0;
-  for (const auto& q : trace.queries) {
-    if (q.time < prev) return false;
-    prev = q.time;
-    if (options.ttl_override.value_or(q.ttl_s) == 0) return false;
-  }
-  return true;
-}
-
 }  // namespace
 
-CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options) {
+CacheSimResult simulate_cache_stream(const TraceStreamFactory& factory,
+                                     const CacheSimOptions& options) {
+  auto probe = factory();
+  const TraceStreamInfo info = probe->info();
+  // The key-partitioned path's preconditions; anything else replays
+  // serially. (Bounded caches never reach it — they partition by resolver
+  // instead.) A zero effective TTL makes an entry expire at its own insert
+  // time, which the expire-before-insert merge order cannot represent;
+  // replay windows assume a time-ordered stream.
+  const bool positive_ttls =
+      options.ttl_override ? *options.ttl_override > 0 : info.positive_ttls;
   CacheSimResult out;
   if (options.max_entries_per_resolver) {
-    out = simulate_bounded(trace, options);
-  } else if (shardable(trace, options)) {
-    out = simulate_sharded(trace, options);
+    out = simulate_bounded(factory, std::move(probe), options);
+  } else if (options.shards > 1 && info.time_ordered && positive_ttls) {
+    out = simulate_sharded(factory, std::move(probe), options);
   } else {
-    out = simulate_serial(trace, options);
+    StreamingCacheSim sim(info.resolvers, options);
+    TraceQuery q;
+    while (probe->next(q)) sim.observe(q);
+    out = sim.finish();
     // Mirror the merged metrics of the sharded path so exports are
     // byte-identical across shard counts.
     auto& registry = obs::MetricsRegistry::global();
@@ -667,6 +678,38 @@ CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options
   obs::MetricsRegistry::global().gauge("cache_sim.peak_entries").set(
       static_cast<std::int64_t>(peak));
   return out;
+}
+
+CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options) {
+  // One info scan up front, shared by every per-shard stream instance.
+  const TraceStreamInfo info = scan_trace_info(trace);
+  return simulate_cache_stream(
+      [&trace, &info]() -> std::unique_ptr<TraceStream> {
+        return std::make_unique<MaterializedTraceStream>(trace, info);
+      },
+      options);
+}
+
+std::uint64_t sampled_result_digest(const CacheSimResult& result,
+                                    std::size_t sample_rows,
+                                    std::uint64_t seed) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = 14695981039346656037ull;
+  const auto fold = [&h](std::uint64_t v) { h = (h ^ v) * kPrime; };
+  const std::size_t n = result.per_resolver.size();
+  fold(n);
+  fold(result.total_hits());
+  fold(result.total_misses());
+  if (n == 0) return h;
+  for (std::size_t k = 0; k < sample_rows; ++k) {
+    const auto& row = result.per_resolver[mix64(seed + k) % n];
+    fold(row.resolver);
+    fold(row.hits);
+    fold(row.misses);
+    fold(row.max_cache_size);
+    fold(row.premature_evictions);
+  }
+  return h;
 }
 
 std::vector<double> blowup_factors(const Trace& trace,

@@ -4,16 +4,60 @@
 // once disregarding them — and reports per-resolver peak cache size and hit
 // rate. Mirrors the paper's simulation assumptions: resolvers retain
 // records for exactly the authoritative TTL and never evict early.
+//
+// Every replay consumes a TraceStream (measurement/trace_stream.h); the
+// classic simulate_cache(Trace, ...) entry point wraps the trace in a
+// MaterializedTraceStream and runs the identical fold, so the streaming and
+// materialized paths cannot diverge. At paper scale a generator stream
+// feeds the fold directly and the run's RSS stays bounded by *live cache
+// entries*, not by trace length.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <queue>
 #include <vector>
 
+#include "dnscore/flat_hash.h"
+#include "dnscore/hashing.h"
+#include "dnscore/ip.h"
+#include "measurement/trace_stream.h"
 #include "measurement/tracegen.h"
 #include "resolver/eviction.h"
 
 namespace ecsdns::measurement {
+
+namespace detail {
+
+// Cache key: resolver x question x (scope-truncated client block). Without
+// ECS the block is the zero prefix. Shared by the streaming fold and the
+// sharded replay programs.
+struct CacheKey {
+  std::uint32_t resolver;
+  std::uint32_t name;
+  dnscore::Prefix block;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    return dnscore::hash_combine(
+        dnscore::hash_combine(k.block.hash(), k.resolver), k.name);
+  }
+};
+
+inline CacheKey cache_key_of(const TraceQuery& q, bool with_ecs) {
+  CacheKey key{q.resolver, q.name, dnscore::Prefix{}};
+  if (with_ecs && q.scope > 0) {
+    const int bits = std::min(q.scope, q.client.bit_length());
+    key.block = dnscore::Prefix{q.client, bits};
+  }
+  return key;
+}
+
+}  // namespace detail
 
 struct CacheSimOptions {
   bool with_ecs = true;
@@ -64,7 +108,66 @@ struct CacheSimResult {
   double overall_hit_rate() const;
 };
 
+// Incremental unbounded replay: feed queries one at a time, read the result
+// when the stream ends. This *is* the serial replay — simulate_cache's
+// serial path folds through it — exposed so streaming pipelines (the
+// scale_streaming bench, custom aggregations) can interleave generation and
+// simulation without a trace in memory. Memory is O(live cache entries +
+// resolvers), independent of how many queries flow through.
+class StreamingCacheSim {
+ public:
+  StreamingCacheSim(std::uint32_t resolvers, const CacheSimOptions& options);
+
+  void observe(const TraceQuery& q);
+  // Finalizes and returns the per-resolver results (moves them out; the
+  // instance is spent afterwards).
+  CacheSimResult finish();
+
+  std::uint64_t queries() const noexcept { return queries_; }
+  std::size_t live_entries() const noexcept { return cache_.size(); }
+
+ private:
+  struct Slot {
+    SimTime expiry = 0;
+  };
+  struct Expiry {
+    SimTime when;
+    detail::CacheKey key;
+  };
+  struct LaterExpiry {
+    bool operator()(const Expiry& a, const Expiry& b) const {
+      return a.when > b.when;
+    }
+  };
+
+  bool with_ecs_;
+  std::optional<std::uint32_t> ttl_override_;
+  dnscore::FlatHashMap<detail::CacheKey, Slot, detail::CacheKeyHash> cache_;
+  std::priority_queue<Expiry, std::vector<Expiry>, LaterExpiry> expirations_;
+  std::vector<ResolverCacheResult> results_;
+  std::vector<std::size_t> live_;
+  std::uint64_t queries_ = 0;
+};
+
+// Replays one logical stream, constructing one instance per shard from the
+// factory (stream construction is a pure deterministic function, so every
+// instance replays the same sequence). Dispatches exactly like
+// simulate_cache: bounded -> resolver-partitioned shards; unbounded sharded
+// when the stream is time-ordered with positive effective TTLs; serial
+// StreamingCacheSim fold otherwise.
+CacheSimResult simulate_cache_stream(const TraceStreamFactory& factory,
+                                     const CacheSimOptions& options);
+
 CacheSimResult simulate_cache(const Trace& trace, const CacheSimOptions& options);
+
+// Order-independent digest of a deterministic sample of per-resolver rows
+// plus the global tallies — the serial-equivalence oracle at scales where
+// comparing millions of rows byte-for-byte is too expensive to run per
+// shard count. Full byte-identity remains the required check at small
+// scales (tests/test_parallel_determinism.cpp).
+std::uint64_t sampled_result_digest(const CacheSimResult& result,
+                                    std::size_t sample_rows,
+                                    std::uint64_t seed);
 
 // Per-resolver blow-up factors: peak cache size with ECS divided by peak
 // size without (Figure 1's metric). Resolvers with an empty no-ECS cache

@@ -2,34 +2,29 @@
 
 #include <algorithm>
 #include <map>
-#include <set>
-#include <tuple>
-#include <unordered_map>
+
+#include "dnscore/hashing.h"
+#include "dnscore/ip.h"
 
 namespace ecsdns::measurement {
 
-std::vector<CensusRow> source_prefix_census(const std::vector<QueryLogEntry>& log) {
-  // (is_v6, length, jammed) triples sort combination keys numerically with
-  // IPv4 variants first, matching the paper's table layout.
-  using Variant = std::tuple<bool, int, bool>;
-  std::unordered_map<dnscore::IpAddress, std::set<Variant>, dnscore::IpAddressHash>
-      per_resolver;
-  for (const auto& e : log) {
-    if (!e.query_ecs) continue;
-    const auto& ecs = *e.query_ecs;
-    const int len = ecs.source_prefix_length();
-    bool jammed = false;
-    if (len == 32 && ecs.address_bytes().size() == 4) {
-      const auto last = ecs.address_bytes()[3];
-      jammed = last == 0x00 || last == 0x01;
-    }
-    const bool v6 =
-        ecs.family() == static_cast<std::uint16_t>(dnscore::EcsFamily::IPv6);
-    per_resolver[e.sender].insert(Variant{v6, len, jammed});
+void SourcePrefixCensus::observe(const QueryLogEntry& e) {
+  if (!e.query_ecs) return;
+  const auto& ecs = *e.query_ecs;
+  const int len = ecs.source_prefix_length();
+  bool jammed = false;
+  if (len == 32 && ecs.address_bytes().size() == 4) {
+    const auto last = ecs.address_bytes()[3];
+    jammed = last == 0x00 || last == 0x01;
   }
+  const bool v6 =
+      ecs.family() == static_cast<std::uint16_t>(dnscore::EcsFamily::IPv6);
+  per_resolver_[e.sender].insert(Variant{v6, len, jammed});
+}
 
+std::vector<CensusRow> SourcePrefixCensus::rows() const {
   std::map<std::string, std::size_t> counts;
-  for (const auto& [resolver, combos] : per_resolver) {
+  for (const auto& [resolver, combos] : per_resolver_) {
     std::string key;
     for (const auto& [v6, len, jammed] : combos) {
       if (!key.empty()) key += ",";
@@ -40,10 +35,78 @@ std::vector<CensusRow> source_prefix_census(const std::vector<QueryLogEntry>& lo
     ++counts[key];
   }
 
-  std::vector<CensusRow> rows;
-  rows.reserve(counts.size());
-  for (const auto& [key, count] : counts) rows.push_back(CensusRow{key, count});
-  return rows;
+  std::vector<CensusRow> out;
+  out.reserve(counts.size());
+  for (const auto& [key, count] : counts) out.push_back(CensusRow{key, count});
+  return out;
+}
+
+std::vector<CensusRow> source_prefix_census(const std::vector<QueryLogEntry>& log) {
+  SourcePrefixCensus census;
+  for (const auto& e : log) census.observe(e);
+  return census.rows();
+}
+
+// ---------------------------------------------------------------------------
+
+std::size_t ClientPrefixCensus::BlockKeyHash::operator()(
+    const BlockKey& k) const noexcept {
+  return static_cast<std::size_t>(
+      dnscore::hash_combine(dnscore::mix64(k.hi), k.lo));
+}
+
+ClientPrefixCensus::ClientPrefixCensus(std::uint32_t resolvers)
+    : blocks_of_(resolvers, 0) {}
+
+void ClientPrefixCensus::observe(const TraceQuery& q) {
+  if (q.resolver >= blocks_of_.size()) return;
+  const int bits = q.scope > 0 ? std::min(q.scope, q.client.bit_length()) : 0;
+  const dnscore::Prefix block{q.client, bits};
+  // Pack the block into 128 bits: the masked address's leading 8 bytes are
+  // exact for every prefix length <= 64.
+  const auto& bytes = block.address().bytes();
+  std::uint64_t lo = 0;
+  const std::size_t take = std::min<std::size_t>(bytes.size(), 8);
+  for (std::size_t i = 0; i < take; ++i) {
+    lo = (lo << 8) | bytes[i];
+  }
+  const BlockKey key{
+      (static_cast<std::uint64_t>(q.resolver) << 16) |
+          (static_cast<std::uint64_t>(q.client.is_v4() ? 4 : 6) << 8) |
+          static_cast<std::uint64_t>(bits),
+      lo};
+  const auto [slot, inserted] = seen_.insert_or_assign(key, 0);
+  (void)slot;
+  if (inserted) ++blocks_of_[q.resolver];
+}
+
+std::vector<ClientPrefixRow> ClientPrefixCensus::rows() const {
+  std::map<std::uint32_t, std::size_t> distribution;
+  for (const auto count : blocks_of_) {
+    if (count != 0) ++distribution[count];
+  }
+  std::vector<ClientPrefixRow> out;
+  out.reserve(distribution.size());
+  for (const auto& [blocks, resolvers] : distribution) {
+    out.push_back(ClientPrefixRow{blocks, resolvers});
+  }
+  return out;
+}
+
+std::uint64_t ClientPrefixCensus::digest() const {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = 14695981039346656037ull;
+  for (const auto& row : rows()) {
+    h = (h ^ row.distinct_blocks) * kPrime;
+    h = (h ^ row.resolver_count) * kPrime;
+  }
+  return h;
+}
+
+std::vector<ClientPrefixRow> client_prefix_census(const Trace& trace) {
+  ClientPrefixCensus census(trace.resolvers);
+  for (const auto& q : trace.queries) census.observe(q);
+  return census.rows();
 }
 
 }  // namespace ecsdns::measurement

@@ -1,12 +1,23 @@
 // Table 1: census of ECS source prefix lengths per resolver, computed from
 // an authoritative-side query log (CDN dataset column) or from scan
-// observations (Scan dataset column).
+// observations (Scan dataset column) — plus the trace-level client-prefix
+// census the streaming pipeline folds at paper scale.
+//
+// Both censuses are incremental folds: feed observations one at a time and
+// read the rows at the end, so a streamed log or TraceStream never has to
+// be materialized (the batch helpers below are thin wrappers).
 #pragma once
 
+#include <cstdint>
+#include <set>
 #include <string>
+#include <tuple>
+#include <unordered_map>
 #include <vector>
 
 #include "authoritative/server.h"
+#include "dnscore/flat_hash.h"
+#include "measurement/tracegen.h"
 
 namespace ecsdns::measurement {
 
@@ -19,10 +30,74 @@ struct CensusRow {
   std::size_t resolver_count = 0;
 };
 
-// Rows sorted by the combination key. A resolver's combination is the set
-// of (source length, jammed?) variants observed across all its ECS queries.
-// Jamming is detected as a /32 source whose final octet is 0x00 or 0x01 —
-// the fingerprint the paper reports.
+// Incremental Table 1 fold over authoritative-side log entries.
+class SourcePrefixCensus {
+ public:
+  void observe(const QueryLogEntry& entry);
+  // Rows sorted by the combination key. A resolver's combination is the
+  // set of (source length, jammed?) variants observed across all its ECS
+  // queries. Jamming is detected as a /32 source whose final octet is 0x00
+  // or 0x01 — the fingerprint the paper reports.
+  std::vector<CensusRow> rows() const;
+
+ private:
+  // (is_v6, length, jammed) triples sort combination keys numerically with
+  // IPv4 variants first, matching the paper's table layout.
+  using Variant = std::tuple<bool, int, bool>;
+  std::unordered_map<dnscore::IpAddress, std::set<Variant>,
+                     dnscore::IpAddressHash>
+      per_resolver_;
+};
+
 std::vector<CensusRow> source_prefix_census(const std::vector<QueryLogEntry>& log);
+
+// ---------------------------------------------------------------------------
+// Trace-level client-prefix census: how many distinct scope-truncated
+// client blocks each resolver exposes — the per-resolver cache-key
+// diversity that drives §7's blow-up. Folds over a TraceStream with memory
+// O(distinct (resolver, block) pairs), independent of query count, so it
+// runs at million-resolver scale.
+//
+// Blocks are keyed exactly for prefix lengths <= 64 bits (every scope the
+// generators emit); a query with scope 0 contributes the zero block.
+
+struct ClientPrefixRow {
+  std::size_t distinct_blocks = 0;  // per-resolver distinct block count
+  std::size_t resolver_count = 0;   // resolvers with exactly that count
+};
+
+class ClientPrefixCensus {
+ public:
+  explicit ClientPrefixCensus(std::uint32_t resolvers);
+
+  void observe(const TraceQuery& q);
+
+  // Distribution rows, ascending by distinct_blocks; resolvers that never
+  // appeared in the stream are omitted.
+  std::vector<ClientPrefixRow> rows() const;
+
+  // Order-independent FNV digest of rows() — the cheap cross-shard-count
+  // equivalence check at scales where materializing rows per run is the
+  // dominant cost.
+  std::uint64_t digest() const;
+
+  std::uint64_t distinct_pairs() const noexcept { return seen_.size(); }
+
+ private:
+  struct BlockKey {
+    std::uint64_t hi;  // resolver | family | prefix length
+    std::uint64_t lo;  // first 8 bytes of the masked address
+    bool operator==(const BlockKey&) const = default;
+  };
+  struct BlockKeyHash {
+    std::size_t operator()(const BlockKey& k) const noexcept;
+  };
+
+  dnscore::FlatHashMap<BlockKey, char, BlockKeyHash> seen_;
+  std::vector<std::uint32_t> blocks_of_;  // SoA per-resolver distinct count
+};
+
+// Batch wrapper: census of a materialized trace.
+std::vector<ClientPrefixRow> client_prefix_census(const Trace& trace);
 
 }  // namespace ecsdns::measurement

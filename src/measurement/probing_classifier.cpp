@@ -1,17 +1,16 @@
 #include "measurement/probing_classifier.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "dnscore/flat_hash.h"
 #include "dnscore/hashing.h"
 #include "dnscore/name.h"
-#include "measurement/name_table.h"
 
 namespace ecsdns::measurement {
 namespace {
 
-using dnscore::Name;
+constexpr std::uint8_t kHasEcs = 1u << 0;
+constexpr std::uint8_t kLoopback = 1u << 1;
 
 struct NameIdHash {
   std::size_t operator()(NameId id) const noexcept {
@@ -44,34 +43,31 @@ std::string to_string(ProbingClass c) {
   return "?";
 }
 
-std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& log,
-                                             const ProbingClassifierOptions& options) {
-  // Bucket log lines per sender, preserving time order (the log is
-  // chronological already; we keep whatever order it has and sort times
-  // where gaps matter).
-  std::unordered_map<IpAddress, std::vector<const QueryLogEntry*>,
-                     dnscore::IpAddressHash>
-      per_sender;
-  for (const auto& e : log) {
-    if (!is_address_query(e)) continue;
-    per_sender[e.sender].push_back(&e);
+void ProbingClassifier::observe(const QueryLogEntry& e) {
+  if (!is_address_query(e)) return;
+  std::uint8_t flags = 0;
+  if (e.query_ecs) {
+    flags |= kHasEcs;
+    if (is_loopback_ecs(e)) flags |= kLoopback;
   }
-
-  std::vector<ProbingVerdict> verdicts;
-  verdicts.reserve(per_sender.size());
   // Probe names repeat across senders, so one interning table serves every
-  // per-sender pass; the inner maps then key on 32-bit ids instead of
-  // hashing full names per log line.
-  NameTable names;
-  for (auto& [sender, entries] : per_sender) {
+  // sender's records; the per-sender passes in finish() then key on 32-bit
+  // ids instead of hashing full names per log line.
+  per_sender_[e.sender].push_back(Record{e.time, names_.intern(e.qname), flags});
+}
+
+std::vector<ProbingVerdict> ProbingClassifier::finish() const {
+  std::vector<ProbingVerdict> verdicts;
+  verdicts.reserve(per_sender_.size());
+  for (const auto& [sender, records] : per_sender_) {
     ProbingVerdict v;
     v.resolver = sender;
-    v.address_queries = entries.size();
-    for (const auto* e : entries) {
-      if (e->query_ecs) ++v.ecs_queries;
+    v.address_queries = records.size();
+    for (const auto& r : records) {
+      if (r.flags & kHasEcs) ++v.ecs_queries;
     }
 
-    if (v.address_queries < options.min_queries) {
+    if (v.address_queries < options_.min_queries) {
       v.cls = ProbingClass::kTooFewQueries;
       verdicts.push_back(v);
       continue;
@@ -94,17 +90,17 @@ std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& l
     // brittle.)
     std::vector<SimTime> ecs_times;
     bool all_loopback = true;
-    for (const auto* e : entries) {
-      if (!e->query_ecs) continue;
-      ecs_times.push_back(e->time);
-      if (!is_loopback_ecs(*e)) all_loopback = false;
+    for (const auto& r : records) {
+      if (!(r.flags & kHasEcs)) continue;
+      ecs_times.push_back(r.time);
+      if (!(r.flags & kLoopback)) all_loopback = false;
     }
     std::sort(ecs_times.begin(), ecs_times.end());
     if (all_loopback && !ecs_times.empty()) {
       bool periodic = true;
       for (std::size_t i = 1; i < ecs_times.size(); ++i) {
         const SimTime gap = ecs_times[i] - ecs_times[i - 1];
-        if (gap < options.probe_quantum - options.probe_tolerance) {
+        if (gap < options_.probe_quantum - options_.probe_tolerance) {
           periodic = false;
           break;
         }
@@ -121,9 +117,9 @@ std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& l
     dnscore::FlatHashMap<NameId, std::pair<std::uint64_t, std::uint64_t>,
                          NameIdHash>
         per_name;  // interned name -> (ecs, total)
-    for (const auto* e : entries) {
-      auto& counts = per_name[names.intern(e->qname)];
-      if (e->query_ecs) ++counts.first;
+    for (const auto& r : records) {
+      auto& counts = per_name[r.name];
+      if (r.flags & kHasEcs) ++counts.first;
       ++counts.second;
     }
     bool consistent_split = true;
@@ -139,14 +135,13 @@ std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& l
       // upstream queries for a name are always at least a TTL apart.
       dnscore::FlatHashMap<NameId, SimTime, NameIdHash> last_ecs;
       bool within_ttl = false;
-      for (const auto* e : entries) {
-        if (!e->query_ecs) continue;
-        const NameId name = names.intern(e->qname);
-        if (const SimTime* last = last_ecs.find(name);
-            last != nullptr && e->time - *last < options.ttl) {
+      for (const auto& r : records) {
+        if (!(r.flags & kHasEcs)) continue;
+        if (const SimTime* last = last_ecs.find(r.name);
+            last != nullptr && r.time - *last < options_.ttl) {
           within_ttl = true;
         }
-        last_ecs.insert_or_assign(name, e->time);
+        last_ecs.insert_or_assign(r.name, r.time);
       }
       v.cls = within_ttl ? ProbingClass::kHostnameNoCache
                          : ProbingClass::kHostnameOnMiss;
@@ -163,6 +158,13 @@ std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& l
               return a.resolver < b.resolver;
             });
   return verdicts;
+}
+
+std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& log,
+                                             const ProbingClassifierOptions& options) {
+  ProbingClassifier classifier(options);
+  for (const auto& e : log) classifier.observe(e);
+  return classifier.finish();
 }
 
 std::map<ProbingClass, std::size_t> probing_histogram(

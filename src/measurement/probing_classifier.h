@@ -1,12 +1,20 @@
 // The §6.1 analysis: classify each resolver's ECS probing strategy from an
 // authoritative-side query log.
+//
+// The classifier is an incremental fold: observe() compresses each address
+// query into a 16-byte record (time, interned name id, ECS flags) bucketed
+// per sender, so a streamed log never needs to stay materialized —
+// classification replays the compact per-sender sequences at finish().
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "authoritative/server.h"
+#include "measurement/name_table.h"
 
 namespace ecsdns::measurement {
 
@@ -42,7 +50,34 @@ struct ProbingClassifierOptions {
   std::uint64_t min_queries = 10;
 };
 
-// Classifies every distinct sender in the log.
+class ProbingClassifier {
+ public:
+  explicit ProbingClassifier(const ProbingClassifierOptions& options)
+      : options_(options) {}
+
+  // Folds one log entry (non-address queries are ignored). Only the
+  // compact record survives the call; the entry itself may be discarded.
+  void observe(const QueryLogEntry& entry);
+
+  // Classifies every sender seen so far, sorted by resolver address.
+  std::vector<ProbingVerdict> finish() const;
+
+ private:
+  // One address query, compressed: 8-byte time, 4-byte interned name,
+  // ECS presence and loopback-prefix flags.
+  struct Record {
+    SimTime time;
+    NameId name;
+    std::uint8_t flags;  // bit 0: has ECS, bit 1: loopback ECS prefix
+  };
+
+  ProbingClassifierOptions options_;
+  NameTable names_;
+  std::unordered_map<IpAddress, std::vector<Record>, dnscore::IpAddressHash>
+      per_sender_;
+};
+
+// Batch wrapper: classifies every distinct sender in a materialized log.
 std::vector<ProbingVerdict> classify_probing(const std::vector<QueryLogEntry>& log,
                                              const ProbingClassifierOptions& options);
 

@@ -1,0 +1,172 @@
+// Pull-based trace streams: the streaming half of the generate -> resolve ->
+// aggregate pipeline.
+//
+// A TraceStream yields TraceQuery records one at a time; consumers
+// (cache_sim, the prefix censuses, the probing classifier) fold over it
+// incrementally, so a paper-scale run (millions of resolvers, billions of
+// queries) never materializes a Trace::queries vector. The materialized
+// Trace path survives as MaterializedTraceStream — simulate_cache() wraps a
+// Trace in one and runs the identical fold, which is what keeps the two
+// paths byte-identical (tests/test_trace_stream.cpp).
+//
+// Sharded consumption needs no queue between generator and shards: stream
+// construction is a pure function of its config (per-resolver Rng streams),
+// so every shard builds its *own* instance from the shared factory and
+// filters to the keys it owns — the streaming analog of every shard
+// scanning the shared trace vector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "measurement/tracegen.h"
+#include "netsim/rng.h"
+#include "netsim/timer_wheel.h"
+
+namespace ecsdns::measurement {
+
+struct TraceStreamInfo {
+  std::uint32_t hostnames = 0;
+  std::uint32_t resolvers = 1;
+  // Exclusive upper bound on query times, when known up front (generators
+  // know their configured duration; a materialized trace its last
+  // timestamp). 0 means "empty or unknown".
+  SimTime time_bound = 0;
+  // Queries arrive sorted by time — precondition for the sharded replay.
+  bool time_ordered = false;
+  // No query carries ttl_s == 0 — the other sharded-replay precondition.
+  bool positive_ttls = false;
+};
+
+class TraceStream {
+ public:
+  virtual ~TraceStream() = default;
+
+  virtual const TraceStreamInfo& info() const noexcept = 0;
+
+  // Yields the next query; false at end of stream.
+  virtual bool next(TraceQuery& out) = 0;
+
+  // Appends this stream's client universe (drain() parity with
+  // Trace::clients). Generators derive it; default is empty.
+  virtual void append_clients(std::vector<IpAddress>&) const {}
+};
+
+// Builds fresh, independent instances of one logical stream. Invoked once
+// per shard (plus once for the dispatch probe); each instance replays the
+// same deterministic sequence.
+using TraceStreamFactory = std::function<std::unique_ptr<TraceStream>()>;
+
+// Precomputes the info block for a materialized trace (one O(n) scan; do it
+// once and share across per-shard stream instances).
+TraceStreamInfo scan_trace_info(const Trace& trace);
+
+// Adapter: an existing in-memory Trace viewed as a stream. Holds a
+// reference — the trace must outlive the stream.
+class MaterializedTraceStream final : public TraceStream {
+ public:
+  explicit MaterializedTraceStream(const Trace& trace)
+      : MaterializedTraceStream(trace, scan_trace_info(trace)) {}
+  MaterializedTraceStream(const Trace& trace, const TraceStreamInfo& info)
+      : trace_(&trace), info_(info) {}
+
+  const TraceStreamInfo& info() const noexcept override { return info_; }
+
+  bool next(TraceQuery& out) override {
+    if (cursor_ >= trace_->queries.size()) return false;
+    out = trace_->queries[cursor_++];
+    return true;
+  }
+
+  void append_clients(std::vector<IpAddress>& out) const override {
+    out.insert(out.end(), trace_->clients.begin(), trace_->clients.end());
+  }
+
+ private:
+  const Trace* trace_;
+  std::size_t cursor_ = 0;
+  TraceStreamInfo info_;
+};
+
+// Streaming Public Resolver/CDN generator. Unlike the retired materialized
+// generator (one shared RNG, generate-all-then-sort), every resolver draws
+// from its own Rng::stream(seed, r), so resolver r's traffic is a pure
+// function of (seed, r) and the merged stream is produced in time order by
+// a timer wheel holding one pending arrival per resolver. Per-resolver
+// state is SoA (~64 bytes/resolver), and client addresses are derived on
+// the fly from a per-resolver salt instead of being stored — that is what
+// lets a million-member fleet stream in a bounded-RSS process.
+//
+// Note: addresses are hash-derived (100.x.y.z from mix64), so unlike the
+// old generator's global dedup set, distinct (resolver, k) pairs may rarely
+// alias the same address. Cache keys include the resolver id, so aliasing
+// only (negligibly) reduces distinct-client counts.
+class PublicResolverCdnStream final : public TraceStream {
+ public:
+  explicit PublicResolverCdnStream(const PublicResolverCdnConfig& config);
+
+  const TraceStreamInfo& info() const noexcept override { return info_; }
+  bool next(TraceQuery& out) override;
+  void append_clients(std::vector<IpAddress>& out) const override;
+
+  // The client address of slot k in resolver r's population (pure).
+  IpAddress client_of(std::uint32_t r, std::uint32_t k) const noexcept;
+
+ private:
+  TraceStreamInfo info_;
+  SimTime duration_;
+  std::uint32_t ttl_s_;
+  std::vector<int> scope_of_;       // per hostname
+  netsim::ZipfSampler names_;
+  // SoA per-resolver state, indexed by the dense resolver id.
+  std::vector<netsim::Rng> rng_;
+  std::vector<double> arrival_;     // exact (double) next arrival time
+  std::vector<double> mean_gap_us_;
+  std::vector<std::uint32_t> population_;
+  std::vector<std::uint32_t> subnets_;
+  std::vector<std::uint64_t> salt_;
+  // One pending arrival per live resolver; (time, resolver) pop order.
+  netsim::TimerWheel<std::uint32_t> wheel_;
+};
+
+// Streaming All-Names generator: the original single-RNG generator was
+// already a sequential time-ordered walk, so this emits the byte-identical
+// query sequence (same draws in the same order) one record at a time.
+class AllNamesStream final : public TraceStream {
+ public:
+  explicit AllNamesStream(const AllNamesConfig& config);
+
+  const TraceStreamInfo& info() const noexcept override { return info_; }
+  bool next(TraceQuery& out) override;
+  void append_clients(std::vector<IpAddress>& out) const override;
+
+ private:
+  struct Sld {
+    int scope;
+    int v6_scope;
+    std::uint32_t ttl_s;
+  };
+
+  TraceStreamInfo info_;
+  SimTime duration_;
+  std::vector<IpAddress> clients_;
+  std::vector<Sld> slds_;
+  std::vector<std::uint32_t> sld_of_;  // hostname -> sld
+  netsim::ZipfSampler names_;
+  netsim::ZipfSampler client_activity_;
+  double mean_gap_us_;
+  netsim::Rng rng_;
+  double t_;
+};
+
+// Factory helpers (each call builds an independent replay of the stream).
+TraceStreamFactory cdn_stream_factory(const PublicResolverCdnConfig& config);
+TraceStreamFactory all_names_stream_factory(const AllNamesConfig& config);
+
+// Pulls a stream to exhaustion into a materialized Trace (the compat shim
+// the old generator entry points are built on).
+Trace drain(TraceStream& stream);
+
+}  // namespace ecsdns::measurement

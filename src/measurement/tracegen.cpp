@@ -1,203 +1,30 @@
 #include "measurement/tracegen.h"
 
 #include <algorithm>
-#include <array>
-#include <cmath>
 #include <unordered_set>
 
 #include "dnscore/ip.h"
+#include "measurement/trace_stream.h"
 
 namespace ecsdns::measurement {
-namespace {
 
-using netsim::Rng;
-using netsim::ZipfSampler;
-
-// Allocates client addresses spread across /24 subnets: `per_subnet`
-// clients share each /24, which is what makes ECS scopes bite.
-std::vector<IpAddress> make_clients(std::uint32_t count, std::uint32_t subnets,
-                                    Rng& rng) {
-  std::vector<IpAddress> out;
-  out.reserve(count);
-  std::unordered_set<std::uint32_t> used;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint32_t subnet = static_cast<std::uint32_t>(rng.uniform(subnets));
-    // Client subnets live in 100.64.0.0-ish space: 100.(s/256).(s%256).host
-    for (;;) {
-      const std::uint32_t host = 1 + static_cast<std::uint32_t>(rng.uniform(250));
-      const std::uint32_t bits = (100u << 24) | ((subnet >> 8) << 16) |
-                                 ((subnet & 0xff) << 8) | host;
-      if (used.insert(bits).second) {
-        out.push_back(IpAddress::v4(bits));
-        break;
-      }
-    }
-  }
-  return out;
-}
-
-int pick_scope(double w24, double w16, double w8, Rng& rng) {
-  const double total = w24 + w16 + w8;
-  const double u = rng.uniform_double() * total;
-  if (u < w24) return 24;
-  if (u < w24 + w16) return 16;
-  return 8;
-}
-
-}  // namespace
+// Both generators are streams first (measurement/trace_stream.h); the
+// materialized entry points survive as drains for callers that genuinely
+// need the whole trace in memory (small-scale tests and figures). Anything
+// that only folds over queries should consume the stream instead.
 
 Trace generate_public_resolver_cdn_trace(const PublicResolverCdnConfig& config) {
-  Rng rng(config.seed);
-  Trace trace;
-  trace.hostnames = config.hostnames;
-  trace.resolvers = config.resolvers;
-
-  // Per-hostname authoritative scope (a CDN property of the name).
-  std::vector<int> scope_of(config.hostnames);
-  for (auto& s : scope_of) {
-    s = pick_scope(config.scope24_weight, config.scope16_weight,
-                   config.scope8_weight, rng);
-  }
-
-  const ZipfSampler names(config.hostnames, config.zipf_exponent);
-
-  // Each resolver serves its own client population; size and load are
-  // sampled log-uniformly to model the heterogeneity of a public service's
-  // egress fleet.
-  const auto log_uniform = [&rng](double lo, double hi) {
-    return lo * std::exp(rng.uniform_double() * std::log(hi / lo));
-  };
-  std::vector<std::vector<IpAddress>> clients_of(config.resolvers);
-  std::vector<double> qps_of(config.resolvers);
-  for (std::uint32_t r = 0; r < config.resolvers; ++r) {
-    const auto population = static_cast<std::uint32_t>(
-        log_uniform(config.min_clients_per_resolver, config.max_clients_per_resolver));
-    // Roughly 4 clients per /24 block.
-    clients_of[r] = make_clients(population, std::max(1u, population / 4), rng);
-    trace.clients.insert(trace.clients.end(), clients_of[r].begin(),
-                         clients_of[r].end());
-    // Busier resolvers serve more clients: couple qps to population.
-    const double spread = static_cast<double>(population - config.min_clients_per_resolver) /
-                          static_cast<double>(config.max_clients_per_resolver -
-                                              config.min_clients_per_resolver);
-    qps_of[r] = config.min_qps +
-                spread * (config.max_qps - config.min_qps) * (0.5 + rng.uniform_double());
-  }
-
-  // Poisson arrivals per resolver, merged by generating independently and
-  // sorting (resolver streams are independent in the real dataset too).
-  for (std::uint32_t r = 0; r < config.resolvers; ++r) {
-    const double mean_gap_us = 1e6 / qps_of[r];
-    double t = rng.exponential(mean_gap_us);
-    while (static_cast<SimTime>(t) < config.duration) {
-      TraceQuery q;
-      q.time = static_cast<SimTime>(t);
-      q.resolver = r;
-      q.client = rng.pick(clients_of[r]);
-      q.name = static_cast<std::uint32_t>(names.sample(rng));
-      q.scope = scope_of[q.name];
-      q.ttl_s = config.ttl_s;
-      trace.queries.push_back(q);
-      t += rng.exponential(mean_gap_us);
-    }
-  }
-  std::sort(trace.queries.begin(), trace.queries.end(),
-            [](const TraceQuery& a, const TraceQuery& b) { return a.time < b.time; });
-  return trace;
+  PublicResolverCdnStream stream(config);
+  return drain(stream);
 }
 
 Trace generate_all_names_trace(const AllNamesConfig& config) {
-  Rng rng(config.seed);
-  Trace trace;
-  trace.hostnames = config.hostnames;
-  trace.resolvers = 1;
-
-  const auto v6_clients =
-      static_cast<std::uint32_t>(config.v6_fraction * config.clients);
-  const auto v6_subnets = std::max<std::uint32_t>(
-      1, static_cast<std::uint32_t>(config.v6_fraction * config.client_subnets));
-  trace.clients =
-      make_clients(config.clients - v6_clients,
-                   std::max(1u, config.client_subnets - v6_subnets), rng);
-  // IPv6 clients: each /48 subnet under 2001:db8::/32 hosts several
-  // clients, mirroring the dataset's 38.8K addresses in 2.8K /48s.
-  for (std::uint32_t i = 0; i < v6_clients; ++i) {
-    const std::uint32_t subnet = static_cast<std::uint32_t>(rng.uniform(v6_subnets));
-    std::array<std::uint8_t, 16> bytes{};
-    bytes[0] = 0x20;
-    bytes[1] = 0x01;
-    bytes[2] = 0x0d;
-    bytes[3] = 0xb8;
-    bytes[4] = static_cast<std::uint8_t>(subnet >> 8);
-    bytes[5] = static_cast<std::uint8_t>(subnet & 0xff);
-    bytes[8] = static_cast<std::uint8_t>(i >> 16);
-    bytes[9] = static_cast<std::uint8_t>(i >> 8);
-    bytes[10] = static_cast<std::uint8_t>(i & 0xff);
-    bytes[15] = 1;
-    trace.clients.push_back(IpAddress::v6(bytes));
-  }
-
-  // Assign each hostname to an SLD; scope and TTL are zone properties.
-  struct Sld {
-    int scope;     // authoritative scope for IPv4 clients
-    int v6_scope;  // and for IPv6 clients (/48 or /56 granularity)
-    std::uint32_t ttl_s;
-  };
-  std::vector<Sld> slds(config.slds);
-  static constexpr std::uint32_t kTtlChoices[] = {20, 30, 60, 120, 300};
-  for (auto& sld : slds) {
-    if (!rng.chance(config.ecs_zone_fraction)) {
-      // A zone that has not adopted ECS answers with scope 0 — one cache
-      // entry serves every client.
-      sld.scope = 0;
-      sld.v6_scope = 0;
-      sld.ttl_s = kTtlChoices[rng.uniform(std::size(kTtlChoices))];
-      continue;
-    }
-    // ECS-adopting zones map mostly at /24 with a tail of coarser scopes
-    // (the All-Names dataset only contains such responses).
-    const double u = rng.uniform_double();
-    if (u < 0.70) {
-      sld.scope = 24;
-    } else if (u < 0.85) {
-      sld.scope = 20;
-    } else if (u < 0.95) {
-      sld.scope = 16;
-    } else {
-      sld.scope = 8;
-    }
-    sld.v6_scope = rng.chance(0.7) ? 48 : 56;
-    sld.ttl_s = kTtlChoices[rng.uniform(std::size(kTtlChoices))];
-  }
-  std::vector<std::uint32_t> sld_of(config.hostnames);
-  // Hostname-to-SLD assignment follows a Zipf too: big zones have many
-  // names.
-  const ZipfSampler sld_sampler(config.slds, 1.0);
-  for (auto& s : sld_of) s = static_cast<std::uint32_t>(sld_sampler.sample(rng));
-
-  const ZipfSampler names(config.hostnames, config.zipf_exponent);
-  // Client activity is skewed as well: a few heavy clients dominate.
-  const ZipfSampler client_activity(trace.clients.size(), 0.8);
-
-  const double mean_gap_us = 1e6 / config.queries_per_second;
-  double t = rng.exponential(mean_gap_us);
-  while (static_cast<SimTime>(t) < config.duration) {
-    TraceQuery q;
-    q.time = static_cast<SimTime>(t);
-    q.resolver = 0;
-    q.client = trace.clients[client_activity.sample(rng)];
-    q.name = static_cast<std::uint32_t>(names.sample(rng));
-    const Sld& sld = slds[sld_of[q.name]];
-    q.scope = q.client.is_v4() ? sld.scope : sld.v6_scope;
-    q.ttl_s = sld.ttl_s;
-    trace.queries.push_back(q);
-    t += rng.exponential(mean_gap_us);
-  }
-  return trace;
+  AllNamesStream stream(config);
+  return drain(stream);
 }
 
 Trace sample_clients(const Trace& trace, double fraction, std::uint64_t seed) {
-  Rng rng(seed);
+  netsim::Rng rng(seed);
   std::vector<IpAddress> shuffled = trace.clients;
   rng.shuffle(shuffled);
   const auto keep_count = static_cast<std::size_t>(

@@ -10,7 +10,6 @@ WorkloadStats drive_fleet(Testbed& bed, Fleet& fleet, const WorkloadOptions& opt
   if (options.hostnames.empty()) {
     throw std::invalid_argument("workload needs at least one hostname");
   }
-  auto rng = std::make_shared<netsim::Rng>(options.seed);
   auto names = std::make_shared<netsim::ZipfSampler>(options.hostnames.size(),
                                                      options.zipf_exponent);
   // Intern the hostname universe once; the per-query path below then moves
@@ -35,14 +34,10 @@ WorkloadStats drive_fleet(Testbed& bed, Fleet& fleet, const WorkloadOptions& opt
   // One self-rescheduling event chain per fleet member.
   for (std::size_t m = 0; m < fleet.members.size(); ++m) {
     auto& member = fleet.members[m];
-    // Sharded mode: member m draws from its own split stream, so its query
-    // sequence does not depend on what any other member drew (see
-    // WorkloadOptions::shards).
-    const auto member_rng =
-        options.shards > 1
-            ? std::make_shared<netsim::Rng>(
-                  netsim::Rng::stream(options.seed, static_cast<std::uint64_t>(m)))
-            : rng;
+    // Member m draws from its own split stream, so its query sequence does
+    // not depend on what any other member drew (see WorkloadOptions::seed).
+    const auto member_rng = std::make_shared<netsim::Rng>(
+        netsim::Rng::stream(options.seed, static_cast<std::uint64_t>(m)));
     // Clients of this resolver live in a /24 of the client pool (or a /64
     // apiece under 2001:db8::/32 for IPv6 populations).
     std::vector<IpAddress> clients;

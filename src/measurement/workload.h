@@ -26,17 +26,14 @@ struct WorkloadOptions {
   netsim::SimTime burst_gap = 5 * netsim::kSecond;
   // Synthetic clients per resolver.
   int clients_per_resolver = 4;
+  // Every fleet member draws its query stream from its own split RNG
+  // stream, netsim::Rng::stream(seed, member_index). Traffic is a pure
+  // function of (seed, member) — independent of execution order and of
+  // how members are grouped into shards (partition_fleet) — so serial and
+  // parallel drivers reproduce the same streams exactly. (The former
+  // shards == 1 path that drew every member from one shared RNG is
+  // retired; see CHANGES.md.)
   std::uint64_t seed = 21;
-  // shards > 1 switches query-stream generation to one split RNG stream
-  // per fleet member (netsim::Rng::stream(seed, member_index)), the same
-  // per-entity streams a sharded driver would draw from. Traffic is then a
-  // pure function of (seed, member) — independent of how members are
-  // grouped into shards (partition_fleet) — so any future parallel driver
-  // must reproduce it exactly. Execution itself stays serial: the fleet
-  // shares one testbed and event loop. Note the shards == 1 legacy path
-  // draws every member from one shared RNG, so its traffic differs from
-  // the sharded streams; compare sharded runs against sharded runs.
-  std::size_t shards = 1;
 };
 
 struct WorkloadStats {

@@ -1,0 +1,140 @@
+// Chunked bump allocator for per-epoch scratch.
+//
+// A shard's hot loop produces short-lived batches every epoch (delta
+// records, mail payloads, census rows in flight). Allocating them
+// individually puts malloc on the per-query path; an Arena turns the whole
+// batch into pointer bumps and one reset() at a deterministic lifetime
+// boundary. Chunks are retained across reset(), so a steady-state epoch
+// performs zero heap allocations (the run.allocations perf gate relies on
+// this).
+//
+// Lifetime rule (docs/perf.md): memory from an Arena is valid until its
+// owner's reset(). The parallel engine double-buffers one Arena per shard
+// by epoch parity — epoch_arena() memory written in round k may be read by
+// mail receivers in round k+1 and is recycled in round k+2, mirroring the
+// mailbox buffers exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "dnscore/annotations.h"
+
+namespace ecsdns::netsim {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 256 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes == 0 ? kDefaultChunkBytes : chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Bump-allocates `bytes` aligned to `align` (a power of two). Grows by
+  // whole chunks; requests larger than the chunk size get a dedicated
+  // chunk. Steady state (reset + reuse) never touches the heap.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(align - 1);
+    if (p + bytes > limit_) return allocate_slow(bytes, align);
+    cursor_ = p + bytes;
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Rewinds to empty, keeping every chunk for reuse. Invalidates all
+  // outstanding pointers — callers own that lifetime contract.
+  void reset() noexcept {
+    active_ = 0;
+    bytes_used_ = 0;
+    if (chunks_.empty()) {
+      cursor_ = limit_ = 0;
+    } else {
+      cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[0].data.get());
+      limit_ = cursor_ + chunks_[0].size;
+    }
+  }
+
+  std::size_t bytes_used() const noexcept { return bytes_used_; }
+  std::size_t bytes_reserved() const noexcept {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+
+  ECSDNS_MAY_BLOCK void* allocate_slow(std::size_t bytes, std::size_t align) {
+    // Move to the next retained chunk that fits, or grow.
+    while (active_ + 1 < chunks_.size()) {
+      ++active_;
+      cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[active_].data.get());
+      limit_ = cursor_ + chunks_[active_].size;
+      std::uintptr_t p = (cursor_ + (align - 1)) & ~(align - 1);
+      if (p + bytes <= limit_) {
+        cursor_ = p + bytes;
+        bytes_used_ += bytes;
+        return reinterpret_cast<void*>(p);
+      }
+    }
+    const std::size_t want = bytes + align > chunk_bytes_ ? bytes + align
+                                                          : chunk_bytes_;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want});
+    active_ = chunks_.size() - 1;
+    cursor_ = reinterpret_cast<std::uintptr_t>(chunks_[active_].data.get());
+    limit_ = cursor_ + want;
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~(align - 1);
+    cursor_ = p + bytes;
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t bytes_used_ = 0;
+};
+
+// std-compatible allocator over an Arena, for containers whose contents
+// live exactly one epoch (e.g. a per-epoch std::vector of delta records).
+// Deallocate is a no-op; the Arena's reset() reclaims everything at once.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) { return arena_->alloc_array<T>(n); }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace ecsdns::netsim

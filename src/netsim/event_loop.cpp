@@ -1,6 +1,7 @@
 #include "netsim/event_loop.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace ecsdns::netsim {
 
@@ -11,7 +12,11 @@ void EventLoop::schedule_in(SimTime delay, Callback fn) {
 
 void EventLoop::schedule_at(SimTime when, Callback fn) {
   if (when < now_) throw std::invalid_argument("scheduling in the past");
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  if (use_wheel_) {
+    wheel_.push(when, next_seq_++, std::move(fn));
+  } else {
+    heap_.push(when, next_seq_++, std::move(fn));
+  }
 }
 
 void EventLoop::advance(SimTime delta) {
@@ -21,11 +26,10 @@ void EventLoop::advance(SimTime delta) {
 
 std::size_t EventLoop::run() {
   std::size_t count = 0;
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+  TimerEntry<Callback> ev;
+  while (pop_next(ev)) {
     if (ev.when > now_) now_ = ev.when;
-    ev.fn();
+    ev.payload();
     ++count;
   }
   return count;
@@ -33,11 +37,10 @@ std::size_t EventLoop::run() {
 
 std::size_t EventLoop::run_until(SimTime deadline) {
   std::size_t count = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
+  TimerEntry<Callback> ev;
+  while (next_event_time() <= deadline && pop_next(ev)) {
     if (ev.when > now_) now_ = ev.when;
-    ev.fn();
+    ev.payload();
     ++count;
   }
   if (deadline > now_) now_ = deadline;

@@ -1,16 +1,24 @@
-// A minimal discrete-event simulator: a virtual clock plus a priority queue
-// of scheduled callbacks. Events at equal times fire in scheduling order.
+// A minimal discrete-event simulator: a virtual clock plus a pending-timer
+// store. Events at equal times fire in scheduling order.
+//
+// The store is a hierarchical timer wheel by default (O(1) insert/pop at
+// millions of pending timers — one Poisson stream per fleet member at paper
+// scale); the old binary heap remains selectable behind the same interface
+// for profiling (see bench/micro_timer.cpp and docs/perf.md). Both yield
+// the identical (when, seq) firing order, so the choice never changes
+// simulation results.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <queue>
-#include <vector>
 
 #include "netsim/geo.h"
+#include "netsim/timer_wheel.h"
 
 namespace ecsdns::netsim {
+
+enum class TimerQueue { kWheel, kHeap };
 
 class EventLoop {
  public:
@@ -18,6 +26,9 @@ class EventLoop {
 
   // Sentinel returned by next_event_time() on an empty queue.
   static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+  EventLoop() = default;
+  explicit EventLoop(TimerQueue impl) : use_wheel_(impl == TimerQueue::kWheel) {}
 
   SimTime now() const noexcept { return now_; }
 
@@ -35,32 +46,30 @@ class EventLoop {
   // Runs events with fire time <= deadline, then sets now to the deadline.
   std::size_t run_until(SimTime deadline);
 
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  bool empty() const noexcept {
+    return use_wheel_ ? wheel_.empty() : heap_.empty();
+  }
+  std::size_t pending() const noexcept {
+    return use_wheel_ ? wheel_.size() : heap_.size();
+  }
 
   // Fire time of the earliest pending event, or kNever when the queue is
   // empty. The parallel engine uses this to decide whether a shard still
   // has work inside the current epoch.
   SimTime next_event_time() const noexcept {
-    return queue_.empty() ? kNever : queue_.top().when;
+    return use_wheel_ ? wheel_.peek_next_time() : heap_.peek_next_time();
   }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  bool pop_next(TimerEntry<Callback>& out) {
+    return use_wheel_ ? wheel_.pop_next(out) : heap_.pop_next(out);
+  }
 
+  bool use_wheel_ = true;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimerWheel<Callback> wheel_;
+  TimerHeap<Callback> heap_;
 };
 
 }  // namespace ecsdns::netsim

@@ -18,6 +18,10 @@ std::size_t ShardContext::shard_count() const noexcept {
 
 SimTime ShardContext::epoch_end() const noexcept { return engine_.epoch_end_; }
 
+Arena& ShardContext::epoch_arena() noexcept {
+  return arenas_[engine_.parity_];
+}
+
 void ShardContext::post(std::size_t to, Mail mail) {
   if (to >= engine_.shard_count()) {
     throw std::out_of_range("post: no such shard");
@@ -121,6 +125,10 @@ bool ParallelEngine::coordinate() noexcept {
   }
   if (!more) return false;
   parity_ ^= 1u;
+  // The arena writers are about to reuse was written in round k-2 and read
+  // (by mail receivers) in round k-1; with all workers parked at this
+  // barrier it is now safe to rewind.
+  for (auto& shard : shards_) shard->arenas_[parity_].reset();
   epoch_end_ += config_.epoch;
   return true;
 }

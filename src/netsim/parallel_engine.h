@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "netsim/arena.h"
 #include "netsim/buffer_pool.h"
 #include "netsim/event_loop.h"
 #include "netsim/geo.h"
@@ -72,6 +73,12 @@ class ShardContext {
   // everything else here); programs that serialize packets inside epochs
   // recycle buffers through it instead of allocating per event.
   BufferPool& buffer_pool() noexcept { return pool_; }
+  // Per-epoch scratch arena for batches shipped through post(): memory
+  // allocated here during round k stays valid while receivers read it in
+  // round k+1 and is recycled at the start of round k+2 (the engine
+  // double-buffers two arenas by epoch parity, mirroring the mailboxes).
+  // Never hand its memory to anything that outlives that window.
+  Arena& epoch_arena() noexcept;
   // End of the epoch currently executing (exclusive).
   SimTime epoch_end() const noexcept;
 
@@ -101,6 +108,7 @@ class ShardContext {
   Rng rng_;
   obs::MetricsRegistry metrics_;
   BufferPool pool_;
+  Arena arenas_[2];
 };
 
 // One shard's slice of a simulation. The engine drives each program

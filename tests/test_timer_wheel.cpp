@@ -1,0 +1,269 @@
+// The timer wheel's ordering contract: pop_next() yields exactly the
+// (when, seq) total order of the binary heap it replaced, under every shape
+// of churn the EventLoop produces — same-time batches, pushes during
+// drains, far-future entries beyond the wheel horizon, cursor jumps across
+// empty stretches. The EventLoop itself must behave identically on either
+// implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "netsim/event_loop.h"
+#include "netsim/rng.h"
+#include "netsim/timer_wheel.h"
+
+namespace ecsdns::netsim {
+namespace {
+
+using Entry = TimerEntry<int>;
+
+// Drains both queues in lockstep, asserting identical (when, seq, payload)
+// at every step.
+template <typename A, typename B>
+void expect_same_drain(A& a, B& b) {
+  Entry ea, eb;
+  while (true) {
+    const bool more_a = a.pop_next(ea);
+    const bool more_b = b.pop_next(eb);
+    ASSERT_EQ(more_a, more_b);
+    if (!more_a) break;
+    ASSERT_EQ(ea.when, eb.when);
+    ASSERT_EQ(ea.seq, eb.seq);
+    ASSERT_EQ(ea.payload, eb.payload);
+  }
+}
+
+TEST(TimerWheel, EmptyWheelBehaves) {
+  TimerWheel<int> wheel;
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_EQ(wheel.peek_next_time(), TimerWheel<int>::kNever);
+  Entry e;
+  EXPECT_FALSE(wheel.pop_next(e));
+}
+
+TEST(TimerWheel, SingleEntryRoundTrip) {
+  TimerWheel<int> wheel;
+  wheel.push(1234, 0, 42);
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(wheel.peek_next_time(), 1234);
+  Entry e;
+  ASSERT_TRUE(wheel.pop_next(e));
+  EXPECT_EQ(e.when, 1234);
+  EXPECT_EQ(e.payload, 42);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, SameTimeEntriesPopInSeqOrder) {
+  TimerWheel<int> wheel;
+  // Pushed out of seq order on purpose.
+  wheel.push(500, 2, 2);
+  wheel.push(500, 0, 0);
+  wheel.push(500, 1, 1);
+  for (int expect = 0; expect < 3; ++expect) {
+    Entry e;
+    ASSERT_TRUE(wheel.pop_next(e));
+    EXPECT_EQ(e.when, 500);
+    EXPECT_EQ(e.payload, expect);
+  }
+}
+
+TEST(TimerWheel, PushAtCursorTimeDuringDrain) {
+  // The EventLoop schedules zero-delay work while firing a batch; those
+  // entries must fire after already-pending same-time entries (seq order).
+  TimerWheel<int> wheel;
+  wheel.push(100, 0, 0);
+  wheel.push(100, 1, 1);
+  Entry e;
+  ASSERT_TRUE(wheel.pop_next(e));
+  EXPECT_EQ(e.payload, 0);
+  wheel.push(100, 2, 2);  // same time as the cursor, mid-drain
+  ASSERT_TRUE(wheel.pop_next(e));
+  EXPECT_EQ(e.payload, 1);
+  ASSERT_TRUE(wheel.pop_next(e));
+  EXPECT_EQ(e.payload, 2);
+}
+
+TEST(TimerWheel, FarFutureEntriesOverflowAndReturn) {
+  TimerWheel<int> wheel;
+  const SimTime horizon = SimTime{1} << 48;  // beyond 8 levels x 6 bits
+  wheel.push(horizon + 7, 0, 1);
+  wheel.push(3, 1, 2);
+  EXPECT_EQ(wheel.peek_next_time(), 3);
+  Entry e;
+  ASSERT_TRUE(wheel.pop_next(e));
+  EXPECT_EQ(e.payload, 2);
+  EXPECT_EQ(wheel.peek_next_time(), horizon + 7);
+  ASSERT_TRUE(wheel.pop_next(e));
+  EXPECT_EQ(e.when, horizon + 7);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, RandomChurnMatchesHeapExactly) {
+  // The load-bearing property. Random interleavings of pushes and pops at
+  // exponential and clustered times; after every operation both queues
+  // agree on peek, and the final drains are identical.
+  Rng rng(99);
+  TimerWheel<int> wheel;
+  TimerHeap<int> heap;
+  SimTime low_water = 0;  // last popped time; pushes must be >= this
+  std::uint64_t seq = 0;
+  int payload = 0;
+  for (int op = 0; op < 20000; ++op) {
+    if (wheel.empty() || rng.chance(0.6)) {
+      SimTime when = low_water;
+      switch (rng.uniform(4)) {
+        case 0: when += static_cast<SimTime>(rng.exponential(1e6)); break;
+        case 1: when += rng.uniform(64);  break;  // clustered near cursor
+        case 2: when += rng.uniform(1u << 20); break;
+        default:
+          // Occasionally beyond the wheel horizon.
+          when += (SimTime{1} << 48) + rng.uniform(1000);
+          break;
+      }
+      wheel.push(when, seq, payload);
+      heap.push(when, seq, payload);
+      ++seq;
+      ++payload;
+    } else {
+      Entry ew, eh;
+      ASSERT_TRUE(wheel.pop_next(ew));
+      ASSERT_TRUE(heap.pop_next(eh));
+      ASSERT_EQ(ew.when, eh.when);
+      ASSERT_EQ(ew.seq, eh.seq);
+      ASSERT_EQ(ew.payload, eh.payload);
+      low_water = ew.when;
+    }
+    ASSERT_EQ(wheel.size(), heap.size());
+    ASSERT_EQ(wheel.peek_next_time(), heap.peek_next_time());
+  }
+  expect_same_drain(wheel, heap);
+}
+
+TEST(TimerWheel, MillionEntriesDrainSorted) {
+  Rng rng(5);
+  TimerWheel<int> wheel;
+  std::vector<SimTime> times;
+  times.reserve(1000000);
+  for (int i = 0; i < 1000000; ++i) {
+    const auto when = static_cast<SimTime>(rng.exponential(3.0e8));
+    times.push_back(when);
+    wheel.push(when, static_cast<std::uint64_t>(i), i);
+  }
+  std::sort(times.begin(), times.end());
+  Entry e;
+  SimTime prev = 0;
+  std::uint64_t prev_seq = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    ASSERT_TRUE(wheel.pop_next(e));
+    ASSERT_EQ(e.when, times[i]);
+    if (i > 0 && e.when == prev) {
+      ASSERT_GT(e.seq, prev_seq);  // seq breaks ties, ascending
+    }
+    prev = e.when;
+    prev_seq = e.seq;
+  }
+  EXPECT_TRUE(wheel.empty());
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop on both queue implementations.
+
+class EventLoopBothImpls : public ::testing::TestWithParam<TimerQueue> {};
+
+TEST_P(EventLoopBothImpls, FiresInScheduleOrderAtEqualTimes) {
+  EventLoop loop(GetParam());
+  std::vector<int> order;
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(10, [&] { order.push_back(2); });
+  loop.schedule_at(5, [&] { order.push_back(0); });
+  EXPECT_EQ(loop.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(loop.now(), 10u);
+}
+
+TEST_P(EventLoopBothImpls, RejectsSchedulingInThePast) {
+  EventLoop loop(GetParam());
+  loop.schedule_at(100, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(99, [] {}), std::invalid_argument);
+  loop.schedule_at(100, [] {});  // == now is allowed
+  EXPECT_EQ(loop.run(), 1u);
+}
+
+TEST_P(EventLoopBothImpls, RunUntilStopsAtDeadline) {
+  EventLoop loop(GetParam());
+  std::vector<int> fired;
+  loop.schedule_at(10, [&] { fired.push_back(10); });
+  loop.schedule_at(20, [&] { fired.push_back(20); });
+  loop.schedule_at(30, [&] { fired.push_back(30); });
+  EXPECT_EQ(loop.run_until(20), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(loop.now(), 20u);
+  EXPECT_EQ(loop.next_event_time(), 30u);
+  EXPECT_EQ(loop.run_until(25), 0u);
+  EXPECT_EQ(loop.now(), 25u);
+}
+
+TEST_P(EventLoopBothImpls, AdvancePastPendingThenRun) {
+  // advance() can push now beyond pending timers (the RPC transport does);
+  // the overdue events still fire, at the advanced clock.
+  EventLoop loop(GetParam());
+  std::vector<SimTime> at;
+  loop.schedule_at(10, [&] { at.push_back(loop.now()); });
+  loop.advance(50);
+  loop.schedule_at(60, [&] { at.push_back(loop.now()); });
+  EXPECT_EQ(loop.run(), 2u);
+  EXPECT_EQ(at, (std::vector<SimTime>{50, 60}));
+}
+
+TEST_P(EventLoopBothImpls, SelfReschedulingChain) {
+  EventLoop loop(GetParam());
+  int fired = 0;
+  std::function<void()> tick = [&] {
+    if (++fired < 100) loop.schedule_in(7, tick);
+  };
+  loop.schedule_in(7, tick);
+  EXPECT_EQ(loop.run(), 100u);
+  EXPECT_EQ(loop.now(), 700u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WheelAndHeap, EventLoopBothImpls,
+                         ::testing::Values(TimerQueue::kWheel,
+                                           TimerQueue::kHeap),
+                         [](const auto& info) {
+                           return info.param == TimerQueue::kWheel ? "Wheel"
+                                                                   : "Heap";
+                         });
+
+TEST(EventLoopEquivalence, RandomWorkloadIdenticalOnBothImpls) {
+  // The same randomized self-scheduling workload on both implementations
+  // must produce the same firing log (time, id) — the determinism claim
+  // that lets the wheel replace the heap without touching any result.
+  std::vector<std::pair<SimTime, int>> logs[2];
+  for (const auto impl : {TimerQueue::kWheel, TimerQueue::kHeap}) {
+    auto& log = logs[impl == TimerQueue::kHeap];
+    EventLoop loop(impl);
+    Rng rng(31);
+    int next_id = 0;
+    std::function<void(int)> fire = [&](int id) {
+      log.emplace_back(loop.now(), id);
+      for (int child = 0; child < static_cast<int>(rng.uniform(3)); ++child) {
+        if (next_id >= 3000) return;
+        const int cid = next_id++;
+        loop.schedule_in(rng.uniform(1000), [&, cid] { fire(cid); });
+      }
+    };
+    for (int i = 0; i < 50; ++i) {
+      const int id = next_id++;
+      loop.schedule_at(rng.uniform(500), [&, id] { fire(id); });
+    }
+    loop.run();
+  }
+  EXPECT_EQ(logs[0].size(), logs[1].size());
+  EXPECT_EQ(logs[0], logs[1]);
+}
+
+}  // namespace
+}  // namespace ecsdns::netsim
