@@ -44,7 +44,10 @@ int main(int argc, char** argv) {
     double sum = 0;
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       const Trace sampled = sample_clients(trace, pct / 100.0, seed * 101);
-      const auto factors = blowup_factors(sampled, std::nullopt, shards);
+      const auto factors =
+          blowup_factors(sampled, std::nullopt, shards,
+                         static_cast<std::size_t>(obs_session.threads()),
+                         obs_session.pin());
       sum += factors.empty() ? 0.0 : factors.front();
     }
     const double avg = sum / 3.0;

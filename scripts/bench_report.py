@@ -12,12 +12,12 @@ Measures two layers and writes them to one JSON document:
     peak RSS in KiB (ru_maxrss via os.wait4).
 
 Modes:
-  bench_report.py --build-dir build --out BENCH_PR9.json      # measure
+  bench_report.py --build-dir build --out BENCH_PR10.json     # measure
   bench_report.py --build-dir build --check [--baseline F]    # CI gate
   bench_report.py --compare OLD NEW                           # offline diff
 
 --check re-measures and compares against the checked-in baseline
-(BENCH_PR9.json by default) with deliberately generous thresholds — CI
+(BENCH_PR10.json by default) with deliberately generous thresholds — CI
 machines are noisy, so the gate only catches step-function regressions
 (2-3x), not percent-level drift. Allocation counts are near-deterministic,
 so their threshold is tighter. See docs/perf.md for how to refresh the
@@ -42,8 +42,10 @@ EXPERIMENTS = ["fig1_cache_blowup_cdf", "table1_source_prefix_census",
 # Extra flags for experiments whose defaults target a bigger machine than a
 # CI runner: the harness runs scale_streaming at a 100K-member fleet (the
 # 1M-member run is the manually documented number in docs/perf.md).
+# --sweep=1 times the thread/pin matrix and exports the scale.sweep.*
+# q/s-vs-cores gauges that land in the report's "sweep_qps" block.
 EXPERIMENT_ARGS = {
-    "scale_streaming": ["--resolvers=100000", "--duration-s=20"],
+    "scale_streaming": ["--resolvers=100000", "--duration-s=20", "--sweep=1"],
 }
 
 # --check thresholds: fresh measurement may not exceed baseline * factor.
@@ -88,11 +90,19 @@ def measure_experiment(bench_dir, name):
         os.unlink(metrics_path)
     gauges = metrics.get("gauges", {})
     allocations = gauges.get("run.allocations", {}).get("value")
-    return {
+    result = {
         "wall_ms": round(float(metrics["wall_ms"]), 1),
         "allocations": allocations,
         "peak_rss_kb": peak_rss_kb,
     }
+    # The q/s-vs-cores scaling curve (scale_streaming --sweep=1). Recorded,
+    # not gated: absolute throughput moves with the runner, and the
+    # multi-core speedup gate lives in the bench itself (--min-speedup-pct).
+    sweep = {key: g.get("value") for key, g in gauges.items()
+             if key.startswith("scale.sweep.")}
+    if sweep:
+        result["sweep_qps"] = sweep
+    return result
 
 
 def measure_micro(bench_dir, name):
@@ -166,6 +176,10 @@ def merge_best(reports):
             if base.get("allocations") and m.get("allocations"):
                 base["allocations"] = min(base["allocations"], m["allocations"])
             base["peak_rss_kb"] = max(base["peak_rss_kb"], m["peak_rss_kb"])
+            if m.get("sweep_qps"):
+                best = base.setdefault("sweep_qps", {})
+                for cell, qps in m["sweep_qps"].items():
+                    best[cell] = max(best.get(cell, 0), qps)
     return merged
 
 
@@ -224,6 +238,13 @@ def compare(old, new):
         if a.get("peak_rss_kb") and b.get("peak_rss_kb"):
             lines.append(f"{exp}: peak RSS {a['peak_rss_kb']} -> "
                          f"{b['peak_rss_kb']} KiB")
+        for cell in sorted(set(a.get("sweep_qps", {})) |
+                           set(b.get("sweep_qps", {}))):
+            qa = a.get("sweep_qps", {}).get(cell)
+            qb = b.get("sweep_qps", {}).get(cell)
+            if qa and qb:
+                lines.append(f"{exp}: {cell} {qa} -> {qb} q/s "
+                             f"({qb / qa:.2f}x)")
     for suite in sorted(set(old.get("benchmarks", {})) |
                         set(new.get("benchmarks", {}))):
         sa = old.get("benchmarks", {}).get(suite, {})
@@ -245,7 +266,7 @@ def main():
     parser.add_argument("--check", action="store_true",
                         help="measure and gate against the baseline")
     parser.add_argument("--baseline",
-                        default=os.path.join(REPO, "BENCH_PR9.json"))
+                        default=os.path.join(REPO, "BENCH_PR10.json"))
     parser.add_argument("--repeat", type=int, default=1,
                         help="measure N times and keep the best of each metric")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),

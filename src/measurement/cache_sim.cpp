@@ -562,6 +562,127 @@ class BoundedShard final : public netsim::ShardProgram {
   std::vector<LocalTally> local_;
 };
 
+// ---------------------------------------------------------------------------
+// Resolver-partitioned unbounded replay.
+//
+// Used when the stream restricts generation to owned members
+// (TraceStream::restrict_to_members): each shard then *generates* only its
+// own resolvers' queries, so generation cost — the dominant term of a
+// synthetic replay — splits across cores too. (The key-partitioned path
+// regenerates the full stream per shard and filters, which caps its speedup
+// at the replay fraction of the work.) Replay is the StreamingCacheSim fold
+// verbatim, one sweep queue per shard: on a time-ordered stream, any
+// schedule that retires every expiration with `when <= q.time` before
+// processing q yields identical hit/miss decisions and identical live
+// counts at every insert, and queries of different resolvers never share a
+// cache key — so each owned resolver's row equals the serial fold's row
+// exactly, for every shard count. Works for TTL-0 queries too (the fold
+// handles them inline), and needs no cross-shard mail.
+class ResolverShard final : public netsim::ShardProgram {
+ public:
+  ResolverShard(std::unique_ptr<TraceStream> stream,
+                const CacheSimOptions& options, std::size_t index,
+                std::size_t shards, std::vector<ResolverCacheResult>& results)
+      : stream_(std::move(stream)),
+        options_(options),
+        index_(index),
+        shards_(shards),
+        results_(results),
+        resolvers_(stream_->info().resolvers),
+        hits_(resolvers_, 0),
+        misses_(resolvers_, 0),
+        live_(resolvers_, 0),
+        peak_(resolvers_, 0) {}
+
+  // The whole replay runs in the first epoch — no mail, nothing to
+  // synchronize at epoch boundaries (same shape as BoundedShard).
+  void epoch(netsim::ShardContext& ctx, SimTime) override {
+    if (done_) return;
+    done_ = true;
+    TraceQuery q;
+    while (stream_->next(q)) observe(q);
+    std::uint64_t hit_total = 0;
+    std::uint64_t miss_total = 0;
+    for (std::uint32_t r = 0; r < resolvers_; ++r) {
+      hit_total += hits_[r];
+      miss_total += misses_[r];
+    }
+    ctx.metrics().counter("cache_sim.queries").inc(hit_total + miss_total);
+    ctx.metrics().counter("cache_sim.hits").inc(hit_total);
+    ctx.metrics().counter("cache_sim.misses").inc(miss_total);
+  }
+
+  bool done(const netsim::ShardContext&) const override { return done_; }
+
+  void finish(netsim::ShardContext&) override {
+    // Serial, in shard-index order: publish owned resolvers' rows.
+    for (std::uint32_t r = 0; r < resolvers_; ++r) {
+      if (shard_of_id(r, shards_) != index_) continue;
+      results_[r].hits = hits_[r];
+      results_[r].misses = misses_[r];
+      results_[r].max_cache_size = peak_[r];
+    }
+  }
+
+ private:
+  struct Slot {
+    SimTime expiry = 0;
+  };
+  struct Expiry {
+    SimTime when;
+    CacheKey key;
+  };
+  struct LaterExpiry {
+    bool operator()(const Expiry& a, const Expiry& b) const {
+      return a.when > b.when;
+    }
+  };
+
+  // StreamingCacheSim::observe, on this shard's slice of the stream.
+  void observe(const TraceQuery& q) {
+    ECSDNS_DCHECK(shard_of_id(q.resolver, shards_) == index_);
+    while (!expirations_.empty() && expirations_.top().when <= q.time) {
+      const Expiry e = expirations_.top();
+      expirations_.pop();
+      const Slot* slot = cache_.find(e.key);
+      if (slot != nullptr && slot->expiry <= e.when) {
+        --live_[e.key.resolver];
+        cache_.erase(e.key);
+      }
+    }
+    const CacheKey key = cache_key_of(q, options_.with_ecs);
+    const Slot* found = cache_.find(key);
+    if (found != nullptr && found->expiry > q.time) {
+      ++hits_[q.resolver];
+      return;
+    }
+    ++misses_[q.resolver];
+    const std::uint32_t ttl_s = options_.ttl_override.value_or(q.ttl_s);
+    const SimTime expiry =
+        q.time + static_cast<SimTime>(ttl_s) * netsim::kSecond;
+    const auto [new_slot, inserted] = cache_.insert_or_assign(key, Slot{expiry});
+    (void)new_slot;
+    if (inserted) ++live_[q.resolver];
+    peak_[q.resolver] = std::max(peak_[q.resolver], live_[q.resolver]);
+    expirations_.push(Expiry{expiry, key});
+  }
+
+  std::unique_ptr<TraceStream> stream_;
+  const CacheSimOptions& options_;
+  std::size_t index_;
+  std::size_t shards_;
+  std::vector<ResolverCacheResult>& results_;
+  std::uint32_t resolvers_;
+
+  bool done_ = false;
+  dnscore::FlatHashMap<CacheKey, Slot, CacheKeyHash> cache_;
+  std::priority_queue<Expiry, std::vector<Expiry>, LaterExpiry> expirations_;
+  std::vector<std::uint64_t> hits_;
+  std::vector<std::uint64_t> misses_;
+  std::vector<std::size_t> live_;
+  std::vector<std::size_t> peak_;
+};
+
 // Builds the per-shard stream instances: the dispatch probe (an untouched
 // stream) becomes shard 0; the rest replay fresh from the factory.
 std::vector<std::unique_ptr<TraceStream>> shard_streams(
@@ -574,6 +695,16 @@ std::vector<std::unique_ptr<TraceStream>> shard_streams(
   return streams;
 }
 
+netsim::ParallelConfig engine_config(const CacheSimOptions& options,
+                                     std::size_t shards) {
+  netsim::ParallelConfig config;
+  config.shards = shards;
+  config.threads = options.threads;
+  config.pin_threads = options.pin_threads;
+  config.runtime_metrics = options.runtime_metrics;
+  return config;
+}
+
 CacheSimResult simulate_bounded(const TraceStreamFactory& factory,
                                 std::unique_ptr<TraceStream> probe,
                                 const CacheSimOptions& options) {
@@ -583,6 +714,18 @@ CacheSimResult simulate_bounded(const TraceStreamFactory& factory,
   for (std::uint32_t r = 0; r < resolvers; ++r) results[r].resolver = r;
 
   auto streams = shard_streams(factory, std::move(probe), shards);
+  // Best-effort: a stream that can restrict skips generating foreign
+  // resolvers' queries entirely; the ownership filter below still guards
+  // streams that cannot. Restriction renumbers the per-stream seq, but seq
+  // only tie-breaks expirations within one resolver's queue, and an owned
+  // resolver's queries keep their relative order — results are unchanged
+  // (the bounded cross-validation suite and the committed capacity-sweep
+  // CSV both pin this).
+  if (shards > 1) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      streams[s]->restrict_to_members(s, shards);
+    }
+  }
   std::vector<std::unique_ptr<netsim::ShardProgram>> programs;
   programs.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
@@ -591,13 +734,44 @@ CacheSimResult simulate_bounded(const TraceStreamFactory& factory,
                                                       results));
   }
 
-  netsim::ParallelConfig config;
-  config.shards = shards;
-  config.threads = options.threads;
   // Epoch length is irrelevant — the shards exchange no messages and each
   // replays fully inside its first epoch.
-  config.epoch = netsim::kSecond;
-  netsim::ParallelEngine engine(config, std::move(programs));
+  netsim::ParallelEngine engine(engine_config(options, shards),
+                                std::move(programs));
+  engine.run();
+  engine.merge_metrics(obs::MetricsRegistry::global());
+
+  CacheSimResult out;
+  out.per_resolver = std::move(results);
+  return out;
+}
+
+CacheSimResult simulate_by_resolver(const TraceStreamFactory& factory,
+                                    std::unique_ptr<TraceStream> probe,
+                                    const CacheSimOptions& options) {
+  const std::size_t shards = options.shards;
+  const std::uint32_t resolvers = probe->info().resolvers;
+  std::vector<ResolverCacheResult> results(resolvers);
+  for (std::uint32_t r = 0; r < resolvers; ++r) results[r].resolver = r;
+
+  // The dispatch already restricted the probe to shard 0's members; every
+  // other instance replays the same logical stream, so it must restrict
+  // the same way.
+  auto streams = shard_streams(factory, std::move(probe), shards);
+  for (std::size_t s = 1; s < shards; ++s) {
+    const bool restricted = streams[s]->restrict_to_members(s, shards);
+    ECSDNS_CHECK(restricted);
+  }
+  std::vector<std::unique_ptr<netsim::ShardProgram>> programs;
+  programs.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    programs.push_back(std::make_unique<ResolverShard>(std::move(streams[s]),
+                                                       options, s, shards,
+                                                       results));
+  }
+
+  netsim::ParallelEngine engine(engine_config(options, shards),
+                                std::move(programs));
   engine.run();
   engine.merge_metrics(obs::MetricsRegistry::global());
 
@@ -625,9 +799,7 @@ CacheSimResult simulate_sharded(const TraceStreamFactory& factory,
     programs.push_back(std::move(program));
   }
 
-  netsim::ParallelConfig config;
-  config.shards = shards;
-  config.threads = options.threads;
+  netsim::ParallelConfig config = engine_config(options, shards);
   // Delta mail is accounting, not simulation traffic, so the window length
   // is free — it only has to be a pure function of the stream's config so
   // every shard count sees the same windows.
@@ -647,16 +819,24 @@ CacheSimResult simulate_cache_stream(const TraceStreamFactory& factory,
                                      const CacheSimOptions& options) {
   auto probe = factory();
   const TraceStreamInfo info = probe->info();
-  // The key-partitioned path's preconditions; anything else replays
-  // serially. (Bounded caches never reach it — they partition by resolver
-  // instead.) A zero effective TTL makes an entry expire at its own insert
-  // time, which the expire-before-insert merge order cannot represent;
-  // replay windows assume a time-ordered stream.
+  // Sharded-path preconditions; anything else replays serially. Bounded
+  // caches always partition by resolver. Unbounded sharded replays prefer
+  // the resolver-partitioned path when the stream can restrict generation
+  // to owned members (the only mode that also splits generation cost
+  // across cores); it needs a time-ordered stream so the per-shard sweep
+  // retires exactly what the serial sweep would have before each query.
+  // The key-partitioned fallback additionally needs positive effective
+  // TTLs — a zero TTL makes an entry expire at its own insert time, which
+  // its expire-before-insert merge order cannot represent.
   const bool positive_ttls =
       options.ttl_override ? *options.ttl_override > 0 : info.positive_ttls;
   CacheSimResult out;
   if (options.max_entries_per_resolver) {
     out = simulate_bounded(factory, std::move(probe), options);
+  } else if (options.shards > 1 && info.time_ordered &&
+             info.resolvers >= options.shards &&
+             probe->restrict_to_members(0, options.shards)) {
+    out = simulate_by_resolver(factory, std::move(probe), options);
   } else if (options.shards > 1 && info.time_ordered && positive_ttls) {
     out = simulate_sharded(factory, std::move(probe), options);
   } else {
@@ -714,17 +894,20 @@ std::uint64_t sampled_result_digest(const CacheSimResult& result,
 
 std::vector<double> blowup_factors(const Trace& trace,
                                    std::optional<std::uint32_t> ttl_override,
-                                   std::size_t shards, std::size_t threads) {
+                                   std::size_t shards, std::size_t threads,
+                                   bool pin_threads) {
   CacheSimOptions with;
   with.with_ecs = true;
   with.ttl_override = ttl_override;
   with.shards = shards;
   with.threads = threads;
+  with.pin_threads = pin_threads;
   CacheSimOptions without;
   without.with_ecs = false;
   without.ttl_override = ttl_override;
   without.shards = shards;
   without.threads = threads;
+  without.pin_threads = pin_threads;
 
   const CacheSimResult ecs = simulate_cache(trace, with);
   const CacheSimResult plain = simulate_cache(trace, without);

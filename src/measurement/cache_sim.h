@@ -84,6 +84,16 @@ struct CacheSimOptions {
   // Worker threads for the sharded replay; 0 = one per shard, capped at
   // the hardware. Never affects results.
   std::size_t threads = 0;
+  // Pin replay workers to cores (netsim::Topology::pin_order — one shard
+  // per physical core, SMT siblings last), with the engine's
+  // warn-and-run-unpinned fallback when affinity is denied. Never affects
+  // results; forwarded to ParallelConfig::pin_threads.
+  bool pin_threads = false;
+  // Forwarded to ParallelConfig::runtime_metrics: per-shard busy counters
+  // and barrier-wait histograms in the merged export. Run metadata, exempt
+  // from the byte-identity contract — leave off anywhere exports are
+  // compared across shard/thread counts.
+  bool runtime_metrics = false;
 };
 
 struct ResolverCacheResult {
@@ -171,10 +181,11 @@ std::uint64_t sampled_result_digest(const CacheSimResult& result,
 
 // Per-resolver blow-up factors: peak cache size with ECS divided by peak
 // size without (Figure 1's metric). Resolvers with an empty no-ECS cache
-// are skipped. `shards`/`threads` forward to CacheSimOptions.
+// are skipped. `shards`/`threads`/`pin_threads` forward to CacheSimOptions.
 std::vector<double> blowup_factors(const Trace& trace,
                                    std::optional<std::uint32_t> ttl_override,
                                    std::size_t shards = 1,
-                                   std::size_t threads = 0);
+                                   std::size_t threads = 0,
+                                   bool pin_threads = false);
 
 }  // namespace ecsdns::measurement

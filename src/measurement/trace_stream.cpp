@@ -135,7 +135,23 @@ IpAddress PublicResolverCdnStream::client_of(std::uint32_t r,
   return IpAddress::v4(bits);
 }
 
+bool PublicResolverCdnStream::restrict_to_members(std::size_t index,
+                                                  std::size_t count) {
+  if (started_ || count == 0 || index >= count) return false;
+  if (count == 1) return true;  // shard 0 of 1 is the unrestricted stream
+  netsim::TimerWheel<std::uint32_t> wheel;
+  for (std::uint32_t r = 0; r < population_.size(); ++r) {
+    if (shard_of_id(r, count) != index) continue;
+    if (static_cast<SimTime>(arrival_[r]) < duration_) {
+      wheel.push(static_cast<SimTime>(arrival_[r]), r, r);
+    }
+  }
+  wheel_ = std::move(wheel);
+  return true;
+}
+
 bool PublicResolverCdnStream::next(TraceQuery& q) {
+  started_ = true;
   netsim::TimerEntry<std::uint32_t> entry;
   if (!wheel_.pop_next(entry)) return false;
   const std::uint32_t r = entry.payload;

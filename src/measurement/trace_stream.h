@@ -52,6 +52,23 @@ class TraceStream {
   // Appends this stream's client universe (drain() parity with
   // Trace::clients). Generators derive it; default is empty.
   virtual void append_clients(std::vector<IpAddress>&) const {}
+
+  // Restricts generation to the resolvers owned by shard `index` of
+  // `count` under measurement::shard_of_id. Returns true when the stream
+  // applied the restriction: it will then yield exactly the owned
+  // resolvers' queries — same values, same relative order — as the
+  // unrestricted stream filtered, but without spending any generation
+  // work on foreign resolvers. That is what lets a sharded replay split
+  // *generation* cost across cores instead of re-generating the full
+  // stream per shard. Must be called before the first next(); false
+  // (the default) means unsupported, and the stream is left untouched so
+  // callers can fall back to filtering. append_clients() keeps reporting
+  // the full universe either way.
+  virtual bool restrict_to_members(std::size_t index, std::size_t count) {
+    (void)index;
+    (void)count;
+    return false;
+  }
 };
 
 // Builds fresh, independent instances of one logical stream. Invoked once
@@ -111,12 +128,21 @@ class PublicResolverCdnStream final : public TraceStream {
   bool next(TraceQuery& out) override;
   void append_clients(std::vector<IpAddress>& out) const override;
 
+  // Rebuilds the timer wheel with only the owned resolvers' pending
+  // arrivals. Safe because the wheel pops in (when, seq = resolver id)
+  // order — dropping foreign resolvers cannot reorder the survivors — and
+  // resolver r's draws come from its own Rng::stream(seed, r), untouched
+  // by the restriction. The SoA vectors stay full-width (dense id
+  // indexing); only the wheel shrinks.
+  bool restrict_to_members(std::size_t index, std::size_t count) override;
+
   // The client address of slot k in resolver r's population (pure).
   IpAddress client_of(std::uint32_t r, std::uint32_t k) const noexcept;
 
  private:
   TraceStreamInfo info_;
   SimTime duration_;
+  bool started_ = false;
   std::uint32_t ttl_s_;
   std::vector<int> scope_of_;       // per hostname
   netsim::ZipfSampler names_;

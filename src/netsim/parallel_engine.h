@@ -51,6 +51,27 @@ struct ParallelConfig {
   // replay) may use any epoch.
   SimTime epoch = kSecond;
   std::uint64_t seed = 1;
+  // Pin worker w to Topology::detect().pin_order()[w % cores] — one shard
+  // per physical core, SMT siblings last. When the affinity syscall is
+  // denied (containers, cgroup cpusets, restricted CI) the engine prints
+  // one warning to stderr and runs unpinned; results are byte-identical
+  // either way, pinning only steadies the per-epoch barrier latency.
+  // With pinning requested the engine always spawns worker threads (even
+  // for threads == 1) so the caller's own affinity mask is never touched.
+  bool pin_threads = false;
+  // Explicit pin targets overriding topology detection. Tests pass an
+  // invalid CPU ({-1}) to exercise the warn-and-run-unpinned fallback
+  // deterministically. Ignored unless pin_threads is set.
+  std::vector<int> pin_cpus;
+  // Record wall-clock runtime metrics into the per-shard registries:
+  // an `engine.shard<i>.busy_us` counter per shard (time spent stepping
+  // that shard — stragglers show up as outliers instead of being
+  // inferred) and an `engine.barrier_wait_us` log2 histogram per worker
+  // (time parked at the inter-round barrier). Off by default: timing is
+  // run metadata — like `wall_ms` — exempt from the byte-identity
+  // contract, so only benches and live runs turn it on. The determinism
+  // tests compare full metric exports and must keep it off.
+  bool runtime_metrics = false;
 };
 
 // The largest epoch that is conservatively safe for simulation messages:
@@ -59,8 +80,9 @@ struct ParallelConfig {
 SimTime conservative_epoch(const LatencyModel& model);
 
 // Everything a shard owns. Handed to the program's callbacks; never shared
-// across threads within an epoch.
-class ShardContext {
+// across threads within an epoch. Aligned to a cache line so two shards'
+// hot members (loop cursor, RNG state) never share one.
+class alignas(64) ShardContext {
  public:
   using Mail = std::function<void(ShardContext&)>;
 
@@ -155,6 +177,15 @@ class ParallelEngine {
   std::size_t shard_count() const noexcept { return shards_.size(); }
   ShardContext& shard(std::size_t i) { return *shards_[i]; }
 
+  // The worker count run() will actually use (threads capped at shards and
+  // hardware concurrency); benches print it next to the q/s they measured.
+  std::size_t effective_threads() const;
+
+  // Workers whose pin succeeded during the last run(); equals
+  // effective_threads() on a machine that allows affinity, 0 when the
+  // fallback engaged (or pinning was never requested).
+  std::size_t pinned_workers() const noexcept { return pinned_workers_; }
+
   // Folds every per-shard registry into `into`, in shard-index order.
   void merge_metrics(obs::MetricsRegistry& into) const;
 
@@ -166,10 +197,31 @@ class ParallelEngine {
     EventLoop::Callback fn;
   };
 
+  // One SPSC mailbox, padded to its own cache line. Adjacent mailboxes
+  // belong to different (src, dst) pairs that are touched concurrently by
+  // different threads within a round; without the padding a writer's
+  // push_back and an unrelated pair's drain would bounce the same line
+  // (false sharing — measurable at 8+ shards).
+  struct alignas(64) ControlBox {
+    std::vector<ShardContext::Mail> items;
+  };
+  struct alignas(64) TimedBox {
+    std::vector<TimedMail> items;
+  };
+
+  // Per-shard drain scratch: step_shard swaps a full inbox into here, runs
+  // the batch locally, then hands the (cleared) buffer back on the next
+  // swap. The writer's vector header is touched exactly once per drain
+  // instead of once per message, and capacities recirculate so the steady
+  // state allocates nothing. Padded for the same reason as the mailboxes.
+  struct alignas(64) DrainScratch {
+    std::vector<ShardContext::Mail> control;
+    std::vector<TimedMail> timed;
+  };
+
   std::size_t mailbox_index(std::size_t src, std::size_t dst) const noexcept {
     return src * shards_.size() + dst;
   }
-  std::size_t effective_threads() const;
   // One shard's work for the current round: drain inbox, run the program's
   // epoch, run the loop to the boundary.
   void step_shard(std::size_t i);
@@ -177,6 +229,9 @@ class ParallelEngine {
   // and opens the next epoch. Returns false to stop. noexcept because it
   // runs as a barrier completion step.
   bool coordinate() noexcept;
+  // The CPUs workers pin to: config_.pin_cpus when set, else the detected
+  // topology's pin_order(). Empty disables pinning (with the warning).
+  std::vector<int> pin_targets() const;
 
   ParallelConfig config_;
   std::vector<std::unique_ptr<ShardProgram>> programs_;
@@ -186,14 +241,28 @@ class ParallelEngine {
   // k writers append to buffer (k & 1) and readers drain buffer (~k & 1),
   // so a pair's buffers are never touched from two threads at once. The
   // inter-round barrier provides the happens-before edge.
-  std::vector<std::vector<ShardContext::Mail>> control_mail_[2];
-  std::vector<std::vector<TimedMail>> timed_mail_[2];
+  std::vector<ControlBox> control_mail_[2];
+  std::vector<TimedBox> timed_mail_[2];
+  std::vector<DrainScratch> scratch_;  // one per shard, worker-local use
 
-  // Round state; mutated only in coordinate() (all workers parked).
-  std::size_t parity_ = 0;
-  SimTime epoch_end_ = 0;
-  std::uint64_t rounds_ = 0;
-  bool stop_ = false;
+  // Runtime-metric handles, resolved once per run() (registry lookups take
+  // a mutex — never on the per-epoch path). busy_[i] lives in shard i's
+  // registry; barrier_wait_[w] in shard w's (worker w is the only thread
+  // stepping shard w, so no cross-thread registry writes inside a round).
+  std::vector<obs::Counter*> busy_;
+  std::vector<obs::Histogram*> barrier_wait_;
+
+  // Round state, grouped on its own cache line: mutated only in
+  // coordinate() (all workers parked), read by every worker each round —
+  // keep it off the lines the workers write.
+  struct alignas(64) RoundState {
+    std::size_t parity = 0;
+    SimTime epoch_end = 0;
+    std::uint64_t rounds = 0;
+    bool stop = false;
+  };
+  RoundState round_;
+  std::size_t pinned_workers_ = 0;
   std::vector<std::exception_ptr> errors_;
 };
 

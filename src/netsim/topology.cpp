@@ -1,0 +1,205 @@
+#include "netsim/topology.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace ecsdns::netsim {
+
+namespace {
+
+// Reads a whole small sysfs file; nullopt when missing/unreadable.
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Parses a non-negative decimal integer with optional surrounding
+// whitespace (the shape of every sysfs topology file we read).
+std::optional<int> parse_int(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+    ++i;
+  }
+  if (i == text.size() ||
+      std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+    return std::nullopt;
+  }
+  long value = 0;
+  while (i < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i])) != 0) {
+    value = value * 10 + (text[i] - '0');
+    if (value > 1'000'000) {
+      return std::nullopt;  // no machine has a million CPUs; reject garbage
+    }
+    ++i;
+  }
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+    ++i;
+  }
+  if (i != text.size()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(value);
+}
+
+std::optional<int> read_int(const std::string& path) {
+  const auto text = read_file(path);
+  if (!text) {
+    return std::nullopt;
+  }
+  return parse_int(*text);
+}
+
+}  // namespace
+
+std::vector<int> parse_cpu_list(std::string_view text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    std::string_view item = text.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t dash = item.find('-');
+    if (dash == std::string_view::npos) {
+      if (const auto one = parse_int(item)) {
+        cpus.push_back(*one);
+      }
+      continue;
+    }
+    const auto lo = parse_int(item.substr(0, dash));
+    const auto hi = parse_int(item.substr(dash + 1));
+    if (!lo || !hi || *lo > *hi) {
+      continue;  // malformed range: skip, don't fail the whole parse
+    }
+    for (int cpu = *lo; cpu <= *hi; ++cpu) {
+      cpus.push_back(cpu);
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology Topology::flat(std::size_t n) {
+  Topology topo;
+  topo.cpus_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    CpuInfo info;
+    info.cpu = static_cast<int>(i);
+    info.package = 0;
+    info.core = static_cast<int>(i);
+    info.smt_sibling = false;
+    topo.cpus_.push_back(info);
+  }
+  return topo;
+}
+
+Topology Topology::from_sysfs(const std::string& root) {
+  const auto online = read_file(root + "/online");
+  if (!online) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return flat(hw == 0 ? 1 : hw);
+  }
+  Topology topo;
+  // First cpu seen for a (package, core) pair is the primary thread of
+  // that physical core; later cpus on the same pair are SMT siblings.
+  std::set<std::pair<int, int>> seen_cores;
+  for (const int cpu : parse_cpu_list(*online)) {
+    const std::string base = root + "/cpu" + std::to_string(cpu) + "/topology";
+    CpuInfo info;
+    info.cpu = cpu;
+    // Missing topology files (common in minimal containers) degrade to
+    // "every cpu is its own core in package 0".
+    info.package = read_int(base + "/physical_package_id").value_or(0);
+    info.core = read_int(base + "/core_id").value_or(cpu);
+    info.smt_sibling = !seen_cores.insert({info.package, info.core}).second;
+    topo.cpus_.push_back(info);
+  }
+  if (topo.cpus_.empty()) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return flat(hw == 0 ? 1 : hw);
+  }
+  return topo;
+}
+
+Topology Topology::detect() { return from_sysfs("/sys/devices/system/cpu"); }
+
+std::size_t Topology::physical_cores() const {
+  std::set<std::pair<int, int>> cores;
+  for (const CpuInfo& info : cpus_) {
+    cores.insert({info.package, info.core});
+  }
+  return cores.size();
+}
+
+std::size_t Topology::packages() const {
+  std::set<int> packages;
+  for (const CpuInfo& info : cpus_) {
+    packages.insert(info.package);
+  }
+  return packages.size();
+}
+
+std::vector<int> Topology::pin_order() const {
+  // Ordered map keyed (package, core, cpu) gives the ascending traversal;
+  // primaries stream out first, siblings are appended afterwards in the
+  // same (package, core) order.
+  std::map<std::tuple<int, int, int>, const CpuInfo*> ordered;
+  for (const CpuInfo& info : cpus_) {
+    ordered.emplace(std::make_tuple(info.package, info.core, info.cpu), &info);
+  }
+  std::vector<int> order;
+  order.reserve(cpus_.size());
+  std::vector<int> siblings;
+  for (const auto& [key, info] : ordered) {
+    (void)key;
+    if (info->smt_sibling) {
+      siblings.push_back(info->cpu);
+    } else {
+      order.push_back(info->cpu);
+    }
+  }
+  order.insert(order.end(), siblings.begin(), siblings.end());
+  return order;
+}
+
+bool pin_current_thread_to_cpu(int cpu) {
+  if (cpu < 0 || cpu >= CPU_SETSIZE) {
+    return false;  // CPU_SET is UB out of range; also the test hook for
+                   // exercising the warn-and-run-unpinned fallback
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<std::size_t>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+void set_current_thread_name(const char* name) {
+  char truncated[16];
+  std::strncpy(truncated, name, sizeof(truncated) - 1);
+  truncated[sizeof(truncated) - 1] = '\0';
+  pthread_setname_np(pthread_self(), truncated);
+}
+
+}  // namespace ecsdns::netsim

@@ -37,7 +37,12 @@ inline void set_enabled(bool on) noexcept {
 }
 
 // A monotonically increasing event count.
-class Counter {
+// alignas(64) on Counter/Gauge: the registry heap-allocates each metric
+// individually, and without the alignment two hot counters (or a counter
+// and an unrelated allocation) can land on one cache line — false sharing
+// between shard threads that each own "their" metric. One line per metric
+// makes the relaxed fetch_adds genuinely independent.
+class alignas(64) Counter {
  public:
   void inc(std::uint64_t n = 1) noexcept {
     value_.fetch_add(n, std::memory_order_relaxed);
@@ -56,7 +61,7 @@ class Counter {
 
 // A signed level that can move both ways; tracks its high-water mark (the
 // cache blow-up analyses care about peaks, not endpoints).
-class Gauge {
+class alignas(64) Gauge {
  public:
   void add(std::int64_t delta) noexcept {
     const std::int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;

@@ -207,7 +207,8 @@ struct Program final : ShardProgram {
   }
 };
 
-std::pair<std::vector<std::uint64_t>, std::string> run(std::size_t threads) {
+std::pair<std::vector<std::uint64_t>, std::string> run(
+    std::size_t threads, bool pin = false, std::vector<int> pin_cpus = {}) {
   constexpr std::size_t kShards = 4;
   std::vector<std::uint64_t> results(kShards, 0);
   std::vector<Program*> directory(kShards, nullptr);
@@ -223,6 +224,8 @@ std::pair<std::vector<std::uint64_t>, std::string> run(std::size_t threads) {
   config.shards = kShards;
   config.threads = threads;
   config.seed = 99;
+  config.pin_threads = pin;
+  config.pin_cpus = std::move(pin_cpus);
   ParallelEngine engine(config, std::move(programs));
   engine.run();
   obs::MetricsRegistry merged;
@@ -238,6 +241,96 @@ TEST(ParallelEngine, ThreadCountNeverChangesResultsOrMetrics) {
     EXPECT_EQ(got.first, baseline.first) << "threads=" << threads;
     EXPECT_EQ(got.second, baseline.second) << "threads=" << threads;
   }
+}
+
+TEST(ParallelEngine, PinningNeverChangesResultsOrMetrics) {
+  // The core determinism contract of this PR: pinned and unpinned runs at
+  // every thread count produce bit-identical results AND metrics exports —
+  // whether the pins land (real CPUs) or fall back (affinity denied).
+  const auto baseline = toy::run(1);
+  for (const bool pinned : {false, true}) {
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      const auto got = toy::run(threads, pinned);
+      EXPECT_EQ(got.first, baseline.first)
+          << "threads=" << threads << " pinned=" << pinned;
+      EXPECT_EQ(got.second, baseline.second)
+          << "threads=" << threads << " pinned=" << pinned;
+    }
+  }
+}
+
+TEST(ParallelEngine, PinFallbackWarnsOnceAndRunsUnpinned) {
+  // pin_cpus={-1} forces every pin attempt to fail regardless of the host:
+  // the engine must warn on stderr, report zero pinned workers, and still
+  // produce the exact unpinned results and metrics.
+  const auto baseline = toy::run(4);
+  testing::internal::CaptureStderr();
+  const auto got = toy::run(4, /*pin=*/true, /*pin_cpus=*/{-1});
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("continuing unpinned"), std::string::npos) << err;
+  // Warn-once: a single warning line, not one per worker.
+  EXPECT_EQ(err.find("warning"), err.rfind("warning")) << err;
+  EXPECT_EQ(got.first, baseline.first);
+  EXPECT_EQ(got.second, baseline.second);
+}
+
+TEST(ParallelEngine, RuntimeMetricsAreOptInAndDoNotChangeResults) {
+  // Wall-clock counters (engine.shardN.busy_us, engine.barrier_wait_us) are
+  // nondeterministic by nature, so they must be absent by default — the
+  // byte-identical metrics contract depends on it — and appear only when
+  // asked for, without perturbing the simulation results.
+  const auto baseline = toy::run(2);
+  EXPECT_EQ(baseline.second.find("engine.shard"), std::string::npos);
+
+  constexpr std::size_t kShards = 4;
+  std::vector<std::uint64_t> results(kShards, 0);
+  std::vector<toy::Program*> directory(kShards, nullptr);
+  std::vector<std::unique_ptr<ShardProgram>> programs;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    auto p = std::make_unique<toy::Program>();
+    p->directory = &directory;
+    p->out = &results;
+    directory[i] = p.get();
+    programs.push_back(std::move(p));
+  }
+  ParallelConfig config;
+  config.shards = kShards;
+  config.threads = 2;
+  config.seed = 99;
+  config.runtime_metrics = true;
+  ParallelEngine engine(config, std::move(programs));
+  engine.run();
+  EXPECT_EQ(results, baseline.first);
+  obs::MetricsRegistry merged;
+  engine.merge_metrics(merged);
+  const std::string json = obs::metrics_json(merged, "toy", 0.0);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    EXPECT_NE(json.find("engine.shard" + std::to_string(i) + ".busy_us"),
+              std::string::npos)
+        << json;
+  }
+  EXPECT_NE(json.find("engine.barrier_wait_us"), std::string::npos) << json;
+}
+
+TEST(ParallelEngine, PinFallbackReportsPinnedWorkerCount) {
+  struct Idle final : ShardProgram {
+    void epoch(ShardContext&, SimTime) override {}
+    bool done(const ShardContext&) const override { return true; }
+  };
+  std::vector<std::unique_ptr<ShardProgram>> programs;
+  programs.push_back(std::make_unique<Idle>());
+  programs.push_back(std::make_unique<Idle>());
+  ParallelConfig config;
+  config.shards = 2;
+  config.threads = 2;
+  config.pin_threads = true;
+  config.pin_cpus = {-1};
+  ParallelEngine engine(config, std::move(programs));
+  testing::internal::CaptureStderr();
+  engine.run();
+  (void)testing::internal::GetCapturedStderr();
+  EXPECT_EQ(engine.pinned_workers(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -298,12 +391,14 @@ Trace small_cdn_trace() {
 
 CacheSimResult run_sim(const Trace& trace, bool with_ecs,
                        std::optional<std::uint32_t> ttl_override,
-                       std::size_t shards, std::size_t threads = 0) {
+                       std::size_t shards, std::size_t threads = 0,
+                       bool pin = false) {
   CacheSimOptions options;
   options.with_ecs = with_ecs;
   options.ttl_override = ttl_override;
   options.shards = shards;
   options.threads = threads;
+  options.pin_threads = pin;
   return simulate_cache(trace, options);
 }
 
@@ -353,6 +448,21 @@ TEST(ParallelDeterminism, RepeatedRunsAndThreadCountsAreIdentical) {
   expect_identical(first, run_sim(trace, true, std::nullopt, 4, 1), "threads=1");
   expect_identical(first, run_sim(trace, true, std::nullopt, 4, 3), "threads=3");
   expect_identical(first, run_sim(trace, true, std::nullopt, 4, 8), "threads=8");
+}
+
+TEST(ParallelDeterminism, CacheReplayIdenticalPinnedAndUnpinnedAtEveryThreadCount) {
+  // The acceptance matrix on the simulation side: pinned-vs-unpinned across
+  // threads 1/2/4/8 replays the same 4-shard partition bit-identically.
+  const Trace trace = small_all_names_trace();
+  const CacheSimResult serial = run_sim(trace, true, std::nullopt, 1);
+  for (const bool pin : {false, true}) {
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      expect_identical(serial,
+                       run_sim(trace, true, std::nullopt, 4, threads, pin),
+                       "threads=" + std::to_string(threads) +
+                           " pin=" + std::to_string(pin));
+    }
+  }
 }
 
 TEST(ParallelDeterminism, MetricsExportIsByteIdenticalAcrossShardCounts) {

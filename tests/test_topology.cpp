@@ -1,0 +1,205 @@
+// CPU topology parsing (canned sysfs fixtures) and thread-affinity
+// primitives. The pinning layer is best-effort by contract — these tests
+// pin the parts that must be exact (list parsing, SMT classification, pin
+// order) and the fallback behavior of the parts the environment may deny.
+#include "netsim/topology.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ecsdns::netsim {
+namespace {
+
+// A scratch sysfs-shaped tree under TMPDIR, removed on destruction.
+class FixtureTree {
+ public:
+  FixtureTree() {
+    char pattern[] = "/tmp/ecsdns_topology_XXXXXX";
+    if (const char* dir = ::mkdtemp(pattern)) root_ = dir;
+    EXPECT_NE(root_, "");
+  }
+  ~FixtureTree() {
+    const std::string cmd = "rm -rf " + root_;
+    [[maybe_unused]] const int rc = std::system(cmd.c_str());
+  }
+
+  const std::string& root() const { return root_; }
+
+  void write(const std::string& rel, const std::string& content) {
+    std::string dir = root_;
+    std::size_t pos = 0;
+    std::size_t slash;
+    while ((slash = rel.find('/', pos)) != std::string::npos) {
+      dir += "/" + rel.substr(pos, slash - pos);
+      ::mkdir(dir.c_str(), 0755);
+      pos = slash + 1;
+    }
+    std::ofstream out(root_ + "/" + rel);
+    out << content;
+  }
+
+  void add_cpu(int cpu, int package, int core) {
+    const std::string base = "cpu" + std::to_string(cpu) + "/topology/";
+    write(base + "physical_package_id", std::to_string(package) + "\n");
+    write(base + "core_id", std::to_string(core) + "\n");
+  }
+
+ private:
+  std::string root_;
+};
+
+TEST(Topology, ParsesCpuListFormats) {
+  EXPECT_EQ(parse_cpu_list("0-3,5"), (std::vector<int>{0, 1, 2, 3, 5}));
+  EXPECT_EQ(parse_cpu_list("0"), (std::vector<int>{0}));
+  EXPECT_EQ(parse_cpu_list("0-1,4-5"), (std::vector<int>{0, 1, 4, 5}));
+  EXPECT_EQ(parse_cpu_list(" 2 , 0 \n"), (std::vector<int>{0, 2}));
+  EXPECT_EQ(parse_cpu_list(""), (std::vector<int>{}));
+  // Malformed pieces are skipped, not fatal; duplicates collapse.
+  EXPECT_EQ(parse_cpu_list("0,weird,3-2,1,1"), (std::vector<int>{0, 1}));
+}
+
+TEST(Topology, SmtSiblingsClassifiedAndOrderedLast) {
+  // A 2-core/4-thread package laid out the common Linux way: cpu0/cpu1 are
+  // the primary threads, cpu2/cpu3 their hyperthread siblings.
+  FixtureTree tree;
+  tree.write("online", "0-3\n");
+  tree.add_cpu(0, 0, 0);
+  tree.add_cpu(1, 0, 1);
+  tree.add_cpu(2, 0, 0);
+  tree.add_cpu(3, 0, 1);
+  const Topology topo = Topology::from_sysfs(tree.root());
+  ASSERT_EQ(topo.online_cpus(), 4u);
+  EXPECT_EQ(topo.physical_cores(), 2u);
+  EXPECT_EQ(topo.packages(), 1u);
+  EXPECT_FALSE(topo.cpus()[0].smt_sibling);
+  EXPECT_FALSE(topo.cpus()[1].smt_sibling);
+  EXPECT_TRUE(topo.cpus()[2].smt_sibling);
+  EXPECT_TRUE(topo.cpus()[3].smt_sibling);
+  // One CPU per physical core first, SMT siblings after.
+  EXPECT_EQ(topo.pin_order(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Topology, DualPackagePinOrderAscendsPackageThenCore) {
+  // Two packages, two cores each, siblings interleaved the other common
+  // way (cpu pairs (0,1), (2,3) sharing a core).
+  FixtureTree tree;
+  tree.write("online", "0-7\n");
+  tree.add_cpu(0, 0, 0);
+  tree.add_cpu(1, 0, 0);
+  tree.add_cpu(2, 0, 1);
+  tree.add_cpu(3, 0, 1);
+  tree.add_cpu(4, 1, 0);
+  tree.add_cpu(5, 1, 0);
+  tree.add_cpu(6, 1, 1);
+  tree.add_cpu(7, 1, 1);
+  const Topology topo = Topology::from_sysfs(tree.root());
+  EXPECT_EQ(topo.physical_cores(), 4u);
+  EXPECT_EQ(topo.packages(), 2u);
+  EXPECT_EQ(topo.pin_order(), (std::vector<int>{0, 2, 4, 6, 1, 3, 5, 7}));
+}
+
+TEST(Topology, HolesInOnlineMaskAreRespected) {
+  // cpu1 offline: it must not appear anywhere.
+  FixtureTree tree;
+  tree.write("online", "0,2-3\n");
+  tree.add_cpu(0, 0, 0);
+  tree.add_cpu(1, 0, 0);
+  tree.add_cpu(2, 0, 1);
+  tree.add_cpu(3, 0, 1);
+  const Topology topo = Topology::from_sysfs(tree.root());
+  ASSERT_EQ(topo.online_cpus(), 3u);
+  EXPECT_EQ(topo.physical_cores(), 2u);
+  EXPECT_EQ(topo.pin_order(), (std::vector<int>{0, 2, 3}));
+}
+
+TEST(Topology, MissingTopologyFilesDegradeToOneCorePerCpu) {
+  // A masked container sysfs: online exists, per-cpu topology does not.
+  FixtureTree tree;
+  tree.write("online", "0-1\n");
+  const Topology topo = Topology::from_sysfs(tree.root());
+  ASSERT_EQ(topo.online_cpus(), 2u);
+  EXPECT_EQ(topo.physical_cores(), 2u);
+  EXPECT_EQ(topo.pin_order(), (std::vector<int>{0, 1}));
+}
+
+TEST(Topology, MissingSysfsFallsBackToFlatHardwareConcurrency) {
+  const Topology topo = Topology::from_sysfs("/nonexistent/sysfs/root");
+  EXPECT_GE(topo.online_cpus(), 1u);
+  EXPECT_EQ(topo.physical_cores(), topo.online_cpus());
+  EXPECT_EQ(topo.pin_order().size(), topo.online_cpus());
+}
+
+TEST(Topology, FlatTopologyShape) {
+  const Topology topo = Topology::flat(3);
+  EXPECT_EQ(topo.online_cpus(), 3u);
+  EXPECT_EQ(topo.physical_cores(), 3u);
+  EXPECT_EQ(topo.packages(), 1u);
+  EXPECT_EQ(topo.pin_order(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Topology, DetectFindsAtLeastOneCpu) {
+  const Topology topo = Topology::detect();
+  EXPECT_GE(topo.online_cpus(), 1u);
+  EXPECT_EQ(topo.pin_order().size(), topo.online_cpus());
+  EXPECT_GE(topo.physical_cores(), 1u);
+}
+
+TEST(Affinity, OutOfRangeCpusAreRejectedNotUb) {
+  // CPU_SET is undefined behavior past CPU_SETSIZE; the wrapper must turn
+  // both ends into a clean false (the engine's fallback-test hook).
+  EXPECT_FALSE(pin_current_thread_to_cpu(-1));
+  EXPECT_FALSE(pin_current_thread_to_cpu(CPU_SETSIZE));
+  EXPECT_FALSE(pin_current_thread_to_cpu(CPU_SETSIZE + 100));
+}
+
+TEST(Affinity, PinningToAnAllowedCpuRestrictsTheMask) {
+  // Pin to the first CPU of our current affinity mask — always allowed on
+  // Linux unless the environment denies the syscall entirely, in which
+  // case the false return is the documented fallback and there is nothing
+  // further to assert.
+  cpu_set_t before;
+  CPU_ZERO(&before);
+  ASSERT_EQ(::sched_getaffinity(0, sizeof(before), &before), 0);
+  int first = -1;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(static_cast<std::size_t>(cpu), &before)) {
+      first = cpu;
+      break;
+    }
+  }
+  ASSERT_GE(first, 0);
+  if (!pin_current_thread_to_cpu(first)) {
+    GTEST_SKIP() << "affinity syscall denied here; fallback path covered by "
+                    "ParallelDeterminism.PinFallback*";
+  }
+  cpu_set_t after;
+  CPU_ZERO(&after);
+  ASSERT_EQ(::sched_getaffinity(0, sizeof(after), &after), 0);
+  EXPECT_EQ(CPU_COUNT(&after), 1);
+  EXPECT_TRUE(CPU_ISSET(static_cast<std::size_t>(first), &after));
+  // Restore the original mask for the rest of the binary.
+  ::sched_setaffinity(0, sizeof(before), &before);
+}
+
+TEST(Affinity, ThreadNamesApplyAndTruncate) {
+  set_current_thread_name("shard-7");
+  char buf[32] = {};
+  ASSERT_EQ(pthread_getname_np(pthread_self(), buf, sizeof(buf)), 0);
+  EXPECT_STREQ(buf, "shard-7");
+  // Linux caps names at 15 chars; longer input must truncate, not fail.
+  set_current_thread_name("a-very-long-thread-name-indeed");
+  ASSERT_EQ(pthread_getname_np(pthread_self(), buf, sizeof(buf)), 0);
+  EXPECT_STREQ(buf, "a-very-long-thr");
+}
+
+}  // namespace
+}  // namespace ecsdns::netsim
